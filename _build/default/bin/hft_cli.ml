@@ -1,0 +1,172 @@
+(* hft: high-level synthesis for testability, command-line driver.
+
+     hft synth   --bench ewf --flow partial-scan [--width 8]
+     hft analyze --bench diffeq
+     hft atpg    --bench tseng [--sample 25]
+     hft bist    --bench diffeq [--patterns 1024]
+     hft list *)
+
+open Cmdliner
+open Hft_cdfg
+open Hft_core
+
+let bench_names = List.map fst (Bench_suite.all ())
+
+let bench_arg =
+  let doc =
+    Printf.sprintf "Benchmark behaviour (%s)." (String.concat ", " bench_names)
+  in
+  Arg.(required & opt (some (enum (List.map (fun n -> (n, n)) bench_names))) None
+       & info [ "b"; "bench" ] ~docv:"NAME" ~doc)
+
+let width_arg =
+  Arg.(value & opt int 8 & info [ "w"; "width" ] ~docv:"BITS" ~doc:"Data-path width.")
+
+let dot_arg =
+  Arg.(value & flag & info [ "dot" ] ~doc:"Emit the data path as Graphviz DOT.")
+
+(* ------------------------------------------------------------------ *)
+
+let synth_cmd =
+  let flow_arg =
+    let flows =
+      [ ("conventional", `Conventional); ("partial-scan", `Partial_scan);
+        ("bist", `Bist) ]
+    in
+    Arg.(value & opt (enum flows) `Conventional
+         & info [ "f"; "flow" ] ~docv:"FLOW"
+             ~doc:"Synthesis flow: conventional, partial-scan or bist.")
+  in
+  let run bench flow width dot =
+    let g = Bench_suite.by_name bench in
+    let r =
+      match flow with
+      | `Conventional -> Flow.synthesize_conventional ~width g
+      | `Partial_scan -> Flow.synthesize_for_partial_scan ~width g
+      | `Bist -> Flow.synthesize_for_bist ~width g
+    in
+    if dot then print_string (Hft_rtl.Datapath.to_dot r.Flow.datapath)
+    else begin
+      print_string (Hft_rtl.Datapath.pp r.Flow.datapath);
+      Hft_util.Pretty.print ~header:Flow.report_header
+        [ Flow.report_row r.Flow.report ]
+    end
+  in
+  Cmd.v (Cmd.info "synth" ~doc:"Synthesise a benchmark with a DFT flow")
+    Term.(const run $ bench_arg $ flow_arg $ width_arg $ dot_arg)
+
+let analyze_cmd =
+  let run bench width =
+    let g = Bench_suite.by_name bench in
+    Printf.printf "%s: %d ops, %d vars, %d states\n" bench (Graph.n_ops g)
+      (Graph.n_vars g)
+      (List.length (Graph.state_vars g));
+    let loops = Loops.enumerate g in
+    Printf.printf "CDFG loops: %d\n" (List.length loops);
+    let cls = Testability.analyze g in
+    Printf.printf "hard variables (behavioural): %d\n"
+      (List.length (Testability.hard_variables g cls));
+    let r = Flow.synthesize_conventional ~width g in
+    let s = Hft_rtl.Sgraph.of_datapath r.Flow.datapath in
+    Printf.printf "conventional data path: %d regs, %d fus, %d loops, %d self-loops\n"
+      (Hft_rtl.Datapath.n_regs r.Flow.datapath)
+      (Hft_rtl.Datapath.n_fus r.Flow.datapath)
+      (List.length (Hft_rtl.Sgraph.nontrivial_loops s))
+      (List.length (Hft_rtl.Sgraph.self_loop_regs s));
+    print_string
+      (Hft_rtl.Testability.pp_report r.Flow.datapath
+         (Hft_rtl.Testability.analyze s))
+  in
+  Cmd.v (Cmd.info "analyze" ~doc:"Testability analysis of a benchmark")
+    Term.(const run $ bench_arg $ width_arg)
+
+let atpg_cmd =
+  let sample_arg =
+    Arg.(value & opt int 25
+         & info [ "sample" ] ~docv:"N" ~doc:"Keep one fault in N.")
+  in
+  let run bench width sample =
+    let g = Bench_suite.by_name bench in
+    let rng = Hft_util.Rng.create 2024 in
+    let conv = Flow.synthesize_conventional ~width g in
+    let scan = Flow.synthesize_for_partial_scan ~width g in
+    let atpg tag (r : Flow.result) =
+      let ex = Hft_gate.Expand.of_datapath r.Flow.datapath in
+      let nl = ex.Hft_gate.Expand.netlist in
+      let faults =
+        Hft_gate.Fault.collapsed nl
+        |> List.filter (fun _ -> Hft_util.Rng.int rng sample = 0)
+      in
+      let scanned =
+        Array.to_list r.Flow.datapath.Hft_rtl.Datapath.regs
+        |> List.concat_map (fun reg ->
+               if reg.Hft_rtl.Datapath.r_kind = Hft_rtl.Datapath.Scan then
+                 Array.to_list ex.Hft_gate.Expand.reg_q.(reg.Hft_rtl.Datapath.r_id)
+               else [])
+      in
+      let stats =
+        Hft_scan.Partial_scan.atpg ~backtrack_limit:50 ~max_frames:3 nl
+          ~faults ~scanned
+      in
+      Printf.printf "%-14s %4d faults  coverage %6s  backtracks %7d  scan cells %d\n"
+        tag (List.length faults)
+        (Hft_util.Pretty.pct (Hft_gate.Seq_atpg.fault_coverage stats))
+        stats.Hft_gate.Seq_atpg.backtracks (List.length scanned)
+    in
+    atpg "no DFT" conv;
+    atpg "partial scan" scan
+  in
+  Cmd.v (Cmd.info "atpg" ~doc:"Gate-level sequential ATPG comparison")
+    Term.(const run $ bench_arg $ width_arg $ sample_arg)
+
+let bist_cmd =
+  let patterns_arg =
+    Arg.(value & opt int 1024
+         & info [ "patterns" ] ~docv:"N" ~doc:"Pseudorandom patterns per block.")
+  in
+  let run bench width patterns =
+    let g = Bench_suite.by_name bench in
+    let r = Flow.synthesize_for_bist ~width g in
+    Hft_util.Pretty.print ~header:Flow.report_header
+      [ Flow.report_row r.Flow.report ];
+    let report =
+      Hft_bist.Run.run ~checkpoints:[ patterns / 4; patterns ]
+        ~source:Hft_bist.Run.Lfsr_source ~seed:3 r.Flow.datapath
+    in
+    List.iter
+      (fun b ->
+        Printf.printf "block fu%d: %d gates, %d faults, final coverage %s\n"
+          b.Hft_bist.Run.fu b.Hft_bist.Run.n_gates b.Hft_bist.Run.n_faults
+          (Hft_util.Pretty.pct
+             (match List.rev b.Hft_bist.Run.coverage with
+              | (_, c) :: _ -> c
+              | [] -> 0.0)))
+      report.Hft_bist.Run.blocks;
+    Printf.printf "total coverage: %s\n"
+      (Hft_util.Pretty.pct report.Hft_bist.Run.total_coverage)
+  in
+  Cmd.v (Cmd.info "bist" ~doc:"BIST synthesis and pseudorandom campaign")
+    Term.(const run $ bench_arg $ width_arg $ patterns_arg)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (name, g) ->
+        Printf.printf "%-11s %2d ops, %d states (%s)\n" name (Graph.n_ops g)
+          (List.length (Graph.state_vars g))
+          (String.concat ", "
+             (List.map
+                (fun (c, n) ->
+                  Printf.sprintf "%d %s" n (Op.fu_class_to_string c))
+                (Graph.op_profile g))))
+      (Bench_suite.all ())
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the benchmark behaviours")
+    Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "hft" ~version:"1.0.0"
+      ~doc:"High-level synthesis for testability (DAC'96 survey reproduction)"
+  in
+  exit (Cmd.eval (Cmd.group info [ synth_cmd; analyze_cmd; atpg_cmd; bist_cmd; list_cmd ]))

@@ -1,0 +1,1 @@
+examples/bist_datapath.ml: Array Bench_suite Hft_bist Hft_cdfg Hft_hls Hft_rtl Hft_util Lifetime List Op Printf

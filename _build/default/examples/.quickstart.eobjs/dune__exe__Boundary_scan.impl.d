@@ -1,0 +1,1 @@
+examples/boundary_scan.ml: Bench_suite Expand Hft_cdfg Hft_gate Hft_hls Hft_scan List Netlist Op Printf String

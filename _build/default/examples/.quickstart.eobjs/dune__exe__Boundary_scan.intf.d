@@ -1,0 +1,1 @@
+examples/boundary_scan.mli:

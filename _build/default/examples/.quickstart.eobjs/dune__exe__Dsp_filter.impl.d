@@ -1,0 +1,1 @@
+examples/dsp_filter.ml: Array Bench_suite Flow Graph Hft_cdfg Hft_core Hft_gate Hft_hls Hft_rtl Hft_scan Hft_util List Loops Op Printf Scan_vars String

@@ -1,0 +1,1 @@
+examples/fig1_loops.ml: Array Fig1_exp Graph Hft_cdfg Hft_core Hft_rtl List Op Paper_fig1 Printf Sim_sched_assign String

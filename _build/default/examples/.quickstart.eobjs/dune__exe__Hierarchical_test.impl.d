@@ -1,0 +1,1 @@
+examples/hierarchical_test.ml: Array Bench_suite Graph Hft_cdfg Hft_core Hft_gate Hft_hls Hier_test List Op Printf

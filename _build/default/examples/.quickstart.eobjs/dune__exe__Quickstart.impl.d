@@ -1,0 +1,1 @@
+examples/quickstart.ml: Builder Flow Graph Hft_cdfg Hft_core Hft_rtl Hft_util List Op Printf

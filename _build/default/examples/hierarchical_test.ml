@@ -1,0 +1,80 @@
+(* Hierarchical test generation: module test environments and the reuse
+   of precomputed module tests at the system level.
+
+     dune exec examples/hierarchical_test.exe *)
+
+open Hft_cdfg
+open Hft_core
+
+let resources = [ (Op.Multiplier, 2); (Op.Alu, 2); (Op.Comparator, 1) ]
+
+let () =
+  let g = Bench_suite.diffeq () in
+  let width = 8 in
+  let sched = Hft_hls.List_sched.schedule g ~resources in
+  let binding = Hft_hls.Fu_bind.left_edge ~resources g sched in
+
+  (* Which operations have test environments? *)
+  print_endline "test environments per operation:";
+  Array.iter
+    (fun { Graph.o_id; o_kind; o_result; _ } ->
+      match Hier_test.environment ~width g o_id with
+      | Some env ->
+        Printf.printf "  op %2d (%s -> %-4s): observe at %-5s via %d hop(s)\n"
+          o_id (Op.to_string o_kind)
+          (Graph.var g o_result).Graph.v_name
+          env.Hier_test.observe_output
+          (List.length env.Hier_test.chain)
+      | None ->
+        Printf.printf "  op %2d (%s -> %-4s): no environment\n" o_id
+          (Op.to_string o_kind)
+          (Graph.var g o_result).Graph.v_name)
+    (Array.init (Graph.n_ops g) (Graph.op g));
+
+  let covered, uncovered = Hier_test.covered_instances ~width g binding in
+  Printf.printf "\nfunctional units with an environment: %d of %d\n"
+    (List.length covered)
+    (List.length covered + List.length uncovered);
+
+  (* Repair coverage with test points where needed. *)
+  let g', points = Hier_test.ensure_coverage ~width g binding in
+  let covered', _ = Hier_test.covered_instances ~width g' binding in
+  Printf.printf "after inserting %d test point(s): %d covered\n" points
+    (List.length covered');
+
+  (* Generate module tests with PODEM on the multiplier block and
+     translate them through an environment. *)
+  (match Graph.producer g (Graph.var_by_name g "m6") with
+   | None -> ()
+   | Some o ->
+     (match Hier_test.environment ~width g o.Graph.o_id with
+      | None -> print_endline "m6 has no environment"
+      | Some env ->
+        let blk = Hft_gate.Expand.comb_block ~width:4 [ Op.Mul ] in
+        let nl = blk.Hft_gate.Expand.b_netlist in
+        let faults = Hft_gate.Fault.collapsed nl in
+        let module_tests =
+          List.filter_map
+            (fun f ->
+              match Hft_gate.Podem.generate_comb nl ~fault:f with
+              | Hft_gate.Podem.Test assign, _ ->
+                let word bits =
+                  Array.to_list bits
+                  |> List.mapi (fun i pi ->
+                         match List.assoc_opt pi assign with
+                         | Some true -> 1 lsl i
+                         | Some false | None -> 0)
+                  |> List.fold_left ( + ) 0
+                in
+                Some (word blk.Hft_gate.Expand.b_a, word blk.Hft_gate.Expand.b_b)
+              | Hft_gate.Podem.Untestable, _ | Hft_gate.Podem.Aborted, _ -> None)
+            faults
+          |> List.sort_uniq compare
+        in
+        Printf.printf
+          "\nmodule ATPG on the 4-bit multiplier: %d faults, %d distinct test vectors\n"
+          (List.length faults) (List.length module_tests);
+        let c = Hier_test.compose ~width g env module_tests in
+        Printf.printf
+          "translated through m6's environment: %d vectors, %d confirmed at the primary output\n"
+          c.Hier_test.vectors_translated c.Hier_test.vectors_confirmed))

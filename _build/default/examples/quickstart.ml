@@ -1,0 +1,57 @@
+(* Quickstart: describe a behaviour, synthesise it three ways, compare
+   the testability reports.
+
+     dune exec examples/quickstart.exe *)
+
+open Hft_cdfg
+open Hft_core
+
+let () =
+  (* A small IIR section: y = b0*x + w1; w1' = b1*x - a1*y. *)
+  let b = Builder.create "quickstart" in
+  let x = Builder.input b "x" in
+  let b0 = Builder.input b "b0" in
+  let b1 = Builder.input b "b1" in
+  let a1 = Builder.input b "a1" in
+  let w1 = Builder.state b "w1" in
+  let m0 = Builder.binop b Op.Mul b0 x ~name:"m0" in
+  let y = Builder.binop b Op.Add m0 w1 ~name:"y" in
+  let m1 = Builder.binop b Op.Mul b1 x ~name:"m1" in
+  let m2 = Builder.binop b Op.Mul a1 y ~name:"m2" in
+  let w1n = Builder.binop b Op.Sub m1 m2 ~name:"w1n" in
+  Builder.mark_output b y;
+  Builder.feedback b ~src:w1n ~dst:w1;
+  let g = Builder.finish b in
+
+  Printf.printf "behaviour: %d ops, %d variables, %d state register(s)\n"
+    (Graph.n_ops g) (Graph.n_vars g)
+    (List.length (Graph.state_vars g));
+
+  (* One iteration of the behaviour, as a sanity check. *)
+  let r =
+    Graph.run ~width:16 g
+      ~inputs:[ ("x", 3); ("b0", 2); ("b1", 1); ("a1", 1) ]
+      ~state:[ ("w1", 10) ] ()
+  in
+  Printf.printf "y(x=3, w1=10) = %d\n\n" (Graph.value_of g r "y");
+
+  (* Three synthesis flows, one table. *)
+  let rows =
+    List.map
+      (fun r -> Flow.report_row r.Flow.report)
+      [ Flow.synthesize_conventional ~width:8 g;
+        Flow.synthesize_for_partial_scan ~width:8 g;
+        Flow.synthesize_for_bist ~width:8 g ]
+  in
+  Hft_util.Pretty.print
+    ~title:"synthesis-for-testability comparison"
+    ~header:Flow.report_header rows;
+
+  (* The partial-scan flow really is loop-free: show the S-graph. *)
+  let ps = Flow.synthesize_for_partial_scan ~width:8 g in
+  let s = Hft_rtl.Sgraph.of_datapath ps.Flow.datapath in
+  Printf.printf
+    "\npartial-scan data path: %d registers (%d scanned), %d non-self loop(s) left\n"
+    (Hft_rtl.Datapath.n_regs ps.Flow.datapath)
+    ps.Flow.report.Flow.n_scan_registers
+    (List.length (Hft_rtl.Sgraph.nontrivial_loops s))

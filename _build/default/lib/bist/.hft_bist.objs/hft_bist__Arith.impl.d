@@ -1,0 +1,1 @@
+lib/bist/arith.ml: Array Graph Hashtbl Hft_cdfg Hft_hls List

@@ -1,0 +1,1 @@
+lib/bist/arith.mli: Hft_cdfg Hft_hls

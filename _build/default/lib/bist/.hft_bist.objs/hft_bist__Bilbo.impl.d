@@ -1,0 +1,1 @@
+lib/bist/bilbo.ml: Area Array Datapath Hft_rtl List

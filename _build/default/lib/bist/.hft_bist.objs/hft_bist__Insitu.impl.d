@@ -1,0 +1,1 @@
+lib/bist/insitu.ml: Array Bilbo Expand Hft_gate Hft_rtl Hft_util Lfsr List Netlist Printf Sim

@@ -1,0 +1,1 @@
+lib/bist/insitu.mli: Bilbo Expand Fault Hft_gate Hft_rtl Netlist

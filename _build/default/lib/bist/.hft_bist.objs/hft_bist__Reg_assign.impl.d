@@ -1,0 +1,1 @@
+lib/bist/reg_assign.ml: Array Graph Hashtbl Hft_cdfg Hft_hls Hft_util Lifetime List Union_find

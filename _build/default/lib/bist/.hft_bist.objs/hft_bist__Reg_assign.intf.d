@@ -1,0 +1,1 @@
+lib/bist/reg_assign.mli: Graph Hft_cdfg Hft_hls Lifetime Schedule

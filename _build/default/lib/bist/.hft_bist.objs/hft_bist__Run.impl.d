@@ -1,0 +1,1 @@
+lib/bist/run.ml: Arith Array Expand Fault Fsim Hft_gate Hft_rtl Hft_util Lfsr List Misr Netlist Sim

@@ -1,0 +1,1 @@
+lib/bist/run.mli: Hft_cdfg Hft_rtl

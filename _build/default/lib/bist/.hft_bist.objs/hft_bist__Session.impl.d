@@ -1,0 +1,1 @@
+lib/bist/session.ml: Array Bilbo Datapath Graph Hft_cdfg Hft_hls Hft_rtl List

@@ -1,0 +1,1 @@
+lib/bist/session.mli: Bilbo Hft_cdfg Hft_hls Hft_rtl

@@ -1,0 +1,1 @@
+lib/bist/share.ml: Array Bilbo Graph Hashtbl Hft_cdfg Hft_hls Lifetime List

@@ -1,0 +1,1 @@
+lib/bist/share.mli: Graph Hft_cdfg Hft_hls Hft_rtl Lifetime Schedule

@@ -1,0 +1,1 @@
+lib/bist/tfb.ml: Array Graph Hft_cdfg Hft_hls Hft_rtl Hft_util Lifetime List Op

@@ -1,0 +1,1 @@
+lib/bist/tfb.mli: Graph Hft_cdfg Lifetime Op Schedule

@@ -1,0 +1,1 @@
+lib/bist/xtfb.mli: Graph Hft_cdfg Op Schedule

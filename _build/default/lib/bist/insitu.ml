@@ -1,0 +1,187 @@
+open Hft_gate
+
+type t = {
+  netlist : Netlist.t;
+  expansion : Expand.t;
+  bist_mode : int;
+  cfg_pins : (int * int) list;
+  roles : Bilbo.role array;
+}
+
+(* XOR-reduce a node list. *)
+let xor_reduce nl = function
+  | [] -> Netlist.add nl Netlist.Const0 [||]
+  | x :: tl ->
+    List.fold_left (fun acc y -> Netlist.add nl Netlist.Xor [| acc; y |]) x tl
+
+(* LFSR next-state nets for a register's Q bits (internal-XOR form:
+   shift up, feedback into bit 0). *)
+let lfsr_next nl q =
+  let w = Array.length q in
+  let taps = Lfsr.taps (max 2 (min 24 w)) in
+  let fb = xor_reduce nl (List.map (fun p -> q.((p - 1) mod w)) taps) in
+  Array.init w (fun i -> if i = 0 then fb else q.(i - 1))
+
+(* MISR next-state: LFSR shift xor the absorbed input word. *)
+let misr_next nl q input =
+  let shifted = lfsr_next nl q in
+  Array.init (Array.length q) (fun i ->
+      Netlist.add nl Netlist.Xor [| shifted.(i); input.(i) |])
+
+let insert (ex : Expand.t) d (plan : Bilbo.plan) =
+  let nl = ex.Expand.netlist in
+  let bist_mode = Netlist.add nl ~name:"bist_mode" Netlist.Pi [||] in
+  let cfg_pins = ref [] in
+  let n_regs = Hft_rtl.Datapath.n_regs d in
+  for r = 0 to n_regs - 1 do
+    let role = plan.Bilbo.roles.(r) in
+    let q = ex.Expand.reg_q.(r) in
+    let normal_d = Array.map (fun dff -> (Netlist.fanin nl dff).(0)) q in
+    let bist_d =
+      match role with
+      | Bilbo.R_none -> None
+      | Bilbo.R_tpgr -> Some (lfsr_next nl q)
+      | Bilbo.R_sr | Bilbo.R_cbilbo ->
+        (* Absorb the register's functional D value (the routed block
+           output when the session's control configuration is held). *)
+        Some (misr_next nl q normal_d)
+      | Bilbo.R_bilbo ->
+        let cfg =
+          Netlist.add nl
+            ~name:(Printf.sprintf "bist_cfg_%s"
+                     d.Hft_rtl.Datapath.regs.(r).Hft_rtl.Datapath.r_name)
+            Netlist.Pi [||]
+        in
+        cfg_pins := (r, cfg) :: !cfg_pins;
+        let tp = lfsr_next nl q in
+        let sr = misr_next nl q normal_d in
+        Some
+          (Array.init (Array.length q) (fun i ->
+               Netlist.add nl Netlist.Mux2 [| cfg; sr.(i); tp.(i) |]))
+    in
+    match bist_d with
+    | None -> ()
+    | Some bist_d ->
+      Array.iteri
+        (fun i dff ->
+          let mux =
+            Netlist.add nl Netlist.Mux2 [| bist_mode; normal_d.(i); bist_d.(i) |]
+          in
+          Netlist.set_fanin nl dff 0 mux)
+        q
+  done;
+  Netlist.validate nl;
+  { netlist = nl; expansion = ex; bist_mode; cfg_pins = List.rev !cfg_pins;
+    roles = plan.Bilbo.roles }
+
+(* Control configuration routing [fu]: the roles of the step in which
+   it executes. *)
+let step_of_fu d fu =
+  let found = ref None in
+  List.iter
+    (fun (s, m) ->
+      match m with
+      | Hft_rtl.Datapath.Exec e when e.fu = fu && !found = None ->
+        found := Some s
+      | Hft_rtl.Datapath.Exec _ | Hft_rtl.Datapath.Move _ -> ())
+    d.Hft_rtl.Datapath.transfers;
+  match !found with
+  | Some s -> s
+  | None -> invalid_arg "Insitu: unit never executes"
+
+let word_of_q st q =
+  Array.to_list q
+  |> List.mapi (fun i dff ->
+         if Hft_util.Bitvec.get (Sim.pvalue st dff) 0 then 1 lsl i else 0)
+  |> List.fold_left ( + ) 0
+
+let run_session ?fault ?step t d ~fu ~sr_reg ~cycles ~seed =
+  let nl = t.netlist in
+  let ex = t.expansion in
+  let faults = match fault with None -> [] | Some f -> [ f ] in
+  let st = Sim.pcreate nl ~n_patterns:1 in
+  let set node b =
+    let v = Hft_util.Bitvec.create 1 in
+    Hft_util.Bitvec.set v 0 b;
+    Sim.pset_pi st node v
+  in
+  (* Hold the control configuration of one of the unit's execution
+     steps. *)
+  let step = match step with Some s -> s | None -> step_of_fu d fu in
+  let active = Expand.roles_for_step d step in
+  List.iter
+    (fun (role, node) -> set node (List.mem role active))
+    ex.Expand.controls;
+  set t.bist_mode true;
+  (* BILBO cfg: TPGR unless this is the session's SR. *)
+  List.iter (fun (r, pin) -> set pin (r <> sr_reg)) t.cfg_pins;
+  (* Data PIs at a fixed value. *)
+  List.iter
+    (fun (_, bits) -> Array.iter (fun p -> set p false) bits)
+    ex.Expand.data_pis;
+  (* Seed every test register deterministically (nonzero). *)
+  Array.iteri
+    (fun r q ->
+      if t.roles.(r) <> Bilbo.R_none then begin
+        let s = (seed + (r * 37)) lor 1 in
+        Array.iteri
+          (fun i dff ->
+            let v = Hft_util.Bitvec.create 1 in
+            Hft_util.Bitvec.set v 0 (s lsr (i mod 24) land 1 = 1);
+            Sim.pset_state st dff v
+          )
+          q
+      end)
+    ex.Expand.reg_q;
+  for _ = 1 to cycles do
+    Sim.peval ~faults nl st;
+    Sim.pclock ~faults nl st
+  done;
+  word_of_q st ex.Expand.reg_q.(sr_reg)
+
+type campaign_report = {
+  n_faults : int;
+  detected : int;
+  sessions : (int * int) list;
+}
+
+let campaign t d (plan : Bilbo.plan) ~faults ~cycles ~seed =
+  (* One session per (execution step, unit): every routed configuration
+     of every block gets exercised, which is how the paper's "set of
+     acyclic logic blocks" covers the mux fabric too. *)
+  let configs =
+    List.filter_map
+      (fun (s, m) ->
+        match m with
+        | Hft_rtl.Datapath.Exec e when plan.Bilbo.sr_of_fu.(e.fu) >= 0 ->
+          Some (s, e.fu, plan.Bilbo.sr_of_fu.(e.fu))
+        | Hft_rtl.Datapath.Exec _ | Hft_rtl.Datapath.Move _ -> None)
+      d.Hft_rtl.Datapath.transfers
+    |> List.sort_uniq compare
+  in
+  let sessions =
+    List.map
+      (fun (step, fu, sr) ->
+        (step, fu, sr, run_session ~step t d ~fu ~sr_reg:sr ~cycles ~seed))
+      configs
+  in
+  let detected =
+    List.length
+      (List.filter
+         (fun f ->
+           List.exists
+             (fun (step, fu, sr, gold) ->
+               run_session ~fault:f ~step t d ~fu ~sr_reg:sr ~cycles ~seed
+               <> gold)
+             sessions)
+         faults)
+  in
+  {
+    n_faults = List.length faults;
+    detected;
+    sessions = List.map (fun (_, fu, _, gold) -> (fu, gold)) sessions;
+  }
+
+let coverage r =
+  if r.n_faults = 0 then 1.0
+  else float_of_int r.detected /. float_of_int r.n_faults

@@ -1,0 +1,56 @@
+(** In-situ BIST: functional registers structurally reconfigured as
+    pattern generators and signature registers (survey §5).
+
+    {!insert} rewires the gate-level expansion so that, with
+    [bist_mode] high,
+
+    - TPGR-role registers become internal-XOR LFSRs (ignoring their
+      functional D inputs),
+    - SR/CBILBO-role registers become MISRs absorbing their functional
+      D inputs (a CBILBO's MISR state stream doubles as its pattern
+      stream, which is exactly why the cell is expensive),
+    - BILBO-role registers take either behaviour, chosen by a per-
+      register configuration pin,
+
+    while [bist_mode] low leaves the circuit functionally untouched.
+
+    {!run_session} then holds one control-step configuration (routing
+    one logic block), clocks the circuit and reads the block's
+    signature; {!campaign} does this for every block against every
+    sampled fault — actual built-in self-test, simulated
+    cycle-accurately. *)
+
+open Hft_gate
+
+type t = {
+  netlist : Netlist.t;
+  expansion : Expand.t;
+  bist_mode : int;                    (** PI *)
+  cfg_pins : (int * int) list;        (** (register, pin): 1 = TPGR role *)
+  roles : Bilbo.role array;           (** per register *)
+}
+
+val insert : Expand.t -> Hft_rtl.Datapath.t -> Bilbo.plan -> t
+
+(** Signature of [sr_reg] after clocking [cycles] with the control
+    configuration of the step in which [fu] executes; TPGRs are seeded
+    deterministically from [seed].  [fault] optionally injects a stuck-at
+    fault for the whole session. *)
+val run_session :
+  ?fault:Fault.t -> ?step:int -> t -> Hft_rtl.Datapath.t -> fu:int ->
+  sr_reg:int -> cycles:int -> seed:int -> int
+
+type campaign_report = {
+  n_faults : int;
+  detected : int;
+  sessions : (int * int) list;        (** (fu, golden signature) *)
+}
+
+(** Full self-test: one session per (execution step, unit) pair; a
+    fault counts as detected when any session's signature deviates from
+    gold. *)
+val campaign :
+  t -> Hft_rtl.Datapath.t -> Bilbo.plan -> faults:Fault.t list ->
+  cycles:int -> seed:int -> campaign_report
+
+val coverage : campaign_report -> float

@@ -1,0 +1,59 @@
+type t = { w : int; taps : int list; mutable s : int }
+
+(* Standard maximal-length tap tables (XAPP052-style), 1-based bit
+   positions. *)
+let taps = function
+  | 2 -> [ 2; 1 ]
+  | 3 -> [ 3; 2 ]
+  | 4 -> [ 4; 3 ]
+  | 5 -> [ 5; 3 ]
+  | 6 -> [ 6; 5 ]
+  | 7 -> [ 7; 6 ]
+  | 8 -> [ 8; 6; 5; 4 ]
+  | 9 -> [ 9; 5 ]
+  | 10 -> [ 10; 7 ]
+  | 11 -> [ 11; 9 ]
+  | 12 -> [ 12; 6; 4; 1 ]
+  | 13 -> [ 13; 4; 3; 1 ]
+  | 14 -> [ 14; 5; 3; 1 ]
+  | 15 -> [ 15; 14 ]
+  | 16 -> [ 16; 15; 13; 4 ]
+  | 17 -> [ 17; 14 ]
+  | 18 -> [ 18; 11 ]
+  | 19 -> [ 19; 6; 2; 1 ]
+  | 20 -> [ 20; 17 ]
+  | 21 -> [ 21; 19 ]
+  | 22 -> [ 22; 21 ]
+  | 23 -> [ 23; 18 ]
+  | 24 -> [ 24; 23; 22; 17 ]
+  | w -> invalid_arg (Printf.sprintf "Lfsr: unsupported width %d" w)
+
+let create ~width ~seed =
+  let t = taps width in
+  let mask = (1 lsl width) - 1 in
+  let s = seed land mask in
+  { w = width; taps = t; s = (if s = 0 then 1 else s) }
+
+let width t = t.w
+let state t = t.s
+
+let next t =
+  let fb =
+    List.fold_left (fun acc p -> acc lxor (t.s lsr (p - 1) land 1)) 0 t.taps
+  in
+  t.s <- ((t.s lsl 1) lor fb) land ((1 lsl t.w) - 1);
+  t.s
+
+let bits t n = List.init n (fun _ -> next t land 1 = 1)
+
+let period t =
+  let start = t.s in
+  let count = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    ignore (next t);
+    incr count;
+    if t.s = start then continue_ := false;
+    if !count > 1 lsl (t.w + 1) then invalid_arg "Lfsr.period: runaway"
+  done;
+  !count

@@ -1,0 +1,29 @@
+(** Linear-feedback shift registers for pseudorandom test pattern
+    generation (TPGRs).
+
+    Fibonacci form over a primitive polynomial, so any nonzero seed
+    yields the maximal period [2^width - 1]. *)
+
+type t
+
+(** [create ~width ~seed] — [2 <= width <= 24]; a zero seed is replaced
+    by 1 (the all-zero state is the lock-up state). *)
+val create : width:int -> seed:int -> t
+
+val width : t -> int
+
+(** Current state (a [width]-bit word). *)
+val state : t -> int
+
+(** Advance one step and return the new state. *)
+val next : t -> int
+
+(** [bits t n] — next [n] output bits (LSB stream). *)
+val bits : t -> int -> bool list
+
+(** Period of the generator starting from its current state (walks the
+    cycle; intended for tests at small widths). *)
+val period : t -> int
+
+(** Primitive-polynomial tap positions (1-based) for a width. *)
+val taps : int -> int list

@@ -1,0 +1,21 @@
+type t = { w : int; taps : int list; mutable s : int }
+
+let create ~width = { w = width; taps = Lfsr.taps width; s = 0 }
+
+let absorb t word =
+  let mask = (1 lsl t.w) - 1 in
+  let msb = t.s lsr (t.w - 1) land 1 in
+  let shifted = (t.s lsl 1) land mask in
+  let feedback =
+    if msb = 1 then
+      List.fold_left (fun acc p -> acc lxor (1 lsl (p - 1))) 0 t.taps land mask
+    else 0
+  in
+  t.s <- shifted lxor feedback lxor (word land mask)
+
+let signature t = t.s
+
+let of_stream ~width stream =
+  let t = create ~width in
+  List.iter (absorb t) stream;
+  signature t

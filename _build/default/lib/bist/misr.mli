@@ -1,0 +1,16 @@
+(** Multiple-input signature registers (SRs).
+
+    Internal-XOR form over the same primitive polynomials as {!Lfsr}:
+    each cycle the state shifts with polynomial feedback and absorbs a
+    parallel input word.  Equal fault-free streams always give equal
+    signatures; differing streams collide (alias) with probability
+    about [2^-width]. *)
+
+type t
+
+val create : width:int -> t
+val absorb : t -> int -> unit
+val signature : t -> int
+
+(** Signature of a whole stream from a fresh register. *)
+val of_stream : width:int -> int list -> int

@@ -1,0 +1,129 @@
+open Hft_cdfg
+open Hft_util
+
+let registered_kind g v =
+  match (Graph.var g v).Graph.v_kind with
+  | Graph.V_const _ -> false
+  | Graph.V_input | Graph.V_output | Graph.V_intermediate -> true
+
+let rep_of info v = Union_find.find info.Lifetime.merged v
+
+(* Per instance: class representatives appearing as args / results. *)
+let instance_io g (binding : Hft_hls.Fu_bind.t) info =
+  Array.map
+    (fun (_, ops) ->
+      let args =
+        List.concat_map
+          (fun o ->
+            Array.to_list (Graph.op g o).Graph.o_args
+            |> List.filter (registered_kind g)
+            |> List.map (rep_of info))
+          ops
+        |> List.sort_uniq compare
+      in
+      let results =
+        List.map (fun o -> rep_of info (Graph.op g o).Graph.o_result) ops
+        |> List.sort_uniq compare
+      in
+      (args, results))
+    binding.Hft_hls.Fu_bind.instances
+
+(* A class is "doomed" on an instance when it contains both an argument
+   and a result of that instance: whatever register holds it is
+   self-adjacent there regardless of the assignment (the TFB/XTFB
+   architectures, not assignment, are the cure for those). *)
+let doomed_table io =
+  Array.map
+    (fun (args, results) -> List.filter (fun r -> List.mem r results) args)
+    io
+
+let self_adjacency_conflicts g (binding : Hft_hls.Fu_bind.t) info =
+  let io = instance_io g binding info in
+  let doomed = doomed_table io in
+  let pairs = ref [] in
+  Array.iteri
+    (fun i (args, results) ->
+      List.iter
+        (fun a ->
+          List.iter
+            (fun r ->
+              if a <> r
+                 (* Sharing two classes both doomed on this instance
+                    costs nothing extra; keep them packable. *)
+                 && not (List.mem a doomed.(i) && List.mem r doomed.(i))
+              then pairs := (a, r) :: !pairs)
+            results)
+        args)
+    io;
+  List.sort_uniq compare !pairs
+
+let bist_aware g _sched binding info =
+  let io = instance_io g binding info in
+  let doomed = doomed_table io in
+  let extra_conflicts = self_adjacency_conflicts g binding info in
+  (* Visit doomed classes first, instance by instance, and pack each
+     instance's doomed classes into as few registers as possible. *)
+  let doomed_order = Array.to_list doomed |> List.concat in
+  let doomed_home = Hashtbl.create 8 in (* instance-mate packing *)
+  let instance_of_rep rep =
+    let found = ref [] in
+    Array.iteri
+      (fun i reps -> if List.mem rep reps then found := i :: !found)
+      doomed;
+    !found
+  in
+  (* The allocator numbers fresh registers sequentially, one per [None]
+     returned, so mirroring its counter lets later doomed classes pack
+     into homes opened fresh. *)
+  let next_fresh = ref 0 in
+  let prefer rep ~feasible =
+    let mates = instance_of_rep rep in
+    let packed =
+      List.filter_map (fun i -> Hashtbl.find_opt doomed_home i) mates
+      |> List.filter (fun r -> List.mem r feasible)
+    in
+    let choice =
+      match packed with
+      | r :: _ -> Some r
+      | [] -> (match feasible with r :: _ -> Some r | [] -> None)
+    in
+    let home =
+      match choice with
+      | Some r -> r
+      | None ->
+        let r = !next_fresh in
+        incr next_fresh;
+        r
+    in
+    List.iter (fun i -> Hashtbl.replace doomed_home i home) mates;
+    choice
+  in
+  Hft_hls.Reg_alloc.color ~extra_conflicts ~order:doomed_order ~prefer g info
+
+let self_adjacent_count g (binding : Hft_hls.Fu_bind.t)
+    (alloc : Hft_hls.Reg_alloc.t) =
+  let reg_of v = alloc.Hft_hls.Reg_alloc.reg_of_var.(v) in
+  let self_adjacent = Hashtbl.create 8 in
+  Array.iter
+    (fun (_, ops) ->
+      let in_regs =
+        List.concat_map
+          (fun o ->
+            Array.to_list (Graph.op g o).Graph.o_args
+            |> List.filter_map (fun a ->
+                   let r = reg_of a in
+                   if r >= 0 then Some r else None))
+          ops
+      in
+      let out_regs =
+        List.filter_map
+          (fun o ->
+            let r = reg_of (Graph.op g o).Graph.o_result in
+            if r >= 0 then Some r else None)
+          ops
+      in
+      List.iter
+        (fun r -> if List.mem r in_regs then Hashtbl.replace self_adjacent r ())
+        out_regs)
+    binding.Hft_hls.Fu_bind.instances;
+  Hashtbl.length self_adjacent

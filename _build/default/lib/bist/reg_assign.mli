@@ -1,0 +1,26 @@
+(** BIST-aware register assignment (Avra ITC'91, survey §5.1).
+
+    Conventional register allocation merrily assigns a module's input
+    variable and output variable to one register, creating self-adjacent
+    registers that must become expensive CBILBOs.  This assignment adds
+    conflict edges between variables that are an input and an output of
+    the same bound functional unit, steering the colouring away from
+    self-adjacency at (usually) no register-count cost. *)
+
+open Hft_cdfg
+
+(** Extra conflicts: (arg var, result var) pairs across all op pairs
+    sharing a functional-unit instance.  Pairs inside a forced merge
+    class (loop-carried state) are unavoidable and skipped. *)
+val self_adjacency_conflicts :
+  Graph.t -> Hft_hls.Fu_bind.t -> Lifetime.info -> (int * int) list
+
+(** Colouring with those conflicts. *)
+val bist_aware :
+  Graph.t -> Schedule.t -> Hft_hls.Fu_bind.t -> Lifetime.info ->
+  Hft_hls.Reg_alloc.t
+
+(** Number of self-adjacent registers a (graph, binding, allocation)
+    triple will produce — the quantity [bist_aware] minimises. *)
+val self_adjacent_count :
+  Graph.t -> Hft_hls.Fu_bind.t -> Hft_hls.Reg_alloc.t -> int

@@ -1,0 +1,32 @@
+(** End-to-end pseudorandom BIST campaigns.
+
+    For each logic block of a data path (a functional unit together
+    with its op kinds), run the pattern source against the block's gate
+    expansion, fault-simulate, and collect the block's coverage curve
+    and MISR signature.  This is the measurement harness behind the
+    BIST experiment tables (E6/E7/E9). *)
+
+type source = Lfsr_source | Arith_source
+
+type block_report = {
+  fu : int;
+  n_gates : int;
+  n_faults : int;
+  coverage : (int * float) list;  (** (patterns, cumulative coverage) *)
+  signature : int;
+}
+
+type report = {
+  blocks : block_report list;
+  total_coverage : float;         (** fault-weighted at the last checkpoint *)
+}
+
+val run :
+  ?checkpoints:int list -> source:source -> seed:int ->
+  Hft_rtl.Datapath.t -> report
+
+(** Same machinery on one standalone block (kind list) — used to compare
+    LFSR vs accumulator sources directly. *)
+val run_block :
+  ?checkpoints:int list -> source:source -> seed:int -> width:int ->
+  Hft_cdfg.Op.kind list -> block_report

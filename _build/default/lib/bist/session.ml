@@ -1,0 +1,92 @@
+open Hft_rtl
+
+type path = { fu : int; tpgrs : int list; sr : int }
+
+let paths d (p : Bilbo.plan) =
+  List.filter_map
+    (fun f ->
+      let sr = p.Bilbo.sr_of_fu.(f) in
+      if sr < 0 then None
+      else Some { fu = f; tpgrs = Datapath.fu_input_regs d f; sr })
+    (List.init (Datapath.n_fus d) (fun f -> f))
+
+let regs_of p = List.sort_uniq compare (p.sr :: p.tpgrs)
+
+let conflict a b =
+  a.fu = b.fu
+  || List.exists (fun r -> List.mem r (regs_of b)) (regs_of a)
+
+let schedule ps =
+  let n = List.length ps in
+  let arr = Array.of_list ps in
+  let colour = Array.make n (-1) in
+  let n_sessions = ref 0 in
+  for i = 0 to n - 1 do
+    let used =
+      List.filter_map
+        (fun j ->
+          if j < i && conflict arr.(i) arr.(j) then Some colour.(j) else None)
+        (List.init n (fun j -> j))
+    in
+    let rec first c = if List.mem c used then first (c + 1) else c in
+    let c = first 0 in
+    colour.(i) <- c;
+    if c + 1 > !n_sessions then n_sessions := c + 1
+  done;
+  (Array.to_list colour, !n_sessions)
+
+let count d p = snd (schedule (paths d p))
+
+let concurrency_aware_alloc g (binding : Hft_hls.Fu_bind.t) info =
+  let open Hft_cdfg in
+  let nv = Graph.n_vars g in
+  (* Affinity of a variable: the unit instances its register would tie
+     into a test path (consumers + producer). *)
+  let affinity = Array.make nv [] in
+  Array.iteri
+    (fun o inst ->
+      if inst >= 0 then begin
+        let op = Graph.op g o in
+        Array.iter
+          (fun a -> affinity.(a) <- inst :: affinity.(a))
+          op.Graph.o_args;
+        affinity.(op.Graph.o_result) <- inst :: affinity.(op.Graph.o_result)
+      end)
+    binding.Hft_hls.Fu_bind.fu_of_op;
+  let aff v = List.sort_uniq compare affinity.(v) in
+  let extra = ref [] in
+  for u = 0 to nv - 1 do
+    for v = u + 1 to nv - 1 do
+      if aff u <> [] && aff v <> [] && aff u <> aff v then
+        extra := (u, v) :: !extra
+    done
+  done;
+  Hft_hls.Reg_alloc.color ~extra_conflicts:!extra g info
+
+let optimize d (p : Bilbo.plan) =
+  let sr_of_fu = Array.copy p.Bilbo.sr_of_fu in
+  let plan_with sr_of_fu =
+    (* Recompute role counts for the changed SR set; roles themselves
+       are only needed for counting, so rebuild through Bilbo.plan's
+       shape by hand. *)
+    { p with Bilbo.sr_of_fu }
+  in
+  let current = ref (count d (plan_with sr_of_fu)) in
+  for f = 0 to Datapath.n_fus d - 1 do
+    if sr_of_fu.(f) >= 0 then begin
+      let ins = Datapath.fu_input_regs d f in
+      let outs = Datapath.fu_output_regs d f in
+      let clean = List.filter (fun r -> not (List.mem r ins)) outs in
+      let candidates = if clean = [] then outs else clean in
+      List.iter
+        (fun r ->
+          if r <> sr_of_fu.(f) then begin
+            let saved = sr_of_fu.(f) in
+            sr_of_fu.(f) <- r;
+            let n = count d (plan_with sr_of_fu) in
+            if n < !current then current := n else sr_of_fu.(f) <- saved
+          end)
+        candidates
+    end
+  done;
+  plan_with sr_of_fu

@@ -1,0 +1,41 @@
+(** Test-session scheduling (Harris–Orailoğlu DAC'94, survey §5.2).
+
+    Each logic block's BIST test is a {e test path}: its TPGR registers,
+    the unit, and its SR.  Two paths conflict when they share any
+    resource (register or unit — a register cannot generate patterns
+    for one block and capture responses for another in the same
+    session).  Colouring the conflict graph gives the number of test
+    sessions; fewer sessions = higher test concurrency = shorter test
+    time. *)
+
+type path = {
+  fu : int;
+  tpgrs : int list;
+  sr : int;
+}
+
+val paths : Hft_rtl.Datapath.t -> Bilbo.plan -> path list
+
+(** Conflict: shared register (in any role) between two paths. *)
+val conflict : path -> path -> bool
+
+(** Greedy colouring; returns (session index per path, session count). *)
+val schedule : path list -> int list * int
+
+(** One-call: number of sessions a data path needs under a plan. *)
+val count : Hft_rtl.Datapath.t -> Bilbo.plan -> int
+
+(** Conflict-aware SR re-selection (the Harris–Orailoğlu objective):
+    for each block, try every output register not among its inputs as
+    the SR and keep the combination minimising the session count
+    (greedy, one block at a time).  Returns the improved plan. *)
+val optimize : Hft_rtl.Datapath.t -> Bilbo.plan -> Bilbo.plan
+
+(** Concurrency-aware register assignment: variables are kept apart
+    unless they touch exactly the same set of unit instances, so each
+    register belongs to one block's test path and the paths stay
+    resource-disjoint.  Trades registers for test concurrency — the
+    Harris–Orailoğlu synthesis objective at the assignment level. *)
+val concurrency_aware_alloc :
+  Hft_cdfg.Graph.t -> Hft_hls.Fu_bind.t -> Hft_cdfg.Lifetime.info ->
+  Hft_hls.Reg_alloc.t

@@ -1,0 +1,91 @@
+open Hft_cdfg
+
+let sharing_aware g _sched (binding : Hft_hls.Fu_bind.t) info =
+  (* For every variable, the FU instances that consume / produce it. *)
+  let consumers_fu = Hashtbl.create 32 in
+  let producer_fu = Hashtbl.create 32 in
+  Array.iteri
+    (fun o inst ->
+      if inst >= 0 then begin
+        let op = Graph.op g o in
+        Array.iter
+          (fun a ->
+            let cur = try Hashtbl.find consumers_fu a with Not_found -> [] in
+            Hashtbl.replace consumers_fu a (inst :: cur))
+          op.Graph.o_args;
+        Hashtbl.replace producer_fu op.Graph.o_result inst
+      end)
+    binding.Hft_hls.Fu_bind.fu_of_op;
+  (* Track, as colouring proceeds, which FUs each register feeds or
+     latches. *)
+  let reg_feeds : (int, int list) Hashtbl.t = Hashtbl.create 16 in
+  let reg_latches : (int, int list) Hashtbl.t = Hashtbl.create 16 in
+  let fus_of tbl v =
+    match Hashtbl.find_opt tbl v with Some l -> l | None -> []
+  in
+  let class_fus info rep tbl =
+    List.concat_map (fun v -> fus_of tbl v) (Lifetime.class_members info rep)
+  in
+  let record rep reg =
+    let feeds = class_fus info rep consumers_fu in
+    let latches =
+      List.concat_map
+        (fun v ->
+          match Hashtbl.find_opt producer_fu v with
+          | Some f -> [ f ]
+          | None -> [])
+        (Lifetime.class_members info rep)
+    in
+    Hashtbl.replace reg_feeds reg
+      (List.sort_uniq compare (feeds @ fus_of reg_feeds reg));
+    Hashtbl.replace reg_latches reg
+      (List.sort_uniq compare (latches @ fus_of reg_latches reg))
+  in
+  let choice = Hashtbl.create 16 in
+  let prefer rep ~feasible =
+    let my_feeds = List.sort_uniq compare (class_fus info rep consumers_fu) in
+    let my_latch =
+      List.filter_map
+        (fun v -> Hashtbl.find_opt producer_fu v)
+        (Lifetime.class_members info rep)
+      |> List.sort_uniq compare
+    in
+    let score reg =
+      let overlap a b = List.length (List.filter (fun x -> List.mem x b) a) in
+      overlap my_feeds (fus_of reg_feeds reg)
+      + overlap my_latch (fus_of reg_latches reg)
+    in
+    let best =
+      List.fold_left
+        (fun acc reg ->
+          match acc with
+          | None -> Some (reg, score reg)
+          | Some (_, s) when score reg > s -> Some (reg, score reg)
+          | Some _ -> acc)
+        None feasible
+    in
+    match best with
+    | Some (reg, s) when s > 0 ->
+      Hashtbl.replace choice rep reg;
+      record rep reg;
+      Some reg
+    | Some (reg, _) ->
+      (* No sharing gain: still reuse the first feasible register to
+         keep the register count minimal. *)
+      Hashtbl.replace choice rep reg;
+      record rep reg;
+      Some reg
+    | None -> None
+  in
+  let alloc = Hft_hls.Reg_alloc.color ~prefer g info in
+  (* Record newly opened registers too (prefer returned None). *)
+  Array.iteri
+    (fun v reg -> if reg >= 0 then record v reg)
+    alloc.Hft_hls.Reg_alloc.reg_of_var;
+  alloc
+
+let test_register_count d =
+  let p = Bilbo.plan d in
+  Array.fold_left
+    (fun acc role -> if role = Bilbo.R_none then acc else acc + 1)
+    0 p.Bilbo.roles

@@ -1,0 +1,20 @@
+(** TPGR/SR sharing-aware register assignment
+    (Parulkar–Gupta–Breuer DAC'95, survey §5.1).
+
+    After scheduling and module binding are fixed, register assignment
+    still decides which registers end up as module inputs and outputs.
+    Steering variables used by the same unit into the same registers
+    maximises TPGR/SR sharing across logic blocks, so fewer registers
+    need test hardware at all. *)
+
+open Hft_cdfg
+
+(** Sharing-aware colouring: prefers the feasible register already
+    holding operands (or results) of the same functional unit. *)
+val sharing_aware :
+  Graph.t -> Schedule.t -> Hft_hls.Fu_bind.t -> Lifetime.info ->
+  Hft_hls.Reg_alloc.t
+
+(** Number of registers requiring any test role (TPGR, SR, BILBO or
+    CBILBO) in the generated data path — what sharing minimises. *)
+val test_register_count : Hft_rtl.Datapath.t -> int

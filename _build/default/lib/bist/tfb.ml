@@ -1,0 +1,90 @@
+open Hft_cdfg
+
+type result = {
+  tfb_of_op : int array;
+  n_tfbs : int;
+  n_test_registers : int;
+  classes : Op.fu_class array;
+}
+
+let compatible g sched info o1 o2 =
+  let op1 = Graph.op g o1 and op2 = Graph.op g o2 in
+  let v1 = op1.Graph.o_result and v2 = op2.Graph.o_result in
+  Op.fu_class op1.Graph.o_kind = Op.fu_class op2.Graph.o_kind
+  && Op.fu_class op1.Graph.o_kind <> None
+  && (not (Hft_hls.Fu_bind.ops_conflict sched o1 o2))
+  && (not (Hft_util.Interval.overlaps info.Lifetime.intervals.(v1)
+             info.Lifetime.intervals.(v2)))
+  (* cross-condition: v1 must not feed o2 and v2 must not feed o1 *)
+  && (not (Array.exists (fun a -> a = v1) op2.Graph.o_args))
+  && not (Array.exists (fun a -> a = v2) op1.Graph.o_args)
+
+let map g sched =
+  let info = Lifetime.compute g sched in
+  let n = Graph.n_ops g in
+  let tfb_of_op = Array.make n (-1) in
+  let members : int list ref list ref = ref [] in
+  let classes = ref [] in
+  let n_tfbs = ref 0 in
+  for o = 0 to n - 1 do
+    match Op.fu_class (Graph.op g o).Graph.o_kind with
+    | None -> () (* moves need no TFB *)
+    | Some cl ->
+      (* First fit: a TFB whose every member is compatible. *)
+      let rec try_tfbs idx = function
+        | [] ->
+          tfb_of_op.(o) <- !n_tfbs;
+          members := !members @ [ ref [ o ] ];
+          classes := !classes @ [ cl ];
+          incr n_tfbs
+        | m :: tl ->
+          if List.nth !classes idx = cl
+             && List.for_all (fun o' -> compatible g sched info o o') !m
+          then begin
+            tfb_of_op.(o) <- idx;
+            m := o :: !m
+          end
+          else try_tfbs (idx + 1) tl
+      in
+      try_tfbs 0 !members
+  done;
+  {
+    tfb_of_op;
+    n_tfbs = !n_tfbs;
+    n_test_registers = !n_tfbs;
+    classes = Array.of_list !classes;
+  }
+
+let self_adjacency_free g r =
+  let ok = ref true in
+  Array.iteri
+    (fun o tfb ->
+      if tfb >= 0 then begin
+        let v = (Graph.op g o).Graph.o_result in
+        Array.iteri
+          (fun o' tfb' ->
+            if tfb' = tfb
+               && Array.exists (fun a -> a = v) (Graph.op g o').Graph.o_args
+            then ok := false)
+          r.tfb_of_op
+      end)
+    r.tfb_of_op;
+  !ok
+
+let area ~width r =
+  let table = Hft_rtl.Area.default in
+  let w = float_of_int width in
+  let per_tfb cl =
+    let alu =
+      match cl with
+      | Op.Alu -> table.Hft_rtl.Area.alu_bit *. w
+      | Op.Multiplier -> table.Hft_rtl.Area.mul_bit *. w *. w
+      | Op.Comparator -> table.Hft_rtl.Area.cmp_bit *. w
+      | Op.Logic_unit -> table.Hft_rtl.Area.logic_bit *. w
+      | Op.Shifter -> table.Hft_rtl.Area.shift_bit *. w
+    in
+    alu
+    +. (table.Hft_rtl.Area.bilbo_bit *. w)
+    +. (2.0 *. table.Hft_rtl.Area.mux_leg_bit *. w)
+  in
+  Array.fold_left (fun acc cl -> acc +. per_tfb cl) 0.0 r.classes

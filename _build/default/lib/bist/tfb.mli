@@ -1,0 +1,33 @@
+(** Test-function-block data-path synthesis
+    (Papachristou–Chiu–Harmanani DAC'91, survey §5.1).
+
+    The building block (TFB) is an ALU with an input multiplexer pair
+    and a single test register at its output.  Mapping unit: the
+    {e action} [(v, o(v))] — a variable together with the operation
+    producing it.  Two actions merge into one TFB when (i) their
+    variables' lifetimes are disjoint, and (ii) neither variable feeds
+    the other's operation (so the TFB's output register never becomes
+    its own input — structurally no self-adjacent register, hence no
+    CBILBO ever). *)
+
+open Hft_cdfg
+
+type result = {
+  tfb_of_op : int array;       (** op id -> TFB index *)
+  n_tfbs : int;
+  n_test_registers : int;      (** one BILBO per TFB *)
+  classes : Op.fu_class array; (** per TFB *)
+}
+
+val compatible : Graph.t -> Schedule.t -> Lifetime.info -> int -> int -> bool
+
+(** Greedy prime-sequence covering (first-fit over compatible sets). *)
+val map : Graph.t -> Schedule.t -> result
+
+(** Structural guarantee check: no TFB's output variable is consumed by
+    an operation of the same TFB. *)
+val self_adjacency_free : Graph.t -> result -> bool
+
+(** Unit-cost area of the TFB implementation (ALUs + BILBO registers +
+    2 muxes per TFB), for comparison rows. *)
+val area : width:int -> result -> float

@@ -1,0 +1,130 @@
+open Hft_cdfg
+
+type result = {
+  xtfb_of_op : int array;
+  n_xtfbs : int;
+  n_output_registers : int;
+  n_tpgr_only : int;
+  n_srs : int;
+  classes : Op.fu_class array;
+}
+
+(* Does [group @ [o]] keep a clean SR candidate?  A member's result is
+   clean when no member of the group consumes it. *)
+let has_clean_sr g members =
+  List.exists
+    (fun o ->
+      let v = (Graph.op g o).Graph.o_result in
+      List.for_all
+        (fun o' ->
+          not (Array.exists (fun a -> a = v) (Graph.op g o').Graph.o_args))
+        members)
+    members
+
+let map g sched =
+  let info = Lifetime.compute g sched in
+  let n = Graph.n_ops g in
+  let xtfb_of_op = Array.make n (-1) in
+  let members : int list ref list ref = ref [] in
+  let classes = ref [] in
+  let n_xtfbs = ref 0 in
+  for o = 0 to n - 1 do
+    match Op.fu_class (Graph.op g o).Graph.o_kind with
+    | None -> ()
+    | Some cl ->
+      let rec try_blocks idx = function
+        | [] ->
+          xtfb_of_op.(o) <- !n_xtfbs;
+          members := !members @ [ ref [ o ] ];
+          classes := !classes @ [ cl ];
+          incr n_xtfbs
+        | m :: tl ->
+          let candidate = o :: !m in
+          if List.nth !classes idx = cl
+             && List.for_all
+                  (fun o' ->
+                    o = o'
+                    || not (Hft_hls.Fu_bind.ops_conflict sched o o'))
+                  !m
+             && has_clean_sr g candidate
+          then begin
+            xtfb_of_op.(o) <- idx;
+            m := candidate
+          end
+          else try_blocks (idx + 1) tl
+      in
+      try_blocks 0 !members
+  done;
+  (* Output registers per block: colour member results by lifetime. *)
+  let n_output_registers = ref 0 in
+  let n_tpgr_only = ref 0 in
+  List.iter
+    (fun m ->
+      let items =
+        List.map
+          (fun o ->
+            let v = (Graph.op g o).Graph.o_result in
+            (v, info.Lifetime.intervals.(v)))
+          !m
+      in
+      let assign, k = Hft_util.Interval.left_edge items in
+      n_output_registers := !n_output_registers + k;
+      (* Registers holding a variable consumed inside the block are
+         self-adjacent: they stay TPGR-only. *)
+      let consumed_inside v =
+        List.exists
+          (fun o' ->
+            Array.exists (fun a -> a = v) (Graph.op g o').Graph.o_args)
+          !m
+      in
+      let regs = List.sort_uniq compare (List.map snd assign) in
+      List.iter
+        (fun reg ->
+          let holds =
+            List.filter_map (fun (v, r) -> if r = reg then Some v else None)
+              assign
+          in
+          if List.exists consumed_inside holds then incr n_tpgr_only)
+        regs)
+    !members;
+  {
+    xtfb_of_op;
+    n_xtfbs = !n_xtfbs;
+    n_output_registers = !n_output_registers;
+    n_tpgr_only = !n_tpgr_only;
+    n_srs = !n_xtfbs;
+    classes = Array.of_list !classes;
+  }
+
+let cbilbo_free g r =
+  (* Rebuild groups and re-check the clean-SR property. *)
+  let groups = Array.make r.n_xtfbs [] in
+  Array.iteri
+    (fun o b -> if b >= 0 then groups.(b) <- o :: groups.(b))
+    r.xtfb_of_op;
+  Array.for_all (fun m -> m = [] || has_clean_sr g m) groups
+
+let area ~width r =
+  let table = Hft_rtl.Area.default in
+  let w = float_of_int width in
+  let alu_cost cl =
+    match cl with
+    | Op.Alu -> table.Hft_rtl.Area.alu_bit *. w
+    | Op.Multiplier -> table.Hft_rtl.Area.mul_bit *. w *. w
+    | Op.Comparator -> table.Hft_rtl.Area.cmp_bit *. w
+    | Op.Logic_unit -> table.Hft_rtl.Area.logic_bit *. w
+    | Op.Shifter -> table.Hft_rtl.Area.shift_bit *. w
+  in
+  let alus = Array.fold_left (fun acc cl -> acc +. alu_cost cl) 0.0 r.classes in
+  let srs = float_of_int r.n_srs *. table.Hft_rtl.Area.sr_bit *. w in
+  let tpgrs =
+    float_of_int r.n_tpgr_only *. table.Hft_rtl.Area.tpgr_bit *. w
+  in
+  let plain =
+    float_of_int (max 0 (r.n_output_registers - r.n_srs - r.n_tpgr_only))
+    *. table.Hft_rtl.Area.reg_bit *. w
+  in
+  let muxes =
+    float_of_int (2 * r.n_xtfbs) *. table.Hft_rtl.Area.mux_leg_bit *. w
+  in
+  alus +. srs +. tpgrs +. plain +. muxes

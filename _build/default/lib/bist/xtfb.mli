@@ -1,0 +1,31 @@
+(** Extended test function blocks (Harmanani–Papachristou ICCAD'93,
+    survey §5.1).
+
+    An XTFB is an ALU with {e multiple} output registers.  During test,
+    input registers act as TPGRs and only one output register need be
+    an SR, so self-adjacent registers are tolerated as long as they
+    only have to be TPGRs — each block merely needs one output register
+    that is not among its inputs.  This needs fewer blocks (hence less
+    test area) than strict TFBs while still avoiding CBILBOs. *)
+
+open Hft_cdfg
+
+type result = {
+  xtfb_of_op : int array;
+  n_xtfbs : int;
+  n_output_registers : int;   (** lifetime-coloured within each block *)
+  n_tpgr_only : int;          (** self-adjacent registers kept as TPGRs *)
+  n_srs : int;                (** one per block *)
+  classes : Op.fu_class array;
+}
+
+(** Greedy grouping: ops join a block of their class when they do not
+    execute simultaneously and the block keeps at least one
+    "clean" output (a result variable feeding no operation of the same
+    block) to serve as SR. *)
+val map : Graph.t -> Schedule.t -> result
+
+(** No block is left without a clean SR candidate. *)
+val cbilbo_free : Graph.t -> result -> bool
+
+val area : width:int -> result -> float

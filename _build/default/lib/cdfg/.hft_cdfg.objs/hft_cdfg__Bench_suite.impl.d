@@ -1,0 +1,1 @@
+lib/cdfg/bench_suite.ml: Array Builder Hft_util List Op Printf Rng

@@ -1,0 +1,1 @@
+lib/cdfg/bench_suite.mli: Graph Hft_util

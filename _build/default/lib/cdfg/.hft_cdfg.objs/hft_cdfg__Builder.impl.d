@@ -1,0 +1,1 @@
+lib/cdfg/builder.ml: Array Graph List Op Printf

@@ -1,0 +1,1 @@
+lib/cdfg/builder.mli: Graph Op

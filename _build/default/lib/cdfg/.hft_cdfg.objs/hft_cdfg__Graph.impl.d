@@ -1,0 +1,1 @@
+lib/cdfg/graph.ml: Array Buffer Hashtbl Hft_util List Op Printf

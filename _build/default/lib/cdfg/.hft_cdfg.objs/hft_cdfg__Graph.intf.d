@@ -1,0 +1,1 @@
+lib/cdfg/graph.mli: Hft_util Op

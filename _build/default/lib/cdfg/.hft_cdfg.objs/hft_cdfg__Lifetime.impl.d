@@ -1,0 +1,1 @@
+lib/cdfg/lifetime.ml: Array Graph Hashtbl Hft_util Interval List Schedule Union_find

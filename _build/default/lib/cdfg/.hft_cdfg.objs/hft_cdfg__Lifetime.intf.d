@@ -1,0 +1,1 @@
+lib/cdfg/lifetime.mli: Graph Hft_util Schedule

@@ -1,0 +1,1 @@
+lib/cdfg/loops.ml: Array Graph Hft_util List

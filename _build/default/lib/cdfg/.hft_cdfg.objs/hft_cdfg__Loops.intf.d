@@ -1,0 +1,1 @@
+lib/cdfg/loops.mli: Graph

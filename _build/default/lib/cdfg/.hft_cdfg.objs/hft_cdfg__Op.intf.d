@@ -1,0 +1,1 @@
+lib/cdfg/op.mli:

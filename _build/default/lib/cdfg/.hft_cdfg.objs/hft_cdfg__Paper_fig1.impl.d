@@ -1,0 +1,1 @@
+lib/cdfg/paper_fig1.ml: Builder Op Schedule

@@ -1,0 +1,1 @@
+lib/cdfg/paper_fig1.mli: Graph Schedule

@@ -1,0 +1,1 @@
+lib/cdfg/schedule.ml: Array Buffer Graph Hashtbl Hft_util List Op Printf

@@ -1,0 +1,1 @@
+lib/cdfg/testability.ml: Array Graph List Op

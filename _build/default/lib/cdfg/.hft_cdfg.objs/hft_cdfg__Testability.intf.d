@@ -1,0 +1,1 @@
+lib/cdfg/testability.mli: Graph

@@ -1,0 +1,1 @@
+lib/cdfg/transform.ml: Array Graph Hft_util List Op Printf

@@ -1,0 +1,1 @@
+lib/cdfg/transform.mli: Graph Hft_util

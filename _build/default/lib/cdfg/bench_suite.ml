@@ -1,0 +1,324 @@
+open Builder
+
+(* HAL differential equation solver:
+     while (x < a) {
+       xl = x + dx;
+       ul = u - 3*x*u*dx - 3*y*dx;
+       yl = y + u*dx;
+       x = xl; u = ul; y = yl;
+     } *)
+let diffeq () =
+  let b = create "diffeq" in
+  let x = input b "x" in
+  let y = input b "y" in
+  let u = input b "u" in
+  let dx = input b "dx" in
+  let a = input b "a" in
+  let three = const b 3 in
+  let xl = binop b Op.Add x dx ~name:"xl" in
+  let m1 = binop b Op.Mul three x ~name:"m1" in
+  let m2 = binop b Op.Mul u dx ~name:"m2" in
+  let m3 = binop b Op.Mul m1 m2 ~name:"m3" in
+  let m4 = binop b Op.Mul three y ~name:"m4" in
+  let m5 = binop b Op.Mul m4 dx ~name:"m5" in
+  let s1 = binop b Op.Sub u m3 ~name:"s1" in
+  let ul = binop b Op.Sub s1 m5 ~name:"ul" in
+  let m6 = binop b Op.Mul u dx ~name:"m6" in
+  let yl = binop b Op.Add y m6 ~name:"yl" in
+  let c = binop b Op.Lt xl a ~name:"cond" in
+  mark_output b c;
+  mark_output b yl;
+  feedback b ~src:xl ~dst:x;
+  feedback b ~src:ul ~dst:u;
+  feedback b ~src:yl ~dst:y;
+  finish b
+
+(* 5th-order elliptic wave digital filter assembled from two-port
+   adaptor sections.  Each first-degree all-pass section around state
+   s_i uses one multiplier (adaptor coefficient g_i) and adders:
+       d  = in - s_i
+       t  = g_i * d
+       out = s_i + t          (reflected wave)
+       s_i' = in + t          (next state)
+   Sections are interleaved with the input/output summing network of
+   the ladder: 5 states, 8 multipliers (5 adaptors + 3 scaling taps),
+   22 add/sub operations. *)
+let ewf () =
+  let b = create "ewf" in
+  let xin = input b "xin" in
+  let g = Array.init 5 (fun i -> input b (Printf.sprintf "g%d" i)) in
+  let k = Array.init 3 (fun i -> input b (Printf.sprintf "k%d" i)) in
+  let s = Array.init 5 (fun i -> state b (Printf.sprintf "s%d" i)) in
+  let adaptor idx inp =
+    let d = binop b Op.Sub inp s.(idx) ~name:(Printf.sprintf "d%d" idx) in
+    let t = binop b Op.Mul g.(idx) d ~name:(Printf.sprintf "t%d" idx) in
+    let out = binop b Op.Add s.(idx) t ~name:(Printf.sprintf "r%d" idx) in
+    let s' = binop b Op.Add inp t ~name:(Printf.sprintf "sn%d" idx) in
+    feedback b ~src:s' ~dst:s.(idx);
+    out
+  in
+  (* Upper all-pass branch: sections 0-1-2 in cascade. *)
+  let u0 = adaptor 0 xin in
+  let u1 = adaptor 1 u0 in
+  let u2 = adaptor 2 u1 in
+  (* Lower all-pass branch: sections 3-4 in cascade. *)
+  let l0 = adaptor 3 xin in
+  let l1 = adaptor 4 l0 in
+  (* Output summing network with three scaling taps. *)
+  let sum = binop b Op.Add u2 l1 ~name:"sum" in
+  let dif = binop b Op.Sub u2 l1 ~name:"dif" in
+  let w0 = binop b Op.Mul k.(0) sum ~name:"w0" in
+  let w1 = binop b Op.Mul k.(1) dif ~name:"w1" in
+  let w2 = binop b Op.Mul k.(2) sum ~name:"w2" in
+  let y0 = binop b Op.Add w0 w1 ~name:"y0" in
+  let y1 = binop b Op.Sub w2 w1 ~name:"y1" in
+  let yout = binop b Op.Add y0 y1 ~name:"yout" in
+  mark_output b yout;
+  finish b
+
+let fir8 () =
+  let b = create "fir8" in
+  let x = input b "x" in
+  let c = Array.init 8 (fun i -> input b (Printf.sprintf "c%d" i)) in
+  let taps = Array.init 7 (fun i -> state b (Printf.sprintf "z%d" i)) in
+  (* Products over the delay line. *)
+  let prods =
+    Array.init 8 (fun i ->
+        let src = if i = 0 then x else taps.(i - 1) in
+        binop b Op.Mul c.(i) src ~name:(Printf.sprintf "p%d" i))
+  in
+  let acc = ref prods.(0) in
+  for i = 1 to 7 do
+    acc := binop b Op.Add !acc prods.(i) ~name:(Printf.sprintf "a%d" i)
+  done;
+  mark_output b !acc;
+  (* Shift the delay line with register moves. *)
+  for i = 6 downto 1 do
+    let mv = move b taps.(i - 1) ~name:(Printf.sprintf "sh%d" i) in
+    feedback b ~src:mv ~dst:taps.(i)
+  done;
+  let mv0 = move b x ~name:"sh0" in
+  feedback b ~src:mv0 ~dst:taps.(0);
+  finish b
+
+(* One direct-form-II biquad:
+     w  = x - a1*w1 - a2*w2
+     y  = b0*w + b1*w1 + b2*w2
+     w2 = w1; w1 = w *)
+let biquad b tag x =
+  let nm s = Printf.sprintf "%s_%s" tag s in
+  let a1 = input b (nm "a1") in
+  let a2 = input b (nm "a2") in
+  let b0 = input b (nm "b0") in
+  let b1 = input b (nm "b1") in
+  let b2 = input b (nm "b2") in
+  let w1 = state b (nm "w1") in
+  let w2 = state b (nm "w2") in
+  let m1 = binop b Op.Mul a1 w1 ~name:(nm "m1") in
+  let m2 = binop b Op.Mul a2 w2 ~name:(nm "m2") in
+  let s1 = binop b Op.Sub x m1 ~name:(nm "s1") in
+  let w = binop b Op.Sub s1 m2 ~name:(nm "w") in
+  let m3 = binop b Op.Mul b0 w ~name:(nm "m3") in
+  let m4 = binop b Op.Mul b1 w1 ~name:(nm "m4") in
+  let m5 = binop b Op.Mul b2 w2 ~name:(nm "m5") in
+  let s2 = binop b Op.Add m3 m4 ~name:(nm "s2") in
+  let y = binop b Op.Add s2 m5 ~name:(nm "y") in
+  let w1copy = move b w1 ~name:(nm "w1c") in
+  feedback b ~src:w1copy ~dst:w2;
+  feedback b ~src:w ~dst:w1;
+  y
+
+let iir4 () =
+  let b = create "iir4" in
+  let x = input b "x" in
+  let y1 = biquad b "bq1" x in
+  let y2 = biquad b "bq2" y1 in
+  mark_output b y2;
+  finish b
+
+(* Normalised lattice stage:
+     f_out = f_in - k*b_state
+     b_out = b_state + k*f_out     (b_out registered into next stage) *)
+let ar_lattice () =
+  let b = create "ar_lattice" in
+  let f = ref (input b "fin") in
+  let prev_b = ref None in
+  for i = 0 to 3 do
+    let k = input b (Printf.sprintf "k%d" i) in
+    let bs = state b (Printf.sprintf "b%d" i) in
+    let m1 = binop b Op.Mul k bs ~name:(Printf.sprintf "lm%d" i) in
+    let fo = binop b Op.Sub !f m1 ~name:(Printf.sprintf "f%d" i) in
+    let m2 = binop b Op.Mul k fo ~name:(Printf.sprintf "lm%db" i) in
+    let bo = binop b Op.Add bs m2 ~name:(Printf.sprintf "bo%d" i) in
+    (match !prev_b with
+     | None -> mark_output b bo (* final backward wave leaves the lattice *)
+     | Some dst -> feedback b ~src:bo ~dst);
+    prev_b := Some bs;
+    f := fo
+  done;
+  (* Close the delay line: last backward wave re-enters the last state. *)
+  (match !prev_b with
+   | Some dst ->
+     let mv = move b !f ~name:"bclose" in
+     feedback b ~src:mv ~dst
+   | None -> assert false);
+  mark_output b !f;
+  finish b
+
+let tseng () =
+  let b = create "tseng" in
+  let i1 = input b "i1" in
+  let i2 = input b "i2" in
+  let i3 = input b "i3" in
+  let i4 = input b "i4" in
+  let t1 = binop b Op.Add i1 i2 ~name:"t1" in
+  let t2 = binop b Op.And i3 i4 ~name:"t2" in
+  let t3 = binop b Op.Sub t1 i3 ~name:"t3" in
+  let t4 = binop b Op.Or t2 i1 ~name:"t4" in
+  let t5 = binop b Op.Mul t3 t4 ~name:"t5" in
+  let t6 = binop b Op.Add t5 t2 ~name:"t6" in
+  let t7 = binop b Op.Lt t6 i4 ~name:"t7" in
+  mark_output b t6;
+  mark_output b t7;
+  finish b
+
+(* 4-point DCT as two butterfly stages with rotation coefficients. *)
+let dct4 () =
+  let b = create "dct4" in
+  let x = Array.init 4 (fun i -> input b (Printf.sprintf "x%d" i)) in
+  let c = Array.init 4 (fun i -> input b (Printf.sprintf "c%d" i)) in
+  (* Stage 1: butterflies. *)
+  let s0 = binop b Op.Add x.(0) x.(3) ~name:"s0" in
+  let s1 = binop b Op.Add x.(1) x.(2) ~name:"s1" in
+  let d0 = binop b Op.Sub x.(0) x.(3) ~name:"d0" in
+  let d1 = binop b Op.Sub x.(1) x.(2) ~name:"d1" in
+  (* Stage 2: rotations. *)
+  let y0a = binop b Op.Mul c.(0) s0 ~name:"y0a" in
+  let y0b = binop b Op.Mul c.(0) s1 ~name:"y0b" in
+  let y0 = binop b Op.Add y0a y0b ~name:"y0" in
+  let y2a = binop b Op.Mul c.(2) s0 ~name:"y2a" in
+  let y2b = binop b Op.Mul c.(2) s1 ~name:"y2b" in
+  let y2 = binop b Op.Sub y2a y2b ~name:"y2" in
+  let y1a = binop b Op.Mul c.(1) d0 ~name:"y1a" in
+  let y1b = binop b Op.Mul c.(3) d1 ~name:"y1b" in
+  let y1 = binop b Op.Add y1a y1b ~name:"y1" in
+  let y3a = binop b Op.Mul c.(3) d0 ~name:"y3a" in
+  let y3b = binop b Op.Mul c.(1) d1 ~name:"y3b" in
+  let y3 = binop b Op.Sub y3a y3b ~name:"y3" in
+  List.iter (mark_output b) [ y0; y1; y2; y3 ];
+  finish b
+
+(* 4-tap LMS adaptive FIR:
+     y   = sum c_i * z_i          (z_0 = x, z_i taps)
+     e   = d - y
+     g   = mu * e
+     c_i' = c_i + g * z_i         (coefficient update loops)
+     z_i' = z_{i-1}               (delay line) *)
+let lms4 () =
+  let b = create "lms4" in
+  let x = input b "x" in
+  let d = input b "d" in
+  let mu = input b "mu" in
+  let c = Array.init 4 (fun i -> state b (Printf.sprintf "c%d" i)) in
+  let z = Array.init 3 (fun i -> state b (Printf.sprintf "z%d" i)) in
+  let tap i = if i = 0 then x else z.(i - 1) in
+  let prods =
+    Array.init 4 (fun i -> binop b Op.Mul c.(i) (tap i) ~name:(Printf.sprintf "p%d" i))
+  in
+  let acc01 = binop b Op.Add prods.(0) prods.(1) ~name:"acc01" in
+  let acc23 = binop b Op.Add prods.(2) prods.(3) ~name:"acc23" in
+  let y = binop b Op.Add acc01 acc23 ~name:"y" in
+  let e = binop b Op.Sub d y ~name:"e" in
+  let gmu = binop b Op.Mul mu e ~name:"g" in
+  Array.iteri
+    (fun i ci ->
+      let upd = binop b Op.Mul gmu (tap i) ~name:(Printf.sprintf "u%d" i) in
+      let ci' = binop b Op.Add ci upd ~name:(Printf.sprintf "cn%d" i) in
+      feedback b ~src:ci' ~dst:ci)
+    c;
+  for i = 2 downto 1 do
+    let mv = move b z.(i - 1) ~name:(Printf.sprintf "zs%d" i) in
+    feedback b ~src:mv ~dst:z.(i)
+  done;
+  let mv0 = move b x ~name:"zs0" in
+  feedback b ~src:mv0 ~dst:z.(0);
+  mark_output b y;
+  mark_output b e;
+  finish b
+
+let all () =
+  [ ("diffeq", diffeq ()); ("ewf", ewf ()); ("fir8", fir8 ());
+    ("iir4", iir4 ()); ("ar_lattice", ar_lattice ()); ("tseng", tseng ());
+    ("dct4", dct4 ()); ("lms4", lms4 ()) ]
+
+let by_name n =
+  match List.assoc_opt n (all ()) with
+  | Some g -> g
+  | None -> invalid_arg (Printf.sprintf "Bench_suite.by_name: unknown %s" n)
+
+let chain n =
+  let b = create (Printf.sprintf "chain%d" n) in
+  let x = input b "x" in
+  let y = input b "y" in
+  let acc = ref x in
+  for i = 1 to n do
+    acc := binop b Op.Add !acc y ~name:(Printf.sprintf "n%d" i)
+  done;
+  mark_output b !acc;
+  finish b
+
+let tree depth =
+  let b = create (Printf.sprintf "tree%d" depth) in
+  let n = 1 lsl depth in
+  let leaves = Array.init n (fun i -> input b (Printf.sprintf "x%d" i)) in
+  let rec reduce level vs =
+    match vs with
+    | [ v ] -> v
+    | _ ->
+      let rec pair acc = function
+        | a :: c :: tl ->
+          pair (binop b Op.Add a c ~name:(Printf.sprintf "l%d_%d" level (List.length acc)) :: acc) tl
+        | [ a ] -> pair (a :: acc) []
+        | [] -> List.rev acc
+      in
+      reduce (level + 1) (pair [] vs)
+  in
+  let r = reduce 0 (Array.to_list leaves) in
+  mark_output b r;
+  finish b
+
+let random rng ~n_inputs ~n_ops ~p_feedback =
+  let open Hft_util in
+  let b = create "random" in
+  let pool = ref [] in
+  for i = 0 to n_inputs - 1 do
+    pool := input b (Printf.sprintf "in%d" i) :: !pool
+  done;
+  let kinds = [| Op.Add; Op.Sub; Op.Mul; Op.Add; Op.Sub |] in
+  let produced = ref [] in
+  for i = 0 to n_ops - 1 do
+    let arr = Array.of_list !pool in
+    let a = arr.(Rng.int rng (Array.length arr)) in
+    let c = arr.(Rng.int rng (Array.length arr)) in
+    let kind = kinds.(Rng.int rng (Array.length kinds)) in
+    let r = binop b kind a c ~name:(Printf.sprintf "r%d" i) in
+    pool := r :: !pool;
+    produced := r :: !produced
+  done;
+  (* Mark the last few results as outputs so everything is reachable. *)
+  (match !produced with
+   | [] -> ()
+   | last :: _ -> mark_output b last);
+  (* Random feedback: route some produced values back to state vars. *)
+  List.iter
+    (fun r ->
+      if Rng.float rng < p_feedback then begin
+        let s = state b (Printf.sprintf "st%d" r) in
+        (* State feeds nothing yet; hook it into the graph via a move to
+           keep it registered, then close the loop. *)
+        let mv = move b s ~name:(Printf.sprintf "stm%d" r) in
+        mark_output b mv;
+        feedback b ~src:r ~dst:s
+      end)
+    !produced;
+  finish b

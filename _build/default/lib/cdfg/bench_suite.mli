@@ -1,0 +1,53 @@
+(** The standard high-level-synthesis benchmark behaviours the surveyed
+    papers evaluate on, re-encoded as CDFGs from their published
+    data-flow graphs.
+
+    [ewf] is built structurally as a 5th-order elliptic wave digital
+    filter from two-port adaptor sections (see DESIGN.md §2 for the
+    substitution note): the op mix (additions ≫ multiplications) and the
+    feedback-state structure match the classic benchmark. *)
+
+(** HAL second-order differential-equation solver: 6 ×, 2 +, 2 −, 1 <;
+    states x, y, u. *)
+val diffeq : unit -> Graph.t
+
+(** 5th-order elliptic wave digital filter: 5 states, 8 multipliers,
+    20 adders/subtractors. *)
+val ewf : unit -> Graph.t
+
+(** 8-tap FIR filter: 8 ×, 7 +, 7-deep delay line. *)
+val fir8 : unit -> Graph.t
+
+(** 4th-order IIR (two cascaded direct-form-II biquads): 10 ×, 8 ±,
+    4 states. *)
+val iir4 : unit -> Graph.t
+
+(** 4-stage AR lattice filter: 8 ×, 8 ±, 4 states. *)
+val ar_lattice : unit -> Graph.t
+
+(** Tseng–Siewiorek style mixed-operation example (no feedback). *)
+val tseng : unit -> Graph.t
+
+(** 4-point DCT butterfly network: 8 ×, 8 ±, feed-forward. *)
+val dct4 : unit -> Graph.t
+
+(** 4-tap LMS adaptive FIR: output, error and coefficient-update loops
+    (4 coefficient states + 3 delay taps) — the loop-heaviest entry. *)
+val lms4 : unit -> Graph.t
+
+(** All of the above with their conventional names. *)
+val all : unit -> (string * Graph.t) list
+
+val by_name : string -> Graph.t
+
+(** {1 Parametric generators for property tests} *)
+
+(** Chain of [n] additions. *)
+val chain : int -> Graph.t
+
+(** Complete binary reduction tree over [2^depth] inputs. *)
+val tree : int -> Graph.t
+
+(** Random DAG with [n_ops] operations and [n_inputs] inputs; includes
+    feedback with probability [p_feedback] per candidate. *)
+val random : Hft_util.Rng.t -> n_inputs:int -> n_ops:int -> p_feedback:float -> Graph.t

@@ -1,0 +1,99 @@
+(** Control-data flow graphs.
+
+    A CDFG is a single-assignment data-flow graph: every non-input
+    variable is produced by exactly one operation.  Iterative behaviours
+    (filters, the HAL differential-equation loop) carry state across
+    iterations through {e feedback pairs} [(src, dst)]: at the end of an
+    iteration the value of variable [src] becomes the next iteration's
+    value of variable [dst].  Feedback pairs are what create data-path
+    loops during synthesis (survey section 3.3.1).
+
+    Use {!Builder} to construct values of this type; the constructors
+    here are exposed for pattern matching only. *)
+
+type var_kind =
+  | V_input                    (** primary input *)
+  | V_output                   (** primary output (may also feed ops) *)
+  | V_intermediate
+  | V_const of int             (** compile-time constant *)
+
+type var = { v_id : int; v_name : string; v_kind : var_kind }
+
+type op = {
+  o_id : int;
+  o_kind : Op.kind;
+  o_args : int array;          (** variable ids, length [Op.arity] *)
+  o_result : int;              (** variable id *)
+}
+
+type t = private {
+  name : string;
+  vars : var array;
+  ops : op array;
+  feedback : (int * int) list; (** (src var, dst var) loop-carried pairs *)
+  test_controls : int list;    (** vars given a test-mode control point *)
+  test_observes : int list;    (** vars given a test-mode observe point *)
+}
+
+(** {1 Accessors} *)
+
+val n_vars : t -> int
+val n_ops : t -> int
+val var : t -> int -> var
+val op : t -> int -> op
+
+(** [producer g v] is the op producing [v], if any (inputs and constants
+    have none). *)
+val producer : t -> int -> op option
+
+(** Ops consuming [v], in id order. *)
+val consumers : t -> int -> op list
+
+val inputs : t -> var list
+val outputs : t -> var list
+val is_output : t -> int -> bool
+
+(** Feedback destination variables ("state" variables). *)
+val state_vars : t -> int list
+
+(** Count ops per functional-unit class. *)
+val op_profile : t -> (Op.fu_class * int) list
+
+(** {1 Derived graphs} *)
+
+(** Operation-level dependency digraph: edge [u -> v] when [v] consumes
+    the result of [u].  Acyclic by construction (intra-iteration). *)
+val op_graph : t -> Hft_util.Digraph.t
+
+(** Same plus feedback edges [producer(src) -> consumers(dst)]; cycles of
+    this graph are the CDFG loops. *)
+val op_graph_with_feedback : t -> Hft_util.Digraph.t
+
+(** {1 Execution} *)
+
+(** [run ~width g ~inputs ~state] executes one iteration: returns the
+    value of every variable, keyed by id.  [inputs] supplies primary
+    inputs by name; [state] supplies feedback-destination variables by
+    name (defaults to 0).  [force] models test-mode control points: the
+    listed variables take the given values regardless of what their
+    producers compute.  Used as the reference model when validating
+    synthesised implementations. *)
+val run :
+  width:int -> t -> inputs:(string * int) list -> ?state:(string * int) list ->
+  ?force:(int * int) list -> unit -> (int * int) list
+
+(** Value of the named variable in a [run] result. *)
+val value_of : t -> (int * int) list -> string -> int
+
+(** Variable id by name; raises [Not_found]. *)
+val var_by_name : t -> string -> int
+
+val to_dot : t -> string
+
+(** Internal constructor for {!Builder}; checks single assignment,
+    acyclicity, arity, and feedback sanity.  Raises [Invalid_argument]
+    with a diagnostic on malformed input. *)
+val make :
+  name:string -> vars:var array -> ops:op array ->
+  feedback:(int * int) list -> test_controls:int list ->
+  test_observes:int list -> t

@@ -1,0 +1,27 @@
+open Builder
+
+let graph () =
+  let b = create "paper_fig1" in
+  let a = input b "a" in
+  let bb = input b "b" in
+  let d = input b "d" in
+  let f = input b "f" in
+  let p = input b "p" in
+  let q = input b "q" in
+  let g = input b "g" in
+  let c = binop b Op.Add a bb ~name:"c" in (* +1 *)
+  let e = binop b Op.Add c d ~name:"e" in (* +2 *)
+  let r = binop b Op.Add p q ~name:"r" in (* +3 *)
+  let s = binop b Op.Add r g ~name:"s" in (* +4 *)
+  let t = binop b Op.Add e f ~name:"t" in (* +5 *)
+  mark_output b t;
+  mark_output b s;
+  finish b
+
+let op_ids () = [ ("+1", 0); ("+2", 1); ("+3", 2); ("+4", 3); ("+5", 4) ]
+
+(* Operation order in [graph]: +1, +2, +3, +4, +5. *)
+let schedule_b g = Schedule.make g ~n_steps:3 [| 1; 2; 2; 3; 3 |]
+let schedule_c g = Schedule.make g ~n_steps:3 [| 1; 2; 1; 2; 3 |]
+let binding_b = [| 0; 1; 0; 1; 0 |]
+let binding_c = [| 0; 0; 1; 1; 0 |]

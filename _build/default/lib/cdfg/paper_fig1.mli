@@ -1,0 +1,30 @@
+(** Figure 1 of the paper, executably.
+
+    The CDFG has two addition chains and a joining addition:
+    {v
+        +1: c = a + b        +3: r = p + q
+        +2: e = c + d        +4: s = r + g
+        +5: t = e + f
+    v}
+    Under a 3-control-step performance constraint and a 2-adder resource
+    constraint, the paper contrasts two schedule/binding pairs:
+
+    - {!schedule_b} / {!binding_b}:
+      [{+1:(1,A1), +2:(2,A2), +3:(2,A1), +4:(3,A2), +5:(3,A1)}] —
+      the chain +1(A1) → +2(A2) → +5(A1) creates the assignment loop
+      RA1 → RA2 → RA1, so one register must be scanned;
+    - {!schedule_c} / {!binding_c}:
+      [{+1:(1,A1), +2:(2,A1), +3:(1,A2), +4:(2,A2), +5:(3,A1)}] —
+      only self-loops remain and no scan register is needed. *)
+
+val graph : unit -> Graph.t
+
+(** Index of each named operation in {!graph}. *)
+val op_ids : unit -> (string * int) list
+
+val schedule_b : Graph.t -> Schedule.t
+val schedule_c : Graph.t -> Schedule.t
+
+(** Adder instance (0 = A1, 1 = A2) per operation id. *)
+val binding_b : int array
+val binding_c : int array

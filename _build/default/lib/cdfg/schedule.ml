@@ -1,0 +1,76 @@
+type t = { start : int array; latency : int array; n_steps : int }
+
+let finish_step t o = t.start.(o) + t.latency.(o) - 1
+
+let validate g t =
+  let n = Graph.n_ops g in
+  if Array.length t.start <> n || Array.length t.latency <> n then
+    invalid_arg "Schedule: wrong array length";
+  Array.iteri
+    (fun o s ->
+      if s < 1 || finish_step t o > t.n_steps then
+        invalid_arg (Printf.sprintf "Schedule: op %d out of range" o);
+      if t.latency.(o) < 1 then invalid_arg "Schedule: latency < 1")
+    t.start;
+  let dg = Graph.op_graph g in
+  Hft_util.Digraph.iter_edges
+    (fun u v ->
+      if t.start.(v) <= finish_step t u then
+        invalid_arg
+          (Printf.sprintf "Schedule: op %d starts before producer %d finishes" v u))
+    dg
+
+let make g ~n_steps ?latency start =
+  let latency =
+    match latency with
+    | Some l -> l
+    | None -> Array.make (Graph.n_ops g) 1
+  in
+  let t = { start; latency; n_steps } in
+  validate g t;
+  t
+
+let is_valid g t =
+  match validate g t with () -> true | exception Invalid_argument _ -> false
+
+let ops_in_step t c =
+  let acc = ref [] in
+  for o = Array.length t.start - 1 downto 0 do
+    if t.start.(o) <= c && c <= finish_step t o then acc := o :: !acc
+  done;
+  !acc
+
+let fu_demand g t =
+  let tbl = Hashtbl.create 8 in
+  for c = 1 to t.n_steps do
+    let per_class = Hashtbl.create 8 in
+    List.iter
+      (fun o ->
+        match Op.fu_class (Graph.op g o).Graph.o_kind with
+        | None -> ()
+        | Some cl ->
+          Hashtbl.replace per_class cl
+            (1 + (try Hashtbl.find per_class cl with Not_found -> 0)))
+      (ops_in_step t c);
+    Hashtbl.iter
+      (fun cl n ->
+        let cur = try Hashtbl.find tbl cl with Not_found -> 0 in
+        if n > cur then Hashtbl.replace tbl cl n)
+      per_class
+  done;
+  Hashtbl.fold (fun cl n acc -> (cl, n) :: acc) tbl [] |> List.sort compare
+
+let pp g t =
+  let buf = Buffer.create 128 in
+  for c = 1 to t.n_steps do
+    Buffer.add_string buf (Printf.sprintf "step %d:" c);
+    List.iter
+      (fun o ->
+        let { Graph.o_kind; o_result; _ } = Graph.op g o in
+        Buffer.add_string buf
+          (Printf.sprintf " [%d:%s->%s]" o (Op.to_string o_kind)
+             (Graph.var g o_result).Graph.v_name))
+      (ops_in_step t c);
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf

@@ -1,0 +1,33 @@
+(** Schedules: the assignment of each operation to control steps.
+
+    Control steps are numbered [1 .. n_steps].  An operation with start
+    step [c] and latency [l] finishes at step [c + l - 1]; its result is
+    available at the step boundary [c + l - 1] and can first be consumed
+    in step [c + l].  There is no operation chaining within a step. *)
+
+type t = {
+  start : int array;      (** per op, 1-based start step *)
+  latency : int array;    (** per op, >= 1 *)
+  n_steps : int;
+}
+
+(** [make g ~n_steps ?latency start] validates the schedule against the
+    CDFG's dependencies; raises [Invalid_argument] on violation.
+    [latency] defaults to 1 for every op ([Move] included). *)
+val make : Graph.t -> n_steps:int -> ?latency:int array -> int array -> t
+
+val finish_step : t -> int -> int
+
+(** Ops running (occupying their FU) during step [c], i.e. with
+    [start <= c <= finish]. *)
+val ops_in_step : t -> int -> int list
+
+(** True when all data dependencies are satisfied (used by property
+    tests; [make] already enforces it). *)
+val is_valid : Graph.t -> t -> bool
+
+(** Per-class FU demand: the max number of same-class ops simultaneously
+    executing in any step. *)
+val fu_demand : Graph.t -> t -> (Op.fu_class * int) list
+
+val pp : Graph.t -> t -> string

@@ -1,0 +1,173 @@
+type level = Full | Partial | None_
+
+type classification = {
+  controllability : level array;
+  observability : level array;
+}
+
+let level_to_string = function
+  | Full -> "full"
+  | Partial -> "partial"
+  | None_ -> "none"
+
+let max_level a b =
+  match (a, b) with
+  | Full, _ | _, Full -> Full
+  | Partial, _ | _, Partial -> Partial
+  | None_, None_ -> None_
+
+let lt_level a b =
+  let rank = function None_ -> 0 | Partial -> 1 | Full -> 2 in
+  rank a < rank b
+
+(* A constant is "settable" to value [c] trivially; a variable is
+   settable to a specific constant whenever it is at least partially
+   controllable (we can hunt for an assignment reaching one value much
+   more easily than all values). *)
+let settable_to ctrl g v _c =
+  match (Graph.var g v).Graph.v_kind with
+  | Graph.V_const _ -> true
+  | Graph.V_input -> true
+  | Graph.V_output | Graph.V_intermediate -> ctrl.(v) <> None_
+
+let analyze g =
+  let nv = Graph.n_vars g in
+  let ctrl = Array.make nv None_ in
+  let obs = Array.make nv None_ in
+  Array.iter
+    (fun { Graph.v_id = v; v_kind; _ } ->
+      match v_kind with
+      | Graph.V_input -> ctrl.(v) <- Full
+      | Graph.V_const _ -> ctrl.(v) <- Partial (* fixed value only *)
+      | Graph.V_output | Graph.V_intermediate -> ())
+    (Array.init nv (Graph.var g));
+  List.iter (fun v -> ctrl.(v) <- Full) g.Graph.test_controls;
+  (* State variables: controllable to the extent their feedback source
+     is (after enough iterations); start them as Partial so the
+     fixpoint can climb. *)
+  List.iter (fun (_, dst) -> ctrl.(dst) <- max_level ctrl.(dst) Partial)
+    g.Graph.feedback;
+  (* Controllability fixpoint. *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun { Graph.o_kind; o_args; o_result; _ } ->
+        let lv =
+          match o_kind with
+          | Op.Move -> ctrl.(o_args.(0))
+          | _ ->
+            (* Full if some port is Full and every other port can be set
+               to that port's transparency constant. *)
+            let n = Array.length o_args in
+            let full_via port =
+              ctrl.(o_args.(port)) = Full
+              &&
+              match Op.transparency o_kind port with
+              | `Identity c | `Invertible c ->
+                let ok = ref true in
+                for q = 0 to n - 1 do
+                  if q <> port && not (settable_to ctrl g o_args.(q) c) then
+                    ok := false
+                done;
+                !ok
+              | `Opaque -> false
+            in
+            let any_full = full_via 0 || (n > 1 && full_via 1) in
+            if any_full then Full
+            else if Array.exists (fun a -> ctrl.(a) <> None_) o_args then
+              Partial
+            else None_
+        in
+        if lt_level ctrl.(o_result) lv then begin
+          ctrl.(o_result) <- lv;
+          changed := true
+        end)
+      (Array.init (Graph.n_ops g) (Graph.op g));
+    (* Feedback promotes state-variable controllability. *)
+    List.iter
+      (fun (src, dst) ->
+        if lt_level ctrl.(dst) ctrl.(src) then begin
+          ctrl.(dst) <- ctrl.(src);
+          changed := true
+        end)
+      g.Graph.feedback
+  done;
+  (* Observability fixpoint, backwards from outputs. *)
+  Array.iter
+    (fun { Graph.v_id = v; v_kind; _ } ->
+      if v_kind = Graph.V_output then obs.(v) <- Full)
+    (Array.init nv (Graph.var g));
+  List.iter (fun v -> obs.(v) <- Full) g.Graph.test_observes;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun { Graph.o_kind; o_args; o_result; _ } ->
+        Array.iteri
+          (fun port a ->
+            let lv =
+              match obs.(o_result) with
+              | None_ -> None_
+              | out_lv ->
+                (match o_kind with
+                 | Op.Move -> out_lv
+                 | _ ->
+                   (match Op.transparency o_kind port with
+                    | `Identity c | `Invertible c ->
+                      (* Other ports must be settable to the pass-through
+                         constant for faithful propagation. *)
+                      let n = Array.length o_args in
+                      let ok = ref true in
+                      for q = 0 to n - 1 do
+                        if q <> port && not (settable_to ctrl g o_args.(q) c)
+                        then ok := false
+                      done;
+                      if !ok then out_lv else Partial
+                    | `Opaque -> Partial))
+            in
+            if lt_level obs.(a) lv then begin
+              obs.(a) <- lv;
+              changed := true
+            end)
+          o_args)
+      (Array.init (Graph.n_ops g) (Graph.op g));
+    (* A feedback source is observable to the extent its destination is
+       (one iteration later). *)
+    List.iter
+      (fun (src, dst) ->
+        if lt_level obs.(src) obs.(dst) then begin
+          obs.(src) <- obs.(dst);
+          changed := true
+        end)
+      g.Graph.feedback
+  done;
+  { controllability = ctrl; observability = obs }
+
+let hard_variables g cls =
+  let nv = Graph.n_vars g in
+  let acc = ref [] in
+  for v = nv - 1 downto 0 do
+    match (Graph.var g v).Graph.v_kind with
+    | Graph.V_const _ -> ()
+    | Graph.V_input ->
+      if cls.observability.(v) <> Full then acc := v :: !acc
+    | Graph.V_output ->
+      if cls.controllability.(v) <> Full then acc := v :: !acc
+    | Graph.V_intermediate ->
+      if cls.controllability.(v) <> Full || cls.observability.(v) <> Full then
+        acc := v :: !acc
+  done;
+  !acc
+
+let repair_points g cls =
+  let hard = hard_variables g cls in
+  let controls =
+    List.filter
+      (fun v ->
+        cls.controllability.(v) <> Full
+        && (Graph.var g v).Graph.v_kind <> Graph.V_input)
+      hard
+  in
+  let observes = List.filter (fun v -> cls.observability.(v) <> Full) hard in
+  (controls, observes)

@@ -1,0 +1,36 @@
+(** Behavioural testability analysis (Chen–Karnik–Saab, survey §3.4).
+
+    Classifies every variable by how well it can be driven from primary
+    inputs ({e controllability}) and propagated to primary outputs
+    ({e observability}) through the behaviour, using operation
+    transparency:
+
+    - a variable is {e fully controllable} when some operation input
+      path lets an arbitrary value be justified onto it;
+    - it is {e partially controllable} when only part of its value
+      space is reachable (information is lost through an opaque op);
+    - dually for observability via propagation to outputs.
+
+    Test-mode control/observe points already present in the graph count
+    as direct access. *)
+
+type level = Full | Partial | None_
+
+type classification = {
+  controllability : level array; (** per variable id *)
+  observability : level array;
+}
+
+val analyze : Graph.t -> classification
+
+(** Variables that are hard to test: not fully controllable or not
+    fully observable (outputs/inputs excluded as appropriate). *)
+val hard_variables : Graph.t -> classification -> int list
+
+(** Pick test points for all hard variables: returns
+    [(controls, observes)] — the smallest straightforward repair
+    (control point on every non-fully-controllable variable, observe
+    point on every non-fully-observable one). *)
+val repair_points : Graph.t -> classification -> int list * int list
+
+val level_to_string : level -> string

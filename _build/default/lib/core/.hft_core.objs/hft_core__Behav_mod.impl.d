@@ -1,0 +1,1 @@
+lib/core/behav_mod.ml: Graph Hft_cdfg Hft_hls Lifetime List Scan_vars Testability Transform

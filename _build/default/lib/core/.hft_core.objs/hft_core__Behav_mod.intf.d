@@ -1,0 +1,1 @@
+lib/core/behav_mod.mli: Graph Hft_cdfg Op

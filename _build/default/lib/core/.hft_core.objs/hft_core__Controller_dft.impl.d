@@ -1,0 +1,1 @@
+lib/core/controller_dft.ml: Controller Hashtbl Hft_rtl List

@@ -1,0 +1,1 @@
+lib/core/controller_dft.mli: Hft_rtl

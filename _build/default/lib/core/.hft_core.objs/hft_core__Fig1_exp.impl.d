@@ -1,0 +1,1 @@
+lib/core/fig1_exp.ml: Array Graph Hashtbl Hft_cdfg Hft_hls Hft_rtl Hft_util Lifetime List Paper_fig1 String

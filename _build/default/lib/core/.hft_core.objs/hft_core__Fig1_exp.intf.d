@@ -1,0 +1,1 @@
+lib/core/fig1_exp.mli: Hft_cdfg Hft_rtl

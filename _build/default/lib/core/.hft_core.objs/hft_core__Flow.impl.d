@@ -1,0 +1,1 @@
+lib/core/flow.ml: Area Array Datapath Graph Hft_bist Hft_cdfg Hft_hls Hft_rtl Hft_util Lifetime List Op Scan_vars Schedule Sgraph Sim_sched_assign

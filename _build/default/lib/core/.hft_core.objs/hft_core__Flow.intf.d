@@ -1,0 +1,1 @@
+lib/core/flow.mli: Graph Hft_cdfg Hft_hls Hft_rtl Op Schedule

@@ -1,0 +1,1 @@
+lib/core/hier_test.ml: Array Graph Hft_cdfg Hft_hls List Op Transform

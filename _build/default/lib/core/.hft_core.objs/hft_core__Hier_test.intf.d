@@ -1,0 +1,1 @@
+lib/core/hier_test.mli: Graph Hft_cdfg Hft_hls

@@ -1,0 +1,1 @@
+lib/core/io_reg_assign.ml: Array Graph Hashtbl Hft_cdfg Hft_hls Hft_util Lifetime List

@@ -1,0 +1,1 @@
+lib/core/io_reg_assign.mli: Graph Hft_cdfg Hft_hls Schedule

@@ -1,0 +1,1 @@
+lib/core/scan_vars.ml: Array Graph Hft_cdfg Hft_util Interval Lifetime List Loops Union_find

@@ -1,0 +1,1 @@
+lib/core/scan_vars.mli: Graph Hft_cdfg Lifetime Schedule

@@ -1,0 +1,1 @@
+lib/core/sim_sched_assign.ml: Array Digraph Graph Hft_cdfg Hft_hls Hft_util List Queue Schedule

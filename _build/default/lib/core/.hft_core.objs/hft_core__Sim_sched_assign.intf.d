@@ -1,0 +1,1 @@
+lib/core/sim_sched_assign.mli: Graph Hft_cdfg Hft_hls Op Schedule

@@ -1,0 +1,1 @@
+lib/core/tool_survey.mli:

@@ -1,0 +1,87 @@
+open Hft_cdfg
+
+type report = {
+  graph : Graph.t;
+  hard_before : int;
+  hard_after : int;
+  test_controls : int;
+  test_observes : int;
+}
+
+let add_test_statements g =
+  let cls = Testability.analyze g in
+  let hard_before = List.length (Testability.hard_variables g cls) in
+  let controls, observes = Testability.repair_points g cls in
+  let g' = Transform.add_test_points g ~controls ~observes in
+  let cls' = Testability.analyze g' in
+  {
+    graph = g';
+    hard_before;
+    hard_after = List.length (Testability.hard_variables g' cls');
+    test_controls = List.length controls;
+    test_observes = List.length observes;
+  }
+
+type deflection_report = {
+  graph_defl : Graph.t;
+  scan_regs_before : int;
+  scan_regs_after : int;
+  deflections : int;
+}
+
+let scan_regs ~resources g =
+  let sched = Hft_hls.List_sched.schedule g ~resources in
+  (Scan_vars.select_effective g sched).Scan_vars.n_scan_registers
+
+let deflect_for_scan_sharing ?(max_tries = 6) ~resources g =
+  let before = scan_regs ~resources g in
+  let rec improve g current tries applied =
+    if tries <= 0 then (g, current, applied)
+    else begin
+      let sched = Hft_hls.List_sched.schedule g ~resources in
+      let sel = Scan_vars.select_effective g sched in
+      let info = Lifetime.compute g sched in
+      (* Find a conflicting pair among the scan variables and split the
+         lifetime of one of them at one of its consumers. *)
+      let pairs =
+        List.concat_map
+          (fun u ->
+            List.filter_map
+              (fun v ->
+                if u < v && Lifetime.conflict info u v then Some (u, v)
+                else None)
+              sel.Scan_vars.scan_vars)
+          sel.Scan_vars.scan_vars
+      in
+      let candidates =
+        List.concat_map
+          (fun (u, v) ->
+            List.concat_map
+              (fun var ->
+                List.map
+                  (fun consumer -> (var, consumer.Graph.o_id))
+                  (Graph.consumers g var))
+              [ u; v ])
+          pairs
+      in
+      let try_one (var, consumer) =
+        match Transform.insert_deflection g ~var ~consumer with
+        | g' ->
+          (match scan_regs ~resources g' with
+           | n when n < current -> Some (g', n)
+           | _ -> None
+           | exception Invalid_argument _ -> None)
+        | exception Invalid_argument _ -> None
+      in
+      let rec first = function
+        | [] -> None
+        | c :: tl -> (match try_one c with Some r -> Some r | None -> first tl)
+      in
+      match first candidates with
+      | Some (g', n) -> improve g' n (tries - 1) (applied + 1)
+      | None -> (g, current, applied)
+    end
+  in
+  let graph_defl, after, deflections = improve g before max_tries 0 in
+  { graph_defl; scan_regs_before = before; scan_regs_after = after;
+    deflections }

@@ -1,0 +1,36 @@
+(** Behaviour modification for testability (survey §3.4).
+
+    Two complementary moves:
+    - test statements (Chen–Karnik–Saab): give hard-to-control /
+      hard-to-observe variables direct test-mode access;
+    - deflection operations (Dey–Potkonjak): add identity operations
+      (add-0) to split lifetimes so that chosen scan variables can share
+      scan registers, cutting the scan-register bill. *)
+
+open Hft_cdfg
+
+type report = {
+  graph : Graph.t;               (** the modified behaviour *)
+  hard_before : int;
+  hard_after : int;
+  test_controls : int;
+  test_observes : int;
+}
+
+(** Test-statement insertion for every hard variable. *)
+val add_test_statements : Graph.t -> report
+
+type deflection_report = {
+  graph_defl : Graph.t;
+  scan_regs_before : int;
+  scan_regs_after : int;
+  deflections : int;
+}
+
+(** Try deflections that split the lifetimes of conflicting scan
+    variables; keep those that reduce the scan-register count under the
+    given resources (re-scheduling the modified behaviour each time).
+    [max_tries] bounds the search. *)
+val deflect_for_scan_sharing :
+  ?max_tries:int -> resources:(Op.fu_class * int) list -> Graph.t ->
+  deflection_report

@@ -1,0 +1,70 @@
+open Hft_rtl
+
+type report = {
+  implications_before : int;
+  implications_after : int;
+  extra_vectors : int;
+  controller : Controller.t;
+}
+
+(* Build a test vector that keeps (s1 = v1) but gives every implied
+   signal a different value than the implication demands. *)
+let breaking_vector c ((s1, v1), _) =
+  let imps = Controller.implications c in
+  let mine = List.filter (fun (a, _) -> a = (s1, v1)) imps in
+  let flipped =
+    List.map
+      (fun (_, (s2, v2)) ->
+        (* choose any domain value other than v2; enables are 0/1 *)
+        let v' =
+          match s2 with
+          | Controller.Reg_enable _ -> 1 - v2
+          | Controller.Reg_select _ | Controller.Fu_select _ ->
+            if v2 = 0 then 1 else 0
+        in
+        (s2, v'))
+      mine
+  in
+  (s1, v1) :: flipped
+
+let harden ?(max_vectors = 8) d =
+  let c0 = Controller.of_datapath d in
+  let before = List.length (Controller.implications c0) in
+  let rec go c added =
+    if added >= max_vectors then c
+    else
+      match Controller.implications c with
+      | [] -> c
+      | imps ->
+        (* Attack the antecedent with the most implications. *)
+        let by_antecedent = Hashtbl.create 16 in
+        List.iter
+          (fun (a, _) ->
+            Hashtbl.replace by_antecedent a
+              (1 + (try Hashtbl.find by_antecedent a with Not_found -> 0)))
+          imps;
+        let best =
+          Hashtbl.fold
+            (fun a n acc ->
+              match acc with
+              | Some (_, m) when m >= n -> acc
+              | _ -> Some (a, n))
+            by_antecedent None
+        in
+        (match best with
+         | None -> c
+         | Some (a, _) ->
+           let imp = List.find (fun (x, _) -> x = a) imps in
+           let tv = breaking_vector c imp in
+           let c' = Controller.add_test_vectors c [ tv ] in
+           let now = List.length (Controller.implications c') in
+           if now < List.length imps then go c' (added + 1)
+           else c (* no progress: stop *))
+  in
+  let c = go c0 0 in
+  {
+    implications_before = before;
+    implications_after = List.length (Controller.implications c);
+    extra_vectors = List.length c.Controller.test_vectors;
+    controller = c;
+  }

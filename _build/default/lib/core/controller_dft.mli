@@ -1,0 +1,20 @@
+(** Controller-based DFT (Dey–Gangaram–Potkonjak ICCAD'95, survey §3.5).
+
+    Even with both the controller and the data path individually
+    testable, the composite resists sequential ATPG: the controller only
+    ever emits its functional control vectors, so value combinations it
+    never produces become implications the ATPG keeps running into.  The
+    remedy is a handful of {e extra control vectors}, reachable in test
+    mode only, chosen to break the identified implications. *)
+
+type report = {
+  implications_before : int;
+  implications_after : int;
+  extra_vectors : int;
+  controller : Hft_rtl.Controller.t; (** with the test vectors added *)
+}
+
+(** Break as many implications as possible with at most [max_vectors]
+    extra vectors (greedy: each new vector flips the consequents of the
+    largest implication group of one antecedent). *)
+val harden : ?max_vectors:int -> Hft_rtl.Datapath.t -> report

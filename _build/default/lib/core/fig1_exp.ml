@@ -1,0 +1,87 @@
+open Hft_cdfg
+
+type alternative = B | C
+
+let datapath which =
+  let g = Paper_fig1.graph () in
+  let sched, idx =
+    match which with
+    | B -> (Paper_fig1.schedule_b g, Paper_fig1.binding_b)
+    | C -> (Paper_fig1.schedule_c g, Paper_fig1.binding_c)
+  in
+  let binding = Hft_hls.Fu_bind.of_class_indices g sched idx in
+  let info = Lifetime.compute g sched in
+  (* Register style of the figure: results of ops bound to one adder
+     share that adder's output register (RA1/RA2). *)
+  let result_fu = Hashtbl.create 8 in
+  Array.iteri
+    (fun o inst ->
+      Hashtbl.replace result_fu (Graph.op g o).Graph.o_result inst)
+    binding.Hft_hls.Fu_bind.fu_of_op;
+  let results =
+    List.init (Graph.n_ops g) (fun o -> (Graph.op g o).Graph.o_result)
+    |> List.sort (fun a b ->
+           compare (Hashtbl.find result_fu a, a) (Hashtbl.find result_fu b, b))
+  in
+  let chosen = Hashtbl.create 8 in
+  let next_fresh = ref 0 in
+  let prefer rep ~feasible =
+    match Hashtbl.find_opt result_fu rep with
+    | Some inst ->
+      let r =
+        match Hashtbl.find_opt chosen inst with
+        | Some c when List.mem c feasible -> Some c
+        | Some _ | None -> None
+      in
+      (match r with
+       | Some c -> Some c
+       | None ->
+         Hashtbl.replace chosen inst !next_fresh;
+         incr next_fresh;
+         None)
+    | None ->
+      (match feasible with
+       | [] ->
+         incr next_fresh;
+         None
+       | c :: _ -> Some c)
+  in
+  let alloc = Hft_hls.Reg_alloc.color g info ~order:results ~prefer in
+  (g, Hft_hls.Datapath_gen.generate ~width:8 g sched binding alloc)
+
+type outcome = {
+  nontrivial_loops : int list list;
+  self_loops : int list;
+  scan_registers_needed : int;
+}
+
+let analyze which =
+  let _, d = datapath which in
+  let s = Hft_rtl.Sgraph.of_datapath d in
+  let nt = Hft_rtl.Sgraph.nontrivial_loops s in
+  {
+    nontrivial_loops = nt;
+    self_loops = Hft_rtl.Sgraph.self_loop_regs s;
+    scan_registers_needed =
+      List.length (Hft_rtl.Sgraph.scan_selection s);
+  }
+
+let render () =
+  let row which tag =
+    let o = analyze which in
+    [ tag;
+      string_of_int (List.length o.nontrivial_loops);
+      String.concat " "
+        (List.map
+           (fun l -> "[" ^ String.concat ">" (List.map string_of_int l) ^ "]")
+           o.nontrivial_loops);
+      string_of_int (List.length o.self_loops);
+      string_of_int o.scan_registers_needed ]
+  in
+  Hft_util.Pretty.render
+    ~title:
+      "Figure 1: loops formed during assignment (schedule/binding (b) vs (c))"
+    ~header:[ "binding"; "assignment loops"; "loop (regs)"; "self-loops";
+              "scan regs needed" ]
+    [ row B "(b) {+1:A1 +2:A2 +3:A1 +4:A2 +5:A1}";
+      row C "(c) {+1:A1 +2:A1 +3:A2 +4:A2 +5:A1}" ]

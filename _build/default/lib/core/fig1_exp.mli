@@ -1,0 +1,22 @@
+(** Executable reproduction of the paper's Figure 1.
+
+    Builds the two schedule/binding alternatives with the figure's
+    register style — each adder owns a dedicated output register
+    (RA1/RA2) — and returns the generated data path, ready for S-graph
+    loop inspection. *)
+
+type alternative = B | C  (** Figure 1(b) / Figure 1(c) *)
+
+val datapath : alternative -> Hft_cdfg.Graph.t * Hft_rtl.Datapath.t
+
+type outcome = {
+  nontrivial_loops : int list list; (** register loops, as register ids *)
+  self_loops : int list;
+  scan_registers_needed : int;
+}
+
+val analyze : alternative -> outcome
+
+(** The two-row table of the figure: binding, loops, self-loops, scan
+    registers. *)
+val render : unit -> string

@@ -1,0 +1,143 @@
+open Hft_cdfg
+open Hft_rtl
+
+type dft_report = {
+  flow : string;
+  n_registers : int;
+  n_scan_registers : int;
+  n_test_registers : int;
+  n_cbilbo : int;
+  datapath_loops : int;
+  self_loops : int;
+  sequential_depth : int option;
+  area_overhead : float;
+  test_sessions : int;
+}
+
+type result = {
+  graph : Graph.t;
+  sched : Schedule.t;
+  binding : Hft_hls.Fu_bind.t;
+  alloc : Hft_hls.Reg_alloc.t;
+  datapath : Datapath.t;
+  report : dft_report;
+}
+
+let default_resources =
+  [ (Op.Multiplier, 2); (Op.Alu, 2); (Op.Comparator, 1); (Op.Logic_unit, 1) ]
+
+let count_kind d k =
+  Array.fold_left
+    (fun acc r -> if r.Datapath.r_kind = k then acc + 1 else acc)
+    0 d.Datapath.regs
+
+let measure ~flow ~base_area d ~sessions =
+  let s = Sgraph.of_datapath d in
+  let scanned =
+    Array.to_list d.Datapath.regs
+    |> List.filter_map (fun r ->
+           match r.Datapath.r_kind with
+           | Datapath.Scan | Datapath.Transparent_scan -> Some r.Datapath.r_id
+           | Datapath.Plain | Datapath.Tpgr | Datapath.Sr | Datapath.Bilbo
+           | Datapath.Cbilbo -> None)
+  in
+  let g' = Hft_util.Digraph.copy s.Sgraph.graph in
+  List.iter (fun r -> Hft_util.Digraph.detach g' r) scanned;
+  let remaining = { s with Sgraph.graph = g' } in
+  {
+    flow;
+    n_registers = Datapath.n_regs d;
+    n_scan_registers = List.length scanned;
+    n_test_registers =
+      count_kind d Datapath.Tpgr + count_kind d Datapath.Sr
+      + count_kind d Datapath.Bilbo + count_kind d Datapath.Cbilbo;
+    n_cbilbo = count_kind d Datapath.Cbilbo;
+    datapath_loops = List.length (Sgraph.nontrivial_loops remaining);
+    self_loops = List.length (Sgraph.self_loop_regs remaining);
+    sequential_depth = Sgraph.sequential_depth s ~scanned;
+    area_overhead =
+      (if base_area <= 0.0 then 0.0
+       else (Area.datapath_area d -. base_area) /. base_area);
+    test_sessions = sessions;
+  }
+
+let synthesize_conventional ?(width = 8) ?(resources = default_resources) g =
+  let latency = Hft_hls.Sched_algos.latencies g in
+  let sched = Hft_hls.List_sched.schedule ~latency g ~resources in
+  let binding = Hft_hls.Fu_bind.left_edge ~resources g sched in
+  let info = Lifetime.compute g sched in
+  let alloc = Hft_hls.Reg_alloc.left_edge g info in
+  let datapath = Hft_hls.Datapath_gen.generate ~width g sched binding alloc in
+  let base = Area.datapath_area datapath in
+  { graph = g; sched; binding; alloc; datapath;
+    report = measure ~flow:"conventional" ~base_area:base datapath ~sessions:0 }
+
+let synthesize_for_partial_scan ?(width = 8) ?(resources = default_resources) g =
+  let base = (synthesize_conventional ~width ~resources g).datapath in
+  let base_area = Area.datapath_area base in
+  (* Loop-aware scheduling+binding, scan variables from the CDFG. *)
+  let ssa = Sim_sched_assign.run ~resources g None in
+  let sched = ssa.Sim_sched_assign.sched in
+  let binding = ssa.Sim_sched_assign.binding in
+  let info = Lifetime.compute g sched in
+  let sel = Scan_vars.select_effective g sched in
+  (* Scan variables should share scan registers: colour them first,
+     preferring to join an existing scan register. *)
+  let scan_set = sel.Scan_vars.scan_vars in
+  let alloc = Hft_hls.Reg_alloc.color ~order:scan_set g info in
+  let datapath = Hft_hls.Datapath_gen.generate ~width g sched binding alloc in
+  (* Annotate scan registers: those holding a scan variable, plus any
+     further registers needed to break residual assignment loops. *)
+  let scan_regs =
+    List.filter_map (fun v ->
+        let r = alloc.Hft_hls.Reg_alloc.reg_of_var.(v) in
+        if r >= 0 then Some r else None)
+      scan_set
+    |> List.sort_uniq compare
+  in
+  let s = Sgraph.of_datapath datapath in
+  let residual =
+    let g' = Hft_util.Digraph.copy s.Sgraph.graph in
+    List.iter (fun r -> Hft_util.Digraph.detach g' r) scan_regs;
+    Hft_util.Mfvs.greedy ~ignore_self_loops:true g'
+  in
+  let all_scan = List.sort_uniq compare (scan_regs @ residual) in
+  List.iter
+    (fun r -> datapath.Datapath.regs.(r).Datapath.r_kind <- Datapath.Scan)
+    all_scan;
+  { graph = g; sched; binding; alloc; datapath;
+    report =
+      measure ~flow:"partial-scan" ~base_area datapath ~sessions:0 }
+
+let synthesize_for_bist ?(width = 8) ?(resources = default_resources) g =
+  let base = (synthesize_conventional ~width ~resources g).datapath in
+  let base_area = Area.datapath_area base in
+  let latency = Hft_hls.Sched_algos.latencies g in
+  let sched = Hft_hls.List_sched.schedule ~latency g ~resources in
+  let binding = Hft_hls.Fu_bind.left_edge ~resources g sched in
+  let info = Lifetime.compute g sched in
+  let alloc = Hft_bist.Reg_assign.bist_aware g sched binding info in
+  let datapath = Hft_hls.Datapath_gen.generate ~width g sched binding alloc in
+  let plan = Hft_bist.Bilbo.plan datapath in
+  Hft_bist.Bilbo.annotate datapath plan;
+  let sessions = Hft_bist.Session.count datapath plan in
+  { graph = g; sched; binding; alloc; datapath;
+    report = measure ~flow:"bist" ~base_area datapath ~sessions }
+
+let report_header =
+  [ "flow"; "regs"; "scan"; "test-regs"; "cbilbo"; "loops"; "self-loops";
+    "depth"; "area-ovh"; "sessions" ]
+
+let report_row r =
+  [
+    r.flow;
+    string_of_int r.n_registers;
+    string_of_int r.n_scan_registers;
+    string_of_int r.n_test_registers;
+    string_of_int r.n_cbilbo;
+    string_of_int r.datapath_loops;
+    string_of_int r.self_loops;
+    (match r.sequential_depth with None -> "inf" | Some d -> string_of_int d);
+    Hft_util.Pretty.pct r.area_overhead;
+    string_of_int r.test_sessions;
+  ]

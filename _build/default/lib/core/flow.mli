@@ -1,0 +1,50 @@
+(** One-call synthesis-for-testability flows.
+
+    Each flow takes a behaviour and a resource budget and returns a
+    complete data path plus a uniform DFT report — these are the entry
+    points the examples and the CLI use. *)
+
+open Hft_cdfg
+
+type dft_report = {
+  flow : string;
+  n_registers : int;
+  n_scan_registers : int;
+  n_test_registers : int;       (** BIST roles of any kind *)
+  n_cbilbo : int;
+  datapath_loops : int;         (** non-self loops in the S-graph *)
+  self_loops : int;
+  sequential_depth : int option;
+  area_overhead : float;        (** vs the conventional flow's area *)
+  test_sessions : int;          (** BIST flows; 0 otherwise *)
+}
+
+type result = {
+  graph : Graph.t;
+  sched : Schedule.t;
+  binding : Hft_hls.Fu_bind.t;
+  alloc : Hft_hls.Reg_alloc.t;
+  datapath : Hft_rtl.Datapath.t;
+  report : dft_report;
+}
+
+val default_resources : (Op.fu_class * int) list
+
+(** Plain cost-driven synthesis; the baseline all reports are measured
+    against. *)
+val synthesize_conventional :
+  ?width:int -> ?resources:(Op.fu_class * int) list -> Graph.t -> result
+
+(** Loop-aware synthesis for partial scan: scan-variable selection
+    (Potkonjak–Dey–Roy), loop-avoiding binding, scan annotation; the
+    resulting S-graph is loop-free modulo self-loops. *)
+val synthesize_for_partial_scan :
+  ?width:int -> ?resources:(Op.fu_class * int) list -> Graph.t -> result
+
+(** BIST-oriented synthesis: self-adjacency-avoiding assignment plus a
+    BILBO role plan and session schedule. *)
+val synthesize_for_bist :
+  ?width:int -> ?resources:(Op.fu_class * int) list -> Graph.t -> result
+
+val report_header : string list
+val report_row : dft_report -> string list

@@ -1,0 +1,266 @@
+open Hft_cdfg
+
+type env = {
+  op : int;
+  chain : (int * int) list;
+  observe_output : string;
+}
+
+type composed = { vectors_translated : int; vectors_confirmed : int }
+
+let mask width v = v land ((1 lsl width) - 1)
+
+(* ------------------------------------------------------------------ *)
+(* Justification                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Functional solver: bindings is an assoc (var -> required value);
+   returns extended bindings or None. *)
+let rec solve ~width g bindings (v, value) =
+  let value = mask width value in
+  match List.assoc_opt v bindings with
+  | Some x -> if x = value then Some bindings else None
+  | None ->
+    let bindings = (v, value) :: bindings in
+    if List.mem v g.Graph.test_controls then Some bindings
+    else
+      (match (Graph.var g v).Graph.v_kind with
+       | Graph.V_input -> Some bindings
+       | Graph.V_const c -> if mask width c = value then Some bindings else None
+       | Graph.V_output | Graph.V_intermediate ->
+         (match Graph.producer g v with
+          | None ->
+            (* Pure state variable: only its reset value 0 is available
+               in the first iteration. *)
+            if value = 0 then Some bindings else None
+          | Some o ->
+            let kind = o.Graph.o_kind in
+            if kind = Op.Move then
+              solve ~width g bindings (o.Graph.o_args.(0), value)
+            else begin
+              let try_port p =
+                match Op.transparency kind p with
+                | `Identity c ->
+                  let other = o.Graph.o_args.(1 - p) in
+                  (match solve ~width g bindings (other, c) with
+                   | Some b -> solve ~width g b (o.Graph.o_args.(p), value)
+                   | None -> None)
+                | `Invertible c ->
+                  (* out = f(arg); for Sub port 1 with other = 0:
+                     out = -arg, so arg = -value. *)
+                  let other = o.Graph.o_args.(1 - p) in
+                  (match solve ~width g bindings (other, c) with
+                   | Some b ->
+                     solve ~width g b (o.Graph.o_args.(p), mask width (- value))
+                   | None -> None)
+                | `Opaque -> None
+              in
+              match try_port 0 with
+              | Some b -> Some b
+              | None -> if Op.arity kind > 1 then try_port 1 else None
+            end))
+
+let justify ~width g ~wanted =
+  let rec go bindings = function
+    | [] -> Some bindings
+    | w :: tl ->
+      (match solve ~width g bindings w with
+       | Some b -> go b tl
+       | None -> None)
+  in
+  match go [] wanted with
+  | None -> None
+  | Some bindings ->
+    (* Project onto primary inputs and state variables. *)
+    let pis =
+      List.filter_map
+        (fun (v, value) ->
+          match (Graph.var g v).Graph.v_kind with
+          | Graph.V_input -> Some ((Graph.var g v).Graph.v_name, value)
+          | Graph.V_const _ | Graph.V_output | Graph.V_intermediate -> None)
+        bindings
+    in
+    Some pis
+
+(* ------------------------------------------------------------------ *)
+(* Propagation chains                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* DFS from a variable to an output (or observe point) through
+   transparent consumer ports. *)
+let rec find_chain g visited v =
+  if List.mem v g.Graph.test_observes then
+    Some ([], (Graph.var g v).Graph.v_name)
+  else if (Graph.var g v).Graph.v_kind = Graph.V_output then
+    Some ([], (Graph.var g v).Graph.v_name)
+  else
+    let step o =
+      if List.mem o.Graph.o_id visited then None
+      else
+        let kind = o.Graph.o_kind in
+        let ports = List.init (Op.arity kind) (fun p -> p) in
+        let usable p =
+          o.Graph.o_args.(p) = v
+          && (kind = Op.Move
+              || match Op.transparency kind p with
+                 | `Identity _ | `Invertible _ -> true
+                 | `Opaque -> false)
+        in
+        let rec try_ports = function
+          | [] -> None
+          | p :: tl ->
+            if usable p then
+              match
+                find_chain g (o.Graph.o_id :: visited) o.Graph.o_result
+              with
+              | Some (chain, out) -> Some ((o.Graph.o_id, p) :: chain, out)
+              | None -> try_ports tl
+            else try_ports tl
+        in
+        try_ports ports
+    in
+    let rec try_consumers = function
+      | [] -> None
+      | o :: tl -> (match step o with Some r -> Some r | None -> try_consumers tl)
+    in
+    try_consumers (Graph.consumers g v)
+
+(* Side conditions a chain imposes: every non-data input at its
+   transparency constant. *)
+let chain_side_conditions g chain =
+  List.concat_map
+    (fun (oid, p) ->
+      let o = Graph.op g oid in
+      if o.Graph.o_kind = Op.Move then []
+      else
+        match Op.transparency o.Graph.o_kind p with
+        | `Identity c | `Invertible c -> [ (o.Graph.o_args.(1 - p), c) ]
+        | `Opaque -> [])
+    chain
+
+(* Expected output value after pushing [value] through the chain. *)
+let chain_expected ~width g chain value =
+  List.fold_left
+    (fun v (oid, p) ->
+      let o = Graph.op g oid in
+      if o.Graph.o_kind = Op.Move then v
+      else
+        let c =
+          match Op.transparency o.Graph.o_kind p with
+          | `Identity c | `Invertible c -> c
+          | `Opaque -> 0
+        in
+        let args = if p = 0 then [ v; mask width c ] else [ mask width c; v ] in
+        Op.eval ~width o.Graph.o_kind args)
+    value chain
+
+let observe_value ~width g env run_result =
+  mask width (Graph.value_of g run_result env.observe_output)
+
+(* ------------------------------------------------------------------ *)
+(* Environments                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let try_pair ~width g env (a, b) =
+  let o = Graph.op g env.op in
+  let kind = o.Graph.o_kind in
+  let wanted =
+    (if Op.arity kind > 1 then
+       [ (o.Graph.o_args.(0), a); (o.Graph.o_args.(1), b) ]
+     else [ (o.Graph.o_args.(0), a) ])
+    @ chain_side_conditions g env.chain
+  in
+  let rec go bindings = function
+    | [] -> Some bindings
+    | w :: tl ->
+      (match solve ~width g bindings w with
+       | Some b -> go b tl
+       | None -> None)
+  in
+  match go [] wanted with
+  | None -> None
+  | Some bindings ->
+    let pis =
+      List.filter_map
+        (fun (v, value) ->
+          match (Graph.var g v).Graph.v_kind with
+          | Graph.V_input -> Some ((Graph.var g v).Graph.v_name, value)
+          | Graph.V_const _ | Graph.V_output | Graph.V_intermediate -> None)
+        bindings
+    in
+    (* Fill every unbound input with zero to run deterministically. *)
+    let all_inputs =
+      List.map
+        (fun v ->
+          match List.assoc_opt v.Graph.v_name pis with
+          | Some x -> (v.Graph.v_name, x)
+          | None -> (v.Graph.v_name, 0))
+        (Graph.inputs g)
+    in
+    (* Variables with test-mode control points are loaded directly. *)
+    let force =
+      List.filter (fun (v, _) -> List.mem v g.Graph.test_controls) bindings
+    in
+    let result = Graph.run ~width g ~inputs:all_inputs ~force () in
+    let module_out =
+      Op.eval ~width kind
+        (if Op.arity kind > 1 then [ mask width a; mask width b ]
+         else [ mask width a ])
+    in
+    let expected = chain_expected ~width g env.chain module_out in
+    Some (observe_value ~width g env result = mask width expected)
+
+let environment ?(width = 8) g o =
+  let result = (Graph.op g o).Graph.o_result in
+  match find_chain g [] result with
+  | None -> None
+  | Some (chain, observe_output) ->
+    let env = { op = o; chain; observe_output } in
+    (* Validate on a few sample operand pairs. *)
+    let samples = [ (5, 3); (1, 1); (11, 7) ] in
+    let ok =
+      List.for_all
+        (fun pair -> match try_pair ~width g env pair with
+           | Some true -> true
+           | Some false | None -> false)
+        samples
+    in
+    if ok then Some env else None
+
+let covered_instances ?width g (binding : Hft_hls.Fu_bind.t) =
+  let covered = ref [] and uncovered = ref [] in
+  Array.iteri
+    (fun i (_, ops) ->
+      if List.exists (fun o -> environment ?width g o <> None) ops then
+        covered := i :: !covered
+      else uncovered := i :: !uncovered)
+    binding.Hft_hls.Fu_bind.instances;
+  (List.rev !covered, List.rev !uncovered)
+
+let ensure_coverage ?width g binding =
+  let _, uncovered = covered_instances ?width g binding in
+  let points = ref 0 in
+  let g' =
+    List.fold_left
+      (fun g i ->
+        let _, ops = binding.Hft_hls.Fu_bind.instances.(i) in
+        match ops with
+        | [] -> g
+        | o :: _ ->
+          let op = Graph.op g o in
+          let controls = Array.to_list op.Graph.o_args in
+          let observes = [ op.Graph.o_result ] in
+          points := !points + List.length controls + 1;
+          Transform.add_test_points g ~controls ~observes)
+      g uncovered
+  in
+  (g', !points)
+
+let compose ~width g env pairs =
+  let confirmed =
+    List.length
+      (List.filter
+         (fun pair -> try_pair ~width g env pair = Some true)
+         pairs)
+  in
+  { vectors_translated = List.length pairs; vectors_confirmed = confirmed }

@@ -1,0 +1,58 @@
+(** Hierarchical test generation via test environments
+    (Bhatia–Jha "Genesis" EDTC'94; Vishakantaiah et al. ATKET/CHEETA;
+    survey §6).
+
+    A module's {e test environment} is a pair of symbolic paths: a
+    justification scheme driving arbitrary values onto the module's
+    inputs from primary inputs (through transparent operations — add
+    with 0, multiply by 1), and a propagation scheme making its output
+    visible at a primary output.  Precomputed module tests can then be
+    translated to system-level tests mechanically, instead of burning
+    sequential-ATPG effort on the flat netlist. *)
+
+open Hft_cdfg
+
+(** A concrete test environment for an operation: [chain] lists the
+    (consumer op, data port) propagation steps from the op's result to
+    [observe_output]; every other input along the chain is held at the
+    step's transparency constant.  A variable with a test-mode observe
+    point ends the chain immediately ([observe_output] then names the
+    variable). *)
+type env = {
+  op : int;
+  chain : (int * int) list;
+  observe_output : string;
+}
+
+(** [environment g o] — an environment for op [o] (validated on sample
+    values), or [None]. *)
+val environment : ?width:int -> Graph.t -> int -> env option
+
+(** [justify g ~wanted] finds primary-input/state assignments making
+    each (variable, value) pair hold simultaneously; [None] when the
+    justification paths conflict.  Variables with test-mode control
+    points are directly assignable. *)
+val justify :
+  width:int -> Graph.t -> wanted:(int * int) list -> (string * int) list option
+
+(** Per-FU-instance coverage: an instance is hierarchically testable
+    when at least one of its ops has an environment (the
+    assignment-phase objective of Genesis).
+    Returns (covered, uncovered) instance ids. *)
+val covered_instances :
+  ?width:int -> Graph.t -> Hft_hls.Fu_bind.t -> int list * int list
+
+(** Add test points until every instance is covered; returns the
+    modified graph and the number of points added. *)
+val ensure_coverage :
+  ?width:int -> Graph.t -> Hft_hls.Fu_bind.t -> Graph.t * int
+
+type composed = {
+  vectors_translated : int;
+  vectors_confirmed : int;  (** behavioural run really shows the value *)
+}
+
+(** Translate module-level operand pairs through an environment and
+    confirm each end-to-end with [Graph.run]. *)
+val compose :
+  width:int -> Graph.t -> env -> (int * int) list -> composed

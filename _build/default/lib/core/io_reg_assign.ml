@@ -1,0 +1,73 @@
+open Hft_cdfg
+
+type result = {
+  alloc : Hft_hls.Reg_alloc.t;
+  n_io_registers : int;
+  n_registers : int;
+}
+
+let io_register_count g (alloc : Hft_hls.Reg_alloc.t) =
+  let io_vars =
+    List.map (fun v -> v.Graph.v_id) (Graph.inputs g @ Graph.outputs g)
+  in
+  List.filter_map
+    (fun v ->
+      let r = alloc.Hft_hls.Reg_alloc.reg_of_var.(v) in
+      if r >= 0 then Some r else None)
+    io_vars
+  |> List.sort_uniq compare |> List.length
+
+let assign g sched =
+  let info = Lifetime.compute g sched in
+  let rep v = Hft_util.Union_find.find info.Lifetime.merged v in
+  let outputs = List.map (fun v -> rep v.Graph.v_id) (Graph.outputs g) in
+  let inputs = List.map (fun v -> rep v.Graph.v_id) (Graph.inputs g) in
+  let io = List.sort_uniq compare (outputs @ inputs) in
+  (* Which registers have been claimed by an I/O class so far. *)
+  let io_regs = Hashtbl.create 8 in
+  let order =
+    (* Outputs first, then inputs, then intermediates by lifetime
+       start — the paper's phase order. *)
+    outputs @ inputs
+  in
+  let prefer repv ~feasible =
+    if List.mem repv io then
+      (* Phase 1/2 of the paper: every primary output / input gets its
+         own register, so the number of I/O-connected registers is
+         maximal. *)
+      None
+    else
+      (* Intermediates: prefer an I/O register, else any feasible. *)
+      match List.filter (Hashtbl.mem io_regs) feasible with
+      | r :: _ -> Some r
+      | [] -> (match feasible with r :: _ -> Some r | [] -> None)
+  in
+  (* The allocator numbers fresh registers sequentially, one per [None]
+     we return, so we can mirror its counter and know which register an
+     I/O class that opens fresh will receive — intermediates visited
+     later then see it in [io_regs]. *)
+  let next_fresh = ref 0 in
+  let prefer_recording repv ~feasible =
+    let r = prefer repv ~feasible in
+    (match r with
+     | Some reg -> if List.mem repv io then Hashtbl.replace io_regs reg ()
+     | None ->
+       if List.mem repv io then Hashtbl.replace io_regs !next_fresh ();
+       incr next_fresh);
+    r
+  in
+  let alloc = Hft_hls.Reg_alloc.color ~order ~prefer:prefer_recording g info in
+  {
+    alloc;
+    n_io_registers = io_register_count g alloc;
+    n_registers = alloc.Hft_hls.Reg_alloc.n_regs;
+  }
+
+let assign_conventional g sched =
+  let info = Lifetime.compute g sched in
+  let alloc = Hft_hls.Reg_alloc.left_edge g info in
+  {
+    alloc;
+    n_io_registers = io_register_count g alloc;
+    n_registers = alloc.Hft_hls.Reg_alloc.n_regs;
+  }

@@ -1,0 +1,25 @@
+(** Testable register assignment maximising I/O registers
+    (Lee–Wolf–Jha–Acken ICCD'92, survey §3.2).
+
+    Registers connected to primary inputs/outputs are inherently
+    controllable/observable; assigning as many intermediate variables as
+    possible to such registers — outputs first, then inputs, then merge
+    — improves the controllability and observability of the whole data
+    path while usually keeping the register count minimal. *)
+
+open Hft_cdfg
+
+type result = {
+  alloc : Hft_hls.Reg_alloc.t;
+  n_io_registers : int;   (** registers holding an input or output var *)
+  n_registers : int;
+}
+
+(** The paper's ordered assignment. *)
+val assign : Graph.t -> Schedule.t -> result
+
+(** Conventional left-edge, measured the same way, for comparison. *)
+val assign_conventional : Graph.t -> Schedule.t -> result
+
+(** I/O-register count of an arbitrary allocation. *)
+val io_register_count : Graph.t -> Hft_hls.Reg_alloc.t -> int

@@ -1,0 +1,139 @@
+open Hft_cdfg
+open Hft_util
+
+type selection = { scan_vars : int list; n_scan_registers : int }
+
+let registers_needed g info vars =
+  let reps =
+    List.map (fun v -> Union_find.find info.Lifetime.merged v) vars
+    |> List.sort_uniq compare
+  in
+  ignore g;
+  let items = List.map (fun r -> (r, Lifetime.class_interval info r)) reps in
+  if items = [] then 0 else snd (Interval.left_edge items)
+
+let breaks_all g vars =
+  Loops.unbroken (Loops.enumerate g) vars = []
+
+(* Candidate scan variables: anything carried on some loop. *)
+let candidates loops =
+  List.concat_map (fun l -> l.Loops.vars) loops |> List.sort_uniq compare
+
+let finish g info vars =
+  { scan_vars = List.sort compare vars;
+    n_scan_registers = registers_needed g info vars }
+
+(* Greedy minimum-vertex cut over the loop/variable covering matrix. *)
+let select_mfvs g sched =
+  let info = Lifetime.compute g sched in
+  let loops = Loops.enumerate g in
+  let rec go unbroken chosen =
+    if unbroken = [] then chosen
+    else begin
+      let cands = candidates unbroken in
+      let best =
+        List.fold_left
+          (fun acc v ->
+            let cut =
+              List.length
+                (List.filter (fun l -> List.mem v l.Loops.vars) unbroken)
+            in
+            match acc with
+            | Some (_, c) when c >= cut -> acc
+            | _ -> Some (v, cut))
+          None cands
+      in
+      match best with
+      | None -> chosen
+      | Some (v, _) -> go (Loops.unbroken unbroken [ v ]) (v :: chosen)
+    end
+  in
+  finish g info (go loops [])
+
+(* Potkonjak-Dey-Roy: loop-cutting effectiveness x sharing
+   effectiveness.  Sharing effectiveness of v: how many other candidate
+   variables could share a register with v (disjoint lifetimes). *)
+let select_effective g sched =
+  let info = Lifetime.compute g sched in
+  let loops = Loops.enumerate g in
+  let all_cands = candidates loops in
+  let sharing v =
+    let n =
+      List.length
+        (List.filter
+           (fun u -> u <> v && not (Lifetime.conflict info u v))
+           all_cands)
+    in
+    1.0 +. float_of_int n
+  in
+  let rec go unbroken chosen =
+    if unbroken = [] then chosen
+    else begin
+      let cands = candidates unbroken in
+      let score v =
+        let cut =
+          List.length (List.filter (fun l -> List.mem v l.Loops.vars) unbroken)
+        in
+        (* Prefer variables that share a register with an already-chosen
+           scan variable: they are free. *)
+        let free_bonus =
+          if List.exists (fun u -> not (Lifetime.conflict info u v)) chosen
+          then 2.0
+          else 1.0
+        in
+        float_of_int cut *. sharing v *. free_bonus
+      in
+      let best =
+        List.fold_left
+          (fun acc v ->
+            match acc with
+            | Some (_, s) when s >= score v -> acc
+            | _ -> Some (v, score v))
+          None cands
+      in
+      match best with
+      | None -> chosen
+      | Some (v, _) -> go (Loops.unbroken unbroken [ v ]) (v :: chosen)
+    end
+  in
+  finish g info (go loops [])
+
+(* Lee-Jha-Wolf: boundary variables (the loop-carried pairs bound every
+   loop) first, shorter lifetimes preferred. *)
+let select_boundary g sched =
+  let info = Lifetime.compute g sched in
+  let loops = Loops.enumerate g in
+  let boundary =
+    List.concat_map (fun (s, d) -> [ s; d ]) g.Graph.feedback
+    |> List.sort_uniq compare
+  in
+  let lifetime_len v = Interval.length info.Lifetime.intervals.(v) in
+  let sorted_boundary =
+    List.sort (fun a b -> compare (lifetime_len a, a) (lifetime_len b, b))
+      boundary
+  in
+  let rec from_boundary unbroken chosen = function
+    | [] -> (unbroken, chosen)
+    | v :: tl ->
+      if unbroken = [] then (unbroken, chosen)
+      else if List.exists (fun l -> List.mem v l.Loops.vars) unbroken then
+        from_boundary (Loops.unbroken unbroken [ v ]) (v :: chosen) tl
+      else from_boundary unbroken chosen tl
+  in
+  let unbroken, chosen = from_boundary loops [] sorted_boundary in
+  (* Any remaining loops (created by non-boundary cycles): fall back to
+     effectiveness selection on what is left. *)
+  let rec mop_up unbroken chosen =
+    if unbroken = [] then chosen
+    else
+      match candidates unbroken with
+      | [] -> chosen
+      | cands ->
+        let v =
+          List.fold_left
+            (fun acc u -> if lifetime_len u < lifetime_len acc then u else acc)
+            (List.hd cands) cands
+        in
+        mop_up (Loops.unbroken unbroken [ v ]) (v :: chosen)
+  in
+  finish g info (mop_up unbroken chosen)

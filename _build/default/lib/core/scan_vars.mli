@@ -1,0 +1,33 @@
+(** Scan-variable selection at the behavioural level (survey §3.3.1).
+
+    Breaking CDFG loops by scanning {e variables} rather than gate-level
+    flip-flops exploits a freedom MFVS does not have: several scan
+    variables with disjoint lifetimes can share one scan register, so
+    the right objective is minimum {e scan registers}, not minimum
+    cut vertices.
+
+    Three selectors are provided:
+    - {!select_mfvs}: vertex-count-minimal cut (gate-level thinking),
+      the baseline;
+    - {!select_effective} (Potkonjak–Dey–Roy): greedy on loop-cutting
+      effectiveness × hardware-sharing effectiveness;
+    - {!select_boundary} (Lee–Jha–Wolf): loop boundary variables first,
+      preferring short lifetimes. *)
+
+open Hft_cdfg
+
+type selection = {
+  scan_vars : int list;
+  n_scan_registers : int;  (** after lifetime-sharing of the chosen vars *)
+}
+
+(** Scan registers needed to host the chosen variables (left-edge over
+    their merge-class lifetimes; members of one class count once). *)
+val registers_needed : Graph.t -> Lifetime.info -> int list -> int
+
+(** All loops broken? *)
+val breaks_all : Graph.t -> int list -> bool
+
+val select_mfvs : Graph.t -> Schedule.t -> selection
+val select_effective : Graph.t -> Schedule.t -> selection
+val select_boundary : Graph.t -> Schedule.t -> selection

@@ -1,0 +1,158 @@
+open Hft_cdfg
+open Hft_util
+
+type result = {
+  sched : Schedule.t;
+  binding : Hft_hls.Fu_bind.t;
+  est_assignment_loops : int;
+}
+
+(* Does a dependency path from [u] to [v] pass through an op outside
+   [members]?  Only such paths create assignment loops: a chain kept
+   entirely on one unit merely recirculates through the unit's own
+   output register (a tolerated self-loop, paper Figure 1(c)). *)
+let escaping_path g members u v =
+  let dg = Graph.op_graph g in
+  let inside o = o = u || o = v || List.mem o members in
+  let n = Digraph.order dg in
+  let seen = Array.make n false in
+  let q = Queue.create () in
+  (* Start from u's successors that are outside the member set. *)
+  List.iter
+    (fun w ->
+      if (not (inside w)) && not seen.(w) then begin
+        seen.(w) <- true;
+        Queue.add w q
+      end)
+    (Digraph.succ dg u);
+  let found = ref false in
+  while not (Queue.is_empty q) do
+    let w = Queue.take q in
+    List.iter
+      (fun x ->
+        if x = v then found := true
+        else if (not (inside x)) && not seen.(x) then begin
+          seen.(x) <- true;
+          Queue.add x q
+        end)
+      (Digraph.succ dg w)
+  done;
+  !found
+
+let assignment_loops g (binding : Hft_hls.Fu_bind.t) =
+  let count = ref 0 in
+  Array.iter
+    (fun (_, ops) ->
+      List.iter
+        (fun u ->
+          List.iter
+            (fun v -> if u <> v && escaping_path g ops u v then incr count)
+            ops)
+        ops)
+    binding.Hft_hls.Fu_bind.instances;
+  !count
+
+let loop_creating_pairs g members o =
+  List.length
+    (List.filter
+       (fun o' ->
+         o' <> o
+         && (escaping_path g (o :: members) o' o
+             || escaping_path g (o :: members) o o'))
+       members)
+
+let bind_loop_aware ?(loop_cost = 100.0) ~resources g sched =
+  let choose (partial : Hft_hls.Fu_bind.t) ~op ~candidates ~can_open =
+    let cost inst =
+      let _, members = partial.Hft_hls.Fu_bind.instances.(inst) in
+      loop_cost *. float_of_int (loop_creating_pairs g members op)
+    in
+    let best =
+      List.fold_left
+        (fun acc inst ->
+          match acc with
+          | None -> Some (inst, cost inst)
+          | Some (_, c) when cost inst < c -> Some (inst, cost inst)
+          | Some _ -> acc)
+        None candidates
+    in
+    match best with
+    | Some (inst, c) ->
+      (* Opening a fresh unit costs one unit of "area pressure"; avoid a
+         loop whenever the cap allows. *)
+      if c > 0.0 && can_open then `Open else `Use inst
+    | None -> `Open
+  in
+  Hft_hls.Fu_bind.bind ~resources ~choose g sched
+
+(* Move one op to another instance of its class (steps permitting). *)
+let rebind g sched (binding : Hft_hls.Fu_bind.t) o inst =
+  let instances =
+    Array.mapi
+      (fun i (cl, ops) ->
+        let ops = List.filter (fun o' -> o' <> o) ops in
+        if i = inst then (cl, List.sort compare (o :: ops)) else (cl, ops))
+      binding.Hft_hls.Fu_bind.instances
+  in
+  let fu_of_op = Array.copy binding.Hft_hls.Fu_bind.fu_of_op in
+  fu_of_op.(o) <- inst;
+  let b = { Hft_hls.Fu_bind.fu_of_op; instances } in
+  match Hft_hls.Fu_bind.validate g sched b with
+  | () -> Some b
+  | exception Invalid_argument _ -> None
+
+(* Local search: move single ops between instances while it reduces the
+   assignment-loop count. *)
+let improve g sched binding =
+  let current = ref binding in
+  let score = ref (assignment_loops g binding) in
+  let progress = ref true in
+  while !progress && !score > 0 do
+    progress := false;
+    Array.iteri
+      (fun o inst0 ->
+        if inst0 >= 0 && not !progress then
+          Array.iteri
+            (fun inst (cl, _) ->
+              if (not !progress) && inst <> inst0
+                 && Some cl
+                    = Hft_cdfg.Op.fu_class (Graph.op g o).Graph.o_kind
+              then
+                match rebind g sched !current o inst with
+                | Some b ->
+                  let s = assignment_loops g b in
+                  if s < !score then begin
+                    current := b;
+                    score := s;
+                    progress := true
+                  end
+                | None -> ())
+            !current.Hft_hls.Fu_bind.instances)
+      !current.Hft_hls.Fu_bind.fu_of_op
+  done;
+  !current
+
+let run ?loop_cost ~resources g sched_opt =
+  let sched =
+    match sched_opt with
+    | Some s -> s
+    | None -> Hft_hls.List_sched.schedule g ~resources
+  in
+  (* Two seeds — the loop-aware greedy and the conventional left-edge —
+     each polished by local search; keep the better. *)
+  let seeds =
+    [ bind_loop_aware ?loop_cost ~resources g sched;
+      Hft_hls.Fu_bind.left_edge ~resources g sched ]
+  in
+  let binding =
+    List.map (fun b -> improve g sched b) seeds
+    |> List.map (fun b -> (assignment_loops g b, b))
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.hd |> snd
+  in
+  { sched; binding; est_assignment_loops = assignment_loops g binding }
+
+let conventional ~resources g =
+  let sched = Hft_hls.List_sched.schedule g ~resources in
+  let binding = Hft_hls.Fu_bind.left_edge ~resources g sched in
+  { sched; binding; est_assignment_loops = assignment_loops g binding }

@@ -1,0 +1,33 @@
+(** Simultaneous scheduling and assignment with a testability cost
+    function (Potkonjak–Dey–Roy TCAD'95, survey §3.3.2).
+
+    Hardware sharing creates {e assignment loops}: when the operations
+    along a CDFG path from [u] to [v] occupy several units and [u] and
+    [v] share one, the unit's output register cycles back to itself
+    through the other units (paper Figure 1).  Scheduling and binding
+    together lets the allocator price each (step, unit) choice by the
+    loops it would create and avoid them when slack permits. *)
+
+open Hft_cdfg
+
+type result = {
+  sched : Schedule.t;
+  binding : Hft_hls.Fu_bind.t;
+  est_assignment_loops : int; (** loops the cost function still accepted *)
+}
+
+(** Greedy least-slack-first scheduling+binding under [resources];
+    candidate (unit) choices are priced by new assignment-loop creation
+    (weight [loop_cost], default high) and by unit-opening cost. *)
+val run :
+  ?loop_cost:float -> resources:(Op.fu_class * int) list ->
+  Graph.t -> Schedule.t option -> result
+
+(** Count the assignment loops a binding implies: op pairs [(u,v)]
+    sharing a unit with a dependency path between them that leaves the
+    unit (length >= 2 loop in the register graph). *)
+val assignment_loops : Graph.t -> Hft_hls.Fu_bind.t -> int
+
+(** Conventional flow measured identically, for the E3 rows. *)
+val conventional :
+  resources:(Op.fu_class * int) list -> Graph.t -> result

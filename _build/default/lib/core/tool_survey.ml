@@ -1,0 +1,46 @@
+type insertion_level =
+  | Hdl
+  | Technology_independent
+  | Technology_dependent
+  | Hdl_and_technology_dependent
+  | Tech_independent_or_dependent
+
+type entry = {
+  vendor : string;
+  synthesis_base : string;
+  level : insertion_level;
+}
+
+let table1 =
+  [
+    { vendor = "Sunrise"; synthesis_base = "Viewlogic";
+      level = Technology_dependent };
+    { vendor = "Mentor"; synthesis_base = "Autologic II";
+      level = Technology_independent };
+    { vendor = "LogicVision";
+      synthesis_base = "Synopsys HDL & Design Compiler"; level = Hdl };
+    { vendor = "IBM"; synthesis_base = "Booledozer";
+      level = Tech_independent_or_dependent };
+    { vendor = "Synopsys";
+      synthesis_base = "Synopsys HDL & Design Compiler";
+      level = Hdl_and_technology_dependent };
+    { vendor = "Compass"; synthesis_base = "ASIC Synthesizer";
+      level = Technology_dependent };
+    { vendor = "AT&T"; synthesis_base = "Synovation";
+      level = Hdl_and_technology_dependent };
+  ]
+
+let level_to_string = function
+  | Hdl -> "HDL"
+  | Technology_independent -> "technology-independent"
+  | Technology_dependent -> "technology-dependent"
+  | Hdl_and_technology_dependent -> "HDL and technology-dependent"
+  | Tech_independent_or_dependent -> "tech-independent or tech-dependent"
+
+let render () =
+  Hft_util.Pretty.render
+    ~title:"Table 1: Operational Level of Testability Insertion"
+    ~header:[ "Name"; "Synthesis Base"; "Testability Insertion Level" ]
+    (List.map
+       (fun e -> [ e.vendor; e.synthesis_base; level_to_string e.level ])
+       table1)

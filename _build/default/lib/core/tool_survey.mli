@@ -1,0 +1,21 @@
+(** Table 1 of the paper: operational level of testability insertion for
+    the commercial EDA test-synthesis tools of 1996, as typed data. *)
+
+type insertion_level =
+  | Hdl
+  | Technology_independent
+  | Technology_dependent
+  | Hdl_and_technology_dependent
+  | Tech_independent_or_dependent
+
+type entry = {
+  vendor : string;
+  synthesis_base : string;
+  level : insertion_level;
+}
+
+val table1 : entry list
+val level_to_string : insertion_level -> string
+
+(** The table exactly as the paper prints it. *)
+val render : unit -> string

@@ -1,0 +1,1 @@
+lib/gate/ctrl_expand.ml: Array Controller Datapath Expand Hashtbl Hft_rtl List Netlist Printf Seq_atpg

@@ -1,0 +1,1 @@
+lib/gate/ctrl_expand.mli: Expand Fault Hft_rtl Netlist Seq_atpg

@@ -1,0 +1,1 @@
+lib/gate/expand.ml: Array Datapath Hft_cdfg Hft_rtl Hft_util List Netlist Op Printf Sim

@@ -1,0 +1,1 @@
+lib/gate/expand.mli: Hft_cdfg Hft_rtl Netlist

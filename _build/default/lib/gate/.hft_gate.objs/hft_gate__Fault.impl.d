@@ -1,0 +1,1 @@
+lib/gate/fault.ml: Array List Netlist Printf

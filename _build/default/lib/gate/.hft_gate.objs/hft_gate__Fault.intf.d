@@ -1,0 +1,1 @@
+lib/gate/fault.mli: Netlist

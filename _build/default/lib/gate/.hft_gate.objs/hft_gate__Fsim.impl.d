@@ -1,0 +1,1 @@
+lib/gate/fsim.ml: Array Bitvec Fault Hft_util List Netlist Rng Sim

@@ -1,0 +1,1 @@
+lib/gate/fsim.mli: Fault Hft_util Netlist

@@ -1,0 +1,1 @@
+lib/gate/gsgraph.ml: Array Digraph Hashtbl Hft_util List Mfvs Netlist Queue

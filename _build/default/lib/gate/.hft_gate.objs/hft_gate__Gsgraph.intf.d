@@ -1,0 +1,1 @@
+lib/gate/gsgraph.mli: Hft_util Netlist

@@ -1,0 +1,1 @@
+lib/gate/netlist.ml: Array List Printf Queue

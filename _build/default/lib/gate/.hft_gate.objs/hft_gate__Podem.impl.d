@@ -1,0 +1,1 @@
+lib/gate/podem.ml: Array Fault Hashtbl List Netlist Queue Sim

@@ -1,0 +1,1 @@
+lib/gate/podem.mli: Fault Netlist

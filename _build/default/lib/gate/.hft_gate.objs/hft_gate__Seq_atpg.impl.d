@@ -1,0 +1,1 @@
+lib/gate/seq_atpg.ml: Array Fault Hashtbl Lazy List Netlist Podem Printf

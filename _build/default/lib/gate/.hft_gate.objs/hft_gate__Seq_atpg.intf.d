@@ -1,0 +1,1 @@
+lib/gate/seq_atpg.mli: Fault Netlist

@@ -1,0 +1,1 @@
+lib/gate/sim.ml: Array Bitvec Fault Hft_util List Netlist

@@ -1,0 +1,1 @@
+lib/gate/sim.mli: Fault Hft_util Netlist

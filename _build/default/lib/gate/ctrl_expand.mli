@@ -1,0 +1,41 @@
+(** Controller–data-path composition at gate level.
+
+    {!Expand.of_datapath} leaves every control line a primary input —
+    the survey's default assumption that control is fully accessible in
+    test mode.  This module instead synthesises the Moore controller
+    into the same netlist: a one-hot state register walks the control
+    steps and decodes exactly the functional control vectors, so
+    sequential ATPG faces the real control-signal implications the
+    Dey–Gangaram–Potkonjak technique (survey §3.5) is about.
+
+    Test vectors added to the {!Hft_rtl.Controller} become extra
+    decode terms gated by a [test_mode] primary input and one-hot
+    [test_sel] inputs, restoring exactly the combinations the DFT
+    technique grants. *)
+
+type t = {
+  expansion : Expand.t;       (** the underlying data-path expansion *)
+  netlist : Netlist.t;        (** same netlist, now with the FSM inside *)
+  reset : int;                (** PI: forces state 0 *)
+  test_mode : int;            (** PI: enables the test decode terms *)
+  test_sel : int list;        (** PIs: one-hot choice of test vector *)
+  state_bits : int list;      (** one-hot state DFFs, step order *)
+  assignable : int list;      (** PIs ATPG may drive (excludes the
+                                  now-disconnected control lines) *)
+  n_datapath_nodes : int;     (** nodes below this id belong to the
+                                  data-path expansion, which is identical
+                                  across compositions of the same data
+                                  path — sample faults below it to
+                                  compare controllers fairly *)
+}
+
+(** Compose; the controller (typically from
+    [Controller.of_datapath] or [Controller_dft.harden]) supplies the
+    functional and test vectors. *)
+val compose : Hft_rtl.Datapath.t -> Hft_rtl.Controller.t -> t
+
+(** Sequential ATPG over the composite (wraps {!Seq_atpg.run} with the
+    right assignable set). *)
+val atpg :
+  ?backtrack_limit:int -> ?max_frames:int -> t -> faults:Fault.t list ->
+  Seq_atpg.stats

@@ -1,0 +1,27 @@
+(** Single stuck-at faults.
+
+    A fault is stuck-at-[stuck] either on a node's output stem
+    ([pin = None]) or on one input pin of a gate ([pin = Some i] — the
+    fanout branch feeding that pin).  The standard universe is stem
+    faults everywhere plus branch faults where the driver has fanout
+    greater than one (checkpoint-style); straightforward equivalences
+    (buffer chains, inverter chains) are collapsed. *)
+
+type t = {
+  node : int;
+  pin : int option;
+  stuck : bool;
+}
+
+val to_string : Netlist.t -> t -> string
+
+(** Full universe before collapsing. *)
+val universe : Netlist.t -> t list
+
+(** Universe after collapsing trivial equivalences:
+    - [Buf]/[Po] stem faults are equivalent to their input stem fault;
+    - a gate input pin fault whose driver has fanout 1 is equivalent to
+      the driver's stem fault;
+    - [Not] input s-a-v is equivalent to output s-a-(not v), so inverter
+      input faults are dropped. *)
+val collapsed : Netlist.t -> t list

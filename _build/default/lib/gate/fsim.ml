@@ -1,0 +1,92 @@
+open Hft_util
+
+type comb_result = {
+  detected : Fault.t list;
+  undetected : Fault.t list;
+  n_patterns : int;
+}
+
+let coverage r =
+  let d = List.length r.detected and u = List.length r.undetected in
+  if d + u = 0 then 1.0 else float_of_int d /. float_of_int (d + u)
+
+let load_patterns nl st patterns =
+  let pis = Netlist.pis nl in
+  let n_patterns = Array.length patterns in
+  List.iteri
+    (fun i pi ->
+      let bv = Bitvec.create n_patterns in
+      Array.iteri (fun p row -> Bitvec.set bv p row.(i)) patterns;
+      Sim.pset_pi st pi bv)
+    pis
+
+let comb nl ~patterns faults =
+  let n_patterns = Array.length patterns in
+  if n_patterns = 0 then
+    { detected = []; undetected = faults; n_patterns = 0 }
+  else begin
+    let good = Sim.pcreate nl ~n_patterns in
+    load_patterns nl good patterns;
+    Sim.peval nl good;
+    let pos = Netlist.pos nl in
+    let good_pos = List.map (fun po -> Bitvec.copy (Sim.pvalue good po)) pos in
+    let faulty = Sim.pcreate nl ~n_patterns in
+    let detected = ref [] and undetected = ref [] in
+    List.iter
+      (fun f ->
+        (* Reload PI values and DFF states each time: a stem fault on a
+           source node forces the state in place and would otherwise
+           leak into later faults. *)
+        load_patterns nl faulty patterns;
+        List.iter
+          (fun d -> Bitvec.fill (Sim.pvalue faulty d) false)
+          (Netlist.dffs nl);
+        Sim.peval ~faults:[ f ] nl faulty;
+        let diff =
+          List.exists2
+            (fun po gpo -> Bitvec.any_diff (Sim.pvalue faulty po) gpo)
+            pos good_pos
+        in
+        if diff then detected := f :: !detected else undetected := f :: !undetected)
+      faults;
+    { detected = List.rev !detected; undetected = List.rev !undetected;
+      n_patterns }
+  end
+
+let comb_random nl ~rng ~n_patterns faults =
+  let n_pi = List.length (Netlist.pis nl) in
+  let patterns =
+    Array.init n_patterns (fun _ ->
+        Array.init n_pi (fun _ -> Rng.bool rng))
+  in
+  comb nl ~patterns faults
+
+let coverage_curve nl ~checkpoints ~next_pattern faults =
+  let checkpoints = List.sort compare checkpoints in
+  let remaining = ref faults in
+  let total = List.length faults in
+  let applied = ref 0 in
+  List.map
+    (fun target ->
+      let batch = max 0 (target - !applied) in
+      if batch > 0 then begin
+        let patterns = Array.init batch (fun _ -> next_pattern ()) in
+        let r = comb nl ~patterns !remaining in
+        remaining := r.undetected;
+        applied := target
+      end;
+      let det = total - List.length !remaining in
+      (target, if total = 0 then 1.0 else float_of_int det /. float_of_int total))
+    checkpoints
+
+let sequential nl ~stimuli faults =
+  let good = Sim.run_cycles nl ~stimuli in
+  let detected = ref [] and undetected = ref [] in
+  List.iter
+    (fun f ->
+      let bad = Sim.run_cycles ~faults:[ f ] nl ~stimuli in
+      if bad <> good then detected := f :: !detected
+      else undetected := f :: !undetected)
+    faults;
+  { detected = List.rev !detected; undetected = List.rev !undetected;
+    n_patterns = Array.length stimuli }

@@ -1,0 +1,40 @@
+(** Fault simulation.
+
+    Combinational: pattern-parallel (62 patterns per machine word) with
+    full-resimulation per fault — simple, exact, and fast enough for the
+    benchmark sizes here.  Sequential: cycle-accurate single-fault
+    simulation over a stimulus sequence. *)
+
+type comb_result = {
+  detected : Fault.t list;
+  undetected : Fault.t list;
+  n_patterns : int;
+}
+
+val coverage : comb_result -> float
+
+(** [comb nl ~patterns faults] — [patterns] is a matrix
+    [(pattern, pi index in Netlist.pis order)].  A fault is detected
+    when any PO differs on any pattern.  DFF states are held at 0 (use
+    {!comb} on purely combinational blocks for exact results). *)
+val comb : Netlist.t -> patterns:bool array array -> Fault.t list -> comb_result
+
+(** [comb_random nl ~rng ~n_patterns faults] with uniform random
+    patterns. *)
+val comb_random :
+  Netlist.t -> rng:Hft_util.Rng.t -> n_patterns:int -> Fault.t list ->
+  comb_result
+
+(** Coverage as a function of pattern count: returns
+    [(patterns applied, cumulative coverage)] at each checkpoint.
+    Patterns come from [next_pattern], called once per pattern per PI
+    bit — this is how LFSR / accumulator generators drive the same
+    machinery. *)
+val coverage_curve :
+  Netlist.t -> checkpoints:int list ->
+  next_pattern:(unit -> bool array) -> Fault.t list -> (int * float) list
+
+(** Sequential: [sequential nl ~stimuli faults] runs each fault over the
+    cycle stimulus and compares PO streams against the good machine. *)
+val sequential :
+  Netlist.t -> stimuli:bool array array -> Fault.t list -> comb_result

@@ -1,0 +1,233 @@
+type kind =
+  | Pi
+  | Po
+  | Dff
+  | Const0
+  | Const1
+  | Buf
+  | Not
+  | And
+  | Or
+  | Nand
+  | Nor
+  | Xor
+  | Xnor
+  | Mux2
+
+type t = {
+  cname : string;
+  mutable kinds : kind array;
+  mutable fanins : int array array;
+  mutable names : string array;
+  mutable n : int;
+  mutable fanouts : int list array option; (* cache *)
+  mutable order : int list option; (* comb_order cache *)
+}
+
+let create ?(name = "netlist") () =
+  {
+    cname = name;
+    kinds = Array.make 64 Pi;
+    fanins = Array.make 64 [||];
+    names = Array.make 64 "";
+    n = 0;
+    fanouts = None;
+    order = None;
+  }
+
+let arity = function
+  | Pi | Const0 | Const1 -> 0
+  | Po | Buf | Not | Dff -> 1
+  | And | Or | Nand | Nor | Xor | Xnor -> 2
+  | Mux2 -> 3
+
+let add nl ?(name = "") kind fanins =
+  if Array.length fanins <> arity kind then
+    invalid_arg "Netlist.add: arity mismatch";
+  Array.iter
+    (fun f -> if f < 0 || f >= nl.n then invalid_arg "Netlist.add: dangling fanin")
+    fanins;
+  if nl.n >= Array.length nl.kinds then begin
+    let cap = 2 * Array.length nl.kinds in
+    let k = Array.make cap Pi and f = Array.make cap [||] in
+    let s = Array.make cap "" in
+    Array.blit nl.kinds 0 k 0 nl.n;
+    Array.blit nl.fanins 0 f 0 nl.n;
+    Array.blit nl.names 0 s 0 nl.n;
+    nl.kinds <- k;
+    nl.fanins <- f;
+    nl.names <- s
+  end;
+  let id = nl.n in
+  nl.kinds.(id) <- kind;
+  nl.fanins.(id) <- fanins;
+  nl.names.(id) <- (if name = "" then Printf.sprintf "n%d" id else name);
+  nl.n <- id + 1;
+  nl.fanouts <- None;
+  nl.order <- None;
+  id
+
+let n_nodes nl = nl.n
+
+let check nl i =
+  if i < 0 || i >= nl.n then invalid_arg "Netlist: node out of range"
+
+let kind nl i = check nl i; nl.kinds.(i)
+let fanin nl i = check nl i; nl.fanins.(i)
+let node_name nl i = check nl i; nl.names.(i)
+let circuit_name nl = nl.cname
+
+let fanout nl i =
+  check nl i;
+  let cache =
+    match nl.fanouts with
+    | Some c -> c
+    | None ->
+      let c = Array.make nl.n [] in
+      for v = nl.n - 1 downto 0 do
+        Array.iter (fun f -> c.(f) <- v :: c.(f)) nl.fanins.(v)
+      done;
+      nl.fanouts <- Some c;
+      c
+  in
+  cache.(i)
+
+let set_fanin nl node pin new_src =
+  check nl node;
+  check nl new_src;
+  let fi = nl.fanins.(node) in
+  if pin < 0 || pin >= Array.length fi then invalid_arg "Netlist.set_fanin";
+  fi.(pin) <- new_src;
+  nl.fanouts <- None;
+  nl.order <- None
+
+let of_kind nl k =
+  let acc = ref [] in
+  for i = nl.n - 1 downto 0 do
+    if nl.kinds.(i) = k then acc := i :: !acc
+  done;
+  !acc
+
+let pis nl = of_kind nl Pi
+let pos nl = of_kind nl Po
+let dffs nl = of_kind nl Dff
+
+let n_gates nl =
+  let c = ref 0 in
+  for i = 0 to nl.n - 1 do
+    match nl.kinds.(i) with
+    | Pi | Po | Const0 | Const1 -> ()
+    | Dff | Buf | Not | And | Or | Nand | Nor | Xor | Xnor | Mux2 -> incr c
+  done;
+  !c
+
+let comb_order_uncached nl =
+  (* Kahn over combinational edges; Dff outputs are sources, Dff inputs
+     terminate paths. *)
+  let indeg = Array.make nl.n 0 in
+  for v = 0 to nl.n - 1 do
+    match nl.kinds.(v) with
+    | Dff | Pi | Const0 | Const1 -> ()
+    | Po | Buf | Not | And | Or | Nand | Nor | Xor | Xnor | Mux2 ->
+      indeg.(v) <- Array.length nl.fanins.(v)
+  done;
+  let q = Queue.create () in
+  for v = 0 to nl.n - 1 do
+    if indeg.(v) = 0 then Queue.add v q
+  done;
+  let order = ref [] in
+  let seen = ref 0 in
+  while not (Queue.is_empty q) do
+    let v = Queue.take q in
+    incr seen;
+    order := v :: !order;
+    List.iter
+      (fun w ->
+        match nl.kinds.(w) with
+        | Dff -> () (* sequential edge *)
+        | Pi | Const0 | Const1 -> ()
+        | Po | Buf | Not | And | Or | Nand | Nor | Xor | Xnor | Mux2 ->
+          indeg.(w) <- indeg.(w) - 1;
+          if indeg.(w) = 0 then Queue.add w q)
+      (fanout nl v)
+  done;
+  (* Dffs never enter the queue via fanin-counting above unless... they
+     have indeg 0 and were enqueued as sources; all fine.  Check
+     completeness over combinational nodes. *)
+  let total = ref 0 in
+  for v = 0 to nl.n - 1 do
+    match nl.kinds.(v) with
+    | Dff -> incr total (* enqueued as source *)
+    | Pi | Const0 | Const1 | Po | Buf | Not | And | Or | Nand | Nor | Xor
+    | Xnor | Mux2 -> incr total
+  done;
+  if !seen <> !total then invalid_arg "Netlist.comb_order: combinational cycle";
+  List.rev !order
+
+let comb_order nl =
+  match nl.order with
+  | Some o -> o
+  | None ->
+    let o = comb_order_uncached nl in
+    nl.order <- Some o;
+    o
+
+let eval_bool k (ins : bool array) =
+  match k with
+  | Buf | Po -> ins.(0)
+  | Not -> not ins.(0)
+  | And -> ins.(0) && ins.(1)
+  | Or -> ins.(0) || ins.(1)
+  | Nand -> not (ins.(0) && ins.(1))
+  | Nor -> not (ins.(0) || ins.(1))
+  | Xor -> ins.(0) <> ins.(1)
+  | Xnor -> ins.(0) = ins.(1)
+  | Mux2 -> if ins.(0) then ins.(2) else ins.(1)
+  | Pi | Dff | Const0 | Const1 ->
+    invalid_arg "Netlist.eval_bool: source node"
+
+(* 3-valued: 0, 1, 2 = X. *)
+let x = 2
+
+let tri_not = function 0 -> 1 | 1 -> 0 | _ -> x
+
+let tri_and a b =
+  if a = 0 || b = 0 then 0 else if a = 1 && b = 1 then 1 else x
+
+let tri_or a b =
+  if a = 1 || b = 1 then 1 else if a = 0 && b = 0 then 0 else x
+
+let tri_xor a b = if a = x || b = x then x else if a <> b then 1 else 0
+
+let eval_tri k (ins : int array) =
+  match k with
+  | Buf | Po -> ins.(0)
+  | Not -> tri_not ins.(0)
+  | And -> tri_and ins.(0) ins.(1)
+  | Or -> tri_or ins.(0) ins.(1)
+  | Nand -> tri_not (tri_and ins.(0) ins.(1))
+  | Nor -> tri_not (tri_or ins.(0) ins.(1))
+  | Xor -> tri_xor ins.(0) ins.(1)
+  | Xnor -> tri_not (tri_xor ins.(0) ins.(1))
+  | Mux2 ->
+    (match ins.(0) with
+     | 0 -> ins.(1)
+     | 1 -> ins.(2)
+     | _ -> if ins.(1) = ins.(2) then ins.(1) else x)
+  | Pi | Dff | Const0 | Const1 ->
+    invalid_arg "Netlist.eval_tri: source node"
+
+let validate nl =
+  ignore (comb_order nl);
+  for v = 0 to nl.n - 1 do
+    Array.iter
+      (fun f ->
+        if nl.kinds.(f) = Po then
+          invalid_arg "Netlist.validate: Po used as fanin")
+      nl.fanins.(v)
+  done
+
+let stats nl =
+  Printf.sprintf "%s: %d nodes, %d gates, %d PIs, %d POs, %d DFFs"
+    nl.cname nl.n (n_gates nl) (List.length (pis nl)) (List.length (pos nl))
+    (List.length (dffs nl))

@@ -1,0 +1,66 @@
+(** Gate-level sequential netlists.
+
+    Nodes are dense integer ids.  A [Dff]'s value is its current state;
+    its single fanin is the D input sampled at each clock edge.  [Po]
+    nodes are observation points with one fanin.  [Mux2] fanins are
+    [\[| select; a; b |\]] with [select = 1] choosing [b]. *)
+
+type kind =
+  | Pi
+  | Po
+  | Dff
+  | Const0
+  | Const1
+  | Buf
+  | Not
+  | And
+  | Or
+  | Nand
+  | Nor
+  | Xor
+  | Xnor
+  | Mux2
+
+type t
+
+val create : ?name:string -> unit -> t
+
+(** [add nl kind fanins] appends a node and returns its id.  Arity is
+    checked ([Pi]/[Const*]: 0, [Po]/[Buf]/[Not]/[Dff]: 1, [Mux2]: 3,
+    binary gates: 2). *)
+val add : t -> ?name:string -> kind -> int array -> int
+
+val n_nodes : t -> int
+val kind : t -> int -> kind
+val fanin : t -> int -> int array
+val node_name : t -> int -> string
+val circuit_name : t -> string
+
+(** Fanout lists (computed on first use, cached; do not [add] after). *)
+val fanout : t -> int -> int list
+
+(** [set_fanin nl node pin new_src] rewires one input (used by scan
+    insertion and expansion to close forward references); invalidates
+    the fanout/order caches. *)
+val set_fanin : t -> int -> int -> int -> unit
+
+val pis : t -> int list
+val pos : t -> int list
+val dffs : t -> int list
+
+(** Gate count excluding [Pi]/[Po]/[Const] bookkeeping nodes. *)
+val n_gates : t -> int
+
+(** Combinational evaluation order: every non-[Dff] node appears after
+    its fanins, with [Dff]s treated as sources.  Raises
+    [Invalid_argument] on a combinational cycle. *)
+val comb_order : t -> int list
+
+(** Eval one gate over booleans ([Pi]/[Dff]/[Const] excluded). *)
+val eval_bool : kind -> bool array -> bool
+
+(** 3-valued evaluation; values are [0], [1], [2] (= X). *)
+val eval_tri : kind -> int array -> int
+
+val validate : t -> unit
+val stats : t -> string

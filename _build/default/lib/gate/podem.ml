@@ -1,0 +1,275 @@
+type effort = {
+  mutable decisions : int;
+  mutable backtracks : int;
+  mutable implications : int;
+}
+
+type result = Test of (int * bool) list | Untestable | Aborted
+
+let x = 2
+
+(* Controlling value of a gate kind, if any, and output inversion. *)
+let controlling = function
+  | Netlist.And | Netlist.Nand -> Some 0
+  | Netlist.Or | Netlist.Nor -> Some 1
+  | Netlist.Not | Netlist.Buf | Netlist.Po | Netlist.Xor | Netlist.Xnor
+  | Netlist.Mux2 | Netlist.Pi | Netlist.Dff | Netlist.Const0 | Netlist.Const1
+    -> None
+
+let inverts = function
+  | Netlist.Not | Netlist.Nand | Netlist.Nor | Netlist.Xnor -> true
+  | Netlist.And | Netlist.Or | Netlist.Xor | Netlist.Buf | Netlist.Po
+  | Netlist.Mux2 | Netlist.Pi | Netlist.Dff | Netlist.Const0 | Netlist.Const1
+    -> false
+
+let generate ?(backtrack_limit = 500) nl ~faults ~assignable ~observe =
+  let n = Netlist.n_nodes nl in
+  let effort = { decisions = 0; backtracks = 0; implications = 0 } in
+  let pi_val = Hashtbl.create 16 in
+  let is_assignable = Array.make n false in
+  List.iter (fun p -> is_assignable.(p) <- true) assignable;
+  let gv = Sim.tcreate nl and fv = Sim.tcreate nl in
+  let imply () =
+    effort.implications <- effort.implications + 1;
+    Array.fill gv 0 n x;
+    Array.fill fv 0 n x;
+    Hashtbl.iter
+      (fun p v ->
+        gv.(p) <- v;
+        fv.(p) <- v)
+      pi_val;
+    Sim.teval nl gv;
+    Sim.teval ~faults nl fv
+  in
+  let detected () =
+    List.exists (fun o -> gv.(o) <> x && fv.(o) <> x && gv.(o) <> fv.(o)) observe
+  in
+  let has_d v = gv.(v) <> x && fv.(v) <> x && gv.(v) <> fv.(v) in
+  (* X-path: from any D-carrying node, can a difference still reach an
+     observe node through not-yet-blocked nodes? *)
+  let xpath_ok () =
+    let blocked v = gv.(v) <> x && fv.(v) <> x && gv.(v) = fv.(v) in
+    let seen = Array.make n false in
+    let q = Queue.create () in
+    for v = 0 to n - 1 do
+      if has_d v then begin
+        seen.(v) <- true;
+        Queue.add v q
+      end
+    done;
+    (* Activated pin faults originate their difference at the consumer
+       gate even before any node carries a D. *)
+    List.iter
+      (fun f ->
+        match f.Fault.pin with
+        | Some p ->
+          let drv = (Netlist.fanin nl f.Fault.node).(p) in
+          if gv.(drv) <> x
+             && gv.(drv) <> (if f.Fault.stuck then 1 else 0)
+             && (not seen.(f.Fault.node))
+             && not (blocked f.Fault.node)
+          then begin
+            seen.(f.Fault.node) <- true;
+            Queue.add f.Fault.node q
+          end
+        | None -> ())
+      faults;
+    let reach = ref false in
+    let observe_set = Array.make n false in
+    List.iter (fun o -> observe_set.(o) <- true) observe;
+    while not (Queue.is_empty q) do
+      let v = Queue.take q in
+      if observe_set.(v) then reach := true;
+      List.iter
+        (fun w ->
+          if (not seen.(w)) && not (blocked w) then begin
+            seen.(w) <- true;
+            Queue.add w q
+          end)
+        (Netlist.fanout nl v)
+    done;
+    !reach
+  in
+  (* Activation objectives: one per fault site whose good value is
+     still X (several sites exist when a fault is replicated across
+     time frames — any of them may be the one that can be justified). *)
+  let activation_objectives () =
+    List.filter_map
+      (fun f ->
+        let want = if f.Fault.stuck then 0 else 1 in
+        let site_node =
+          match f.Fault.pin with
+          | None -> f.Fault.node
+          | Some p -> (Netlist.fanin nl f.Fault.node).(p)
+        in
+        if gv.(site_node) = x then Some (site_node, want) else None)
+      faults
+  in
+  let activated () =
+    List.exists
+      (fun f ->
+        let want = if f.Fault.stuck then 0 else 1 in
+        let site_good =
+          match f.Fault.pin with
+          | None -> gv.(f.Fault.node)
+          | Some p -> gv.((Netlist.fanin nl f.Fault.node).(p))
+        in
+        site_good = want)
+      faults
+  in
+  (* D-frontier objectives: gates with a D input (or an activated pin
+     fault) and an undetermined output. *)
+  let pin_fault_active v =
+    List.exists
+      (fun f ->
+        match f.Fault.pin with
+        | Some p ->
+          f.Fault.node = v
+          &&
+          let drv = (Netlist.fanin nl v).(p) in
+          gv.(drv) <> x && gv.(drv) <> (if f.Fault.stuck then 1 else 0)
+        | None -> false)
+      faults
+  in
+  let propagation_objectives () =
+    let acc = ref [] in
+    for v = n - 1 downto 0 do
+      match Netlist.kind nl v with
+      | Netlist.Pi | Netlist.Dff | Netlist.Const0 | Netlist.Const1 -> ()
+      | k ->
+        let fi = Netlist.fanin nl v in
+        let out_x = gv.(v) = x || fv.(v) = x in
+        let frontier =
+          Array.exists (fun i -> has_d i) fi || pin_fault_active v
+        in
+        if out_x && frontier then begin
+          (* Set an X input to the non-controlling value (or, for kinds
+             without one, a heuristic value — implication sorts it
+             out). *)
+          match
+            Array.to_list fi
+            |> List.find_opt (fun i -> gv.(i) = x || fv.(i) = x)
+          with
+          | Some i ->
+            let v_obj =
+              match controlling k with Some c -> 1 - c | None -> 1
+            in
+            acc := (i, v_obj) :: !acc
+          | None -> ()
+        end
+    done;
+    !acc
+  in
+  (* Backtrace an objective to an assignable PI with X value.  Failed
+     (node, want) pairs are memoised per call: without this the search
+     is exponential on reconvergent all-X regions (multiplier arrays
+     across several time frames). *)
+  let backtrace node want =
+    let dead = Hashtbl.create 64 in
+    let rec go node want =
+      if Hashtbl.mem dead (node, want) then None
+      else
+        let result =
+          match Netlist.kind nl node with
+          | Netlist.Pi | Netlist.Dff ->
+            (* DFFs appear here under the scan view, where flip-flop
+               state is a free (pseudo-primary-input) decision. *)
+            if is_assignable.(node) && not (Hashtbl.mem pi_val node) then
+              Some (node, want)
+            else None
+          | Netlist.Const0 | Netlist.Const1 -> None
+          | k ->
+            let fi = Netlist.fanin nl node in
+            let want' = if inverts k then 1 - want else want in
+            (* Choose an X input; try them in order until one
+               backtraces. *)
+            let rec try_inputs idx =
+              if idx >= Array.length fi then None
+              else if gv.(fi.(idx)) = x then
+                match go fi.(idx) want' with
+                | Some r -> Some r
+                | None -> try_inputs (idx + 1)
+              else try_inputs (idx + 1)
+            in
+            try_inputs 0
+        in
+        if result = None then Hashtbl.replace dead (node, want) ();
+        result
+    in
+    go node want
+  in
+  (* Decision stack: (pi, value, tried_both). *)
+  let stack = ref [] in
+  let rec backtrack () =
+    effort.backtracks <- effort.backtracks + 1;
+    match !stack with
+    | [] -> `Exhausted
+    | (pi, _, true) :: tl ->
+      Hashtbl.remove pi_val pi;
+      stack := tl;
+      backtrack ()
+    | (pi, v, false) :: tl ->
+      Hashtbl.replace pi_val pi (1 - v);
+      stack := (pi, 1 - v, true) :: tl;
+      `Continue
+  in
+  let result = ref None in
+  (try
+     while !result = None do
+       imply ();
+       if detected () then result := Some (`Found)
+       else if effort.backtracks > backtrack_limit then result := Some `Aborted
+       else begin
+         let objectives =
+           if not (activated ()) then activation_objectives ()
+           else if not (xpath_ok ()) then []
+           else propagation_objectives ()
+         in
+         (* Try each candidate objective until one backtraces to a free
+            assignable PI. *)
+         let rec decide = function
+           | [] -> true (* must backtrack *)
+           | (node, want) :: rest ->
+             (match backtrace node want with
+              | None -> decide rest
+              | Some (pi, v) ->
+                effort.decisions <- effort.decisions + 1;
+                Hashtbl.replace pi_val pi v;
+                stack := (pi, v, false) :: !stack;
+                false)
+         in
+         if decide objectives then
+           match backtrack () with
+           | `Exhausted -> result := Some `Untestable
+           | `Continue -> ()
+       end
+     done
+   with Stack_overflow -> result := Some `Aborted);
+  match !result with
+  | Some `Found ->
+    let assignment =
+      Hashtbl.fold (fun p v acc -> (p, v = 1) :: acc) pi_val []
+      |> List.sort compare
+    in
+    (Test assignment, effort)
+  | Some `Untestable -> (Untestable, effort)
+  | Some `Aborted | None -> (Aborted, effort)
+
+let generate_comb ?backtrack_limit nl ~fault =
+  generate ?backtrack_limit nl ~faults:[ fault ] ~assignable:(Netlist.pis nl)
+    ~observe:(Netlist.pos nl)
+
+let check nl ~faults ~assignment ~observe =
+  let n = Netlist.n_nodes nl in
+  let gv = Sim.tcreate nl and fv = Sim.tcreate nl in
+  Array.fill gv 0 n x;
+  Array.fill fv 0 n x;
+  List.iter
+    (fun (p, b) ->
+      let v = if b then 1 else 0 in
+      gv.(p) <- v;
+      fv.(p) <- v)
+    assignment;
+  Sim.teval nl gv;
+  Sim.teval ~faults nl fv;
+  List.exists (fun o -> gv.(o) <> x && fv.(o) <> x && gv.(o) <> fv.(o)) observe

@@ -1,0 +1,39 @@
+(** PODEM combinational test generation with dual three-valued
+    simulation (good machine / faulty machine).
+
+    Works on any netlist whose relevant part is combinational:
+    [assignable] nodes (PIs) take decisions; every other source ([Pi]s
+    not listed, [Dff]s) is held at X — this is how unknown initial state
+    and uncontrollable inputs are modelled.  A fault is detected when
+    some [observe] node carries a D or D' (good and faulty values both
+    defined and different). *)
+
+type effort = {
+  mutable decisions : int;
+  mutable backtracks : int;
+  mutable implications : int;
+}
+
+type result =
+  | Test of (int * bool) list  (** satisfying assignment per assignable PI *)
+  | Untestable                 (** proven: search space exhausted *)
+  | Aborted                    (** backtrack limit hit *)
+
+(** [generate nl ~faults ~assignable ~observe ~backtrack_limit] —
+    [faults] lists the injection sites of one logical fault (several
+    sites for a fault replicated across time frames). *)
+val generate :
+  ?backtrack_limit:int ->
+  Netlist.t -> faults:Fault.t list -> assignable:int list ->
+  observe:int list -> result * effort
+
+(** Convenience for fully-combinational circuits: assignable = all PIs,
+    observe = all POs. *)
+val generate_comb :
+  ?backtrack_limit:int -> Netlist.t -> fault:Fault.t -> result * effort
+
+(** [check nl ~faults ~assignment ~observe] — verify by dual simulation
+    that the assignment detects the fault (used by tests). *)
+val check :
+  Netlist.t -> faults:Fault.t list -> assignment:(int * bool) list ->
+  observe:int list -> bool

@@ -1,0 +1,158 @@
+type stats = {
+  detected : int;
+  untestable : int;
+  aborted : int;
+  total : int;
+  decisions : int;
+  backtracks : int;
+  implications : int;
+  frames_used : int;
+}
+
+let fault_coverage s =
+  if s.total = 0 then 1.0 else float_of_int s.detected /. float_of_int s.total
+
+let unroll ?assignable_pis ?(strapped = []) nl ~frames ~scanned =
+  if frames < 1 then invalid_arg "Seq_atpg.unroll: frames < 1";
+  let pi_allowed =
+    match assignable_pis with
+    | None -> fun _ -> true
+    | Some l -> fun v -> List.mem v l
+  in
+  let strap_copy = Hashtbl.create 4 in
+  let n = Netlist.n_nodes nl in
+  let u = Netlist.create ~name:(Netlist.circuit_name nl ^ "_unrolled") () in
+  (* node_map.(t).(v) = copy of node v in frame t *)
+  let node_map = Array.make_matrix frames n (-1) in
+  let assignable = ref [] in
+  let observe = ref [] in
+  let is_scanned = Array.make n false in
+  List.iter (fun d -> is_scanned.(d) <- true) scanned;
+  let order = Netlist.comb_order nl in
+  for t = 0 to frames - 1 do
+    (* Sources first: Dffs. *)
+    List.iter
+      (fun v ->
+        match Netlist.kind nl v with
+        | Netlist.Dff ->
+          let name = Printf.sprintf "%s@%d" (Netlist.node_name nl v) t in
+          if t = 0 then begin
+            let pi = Netlist.add u ~name Netlist.Pi [||] in
+            node_map.(0).(v) <- pi;
+            if is_scanned.(v) then assignable := pi :: !assignable
+            (* unscanned frame-0 state: PI left unassignable = X *)
+          end
+          else begin
+            (* Functional edge: this frame's state is last frame's D. *)
+            let d_src = (Netlist.fanin nl v).(0) in
+            let prev = node_map.(t - 1).(d_src) in
+            node_map.(t).(v) <- Netlist.add u ~name Netlist.Buf [| prev |]
+          end
+        | _ -> ())
+      order;
+    (* Combinational copies. *)
+    List.iter
+      (fun v ->
+        match Netlist.kind nl v with
+        | Netlist.Dff -> ()
+        | Netlist.Pi ->
+          if List.mem v strapped then begin
+            let pi =
+              match Hashtbl.find_opt strap_copy v with
+              | Some pi -> pi
+              | None ->
+                let pi =
+                  Netlist.add u ~name:(Netlist.node_name nl v) Netlist.Pi [||]
+                in
+                Hashtbl.replace strap_copy v pi;
+                if pi_allowed v then assignable := pi :: !assignable;
+                pi
+            in
+            node_map.(t).(v) <- pi
+          end
+          else begin
+            let name = Printf.sprintf "%s@%d" (Netlist.node_name nl v) t in
+            let pi = Netlist.add u ~name Netlist.Pi [||] in
+            node_map.(t).(v) <- pi;
+            if pi_allowed v then assignable := pi :: !assignable
+          end
+        | k ->
+          let fi = Array.map (fun f -> node_map.(t).(f)) (Netlist.fanin nl v) in
+          Array.iter (fun f -> assert (f >= 0)) fi;
+          let name = Printf.sprintf "%s@%d" (Netlist.node_name nl v) t in
+          let id = Netlist.add u ~name k fi in
+          node_map.(t).(v) <- id;
+          if k = Netlist.Po then observe := id :: !observe)
+      order
+  done;
+  (* Scan-out observation: final-frame D input of scanned DFFs. *)
+  List.iter
+    (fun v ->
+      if is_scanned.(v) then begin
+        let d_src = (Netlist.fanin nl v).(0) in
+        let po =
+          Netlist.add u
+            ~name:(Printf.sprintf "scanout_%s" (Netlist.node_name nl v))
+            Netlist.Po
+            [| node_map.(frames - 1).(d_src) |]
+        in
+        observe := po :: !observe
+      end)
+    (Netlist.dffs nl);
+  let map_fault f =
+    List.init frames (fun t ->
+        { f with Fault.node = node_map.(t).(f.Fault.node) })
+    |> List.filter (fun f' -> f'.Fault.node >= 0)
+  in
+  (u, List.rev !assignable, List.rev !observe, map_fault)
+
+let run ?(backtrack_limit = 200) ?(min_frames = 1) ?(max_frames = 6)
+    ?assignable_pis ?strapped nl ~faults ~scanned =
+  let detected = ref 0 and untestable = ref 0 and aborted = ref 0 in
+  let decisions = ref 0 and backtracks = ref 0 and implications = ref 0 in
+  let frames_used = ref 0 in
+  (* Pre-build unrolled circuits per frame count (shared across
+     faults). *)
+  let unrolled =
+    Array.init max_frames (fun i ->
+        lazy (unroll ?assignable_pis ?strapped nl ~frames:(i + 1) ~scanned))
+  in
+  List.iter
+    (fun f ->
+      let rec attempt frames last =
+        if frames > max_frames then last
+        else begin
+          let u, assignable, observe, map_fault =
+            Lazy.force unrolled.(frames - 1)
+          in
+          let result, effort =
+            Podem.generate ~backtrack_limit u ~faults:(map_fault f)
+              ~assignable ~observe
+          in
+          decisions := !decisions + effort.Podem.decisions;
+          backtracks := !backtracks + effort.Podem.backtracks;
+          implications := !implications + effort.Podem.implications;
+          if frames > !frames_used then frames_used := frames;
+          match result with
+          | Podem.Test _ -> `Detected
+          | Podem.Untestable ->
+            (* May become testable with more frames. *)
+            attempt (frames + 1) `Untestable
+          | Podem.Aborted -> attempt (frames + 1) `Aborted
+        end
+      in
+      match attempt (min min_frames max_frames) `Untestable with
+      | `Detected -> incr detected
+      | `Untestable -> incr untestable
+      | `Aborted -> incr aborted)
+    faults;
+  {
+    detected = !detected;
+    untestable = !untestable;
+    aborted = !aborted;
+    total = List.length faults;
+    decisions = !decisions;
+    backtracks = !backtracks;
+    implications = !implications;
+    frames_used = !frames_used;
+  }

@@ -1,0 +1,47 @@
+(** Sequential ATPG by iterative time-frame expansion.
+
+    The sequential circuit is unrolled into [frames] combinational
+    copies; DFF outputs in frame 0 start at X (unknown initial state)
+    except for {e scanned} flip-flops, whose frame-0 value is a free
+    decision variable (scan load) and whose final-frame D input is
+    observable (scan out).  The fault is injected in every frame.
+
+    This module is the measurement instrument for the survey's central
+    empirical claim (§3.1): test generation effort explodes with
+    S-graph loops and grows with sequential depth, and scan — full or
+    partial — is what tames it. *)
+
+type stats = {
+  detected : int;
+  untestable : int;
+  aborted : int;
+  total : int;
+  decisions : int;
+  backtracks : int;
+  implications : int;
+  frames_used : int;
+}
+
+val fault_coverage : stats -> float
+
+(** [run nl ~faults ~scanned ~max_frames ~backtrack_limit] attempts each
+    fault with growing frame counts (1, 2, ... max_frames), recording
+    aggregate effort.  [scanned] lists DFF node ids treated as scan
+    cells.  [assignable_pis] restricts which of the original PIs ATPG
+    may drive (default: all) — used for controller–data-path composites
+    whose control lines are internally driven.
+    [strapped] PIs get a single shared copy across all frames (test-mode
+    and test-select pins are held constant during a test in reality, and
+    one decision instead of one per frame keeps the search tractable). *)
+val run :
+  ?backtrack_limit:int -> ?min_frames:int -> ?max_frames:int ->
+  ?assignable_pis:int list -> ?strapped:int list ->
+  Netlist.t -> faults:Fault.t list -> scanned:int list -> stats
+
+(** Unroll helper exposed for tests: returns the unrolled netlist, the
+    assignable PI ids, the observe ids, and a function mapping a fault
+    to its per-frame injection sites. *)
+val unroll :
+  ?assignable_pis:int list -> ?strapped:int list -> Netlist.t -> frames:int ->
+  scanned:int list ->
+  Netlist.t * int list * int list * (Fault.t -> Fault.t list)

@@ -1,0 +1,166 @@
+open Hft_util
+
+type pstate = { values : Bitvec.t array; n_patterns : int }
+
+let pcreate nl ~n_patterns =
+  {
+    values = Array.init (Netlist.n_nodes nl) (fun _ -> Bitvec.create n_patterns);
+    n_patterns;
+  }
+
+let pset_pi st pi v = Bitvec.assign ~dst:st.values.(pi) v
+
+let pset_state = pset_pi
+let pvalue st v = st.values.(v)
+
+(* Fault forcing helpers. *)
+let stem_faults faults v =
+  List.filter (fun f -> f.Fault.node = v && f.Fault.pin = None) faults
+
+let pin_fault faults v p =
+  List.find_opt (fun f -> f.Fault.node = v && f.Fault.pin = Some p) faults
+
+let force_bitvec dst stuck =
+  Bitvec.fill dst stuck
+
+let peval ?(faults = []) nl st =
+  let order = Netlist.comb_order nl in
+  let scratch = Array.init 3 (fun _ -> Bitvec.create st.n_patterns) in
+  let read v consumer pin =
+    match pin_fault faults consumer pin with
+    | Some f ->
+      let tmp = scratch.(pin) in
+      force_bitvec tmp f.Fault.stuck;
+      tmp
+    | None -> st.values.(v)
+  in
+  List.iter
+    (fun v ->
+      (match Netlist.kind nl v with
+       | Netlist.Pi | Netlist.Dff -> () (* sources: keep assigned values *)
+       | Netlist.Const0 -> Bitvec.fill st.values.(v) false
+       | Netlist.Const1 -> Bitvec.fill st.values.(v) true
+       | Netlist.Po | Netlist.Buf ->
+         Bitvec.assign ~dst:st.values.(v) (read (Netlist.fanin nl v).(0) v 0)
+       | Netlist.Not ->
+         Bitvec.not_ ~dst:st.values.(v) (read (Netlist.fanin nl v).(0) v 0)
+       | Netlist.And | Netlist.Or | Netlist.Nand | Netlist.Nor | Netlist.Xor
+       | Netlist.Xnor ->
+         let fi = Netlist.fanin nl v in
+         let a = read fi.(0) v 0 and b = read fi.(1) v 1 in
+         (match Netlist.kind nl v with
+          | Netlist.And -> Bitvec.and_ ~dst:st.values.(v) a b
+          | Netlist.Or -> Bitvec.or_ ~dst:st.values.(v) a b
+          | Netlist.Xor -> Bitvec.xor ~dst:st.values.(v) a b
+          | Netlist.Nand ->
+            Bitvec.and_ ~dst:scratch.(2) a b;
+            Bitvec.not_ ~dst:st.values.(v) scratch.(2)
+          | Netlist.Nor ->
+            Bitvec.or_ ~dst:scratch.(2) a b;
+            Bitvec.not_ ~dst:st.values.(v) scratch.(2)
+          | Netlist.Xnor ->
+            Bitvec.xor ~dst:scratch.(2) a b;
+            Bitvec.not_ ~dst:st.values.(v) scratch.(2)
+          | _ -> assert false)
+       | Netlist.Mux2 ->
+         let fi = Netlist.fanin nl v in
+         let s = read fi.(0) v 0 in
+         let a = read fi.(1) v 1 and b = read fi.(2) v 2 in
+         Bitvec.mux ~dst:st.values.(v) s a b);
+      (* Stem faults override the computed value. *)
+      List.iter
+        (fun f -> force_bitvec st.values.(v) f.Fault.stuck)
+        (stem_faults faults v))
+    order
+
+let pclock ?(faults = []) nl st =
+  (* Sample D inputs simultaneously. *)
+  let dffs = Netlist.dffs nl in
+  let sampled =
+    List.map
+      (fun d ->
+        let src = (Netlist.fanin nl d).(0) in
+        let v =
+          match pin_fault faults d 0 with
+          | Some f ->
+            let tmp = Bitvec.create st.n_patterns in
+            force_bitvec tmp f.Fault.stuck;
+            tmp
+          | None -> Bitvec.copy st.values.(src)
+        in
+        (d, v))
+      dffs
+  in
+  List.iter
+    (fun (d, v) ->
+      Bitvec.assign ~dst:st.values.(d) v;
+      (* Stem fault on the DFF forces its state. *)
+      List.iter
+        (fun f -> force_bitvec st.values.(d) f.Fault.stuck)
+        (stem_faults faults d))
+    sampled
+
+type tstate = int array
+
+let tcreate nl = Array.make (Netlist.n_nodes nl) 2
+
+let teval ?(faults = []) nl st =
+  let read v consumer pin =
+    match pin_fault faults consumer pin with
+    | Some f -> if f.Fault.stuck then 1 else 0
+    | None -> st.(v)
+  in
+  List.iter
+    (fun v ->
+      (match Netlist.kind nl v with
+       | Netlist.Pi | Netlist.Dff -> ()
+       | Netlist.Const0 -> st.(v) <- 0
+       | Netlist.Const1 -> st.(v) <- 1
+       | Netlist.Po | Netlist.Buf | Netlist.Not ->
+         let a = read (Netlist.fanin nl v).(0) v 0 in
+         st.(v) <- Netlist.eval_tri (Netlist.kind nl v) [| a |]
+       | Netlist.And | Netlist.Or | Netlist.Nand | Netlist.Nor | Netlist.Xor
+       | Netlist.Xnor ->
+         let fi = Netlist.fanin nl v in
+         st.(v) <-
+           Netlist.eval_tri (Netlist.kind nl v)
+             [| read fi.(0) v 0; read fi.(1) v 1 |]
+       | Netlist.Mux2 ->
+         let fi = Netlist.fanin nl v in
+         st.(v) <-
+           Netlist.eval_tri Netlist.Mux2
+             [| read fi.(0) v 0; read fi.(1) v 1; read fi.(2) v 2 |]);
+      List.iter
+        (fun f -> st.(v) <- (if f.Fault.stuck then 1 else 0))
+        (stem_faults faults v))
+    (Netlist.comb_order nl)
+
+let run_cycles ?(faults = []) ?init nl ~stimuli =
+  let pis = Netlist.pis nl in
+  let pos = Netlist.pos nl in
+  let dffs = Netlist.dffs nl in
+  let st = pcreate nl ~n_patterns:1 in
+  (match init with
+   | None -> ()
+   | Some bits ->
+     List.iteri
+       (fun i d ->
+         let v = Bitvec.create 1 in
+         Bitvec.set v 0 (List.nth bits i);
+         pset_state st d v)
+       dffs);
+  Array.map
+    (fun stimulus ->
+      List.iteri
+        (fun i pi ->
+          let v = Bitvec.create 1 in
+          Bitvec.set v 0 stimulus.(i);
+          pset_pi st pi v)
+        pis;
+      peval ~faults nl st;
+      let out =
+        Array.of_list (List.map (fun po -> Bitvec.get st.values.(po) 0) pos)
+      in
+      pclock ~faults nl st;
+      out)
+    stimuli

@@ -1,0 +1,1 @@
+lib/hls/datapath_gen.ml: Array Datapath Fu_bind Graph Hashtbl Hft_cdfg Hft_rtl Hft_util Lifetime List List_sched Op Printf Reg_alloc Rng Sched_algos Schedule String

@@ -1,0 +1,1 @@
+lib/hls/datapath_gen.mli: Fu_bind Hft_cdfg Hft_rtl Hft_util Reg_alloc

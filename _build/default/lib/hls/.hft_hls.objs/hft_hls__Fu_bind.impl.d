@@ -1,0 +1,1 @@
+lib/hls/fu_bind.ml: Array Graph Hashtbl Hft_cdfg List Op Printf Schedule

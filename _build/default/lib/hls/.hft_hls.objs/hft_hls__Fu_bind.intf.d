@@ -1,0 +1,1 @@
+lib/hls/fu_bind.mli: Graph Hft_cdfg Op Schedule

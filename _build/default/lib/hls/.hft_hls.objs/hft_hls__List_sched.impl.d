@@ -1,0 +1,1 @@
+lib/hls/list_sched.ml: Array Graph Hft_cdfg Hft_util List Op Printf Sched_algos Schedule

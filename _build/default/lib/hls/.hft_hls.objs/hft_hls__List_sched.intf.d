@@ -1,0 +1,1 @@
+lib/hls/list_sched.mli: Graph Hft_cdfg Op Schedule

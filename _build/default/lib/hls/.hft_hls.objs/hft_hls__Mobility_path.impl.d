@@ -1,0 +1,1 @@
+lib/hls/mobility_path.ml: Array Graph Hft_cdfg Hft_util Lifetime List List_sched Sched_algos Schedule Union_find

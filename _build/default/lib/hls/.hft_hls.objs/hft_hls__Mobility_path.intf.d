@@ -1,0 +1,1 @@
+lib/hls/mobility_path.mli: Graph Hft_cdfg Op Schedule

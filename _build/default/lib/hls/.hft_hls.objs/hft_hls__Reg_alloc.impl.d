@@ -1,0 +1,1 @@
+lib/hls/reg_alloc.ml: Array Hashtbl Hft_cdfg Hft_util Interval Lifetime List Printf Union_find

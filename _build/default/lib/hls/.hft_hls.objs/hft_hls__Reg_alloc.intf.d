@@ -1,0 +1,1 @@
+lib/hls/reg_alloc.mli: Graph Hft_cdfg Lifetime

@@ -1,0 +1,1 @@
+lib/hls/sched_algos.ml: Array Graph Hft_cdfg Hft_util List Op Printf Schedule

@@ -1,0 +1,1 @@
+lib/hls/sched_algos.mli: Graph Hft_cdfg Schedule

@@ -1,0 +1,175 @@
+open Hft_cdfg
+open Hft_rtl
+
+let generate ?name ~width g sched (binding : Fu_bind.t) (alloc : Reg_alloc.t) =
+  let name = match name with Some n -> n | None -> g.Graph.name in
+  let info = Lifetime.compute g sched in
+  let reg_of v = alloc.Reg_alloc.reg_of_var.(v) in
+  (* Registers. *)
+  let regs =
+    Array.init alloc.Reg_alloc.n_regs (fun r ->
+        {
+          Datapath.r_id = r;
+          r_name = Printf.sprintf "R%d" r;
+          r_kind = Datapath.Plain;
+          r_vars = Reg_alloc.vars_of_reg alloc r;
+        })
+  in
+  (* Functional units. *)
+  let class_counters = Hashtbl.create 8 in
+  let fus =
+    Array.mapi
+      (fun i (cl, ops) ->
+        let k =
+          let c = try Hashtbl.find class_counters cl with Not_found -> 0 in
+          Hashtbl.replace class_counters cl (c + 1);
+          c + 1
+        in
+        {
+          Datapath.f_id = i;
+          f_name = Printf.sprintf "%s%d" (String.uppercase_ascii
+                                            (Op.fu_class_to_string cl)) k;
+          f_class = cl;
+          f_ops = ops;
+        })
+      binding.Fu_bind.instances
+  in
+  (* Ports. *)
+  let inputs = Graph.inputs g in
+  let inports = Array.of_list (List.map (fun v -> v.Graph.v_name) inputs) in
+  let port_of_var =
+    List.mapi (fun i v -> (v.Graph.v_id, i)) inputs
+  in
+  let src_of_arg a =
+    match (Graph.var g a).Graph.v_kind with
+    | Graph.V_const c -> Datapath.Sconst c
+    | Graph.V_input | Graph.V_output | Graph.V_intermediate ->
+      let r = reg_of a in
+      if r < 0 then
+        invalid_arg
+          (Printf.sprintf "Datapath_gen: argument %s unregistered"
+             (Graph.var g a).Graph.v_name)
+      else Datapath.Sreg r
+  in
+  (* Transfers. *)
+  let transfers = ref [] in
+  let add step m = transfers := (step, m) :: !transfers in
+  (* Input loads at step 0. *)
+  List.iter
+    (fun (v, p) ->
+      let r = reg_of v in
+      if r >= 0 then add 0 (Datapath.Move { src = Datapath.Sport p; dst = r }))
+    port_of_var;
+  (* Operations. *)
+  Array.iter
+    (fun { Graph.o_id = o; o_kind; o_args; o_result } ->
+      let dst = reg_of o_result in
+      if dst >= 0 then begin
+        let step = Schedule.finish_step sched o in
+        match o_kind with
+        | Op.Move ->
+          let src = src_of_arg o_args.(0) in
+          (* A move within one register is the identity: drop it. *)
+          if src <> Datapath.Sreg dst then
+            add step (Datapath.Move { src; dst })
+        | _ ->
+          let fu = binding.Fu_bind.fu_of_op.(o) in
+          if fu < 0 then invalid_arg "Datapath_gen: unbound op";
+          add step
+            (Datapath.Exec
+               { op = o; kind = o_kind; fu; srcs = Array.map src_of_arg o_args;
+                 dst })
+      end
+      (* dead result: prune the op *))
+    (Array.init (Graph.n_ops g) (Graph.op g));
+  (* End-of-iteration copies for unmerged feedback pairs. *)
+  List.iter
+    (fun (src, dst) ->
+      let rs = reg_of src and rd = reg_of dst in
+      if rs < 0 || rd < 0 then
+        invalid_arg "Datapath_gen: feedback variable unregistered";
+      if rs <> rd then
+        add sched.Schedule.n_steps
+          (Datapath.Move { src = Datapath.Sreg rs; dst = rd }))
+    info.Lifetime.wrap_moves;
+  let outports =
+    Array.of_list
+      (List.map
+         (fun v ->
+           let r = reg_of v.Graph.v_id in
+           if r < 0 then
+             invalid_arg
+               (Printf.sprintf "Datapath_gen: output %s unregistered"
+                  v.Graph.v_name)
+           else (v.Graph.v_name, r))
+         (Graph.outputs g))
+  in
+  let d =
+    {
+      Datapath.name;
+      width;
+      regs;
+      fus;
+      inports;
+      outports;
+      transfers = List.rev !transfers;
+      n_steps = sched.Schedule.n_steps;
+    }
+  in
+  Datapath.validate d;
+  d
+
+let check_against_behaviour ~width ~trials rng g d =
+  let open Hft_util in
+  let input_names = List.map (fun v -> v.Graph.v_name) (Graph.inputs g) in
+  let states = Graph.state_vars g in
+  (* State variables that are not primary inputs are preset through the
+     simulator's register state; those that are inputs arrive through
+     their port load. *)
+  let pure_states =
+    List.filter
+      (fun v -> (Graph.var g v).Graph.v_kind <> Graph.V_input)
+      states
+  in
+  let reg_name v =
+    match Datapath.reg_of_var d v with
+    | Some r -> d.Datapath.regs.(r).Datapath.r_name
+    | None -> invalid_arg "check_against_behaviour: state not registered"
+  in
+  let ok = ref true in
+  for _ = 1 to trials do
+    let ins = List.map (fun n -> (n, Rng.int rng (1 lsl (width - 1)))) input_names in
+    let stv = List.map (fun v -> (v, Rng.int rng (1 lsl (width - 1)))) pure_states in
+    let behaviour =
+      Graph.run ~width g ~inputs:ins
+        ~state:(List.map (fun (v, x) -> ((Graph.var g v).Graph.v_name, x)) stv)
+        ()
+    in
+    let sim_state = List.map (fun (v, x) -> (reg_name v, x)) stv in
+    let outs, final_regs = Datapath.simulate d ~inputs:ins ~state:sim_state () in
+    (* Primary outputs match. *)
+    List.iter
+      (fun (name, value) ->
+        if Graph.value_of g behaviour name <> value then ok := false)
+      outs;
+    (* Next-iteration state: the register holding each feedback dst must
+       now contain the behaviour's feedback src value. *)
+    List.iter
+      (fun (src, dst) ->
+        match Datapath.reg_of_var d dst with
+        | None -> ok := false
+        | Some r ->
+          let got = List.assoc r final_regs in
+          let expect = List.assoc src behaviour in
+          if got <> expect then ok := false)
+      g.Graph.feedback
+  done;
+  !ok
+
+let conventional ?name ~width ?mul_latency ~resources g =
+  let latency = Sched_algos.latencies ?mul_latency g in
+  let sched = List_sched.schedule ~latency g ~resources in
+  let binding = Fu_bind.left_edge ~resources g sched in
+  let info = Lifetime.compute g sched in
+  let alloc = Reg_alloc.left_edge g info in
+  generate ?name ~width g sched binding alloc

@@ -1,0 +1,34 @@
+(** Data-path construction from (schedule, FU binding, register
+    allocation).
+
+    The generated transfer table:
+    - step 0 loads every registered primary input from its port;
+    - each operation executes on its bound unit at its finish step,
+      latching into its result's register;
+    - [Move] operations become direct register transfers;
+    - unmergeable feedback pairs get an end-of-iteration copy
+      (see {!Hft_cdfg.Lifetime}).
+
+    Operations whose result is dead (never consumed, not an output, not
+    feedback) are pruned, as a synthesis tool would. *)
+
+val generate :
+  ?name:string -> width:int ->
+  Hft_cdfg.Graph.t -> Hft_cdfg.Schedule.t -> Fu_bind.t -> Reg_alloc.t ->
+  Hft_rtl.Datapath.t
+
+(** [check_against_behaviour ~width ~trials rng g d] — run random
+    single-iteration comparisons between [Graph.run] and
+    [Datapath.simulate]; true when every primary output and every state
+    register matches on every trial. *)
+val check_against_behaviour :
+  width:int -> trials:int -> Hft_util.Rng.t -> Hft_cdfg.Graph.t ->
+  Hft_rtl.Datapath.t -> bool
+
+(** Conventional synthesis in one call: list-schedule under [resources],
+    left-edge binding and allocation, generate.  The baseline every
+    experiment compares against. *)
+val conventional :
+  ?name:string -> width:int -> ?mul_latency:int ->
+  resources:(Hft_cdfg.Op.fu_class * int) list ->
+  Hft_cdfg.Graph.t -> Hft_rtl.Datapath.t

@@ -1,0 +1,164 @@
+open Hft_cdfg
+
+type t = {
+  fu_of_op : int array;
+  instances : (Op.fu_class * int list) array;
+}
+
+let op_steps sched o = (sched.Schedule.start.(o), Schedule.finish_step sched o)
+
+let ops_conflict sched a b =
+  let sa, fa = op_steps sched a and sb, fb = op_steps sched b in
+  sa <= fb && sb <= fa
+
+let bind ?resources ~choose g sched =
+  let n = Graph.n_ops g in
+  let fu_of_op = Array.make n (-1) in
+  let inst_class : Op.fu_class option array ref = ref (Array.make 8 None) in
+  let inst_ops : int list array ref = ref (Array.make 8 []) in
+  let n_inst = ref 0 in
+  let grow () =
+    if !n_inst >= Array.length !inst_class then begin
+      let nc = Array.make (2 * !n_inst) None in
+      let no = Array.make (2 * !n_inst) [] in
+      Array.blit !inst_class 0 nc 0 !n_inst;
+      Array.blit !inst_ops 0 no 0 !n_inst;
+      inst_class := nc;
+      inst_ops := no
+    end
+  in
+  let snapshot () =
+    {
+      fu_of_op = Array.copy fu_of_op;
+      instances =
+        Array.init !n_inst (fun i ->
+            match !inst_class.(i) with
+            | Some c -> (c, List.rev !inst_ops.(i))
+            | None -> assert false);
+    }
+  in
+  let order =
+    List.init n (fun i -> i)
+    |> List.sort (fun a b ->
+           compare (sched.Schedule.start.(a), a) (sched.Schedule.start.(b), b))
+  in
+  List.iter
+    (fun o ->
+      match Op.fu_class (Graph.op g o).Graph.o_kind with
+      | None -> ()
+      | Some cl ->
+        let candidates = ref [] in
+        for i = !n_inst - 1 downto 0 do
+          if !inst_class.(i) = Some cl
+             && List.for_all
+                  (fun o' -> not (ops_conflict sched o o'))
+                  !inst_ops.(i)
+          then candidates := i :: !candidates
+        done;
+        let candidates = !candidates in
+        let cap =
+          match resources with
+          | None -> max_int
+          | Some r ->
+            (match List.assoc_opt cl r with Some k -> k | None -> 0)
+        in
+        let open_count = ref 0 in
+        for i = 0 to !n_inst - 1 do
+          if !inst_class.(i) = Some cl then incr open_count
+        done;
+        let can_open = !open_count < cap in
+        if candidates = [] && not can_open then
+          invalid_arg
+            (Printf.sprintf "Fu_bind: cannot place op %d (%s cap %d)" o
+               (Op.fu_class_to_string cl) cap);
+        let decision =
+          if candidates = [] then `Open
+          else choose (snapshot ()) ~op:o ~candidates ~can_open
+        in
+        (match decision with
+         | `Use i ->
+           if not (List.mem i candidates) then
+             invalid_arg "Fu_bind: choose returned a non-candidate";
+           fu_of_op.(o) <- i;
+           !inst_ops.(i) <- o :: !inst_ops.(i)
+         | `Open ->
+           if not can_open then invalid_arg "Fu_bind: cannot open instance";
+           grow ();
+           fu_of_op.(o) <- !n_inst;
+           !inst_class.(!n_inst) <- Some cl;
+           !inst_ops.(!n_inst) <- [ o ];
+           incr n_inst))
+    order;
+  (snapshot ())
+
+let left_edge ?resources g sched =
+  bind ?resources g sched ~choose:(fun _ ~op:_ ~candidates ~can_open:_ ->
+      match candidates with
+      | i :: _ -> `Use i
+      | [] -> `Open)
+
+let validate g sched t =
+  Array.iteri
+    (fun o inst ->
+      match Op.fu_class (Graph.op g o).Graph.o_kind with
+      | None ->
+        if inst <> -1 then invalid_arg "Fu_bind.validate: move has an instance"
+      | Some cl ->
+        if inst < 0 || inst >= Array.length t.instances then
+          invalid_arg "Fu_bind.validate: unbound op";
+        let c, ops = t.instances.(inst) in
+        if c <> cl then invalid_arg "Fu_bind.validate: class mismatch";
+        if not (List.mem o ops) then
+          invalid_arg "Fu_bind.validate: instance does not list op")
+    t.fu_of_op;
+  Array.iter
+    (fun (_, ops) ->
+      List.iter
+        (fun a ->
+          List.iter
+            (fun b ->
+              if a < b && ops_conflict sched a b then
+                invalid_arg
+                  (Printf.sprintf "Fu_bind.validate: ops %d,%d overlap" a b))
+            ops)
+        ops)
+    t.instances
+
+let of_class_indices g sched idx =
+  let n = Graph.n_ops g in
+  if Array.length idx <> n then invalid_arg "Fu_bind.of_class_indices: length";
+  (* Map (class, local index) -> global instance id, in order of first
+     appearance. *)
+  let table = Hashtbl.create 8 in
+  let insts = ref [] in
+  let n_inst = ref 0 in
+  let fu_of_op = Array.make n (-1) in
+  for o = 0 to n - 1 do
+    match Op.fu_class (Graph.op g o).Graph.o_kind with
+    | None -> ()
+    | Some cl ->
+      let key = (cl, idx.(o)) in
+      let inst =
+        match Hashtbl.find_opt table key with
+        | Some i -> i
+        | None ->
+          let i = !n_inst in
+          Hashtbl.add table key i;
+          insts := (cl, ref []) :: !insts;
+          incr n_inst;
+          i
+      in
+      fu_of_op.(o) <- inst;
+      let _, ops = List.nth (List.rev !insts) inst in
+      ops := o :: !ops
+  done;
+  let t =
+    {
+      fu_of_op;
+      instances =
+        Array.of_list
+          (List.rev_map (fun (c, ops) -> (c, List.rev !ops)) !insts);
+    }
+  in
+  validate g sched t;
+  t

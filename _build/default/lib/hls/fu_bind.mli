@@ -1,0 +1,46 @@
+(** Binding of operations to functional-unit instances.
+
+    Two operations can share an instance when they have the same unit
+    class and disjoint execution step ranges.  The [choose] hook is how
+    testability-aware bindings (assignment-loop avoidance, state-coverage
+    maximisation) steer the allocator without reimplementing it. *)
+
+open Hft_cdfg
+
+type t = {
+  fu_of_op : int array;
+    (** op -> instance id; [-1] for [Move] (no unit needed) *)
+  instances : (Op.fu_class * int list) array;
+    (** instance id -> (class, ops bound to it) *)
+}
+
+(** Execution interval of an op in steps, inclusive. *)
+val op_steps : Schedule.t -> int -> int * int
+
+(** Do two ops exclude each other on one instance? *)
+val ops_conflict : Schedule.t -> int -> int -> bool
+
+(** Generic allocator.  Ops are visited in increasing start step.  For
+    each op, [choose] picks among [candidates] (compatible existing
+    instances of the right class) or asks to open a new instance; it may
+    only return [`Open] when [can_open] (instance count below the
+    [resources] cap for the class, no cap when absent).  When
+    [candidates] is empty and opening is impossible, [Invalid_argument]
+    is raised (the resource cap was infeasible). *)
+val bind :
+  ?resources:(Op.fu_class * int) list ->
+  choose:(t -> op:int -> candidates:int list -> can_open:bool ->
+          [ `Use of int | `Open ]) ->
+  Graph.t -> Schedule.t -> t
+
+(** First-fit (left-edge over step intervals): the conventional
+    binding. *)
+val left_edge : ?resources:(Op.fu_class * int) list -> Graph.t -> Schedule.t -> t
+
+(** Binding from explicit per-op instance indices {e within} the op's
+    class (e.g. the paper's Figure 1 adder assignment [A1]/[A2]);
+    validates class consistency and step-overlap freedom. *)
+val of_class_indices : Graph.t -> Schedule.t -> int array -> t
+
+(** All instance-sharing invariants hold. *)
+val validate : Graph.t -> Schedule.t -> t -> unit

@@ -1,0 +1,85 @@
+open Hft_cdfg
+
+type resources = (Op.fu_class * int) list
+
+let schedule ?latency ?priority ?max_steps g ~resources =
+  let n = Graph.n_ops g in
+  let latency =
+    match latency with Some l -> l | None -> Array.make n 1
+  in
+  let max_steps =
+    match max_steps with
+    | Some m -> m
+    | None -> (Array.fold_left ( + ) 0 latency + 4) * 2
+  in
+  let priority =
+    match priority with
+    | Some p -> p
+    | None ->
+      (* Least mobility first: priority = -(alap - asap). *)
+      let asap = Sched_algos.asap ~latency g in
+      let horizon = asap.Schedule.n_steps in
+      let alap = Sched_algos.alap ~latency g ~n_steps:horizon in
+      Array.map (fun m -> -m) (Sched_algos.mobility ~asap ~alap)
+  in
+  (* Check the resource table covers every class used. *)
+  Array.iter
+    (fun o ->
+      match Op.fu_class (Graph.op g o).Graph.o_kind with
+      | None -> ()
+      | Some cl ->
+        (match List.assoc_opt cl resources with
+         | Some k when k >= 1 -> ()
+         | Some _ | None ->
+           invalid_arg
+             (Printf.sprintf "List_sched: no %s units allocated"
+                (Op.fu_class_to_string cl))))
+    (Array.init n (fun i -> i));
+  let dg = Graph.op_graph g in
+  let start = Array.make n 0 in
+  let unscheduled = ref n in
+  let step = ref 0 in
+  (* busy.(class slot accounting): list of (class, finish_step) *)
+  let busy = ref [] in
+  while !unscheduled > 0 && !step <= max_steps do
+    incr step;
+    let c = !step in
+    busy := List.filter (fun (_, fin) -> fin >= c) !busy;
+    let free cl =
+      let total = match List.assoc_opt cl resources with Some k -> k | None -> 0 in
+      let used = List.length (List.filter (fun (cl', _) -> cl' = cl) !busy) in
+      total - used
+    in
+    let ready o =
+      start.(o) = 0
+      && List.for_all
+           (fun p -> start.(p) > 0 && start.(p) + latency.(p) - 1 < c)
+           (Hft_util.Digraph.pred dg o)
+    in
+    let candidates =
+      List.init n (fun i -> i)
+      |> List.filter ready
+      |> List.sort (fun a b -> compare (-priority.(a), a) (-priority.(b), b))
+    in
+    List.iter
+      (fun o ->
+        match Op.fu_class (Graph.op g o).Graph.o_kind with
+        | None ->
+          (* moves: free *)
+          start.(o) <- c;
+          decr unscheduled
+        | Some cl ->
+          if free cl > 0 then begin
+            start.(o) <- c;
+            busy := (cl, c + latency.(o) - 1) :: !busy;
+            decr unscheduled
+          end)
+      candidates
+  done;
+  if !unscheduled > 0 then invalid_arg "List_sched: step budget exhausted";
+  let n_steps =
+    Array.fold_left max 1 (Array.mapi (fun o s -> s + latency.(o) - 1) start)
+  in
+  Schedule.make g ~n_steps ~latency start
+
+let used_resources g sched = Schedule.fu_demand g sched

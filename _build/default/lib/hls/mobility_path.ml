@@ -1,0 +1,79 @@
+open Hft_cdfg
+open Hft_util
+
+let io_class_reps g info =
+  let io_vars =
+    List.map (fun v -> v.Graph.v_id) (Graph.inputs g @ Graph.outputs g)
+  in
+  List.map (Union_find.find info.Lifetime.merged) io_vars
+  |> List.sort_uniq compare
+
+let io_sharable_count g sched =
+  let info = Lifetime.compute g sched in
+  let io = io_class_reps g info in
+  let candidates = Lifetime.register_candidates g info in
+  let inters = List.filter (fun rep -> not (List.mem rep io)) candidates in
+  List.length
+    (List.filter
+       (fun rep -> List.exists (fun r -> not (Lifetime.conflict info rep r)) io)
+       inters)
+
+let schedule ?latency g ~resources =
+  let n = Graph.n_ops g in
+  let latency =
+    match latency with Some l -> l | None -> Array.make n 1
+  in
+  (* Priority: consume inputs early (shorten input lifetimes), produce
+     outputs late is handled by the improvement pass; critical ops keep
+     precedence via mobility. *)
+  let asap = Sched_algos.asap ~latency g in
+  let alap = Sched_algos.alap ~latency g ~n_steps:asap.Schedule.n_steps in
+  let mob = Sched_algos.mobility ~asap ~alap in
+  let consumes_input o =
+    Array.exists
+      (fun a -> (Graph.var g a).Graph.v_kind = Graph.V_input)
+      (Graph.op g o).Graph.o_args
+  in
+  let priority =
+    Array.init n (fun o ->
+        (if consumes_input o then 100 else 0) - (10 * mob.(o)))
+  in
+  let base = List_sched.schedule ~latency ~priority g ~resources in
+  (* Local improvement: try shifting each op later/earlier within the
+     schedule's step count when it strictly increases the number of
+     I/O-sharable intermediates (keeping validity and resource bounds). *)
+  let resources_ok sched =
+    List.for_all
+      (fun (cl, used) ->
+        match List.assoc_opt cl resources with
+        | Some cap -> used <= cap
+        | None -> false)
+      (Schedule.fu_demand g sched)
+  in
+  let score sched = io_sharable_count g sched in
+  let current = ref base in
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    for o = 0 to n - 1 do
+      let s0 = !current.Schedule.start.(o) in
+      List.iter
+        (fun delta ->
+          let s = s0 + delta in
+          if s >= 1 && s + latency.(o) - 1 <= !current.Schedule.n_steps then begin
+            let start = Array.copy !current.Schedule.start in
+            start.(o) <- s;
+            match
+              Schedule.make g ~n_steps:!current.Schedule.n_steps ~latency start
+            with
+            | sched ->
+              if resources_ok sched && score sched > score !current then begin
+                current := sched;
+                improved := true
+              end
+            | exception Invalid_argument _ -> ()
+          end)
+        [ -2; -1; 1; 2 ]
+    done
+  done;
+  !current

@@ -1,0 +1,20 @@
+(** Mobility-path scheduling (Lee–Wolf–Jha ICCAD'92, survey §3.2).
+
+    Re-schedules within operation mobility so that intermediate-variable
+    lifetimes avoid overlapping input/output variable lifetimes, letting
+    more intermediates share I/O registers and shortening the
+    input-register → output-register sequential depth.  Implemented as
+    list scheduling with an I/O-affinity priority followed by a local
+    improvement pass that shifts ops within their slack when doing so
+    removes an intermediate/I-O lifetime overlap. *)
+
+open Hft_cdfg
+
+val schedule :
+  ?latency:int array -> Graph.t -> resources:(Op.fu_class * int) list ->
+  Schedule.t
+
+(** Number of intermediate merge classes whose lifetime overlaps no
+    input/output variable class — the sharing opportunity the technique
+    maximises (reported by E2). *)
+val io_sharable_count : Graph.t -> Schedule.t -> int

@@ -1,0 +1,41 @@
+(** Register allocation: mapping variables to registers.
+
+    The conventional objective is register-count minimisation (left-edge
+    over lifetimes).  Every surveyed testable-register-assignment
+    technique is the same colouring problem with extra conflict edges
+    (self-adjacency avoidance), a visiting order, or a colour-preference
+    rule — all pluggable here. *)
+
+open Hft_cdfg
+
+type t = {
+  reg_of_var : int array;  (** var -> register, [-1] when unregistered *)
+  n_regs : int;
+}
+
+(** Left-edge allocation over merge-class lifetimes: minimal register
+    count for pure interval conflicts. *)
+val left_edge : Graph.t -> Lifetime.info -> t
+
+(** Greedy conflict-graph colouring over merge-class representatives.
+
+    - [extra_conflicts]: additional (var, var) pairs that must not share
+      (translated to class representatives);
+    - [order]: visiting order of class representatives (default:
+      interval start, then id);
+    - [prefer]: given the class representative and the feasible existing
+      registers, return the one to use or [None] to open a new register
+      (default: smallest feasible). *)
+val color :
+  ?extra_conflicts:(int * int) list ->
+  ?order:int list ->
+  ?prefer:(int -> feasible:int list -> int option) ->
+  Graph.t -> Lifetime.info -> t
+
+(** Check: no two conflicting variables share a register, every
+    registerable class is mapped, merge classes are kept together. *)
+val validate :
+  ?extra_conflicts:(int * int) list -> Graph.t -> Lifetime.info -> t -> unit
+
+(** Variables stored in register [r]. *)
+val vars_of_reg : t -> int -> int list

@@ -1,0 +1,61 @@
+open Hft_cdfg
+
+let latencies ?(mul_latency = 1) g =
+  Array.init (Graph.n_ops g) (fun o ->
+      match (Graph.op g o).Graph.o_kind with
+      | Op.Mul -> mul_latency
+      | Op.Add | Op.Sub | Op.Lt | Op.Gt | Op.Eq | Op.And | Op.Or | Op.Xor
+      | Op.Shl | Op.Shr | Op.Move -> 1)
+
+let default_latency g = function
+  | Some l -> l
+  | None -> Array.make (Graph.n_ops g) 1
+
+let asap ?latency g =
+  let latency = default_latency g latency in
+  let dg = Graph.op_graph g in
+  let start = Array.make (Graph.n_ops g) 1 in
+  (match Hft_util.Digraph.topological_sort dg with
+   | None -> invalid_arg "Sched_algos.asap: cyclic op graph"
+   | Some order ->
+     List.iter
+       (fun o ->
+         let fin = start.(o) + latency.(o) - 1 in
+         List.iter
+           (fun c -> if fin + 1 > start.(c) then start.(c) <- fin + 1)
+           (Hft_util.Digraph.succ dg o))
+       order);
+  let n_steps =
+    Array.fold_left max 1
+      (Array.mapi (fun o s -> s + latency.(o) - 1) start)
+  in
+  Schedule.make g ~n_steps ~latency start
+
+let critical_path ?latency g = (asap ?latency g).Schedule.n_steps
+
+let alap ?latency g ~n_steps =
+  let latency = default_latency g latency in
+  let cp = critical_path ~latency g in
+  if n_steps < cp then
+    invalid_arg
+      (Printf.sprintf "Sched_algos.alap: n_steps %d below critical path %d"
+         n_steps cp);
+  let dg = Graph.op_graph g in
+  let finish = Array.make (Graph.n_ops g) n_steps in
+  (match Hft_util.Digraph.topological_sort dg with
+   | None -> invalid_arg "Sched_algos.alap: cyclic op graph"
+   | Some order ->
+     List.iter
+       (fun o ->
+         List.iter
+           (fun c ->
+             let latest = finish.(c) - latency.(c) - latency.(o) + 1 in
+             let fin_o = latest + latency.(o) - 1 in
+             if fin_o < finish.(o) then finish.(o) <- fin_o)
+           (Hft_util.Digraph.succ dg o))
+       (List.rev order));
+  let start = Array.mapi (fun o f -> f - latency.(o) + 1) finish in
+  Schedule.make g ~n_steps ~latency start
+
+let mobility ~asap ~alap =
+  Array.mapi (fun o s -> alap.Schedule.start.(o) - s) asap.Schedule.start

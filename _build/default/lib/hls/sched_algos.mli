@@ -1,0 +1,25 @@
+(** Unconstrained scheduling: ASAP, ALAP, mobility.
+
+    These are the estimation primitives every surveyed technique builds
+    on (survey §1.1): mobility (slack) drives list-scheduling priority
+    and the simultaneous scheduling/assignment search of Potkonjak–Dey–
+    Roy. *)
+
+open Hft_cdfg
+
+(** Per-op latency table: [Multiplier] ops take [mul_latency] steps,
+    everything else 1. *)
+val latencies : ?mul_latency:int -> Graph.t -> int array
+
+(** As-soon-as-possible schedule; its [n_steps] is the critical path. *)
+val asap : ?latency:int array -> Graph.t -> Schedule.t
+
+(** As-late-as-possible within [n_steps]; raises [Invalid_argument] when
+    [n_steps] is below the critical path. *)
+val alap : ?latency:int array -> Graph.t -> n_steps:int -> Schedule.t
+
+(** [mobility asap alap] per op. *)
+val mobility : asap:Schedule.t -> alap:Schedule.t -> int array
+
+(** Critical-path length under the latency table. *)
+val critical_path : ?latency:int array -> Graph.t -> int

@@ -1,0 +1,1 @@
+lib/rtl/area.ml: Array Datapath Hft_cdfg

@@ -1,0 +1,1 @@
+lib/rtl/controller.ml: Array Datapath List Printf

@@ -1,0 +1,1 @@
+lib/rtl/controller.mli: Datapath

@@ -1,0 +1,1 @@
+lib/rtl/datapath.ml: Array Buffer Hashtbl Hft_cdfg List Printf String

@@ -1,0 +1,1 @@
+lib/rtl/datapath.mli: Hft_cdfg

@@ -1,0 +1,1 @@
+lib/rtl/klevel.ml: Array Datapath Digraph Hft_util List Queue Sgraph

@@ -1,0 +1,1 @@
+lib/rtl/klevel.mli: Sgraph

@@ -1,0 +1,1 @@
+lib/rtl/sgraph.ml: Array Datapath Digraph Hft_util List Mfvs Queue

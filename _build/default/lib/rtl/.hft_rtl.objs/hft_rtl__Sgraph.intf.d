@@ -1,0 +1,1 @@
+lib/rtl/sgraph.mli: Datapath Hft_util

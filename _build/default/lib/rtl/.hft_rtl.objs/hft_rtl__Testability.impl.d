@@ -1,0 +1,1 @@
+lib/rtl/testability.ml: Array Datapath Digraph Hft_util List Pretty Sgraph

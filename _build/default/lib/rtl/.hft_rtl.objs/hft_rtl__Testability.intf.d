@@ -1,0 +1,1 @@
+lib/rtl/testability.mli: Datapath Sgraph

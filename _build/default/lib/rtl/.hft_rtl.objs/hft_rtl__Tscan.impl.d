@@ -1,0 +1,1 @@
+lib/rtl/tscan.ml: Area Datapath List Sgraph

@@ -1,0 +1,1 @@
+lib/rtl/tscan.mli: Sgraph

@@ -1,0 +1,70 @@
+type cost_table = {
+  reg_bit : float;
+  scan_bit : float;
+  tscan_bit : float;
+  tpgr_bit : float;
+  sr_bit : float;
+  bilbo_bit : float;
+  cbilbo_bit : float;
+  mux_leg_bit : float;
+  alu_bit : float;
+  mul_bit : float;
+  cmp_bit : float;
+  logic_bit : float;
+  shift_bit : float;
+  test_point : float;
+}
+
+let default = {
+  reg_bit = 6.0;
+  scan_bit = 8.0;
+  tscan_bit = 9.0;
+  tpgr_bit = 11.0;
+  sr_bit = 11.0;
+  bilbo_bit = 13.0;
+  cbilbo_bit = 22.0;
+  mux_leg_bit = 3.0;
+  alu_bit = 12.0;
+  mul_bit = 9.0;
+  cmp_bit = 5.0;
+  logic_bit = 2.0;
+  shift_bit = 4.0;
+  test_point = 40.0;
+}
+
+let reg_bit_cost table = function
+  | Datapath.Plain -> table.reg_bit
+  | Datapath.Scan -> table.scan_bit
+  | Datapath.Transparent_scan -> table.tscan_bit
+  | Datapath.Tpgr -> table.tpgr_bit
+  | Datapath.Sr -> table.sr_bit
+  | Datapath.Bilbo -> table.bilbo_bit
+  | Datapath.Cbilbo -> table.cbilbo_bit
+
+let fu_cost table width = function
+  | Hft_cdfg.Op.Alu -> table.alu_bit *. float_of_int width
+  | Hft_cdfg.Op.Multiplier ->
+    table.mul_bit *. float_of_int (width * width)
+  | Hft_cdfg.Op.Comparator -> table.cmp_bit *. float_of_int width
+  | Hft_cdfg.Op.Logic_unit -> table.logic_bit *. float_of_int width
+  | Hft_cdfg.Op.Shifter -> table.shift_bit *. float_of_int width
+
+let register_area ?(table = default) d =
+  let w = float_of_int d.Datapath.width in
+  Array.fold_left
+    (fun acc r -> acc +. (w *. reg_bit_cost table r.Datapath.r_kind))
+    0.0 d.Datapath.regs
+
+let datapath_area ?(table = default) d =
+  let w = float_of_int d.Datapath.width in
+  let fus =
+    Array.fold_left
+      (fun acc f -> acc +. fu_cost table d.Datapath.width f.Datapath.f_class)
+      0.0 d.Datapath.fus
+  in
+  let muxes = w *. table.mux_leg_bit *. float_of_int (Datapath.mux_legs d) in
+  register_area ~table d +. fus +. muxes
+
+let overhead ?(table = default) ~base d =
+  if base <= 0.0 then invalid_arg "Area.overhead: base must be positive";
+  (datapath_area ~table d -. base) /. base

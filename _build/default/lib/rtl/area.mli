@@ -1,0 +1,38 @@
+(** Unit-cost area model.
+
+    All surveyed comparisons report {e relative} overheads, so a
+    gate-equivalent cost table is sufficient (DESIGN.md §2).  Costs are
+    per bit except [fu_cost] which is per unit at the data-path width. *)
+
+type cost_table = {
+  reg_bit : float;            (** plain register, per bit *)
+  scan_bit : float;           (** scan register, per bit *)
+  tscan_bit : float;          (** transparent scan, per bit *)
+  tpgr_bit : float;           (** LFSR-configurable register, per bit *)
+  sr_bit : float;             (** MISR-configurable register, per bit *)
+  bilbo_bit : float;          (** BILBO (TPGR or SR), per bit *)
+  cbilbo_bit : float;         (** concurrent BILBO, per bit *)
+  mux_leg_bit : float;        (** one extra mux input, per bit *)
+  alu_bit : float;
+  mul_bit : float;            (** per bit² (array multiplier) *)
+  cmp_bit : float;
+  logic_bit : float;
+  shift_bit : float;
+  test_point : float;         (** one k-level test point (register file
+                                  slot + constant + routing) *)
+}
+
+(** Costs in NAND-gate equivalents, calibrated to textbook cell counts
+    (DFF ≈ 6, scan DFF ≈ 8, BILBO bit ≈ 13, CBILBO bit ≈ 22...). *)
+val default : cost_table
+
+(** Area of a data path under the table (registers at their annotated
+    DFT kinds, FUs, mux legs, behavioural test points excluded). *)
+val datapath_area : ?table:cost_table -> Datapath.t -> float
+
+(** Area of the registers only — the quantity BIST papers report
+    overhead against. *)
+val register_area : ?table:cost_table -> Datapath.t -> float
+
+(** [overhead ~base d] = (area(d) - base) / base. *)
+val overhead : ?table:cost_table -> base:float -> Datapath.t -> float

@@ -1,0 +1,94 @@
+open Hft_util
+
+type result = {
+  k : int;
+  test_points : int list;
+  loops_covered : int;
+  loops_total : int;
+}
+
+let big = max_int / 2
+
+let loop_list s = Sgraph.nontrivial_loops s @ List.map (fun r -> [ r ]) (Sgraph.self_loop_regs s)
+
+let distances s ~test_points =
+  let d = s.Sgraph.datapath in
+  let g = s.Sgraph.graph in
+  let controllable =
+    List.sort_uniq compare (Datapath.input_registers d @ test_points)
+  in
+  let observable =
+    List.sort_uniq compare (Datapath.output_registers d @ test_points)
+  in
+  let bfs graph sources =
+    let dist = Array.make (Digraph.order graph) big in
+    let q = Queue.create () in
+    List.iter
+      (fun v ->
+        if dist.(v) = big then begin
+          dist.(v) <- 0;
+          Queue.add v q
+        end)
+      sources;
+    while not (Queue.is_empty q) do
+      let v = Queue.take q in
+      List.iter
+        (fun w ->
+          if dist.(w) = big then begin
+            dist.(w) <- dist.(v) + 1;
+            Queue.add w q
+          end)
+        (Digraph.succ graph v)
+    done;
+    dist
+  in
+  (bfs g controllable, bfs (Digraph.transpose g) observable)
+
+let loop_covered cdist odist ~k loop =
+  List.exists (fun r -> cdist.(r) <= k) loop
+  && List.exists (fun r -> odist.(r) <= k) loop
+
+let covered s ~k ~test_points =
+  let cdist, odist = distances s ~test_points in
+  List.for_all (loop_covered cdist odist ~k) (loop_list s)
+
+let insert s ~k =
+  let loops = loop_list s in
+  let n = Datapath.n_regs s.Sgraph.datapath in
+  let rec go points =
+    let cdist, odist = distances s ~test_points:points in
+    let uncovered =
+      List.filter (fun l -> not (loop_covered cdist odist ~k l)) loops
+    in
+    if uncovered = [] then points
+    else begin
+      (* Greedy: the candidate register covering the most uncovered
+         loops when granted a test point. *)
+      let best = ref (-1) and best_gain = ref (-1) in
+      for r = 0 to n - 1 do
+        if not (List.mem r points) then begin
+          let cdist', odist' = distances s ~test_points:(r :: points) in
+          let gain =
+            List.length
+              (List.filter (loop_covered cdist' odist' ~k) uncovered)
+          in
+          if gain > !best_gain then begin
+            best_gain := gain;
+            best := r
+          end
+        end
+      done;
+      if !best < 0 || !best_gain <= 0 then points (* cannot improve *)
+      else go (!best :: points)
+    end
+  in
+  let points = go [] in
+  let cdist, odist = distances s ~test_points:points in
+  {
+    k;
+    test_points = List.sort compare points;
+    loops_covered = List.length (List.filter (loop_covered cdist odist ~k) loops);
+    loops_total = List.length loops;
+  }
+
+let sweep s ~max_k = List.init (max_k + 1) (fun k -> insert s ~k)

@@ -1,0 +1,31 @@
+(** Non-scan DFT by k-level loop access (Dey–Potkonjak ICCAD'94,
+    survey §4.2).
+
+    Instead of placing a scan register {e on} every data-path loop
+    (k = 0 access), it suffices for high test efficiency that every loop
+    be {e k-level controllable and observable}: reachable from a test
+    point within [k] register levels in both directions.  Test points
+    are implemented with register-file slots and constants on functional
+    units, so they are cheaper than scan conversions and several loops
+    can share one. *)
+
+type result = {
+  k : int;
+  test_points : int list;       (** registers granted a test point *)
+  loops_covered : int;
+  loops_total : int;
+}
+
+(** Is every non-self loop within [k] hops of a controllable point
+    (input registers + test points) and of an observable point (output
+    registers + test points)? *)
+val covered : Sgraph.t -> k:int -> test_points:int list -> bool
+
+(** Greedy test-point insertion until every loop is k-level accessible.
+    [k = 0] reproduces the classical "access a register in every loop"
+    requirement for comparison. *)
+val insert : Sgraph.t -> k:int -> result
+
+(** Test points needed at each access level, versus the k = 0 (scan
+    MFVS) baseline: the trade-off curve of the technique. *)
+val sweep : Sgraph.t -> max_k:int -> result list

@@ -1,0 +1,166 @@
+open Hft_util
+
+type range = { min_cycles : int option; max_cycles : int option }
+type node_report = { reg : int; control : range; observe : range }
+
+let big = max_int / 2
+
+(* Longest acyclic distance from sources in a graph that may contain
+   cycles: vertices inside any cycle get [None] (unbounded); others get
+   the longest path over the condensation DAG. *)
+let longest_or_unbounded g sources =
+  let n = Digraph.order g in
+  let _, comp = Digraph.scc g in
+  let in_cycle = Array.make n false in
+  (* A vertex is in a cycle when its SCC has >1 member or a self loop. *)
+  let members = Digraph.scc_members g in
+  Array.iter
+    (fun vs ->
+      match vs with
+      | [ v ] -> if Digraph.has_self_loop g v then in_cycle.(v) <- true
+      | vs -> List.iter (fun v -> in_cycle.(v) <- true) vs)
+    members;
+  (* Longest path on the condensation, seeded at the sources' comps. *)
+  let ncomp = Array.length members in
+  let cond = Digraph.create ncomp in
+  Digraph.iter_edges
+    (fun u v -> if comp.(u) <> comp.(v) then Digraph.add_edge cond comp.(u) comp.(v))
+    g;
+  let dist = Array.make ncomp (-1) in
+  List.iter (fun v -> dist.(comp.(v)) <- 0) sources;
+  (match Digraph.topological_sort cond with
+   | None -> assert false
+   | Some order ->
+     List.iter
+       (fun c ->
+         if dist.(c) >= 0 then
+           List.iter
+             (fun c' -> if dist.(c) + 1 > dist.(c') then dist.(c') <- dist.(c) + 1)
+             (Digraph.succ cond c))
+       order);
+  (* Unbounded if the vertex is in a cycle reachable from sources, or
+     downstream of such a cycle. *)
+  let tainted = Array.make ncomp false in
+  (match Digraph.topological_sort cond with
+   | None -> assert false
+   | Some order ->
+     List.iter
+       (fun c ->
+         let cyclic =
+           match members.(c) with
+           | [ v ] -> Digraph.has_self_loop g v
+           | _ -> true
+         in
+         if cyclic && dist.(c) >= 0 then tainted.(c) <- true;
+         if tainted.(c) then
+           List.iter
+             (fun c' -> if dist.(c') >= 0 then tainted.(c') <- true)
+             (Digraph.succ cond c))
+       order);
+  Array.init n (fun v ->
+      let c = comp.(v) in
+      if dist.(c) < 0 then None (* unreachable handled by caller's min *)
+      else if tainted.(c) then Some None (* reachable, unbounded *)
+      else Some (Some dist.(c)))
+
+let analyze ?(scanned = []) s =
+  let d = s.Sgraph.datapath in
+  let g = s.Sgraph.graph in
+  let controllable =
+    List.sort_uniq compare (Datapath.input_registers d @ scanned)
+  in
+  let observable =
+    List.sort_uniq compare (Datapath.output_registers d @ scanned)
+  in
+  let profile = Sgraph.depth_profile s ~scanned in
+  (* Scanned registers are direct access points: justification paths
+     never need to pass {e into} one (any path through it is dominated
+     by starting there), and propagation paths never pass {e out} of
+     one.  Cutting those edges also breaks every loop a scanned register
+     lies on, which is what bounds the ranges. *)
+  let g_ctrl = Digraph.copy g in
+  List.iter
+    (fun r -> List.iter (fun p -> Digraph.remove_edge g_ctrl p r) (Digraph.pred g_ctrl r))
+    scanned;
+  let g_obs = Digraph.copy g in
+  List.iter
+    (fun r -> List.iter (fun q -> Digraph.remove_edge g_obs r q) (Digraph.succ g_obs r))
+    scanned;
+  let cmax = longest_or_unbounded g_ctrl controllable in
+  let omax = longest_or_unbounded (Digraph.transpose g_obs) observable in
+  List.map
+    (fun (r, cmin, omin) ->
+      let mk mind maxd =
+        {
+          min_cycles = (if mind >= big then None else Some mind);
+          max_cycles =
+            (match maxd with
+             | None -> None (* unreachable: min is None as well *)
+             | Some None -> None (* reachable through a loop: unbounded *)
+             | Some (Some x) -> Some x);
+        }
+      in
+      { reg = r; control = mk cmin cmax.(r); observe = mk omin omax.(r) })
+    profile
+
+let hard_nodes ?(threshold = 2) reports =
+  List.filter
+    (fun r ->
+      let bad rg =
+        match (rg.min_cycles, rg.max_cycles) with
+        | None, _ -> true
+        | Some m, _ when m > threshold -> true
+        | _, None -> true
+        | Some _, Some _ -> false
+      in
+      bad r.control || bad r.observe)
+    reports
+
+let scan_for_hard_nodes ?(threshold = 2) s =
+  let n = Datapath.n_regs s.Sgraph.datapath in
+  let rec go scanned =
+    let hard = hard_nodes ~threshold (analyze ~scanned s) in
+    if hard = [] || List.length scanned >= n then List.sort compare scanned
+    else begin
+      (* Try each unscanned register; keep the one minimising the
+         remaining hard-node count. *)
+      let best = ref None in
+      for r = 0 to n - 1 do
+        if not (List.mem r scanned) then begin
+          let h =
+            List.length (hard_nodes ~threshold (analyze ~scanned:(r :: scanned) s))
+          in
+          match !best with
+          | Some (_, hb) when hb <= h -> ()
+          | _ -> best := Some (r, h)
+        end
+      done;
+      match !best with
+      | None -> List.sort compare scanned
+      | Some (r, h) ->
+        if h >= List.length hard then
+          (* No single scan helps; scan a hard node directly to
+             guarantee progress. *)
+          (match hard with
+           | { reg; _ } :: _ when not (List.mem reg scanned) ->
+             go (reg :: scanned)
+           | _ -> List.sort compare scanned)
+        else go (r :: scanned)
+    end
+  in
+  go []
+
+let pp_report d reports =
+  let show = function
+    | None -> "inf"
+    | Some x -> string_of_int x
+  in
+  let rows =
+    List.map
+      (fun r ->
+        [ d.Datapath.regs.(r.reg).Datapath.r_name;
+          show r.control.min_cycles; show r.control.max_cycles;
+          show r.observe.min_cycles; show r.observe.max_cycles ])
+      reports
+  in
+  Pretty.render ~header:[ "reg"; "c-min"; "c-max"; "o-min"; "o-max" ] rows

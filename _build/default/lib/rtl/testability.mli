@@ -1,0 +1,34 @@
+(** RTL testability analysis (De Micheli-style ranges, survey §4.1).
+
+    For every register we report how many clock cycles are needed to
+    {e control} it (justify an arbitrary value from primary inputs) and
+    to {e observe} it (propagate its content to a primary output),
+    as \[min, max\] ranges.  A register inside a data-path loop has an
+    unbounded maximum (the loop can recirculate indefinitely), which is
+    exactly what makes it a hard node for sequential ATPG. *)
+
+type range = {
+  min_cycles : int option;  (** [None] = impossible *)
+  max_cycles : int option;  (** [None] = unbounded (register in a loop) *)
+}
+
+type node_report = {
+  reg : int;
+  control : range;
+  observe : range;
+}
+
+val analyze : ?scanned:int list -> Sgraph.t -> node_report list
+
+(** Hard nodes: control or observe minimum above [threshold], impossible,
+    or unbounded maximum. *)
+val hard_nodes : ?threshold:int -> node_report list -> node_report list
+
+(** RTL-guided partial-scan selection: repeatedly scan the register
+    whose scanning most reduces the hard-node count, until none remain
+    (or no progress).  Returns the scan set — typically smaller than a
+    gate-level selection because RTL connectivity is exact
+    (survey §4.1). *)
+val scan_for_hard_nodes : ?threshold:int -> Sgraph.t -> int list
+
+val pp_report : Datapath.t -> node_report list -> string

@@ -1,0 +1,1 @@
+lib/scan/apply.ml: Array Chain Hft_gate List Netlist Sim

@@ -1,0 +1,1 @@
+lib/scan/apply.mli: Chain Fault Hft_gate

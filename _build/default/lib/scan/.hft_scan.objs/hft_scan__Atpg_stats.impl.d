@@ -1,0 +1,1 @@
+lib/scan/atpg_stats.ml: Hft_gate Hft_util

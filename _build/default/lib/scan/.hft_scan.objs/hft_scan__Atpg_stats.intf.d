@@ -1,0 +1,1 @@
+lib/scan/atpg_stats.mli: Hft_gate

@@ -1,0 +1,1 @@
+lib/scan/boundary.ml: Array Hft_gate Hft_util List Netlist Printf Sim

@@ -1,0 +1,1 @@
+lib/scan/boundary.mli: Hft_gate Netlist

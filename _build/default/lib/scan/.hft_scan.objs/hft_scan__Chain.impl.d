@@ -1,0 +1,1 @@
+lib/scan/chain.ml: Array Hft_gate List Netlist Printf Sim

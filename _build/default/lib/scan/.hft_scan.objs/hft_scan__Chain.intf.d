@@ -1,0 +1,1 @@
+lib/scan/chain.mli: Hft_gate Netlist

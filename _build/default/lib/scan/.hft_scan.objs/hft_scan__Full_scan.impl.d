@@ -1,0 +1,1 @@
+lib/scan/full_scan.ml: Array Atpg_stats Chain Hft_gate List Netlist Podem

@@ -1,0 +1,1 @@
+lib/scan/full_scan.mli: Atpg_stats Chain Fault Hft_gate Netlist

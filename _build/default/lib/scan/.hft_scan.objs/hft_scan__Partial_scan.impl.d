@@ -1,0 +1,1 @@
+lib/scan/partial_scan.ml: Array Expand Gsgraph Hft_gate Hft_rtl List Seq_atpg

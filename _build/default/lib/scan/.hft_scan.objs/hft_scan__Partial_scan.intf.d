@@ -1,0 +1,1 @@
+lib/scan/partial_scan.mli: Expand Fault Hft_gate Hft_rtl Netlist Seq_atpg

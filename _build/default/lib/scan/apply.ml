@@ -1,0 +1,39 @@
+open Hft_gate
+
+let stimulus chain ~assignment =
+  let nl = chain.Chain.netlist in
+  let pis = Netlist.pis nl in
+  let cells = chain.Chain.cells in
+  let len = List.length cells in
+  let value_of node =
+    match List.assoc_opt node assignment with Some b -> b | None -> false
+  in
+  (* Shift-in order: the last cell of the chain receives the first bit
+     shifted in, so feed values for cells in reverse chain order. *)
+  let load_bits = List.rev_map value_of cells in
+  let row ~scan_en ~scan_in ~functional =
+    Array.of_list
+      (List.map
+         (fun p ->
+           if p = chain.Chain.scan_en then scan_en
+           else if p = chain.Chain.scan_in then scan_in
+           else if functional then value_of p
+           else false)
+         pis)
+  in
+  let load =
+    List.map (fun bit -> row ~scan_en:true ~scan_in:bit ~functional:false)
+      load_bits
+  in
+  let capture = [ row ~scan_en:false ~scan_in:false ~functional:true ] in
+  let unload =
+    List.init len (fun _ -> row ~scan_en:true ~scan_in:false ~functional:false)
+  in
+  Array.of_list (load @ capture @ unload)
+
+let apply_and_check chain ~assignment ~fault =
+  let nl = chain.Chain.netlist in
+  let stim = stimulus chain ~assignment in
+  let good = Sim.run_cycles nl ~stimuli:stim in
+  let bad = Sim.run_cycles ~faults:[ fault ] nl ~stimuli:stim in
+  good <> bad

@@ -1,0 +1,20 @@
+(** End-to-end scan test application.
+
+    Translates a combinational scan-view test into the actual
+    shift/capture/shift sequence on the chain-inserted netlist and
+    verifies by sequential simulation that the faulty machine's response
+    stream differs from the good machine's — closing the loop between
+    ATPG and silicon-level test application. *)
+
+open Hft_gate
+
+(** [apply_and_check chain ~assignment ~fault] — [assignment] maps PI
+    node ids and scan-cell DFF node ids (as returned by full-scan ATPG)
+    to values.  Builds the cycle-accurate stimulus (load, capture,
+    unload) and returns whether the fault is caught by comparing good
+    vs faulty streams at POs and scan-out. *)
+val apply_and_check :
+  Chain.t -> assignment:(int * bool) list -> fault:Fault.t -> bool
+
+(** The stimulus matrix itself (for inspection / vector export). *)
+val stimulus : Chain.t -> assignment:(int * bool) list -> bool array array

@@ -1,0 +1,44 @@
+type t = {
+  detected : int;
+  untestable : int;
+  aborted : int;
+  total : int;
+  decisions : int;
+  backtracks : int;
+  implications : int;
+}
+
+let empty =
+  { detected = 0; untestable = 0; aborted = 0; total = 0; decisions = 0;
+    backtracks = 0; implications = 0 }
+
+let add_outcome t result (e : Hft_gate.Podem.effort) =
+  let t =
+    {
+      t with
+      total = t.total + 1;
+      decisions = t.decisions + e.Hft_gate.Podem.decisions;
+      backtracks = t.backtracks + e.Hft_gate.Podem.backtracks;
+      implications = t.implications + e.Hft_gate.Podem.implications;
+    }
+  in
+  match result with
+  | Hft_gate.Podem.Test _ -> { t with detected = t.detected + 1 }
+  | Hft_gate.Podem.Untestable -> { t with untestable = t.untestable + 1 }
+  | Hft_gate.Podem.Aborted -> { t with aborted = t.aborted + 1 }
+
+let coverage t =
+  if t.total = 0 then 1.0 else float_of_int t.detected /. float_of_int t.total
+
+let efficiency t =
+  if t.total = 0 then 1.0
+  else float_of_int (t.detected + t.untestable) /. float_of_int t.total
+
+let header =
+  [ "faults"; "det"; "unt"; "abo"; "cov"; "eff"; "decisions"; "backtracks" ]
+
+let to_row t =
+  [ string_of_int t.total; string_of_int t.detected;
+    string_of_int t.untestable; string_of_int t.aborted;
+    Hft_util.Pretty.pct (coverage t); Hft_util.Pretty.pct (efficiency t);
+    string_of_int t.decisions; string_of_int t.backtracks ]

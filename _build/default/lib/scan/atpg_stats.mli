@@ -1,0 +1,21 @@
+(** Shared ATPG outcome record used by the scan methodologies. *)
+
+type t = {
+  detected : int;
+  untestable : int;
+  aborted : int;
+  total : int;
+  decisions : int;
+  backtracks : int;
+  implications : int;
+}
+
+val empty : t
+val add_outcome : t -> Hft_gate.Podem.result -> Hft_gate.Podem.effort -> t
+val coverage : t -> float
+
+(** Fault efficiency: (detected + proven untestable) / total. *)
+val efficiency : t -> float
+
+val to_row : t -> string list
+val header : string list

@@ -1,0 +1,42 @@
+(** Boundary scan in the style of IEEE 1149.1 (survey §4.2).
+
+    Every primary input and output of the core gets a boundary cell —
+    a scannable register threaded into one boundary chain — plus two
+    mode pins:
+
+    - [bs_shift]: the chain shifts from [bs_in] towards [bs_out];
+    - [extest]: the core's inputs are driven from the input cells
+      (instead of the pins), and output cells capture the core's
+      outputs — the board-level test configuration the standard calls
+      EXTEST.  With both low the circuit is functionally transparent
+      and the cells SAMPLE pin/core values on each clock.
+
+    The synthesis caveat the survey raises (such structures
+    over-constrain plain RTL synthesis) is what motivates inserting
+    them structurally, as done here. *)
+
+open Hft_gate
+
+type t = {
+  netlist : Netlist.t;
+  input_cells : (int * int) list;  (** (original PI, cell DFF) in chain order *)
+  output_cells : (int * int) list; (** (original PO, cell DFF) *)
+  bs_shift : int;
+  extest : int;
+  bs_in : int;
+  bs_out : int;
+}
+
+(** Wrap every PI and PO of the netlist (modifies it in place). *)
+val insert : Netlist.t -> t
+
+(** Shift-register integrity of the boundary chain. *)
+val verify_shift : t -> bool
+
+(** EXTEST round trip: shift [inputs] (one bit per input cell, chain
+    order) into the boundary register, run one captured core cycle with
+    [extest] high, and return the values captured in the output cells
+    (read by shifting out).  The pins are held at the opposite of each
+    driven value during EXTEST to prove the cells, not the pins, drive
+    the core. *)
+val extest_roundtrip : t -> inputs:bool list -> bool list

@@ -1,0 +1,80 @@
+open Hft_gate
+
+type t = {
+  netlist : Netlist.t;
+  cells : int list;
+  scan_en : int;
+  scan_in : int;
+  scan_out : int;
+}
+
+let insert nl dffs =
+  if dffs = [] then invalid_arg "Chain.insert: empty chain";
+  List.iter
+    (fun d ->
+      if Netlist.kind nl d <> Netlist.Dff then
+        invalid_arg "Chain.insert: not a DFF")
+    dffs;
+  let scan_en = Netlist.add nl ~name:"scan_en" Netlist.Pi [||] in
+  let scan_in = Netlist.add nl ~name:"scan_in" Netlist.Pi [||] in
+  let prev = ref scan_in in
+  List.iter
+    (fun d ->
+      let d_orig = (Netlist.fanin nl d).(0) in
+      let mux =
+        Netlist.add nl
+          ~name:(Printf.sprintf "smux_%s" (Netlist.node_name nl d))
+          Netlist.Mux2
+          [| scan_en; d_orig; !prev |]
+      in
+      Netlist.set_fanin nl d 0 mux;
+      prev := d)
+    dffs;
+  let scan_out = Netlist.add nl ~name:"scan_out" Netlist.Po [| !prev |] in
+  Netlist.validate nl;
+  { netlist = nl; cells = dffs; scan_en; scan_in; scan_out }
+
+let test_cycles t ~n_tests =
+  let len = List.length t.cells in
+  (n_tests * (len + 1)) + len
+
+let verify_shift t =
+  let nl = t.netlist in
+  let len = List.length t.cells in
+  let pis = Netlist.pis nl in
+  let pos = Netlist.pos nl in
+  let scan_out_idx =
+    let rec idx i = function
+      | [] -> invalid_arg "verify_shift"
+      | p :: tl -> if p = t.scan_out then i else idx (i + 1) tl
+    in
+    idx 0 pos
+  in
+  let sequence = List.init (2 * len) (fun i -> i mod 3 = 1) in
+  (* Feed the sequence with scan_en high; after len cycles the first
+     bits start appearing at scan-out in order. *)
+  let stimuli =
+    Array.of_list
+      (List.map
+         (fun bit ->
+           Array.of_list
+             (List.map
+                (fun p ->
+                  if p = t.scan_en then true
+                  else if p = t.scan_in then bit
+                  else false)
+                pis))
+         sequence)
+  in
+  let outs = Sim.run_cycles nl ~stimuli in
+  (* scan_out at cycle (len - 1 + i) shows input bit i... with capture
+     at each cycle: out at cycle c equals the bit inserted at c-len
+     (still in flight for c < len).  Check the steady-state window. *)
+  let ok = ref true in
+  List.iteri
+    (fun i bit ->
+      let c = i + len in
+      if c < Array.length outs then
+        if outs.(c).(scan_out_idx) <> bit then ok := false)
+    (List.filteri (fun i _ -> i + len < 2 * len) sequence);
+  !ok

@@ -1,0 +1,26 @@
+(** Scan chains: structural insertion and test-length accounting. *)
+
+open Hft_gate
+
+type t = {
+  netlist : Netlist.t;      (** the modified netlist *)
+  cells : int list;         (** scan DFF node ids, scan-in first *)
+  scan_en : int;            (** scan-enable PI *)
+  scan_in : int;            (** scan-in PI *)
+  scan_out : int;           (** scan-out PO *)
+}
+
+(** [insert nl dffs] rewires each listed DFF's D input through a scan
+    mux ([scan_en] selects the chain path) and threads them into one
+    chain.  The input netlist is modified in place and returned in the
+    chain record. *)
+val insert : Netlist.t -> int list -> t
+
+(** Cycles to apply [n_tests] scan tests: per test, [length] shift
+    cycles plus one capture, plus a final unload. *)
+val test_cycles : t -> n_tests:int -> int
+
+(** Shift-register integrity pattern: does a 01100... sequence shifted
+    through the chain (scan_en = 1) emerge intact at scan-out after
+    [length] cycles?  Verifies the chain wiring by simulation. *)
+val verify_shift : t -> bool

@@ -1,0 +1,28 @@
+open Hft_gate
+
+type result = {
+  chain : Chain.t;
+  tests : (int * bool) list list;
+  stats : Atpg_stats.t;
+}
+
+let atpg ?(backtrack_limit = 500) nl ~faults =
+  let dffs = Netlist.dffs nl in
+  let assignable = Netlist.pis nl @ dffs in
+  let observe =
+    Netlist.pos nl @ List.map (fun d -> (Netlist.fanin nl d).(0)) dffs
+  in
+  let stats = ref Atpg_stats.empty in
+  let tests = ref [] in
+  List.iter
+    (fun f ->
+      let r, e = Podem.generate ~backtrack_limit nl ~faults:[ f ] ~assignable ~observe in
+      stats := Atpg_stats.add_outcome !stats r e;
+      match r with
+      | Podem.Test assignment -> tests := assignment :: !tests
+      | Podem.Untestable | Podem.Aborted -> ())
+    faults;
+  let chain = Chain.insert nl dffs in
+  { chain; tests = List.rev !tests; stats = !stats }
+
+let insert nl = Chain.insert nl (Netlist.dffs nl)

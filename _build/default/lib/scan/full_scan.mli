@@ -1,0 +1,21 @@
+(** Full scan: every flip-flop becomes a scan cell.
+
+    For ATPG purposes scan reduces the sequential problem to a
+    combinational one: flip-flop outputs are pseudo-primary inputs and
+    their D inputs pseudo-primary outputs. *)
+
+open Hft_gate
+
+type result = {
+  chain : Chain.t;
+  tests : (int * bool) list list; (** one combinational test per entry *)
+  stats : Atpg_stats.t;
+}
+
+(** Combinational ATPG over the scan view of [nl] (no structural change
+    needed): full PI+FF controllability, PO+FF-input observability. *)
+val atpg : ?backtrack_limit:int -> Netlist.t -> faults:Fault.t list -> result
+
+(** Structural insertion of the full chain ([Chain.insert] on all
+    DFFs). *)
+val insert : Netlist.t -> Chain.t

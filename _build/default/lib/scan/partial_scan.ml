@@ -1,0 +1,20 @@
+open Hft_gate
+
+let select_gate_level nl =
+  let s = Gsgraph.of_netlist nl in
+  Gsgraph.scan_selection s
+
+let select_rtl_level d ex =
+  let s = Hft_rtl.Sgraph.of_datapath d in
+  let regs = Hft_rtl.Sgraph.scan_selection s in
+  List.concat_map (fun r -> Array.to_list ex.Expand.reg_q.(r)) regs
+
+let annotate_rtl d regs =
+  List.iter
+    (fun r ->
+      d.Hft_rtl.Datapath.regs.(r).Hft_rtl.Datapath.r_kind <-
+        Hft_rtl.Datapath.Scan)
+    regs
+
+let atpg ?backtrack_limit ?max_frames nl ~faults ~scanned =
+  Seq_atpg.run ?backtrack_limit ?max_frames nl ~faults ~scanned

@@ -1,0 +1,1 @@
+lib/util/digraph.ml: Array Buffer List Printf Queue Stack

@@ -1,0 +1,1 @@
+lib/util/mfvs.ml: Array Digraph List

@@ -1,0 +1,73 @@
+type t = { lo : int; hi : int }
+
+let make lo hi = { lo; hi }
+let is_empty i = i.lo >= i.hi
+let overlaps a b =
+  (not (is_empty a)) && (not (is_empty b)) && a.lo < b.hi && b.lo < a.hi
+
+let hull a b =
+  if is_empty a then b
+  else if is_empty b then a
+  else { lo = min a.lo b.lo; hi = max a.hi b.hi }
+
+let contains i x = x >= i.lo && x < i.hi
+let length i = if is_empty i then 0 else i.hi - i.lo
+let to_string i = Printf.sprintf "[%d,%d)" i.lo i.hi
+
+let left_edge items =
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  let order = Array.init n (fun i -> i) in
+  Array.sort
+    (fun i j ->
+      let (_, a) = arr.(i) and (_, b) = arr.(j) in
+      compare (a.lo, a.hi, i) (b.lo, b.hi, j))
+    order;
+  let track_of = Array.make n 0 in
+  (* tracks.(t) holds the right edge of the last interval on track t. *)
+  let tracks = ref [||] in
+  let ntracks = ref 0 in
+  Array.iter
+    (fun idx ->
+      let (_, iv) = arr.(idx) in
+      if is_empty iv then track_of.(idx) <- 0
+      else begin
+        let placed = ref false in
+        let t = ref 0 in
+        while (not !placed) && !t < !ntracks do
+          if !tracks.(!t) <= iv.lo then begin
+            !tracks.(!t) <- iv.hi;
+            track_of.(idx) <- !t;
+            placed := true
+          end;
+          incr t
+        done;
+        if not !placed then begin
+          let nt = Array.make (!ntracks + 1) min_int in
+          Array.blit !tracks 0 nt 0 !ntracks;
+          nt.(!ntracks) <- iv.hi;
+          track_of.(idx) <- !ntracks;
+          tracks := nt;
+          incr ntracks
+        end
+      end)
+    order;
+  let result =
+    Array.to_list (Array.mapi (fun i (key, _) -> (key, track_of.(i))) arr)
+  in
+  (result, max !ntracks (if n > 0 then 1 else 0))
+
+let max_overlap intervals =
+  let events =
+    List.concat_map
+      (fun i -> if is_empty i then [] else [ (i.lo, 1); (i.hi, -1) ])
+      intervals
+  in
+  let sorted = List.sort compare events in
+  let best = ref 0 and cur = ref 0 in
+  List.iter
+    (fun (_, d) ->
+      cur := !cur + d;
+      if !cur > !best then best := !cur)
+    sorted;
+  !best

@@ -1,0 +1,33 @@
+(** Half-open integer intervals [\[lo, hi)] used for variable lifetimes.
+
+    A variable produced at the end of control step [c] and last consumed
+    during control step [u] occupies a register during steps
+    [c+1 .. u], which we encode as the interval [\[c, u)] over step
+    boundaries.  Empty intervals ([lo >= hi]) conflict with nothing. *)
+
+type t = { lo : int; hi : int }
+
+val make : int -> int -> t
+
+val is_empty : t -> bool
+
+(** Two lifetimes conflict iff their non-empty intervals intersect. *)
+val overlaps : t -> t -> bool
+
+(** Smallest interval containing both. *)
+val hull : t -> t -> t
+
+val contains : t -> int -> bool
+val length : t -> int
+val to_string : t -> string
+
+(** [left_edge items] performs left-edge channel assignment: each item
+    [(key, interval)] is assigned the smallest track index such that no
+    two overlapping intervals share a track.  Returns assignments in the
+    input key order and the number of tracks used.  Classical register
+    allocation for straight-line lifetimes. *)
+val left_edge : ('a * t) list -> ('a * int) list * int
+
+(** Maximum number of simultaneously-live intervals — a lower bound on
+    any feasible track count. *)
+val max_overlap : t list -> int

@@ -1,0 +1,113 @@
+let strip_self_loops g =
+  let g = Digraph.copy g in
+  List.iter (fun v -> Digraph.remove_edge g v v) (Digraph.self_loops g);
+  g
+
+let is_feedback_set ?(ignore_self_loops = false) g vs =
+  let g = if ignore_self_loops then strip_self_loops g else Digraph.copy g in
+  List.iter (fun v -> Digraph.detach g v) vs;
+  Digraph.is_acyclic g
+
+(* Trim vertices that cannot lie on any cycle (in- or out-degree zero),
+   iterating to a fixed point.  Works in place. *)
+let trim g =
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for v = 0 to Digraph.order g - 1 do
+      let indeg = Digraph.in_degree g v and outdeg = Digraph.out_degree g v in
+      if (indeg = 0 && outdeg > 0) || (outdeg = 0 && indeg > 0) then begin
+        Digraph.detach g v;
+        changed := true
+      end
+    done
+  done
+
+let greedy ?(ignore_self_loops = false) g =
+  let g = if ignore_self_loops then strip_self_loops g else Digraph.copy g in
+  let fvs = ref [] in
+  (* Vertices with self-loops must be cut first: they are on a cycle no
+     other cut can break. *)
+  List.iter
+    (fun v ->
+      fvs := v :: !fvs;
+      Digraph.detach g v)
+    (Digraph.self_loops g);
+  trim g;
+  while not (Digraph.is_acyclic g) do
+    (* Pick, inside some non-trivial SCC, the vertex maximising the
+       in*out degree product — the classical Lee–Reddy style choice. *)
+    let members = Digraph.scc_members g in
+    let best = ref (-1) and best_score = ref (-1) in
+    Array.iter
+      (fun vs ->
+        match vs with
+        | [] | [ _ ] -> ()
+        | vs ->
+          List.iter
+            (fun v ->
+              let s = Digraph.in_degree g v * Digraph.out_degree g v in
+              if s > !best_score then begin
+                best_score := s;
+                best := v
+              end)
+            vs)
+      members;
+    if !best < 0 then
+      (* Remaining cycles must be self-loops created by detach order;
+         cut any vertex with a self-loop. *)
+      (match Digraph.self_loops g with
+       | [] -> assert false
+       | v :: _ ->
+         fvs := v :: !fvs;
+         Digraph.detach g v)
+    else begin
+      fvs := !best :: !fvs;
+      Digraph.detach g !best
+    end;
+    trim g
+  done;
+  List.sort compare !fvs
+
+let exact ?(ignore_self_loops = false) ?(limit = 12) g =
+  let g0 = if ignore_self_loops then strip_self_loops g else Digraph.copy g in
+  if Digraph.is_acyclic g0 then []
+  else begin
+    let forced = Digraph.self_loops g0 in
+    let g1 = Digraph.copy g0 in
+    List.iter (fun v -> Digraph.detach g1 v) forced;
+    (* Candidate vertices: those in non-trivial SCCs after forcing. *)
+    let members = Digraph.scc_members g1 in
+    let candidates =
+      Array.to_list members
+      |> List.filter (fun vs -> List.length vs > 1)
+      |> List.concat
+      |> List.sort compare
+    in
+    let acyclic_with cut =
+      let g' = Digraph.copy g1 in
+      List.iter (fun v -> Digraph.detach g' v) cut;
+      Digraph.is_acyclic g'
+    in
+    let rec choose k rest acc =
+      if k = 0 then if acyclic_with acc then Some acc else None
+      else
+        match rest with
+        | [] -> None
+        | v :: tl ->
+          (match choose (k - 1) tl (v :: acc) with
+           | Some s -> Some s
+           | None ->
+             (* Only worth skipping v if enough candidates remain. *)
+             if List.length tl >= k then choose k tl acc else None)
+    in
+    let rec deepen k =
+      if k > limit || k > List.length candidates then
+        greedy ~ignore_self_loops g
+      else
+        match choose k candidates [] with
+        | Some s -> List.sort compare (forced @ s)
+        | None -> deepen (k + 1)
+    in
+    if acyclic_with [] then List.sort compare forced else deepen 1
+  end

@@ -1,0 +1,23 @@
+(** Minimum feedback vertex set (MFVS) computation.
+
+    Breaking every directed cycle of an S-graph by removing (scanning) a
+    minimum set of vertices is the canonical gate-level partial-scan
+    formulation (Cheng–Agrawal, Lee–Reddy; survey section 3.1).  The
+    problem is NP-hard; [greedy] is the standard degree-product heuristic
+    and [exact] a branch-and-bound usable on small graphs. *)
+
+(** [greedy ?ignore_self_loops g] returns a vertex set whose removal
+    makes [g] acyclic.  When [ignore_self_loops] is [true] (the partial
+    scan convention: self-loops are tolerated by sequential ATPG),
+    self-loop-only vertices are not forced into the set.  Default
+    [false]. *)
+val greedy : ?ignore_self_loops:bool -> Digraph.t -> int list
+
+(** [exact ?ignore_self_loops ?limit g] is a minimum feedback vertex set
+    found by iterative-deepening search, trying sizes [0 .. limit]
+    (default [limit = 12]); falls back to [greedy] beyond the limit. *)
+val exact : ?ignore_self_loops:bool -> ?limit:int -> Digraph.t -> int list
+
+(** [is_feedback_set ?ignore_self_loops g vs] checks that removing [vs]
+    leaves [g] acyclic. *)
+val is_feedback_set : ?ignore_self_loops:bool -> Digraph.t -> int list -> bool

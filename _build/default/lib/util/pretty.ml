@@ -1,0 +1,72 @@
+type align = Left | Right
+
+let looks_numeric s =
+  s <> ""
+  && String.for_all
+       (fun c -> (c >= '0' && c <= '9') || c = '.' || c = '-' || c = '%'
+                 || c = '+' || c = 'x')
+       s
+
+let render ?title ?aligns ~header rows =
+  let ncols = List.length header in
+  List.iter
+    (fun r ->
+      if List.length r <> ncols then invalid_arg "Pretty.render: ragged row")
+    rows;
+  let cells = header :: rows in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)))
+    cells;
+  let align_of i cell_is_header cell =
+    match aligns with
+    | Some al when List.length al = ncols -> List.nth al i
+    | _ ->
+      if cell_is_header then Left
+      else if looks_numeric cell then Right
+      else Left
+  in
+  let buf = Buffer.create 256 in
+  (match title with
+   | Some t ->
+     Buffer.add_string buf t;
+     Buffer.add_char buf '\n'
+   | None -> ());
+  let sep () =
+    Array.iter
+      (fun w ->
+        Buffer.add_char buf '+';
+        Buffer.add_string buf (String.make (w + 2) '-'))
+      widths;
+    Buffer.add_string buf "+\n"
+  in
+  let row is_header r =
+    List.iteri
+      (fun i c ->
+        let w = widths.(i) in
+        let pad = w - String.length c in
+        Buffer.add_string buf "| ";
+        (match align_of i is_header c with
+         | Left ->
+           Buffer.add_string buf c;
+           Buffer.add_string buf (String.make pad ' ')
+         | Right ->
+           Buffer.add_string buf (String.make pad ' ');
+           Buffer.add_string buf c);
+        Buffer.add_char buf ' ')
+      r;
+    Buffer.add_string buf "|\n"
+  in
+  sep ();
+  row true header;
+  sep ();
+  List.iter (row false) rows;
+  sep ();
+  Buffer.contents buf
+
+let print ?title ?aligns ~header rows =
+  print_string (render ?title ?aligns ~header rows)
+
+let fi = string_of_int
+let ff ?(dp = 2) x = Printf.sprintf "%.*f" dp x
+let pct ?(dp = 1) x = Printf.sprintf "%.*f%%" dp (100.0 *. x)

@@ -1,0 +1,24 @@
+(** Fixed-width plain-text tables.
+
+    All experiment harnesses print through this module so every
+    reproduced table has the same layout in `bench_output.txt` and the
+    examples. *)
+
+type align = Left | Right
+
+(** [render ~title ~header rows] lays out a table; every row must have
+    the same arity as [header].  Numeric-looking cells default to
+    right-alignment unless [aligns] overrides. *)
+val render :
+  ?title:string -> ?aligns:align list -> header:string list ->
+  string list list -> string
+
+(** [print] is [render] sent to stdout. *)
+val print :
+  ?title:string -> ?aligns:align list -> header:string list ->
+  string list list -> unit
+
+(** Format helpers used by the experiment tables. *)
+val fi : int -> string
+val ff : ?dp:int -> float -> string
+val pct : ?dp:int -> float -> string

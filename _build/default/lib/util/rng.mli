@@ -1,0 +1,29 @@
+(** Deterministic splittable pseudo-random generator (splitmix64).
+
+    Every stochastic experiment in the framework takes an explicit [Rng.t]
+    so results are reproducible run-to-run without touching the global
+    [Random] state. *)
+
+type t
+
+val create : int -> t
+
+(** Independent stream derived from the current state. *)
+val split : t -> t
+
+(** 64 pseudo-random bits as an [int64]. *)
+val bits64 : t -> int64
+
+(** [int t bound] is uniform in [0 .. bound-1]; [bound > 0]. *)
+val int : t -> int -> int
+
+val bool : t -> bool
+
+(** [word t] is a full-width nonnegative native int (62 random bits). *)
+val word : t -> int
+
+(** Uniform float in [0,1). *)
+val float : t -> float
+
+(** Fisher–Yates shuffle (in place). *)
+val shuffle : t -> 'a array -> unit

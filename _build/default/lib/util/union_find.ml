@@ -1,0 +1,35 @@
+type t = { parent : int array; rank : int array }
+
+let create n = { parent = Array.init n (fun i -> i); rank = Array.make n 0 }
+
+let rec find uf x =
+  let p = uf.parent.(x) in
+  if p = x then x
+  else begin
+    let r = find uf p in
+    uf.parent.(x) <- r;
+    r
+  end
+
+let union uf x y =
+  let rx = find uf x and ry = find uf y in
+  if rx <> ry then
+    if uf.rank.(rx) < uf.rank.(ry) then uf.parent.(rx) <- ry
+    else if uf.rank.(rx) > uf.rank.(ry) then uf.parent.(ry) <- rx
+    else begin
+      uf.parent.(ry) <- rx;
+      uf.rank.(rx) <- uf.rank.(rx) + 1
+    end
+
+let same uf x y = find uf x = find uf y
+
+let groups uf =
+  let tbl = Hashtbl.create 16 in
+  let n = Array.length uf.parent in
+  for x = n - 1 downto 0 do
+    let r = find uf x in
+    let cur = try Hashtbl.find tbl r with Not_found -> [] in
+    Hashtbl.replace tbl r (x :: cur)
+  done;
+  Hashtbl.fold (fun r ms acc -> (r, ms) :: acc) tbl []
+  |> List.sort compare

@@ -1,0 +1,16 @@
+(** Disjoint-set forest with path compression and union by rank.
+
+    Used to pre-merge variables that are forced to share a register
+    (loop-carried feedback pairs, user merge constraints) before conflict
+    graph construction. *)
+
+type t
+
+val create : int -> t
+val find : t -> int -> int
+val union : t -> int -> int -> unit
+val same : t -> int -> int -> bool
+
+(** [groups uf] lists the classes as (representative, members) with
+    members sorted increasingly. *)
+val groups : t -> (int * int list) list

@@ -1,0 +1,1 @@
+test/test_cdfg.ml: Alcotest Array Bench_suite Builder Graph Hft_cdfg Hft_util Lifetime List Loops Op Paper_fig1 Printf QCheck QCheck_alcotest Schedule Testability Transform

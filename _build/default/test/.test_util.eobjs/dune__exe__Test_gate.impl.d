@@ -1,0 +1,1 @@
+test/test_gate.ml: Alcotest Array Bench_suite Ctrl_expand Expand Fault Fsim Graph Gsgraph Hft_cdfg Hft_gate Hft_hls Hft_rtl Hft_util List Netlist Op Podem Printf QCheck QCheck_alcotest Seq_atpg Sim

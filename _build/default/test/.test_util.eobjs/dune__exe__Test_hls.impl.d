@@ -1,0 +1,1 @@
+test/test_hls.ml: Alcotest Array Bench_suite Datapath_gen Fu_bind Hft_cdfg Hft_hls Hft_util Lifetime List List_sched Mobility_path Op Paper_fig1 QCheck QCheck_alcotest Reg_alloc Sched_algos Schedule

@@ -1,0 +1,1 @@
+test/test_rtl.ml: Alcotest Area Array Bench_suite Controller Datapath Datapath_gen Hft_cdfg Hft_core Hft_hls Hft_rtl Klevel List Op Printf Sgraph Testability Tscan

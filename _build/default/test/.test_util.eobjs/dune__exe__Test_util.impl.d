@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bitvec Digraph Hft_util Interval List Mfvs Pretty Printf QCheck QCheck_alcotest Rng String Union_find

@@ -1,0 +1,492 @@
+open Hft_cdfg
+open Hft_bist
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let synth ?(width = 4)
+    ?(resources =
+      [ (Op.Multiplier, 2); (Op.Alu, 1); (Op.Comparator, 1);
+        (Op.Logic_unit, 1) ]) name =
+  let g = Bench_suite.by_name name in
+  let latency = Hft_hls.Sched_algos.latencies g in
+  let sched = Hft_hls.List_sched.schedule ~latency g ~resources in
+  let binding = Hft_hls.Fu_bind.left_edge ~resources g sched in
+  let info = Lifetime.compute g sched in
+  let alloc = Hft_hls.Reg_alloc.left_edge g info in
+  let d = Hft_hls.Datapath_gen.generate ~width g sched binding alloc in
+  (g, sched, binding, info, alloc, d)
+
+(* ------------------------------------------------------------------ *)
+(* Lfsr / Misr                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_lfsr_maximal_period () =
+  List.iter
+    (fun w ->
+      let l = Lfsr.create ~width:w ~seed:1 in
+      check_int (Printf.sprintf "width %d period" w) ((1 lsl w) - 1)
+        (Lfsr.period l))
+    [ 2; 3; 4; 5; 6; 7; 8; 10; 12 ]
+
+let test_lfsr_nonzero () =
+  let l = Lfsr.create ~width:8 ~seed:0 in
+  (* Zero seed replaced; state never returns to zero. *)
+  for _ = 1 to 300 do
+    check "state nonzero" true (Lfsr.state l <> 0);
+    ignore (Lfsr.next l)
+  done
+
+let test_lfsr_deterministic () =
+  let a = Lfsr.create ~width:10 ~seed:77 in
+  let b = Lfsr.create ~width:10 ~seed:77 in
+  for _ = 1 to 100 do
+    check "same stream" true (Lfsr.next a = Lfsr.next b)
+  done
+
+let test_misr_distinguishes () =
+  let s1 = List.init 50 (fun i -> i * 3) in
+  let s2 = List.init 50 (fun i -> if i = 20 then 61 else i * 3) in
+  check "equal streams equal signatures" true
+    (Misr.of_stream ~width:12 s1 = Misr.of_stream ~width:12 s1);
+  check "different streams differ (this pair)" true
+    (Misr.of_stream ~width:12 s1 <> Misr.of_stream ~width:12 s2)
+
+let prop_misr_order_sensitive =
+  QCheck.Test.make ~name:"MISR signature depends on order" ~count:100
+    QCheck.(pair (int_bound 1000) (int_bound 1000))
+    (fun (a, b) ->
+      QCheck.assume (a <> b);
+      Misr.of_stream ~width:16 [ a; b; 17 ]
+      <> Misr.of_stream ~width:16 [ b; a; 17 ]
+      || a land 0xFFFF = b land 0xFFFF)
+
+(* ------------------------------------------------------------------ *)
+(* Bilbo planning                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_bilbo_plan_diffeq () =
+  let _, _, _, _, _, d = synth "diffeq" in
+  let p = Bilbo.plan d in
+  check "some TPGRs" true
+    (p.Bilbo.n_tpgr + p.Bilbo.n_bilbo + p.Bilbo.n_cbilbo > 0);
+  (* Every FU with work has an SR assigned. *)
+  Array.iteri
+    (fun f sr ->
+      if Hft_rtl.Datapath.fu_output_regs d f <> [] then
+        check (Printf.sprintf "fu %d has SR" f) true (sr >= 0))
+    p.Bilbo.sr_of_fu
+
+let test_bilbo_annotate_area () =
+  let _, _, _, _, _, d = synth "diffeq" in
+  let p = Bilbo.plan d in
+  let oh = Bilbo.area_overhead d p in
+  check "positive overhead" true (oh > 0.0);
+  check "sane overhead" true (oh < 0.5)
+
+let test_bilbo_cbilbo_only_when_forced () =
+  (* tseng has no feedback; with BIST-aware assignment CBILBOs should
+     be avoidable entirely. *)
+  let g = Bench_suite.tseng () in
+  let resources = [ (Op.Multiplier, 1); (Op.Alu, 1); (Op.Comparator, 1); (Op.Logic_unit, 1) ] in
+  let sched = Hft_hls.List_sched.schedule g ~resources in
+  let binding = Hft_hls.Fu_bind.left_edge ~resources g sched in
+  let info = Lifetime.compute g sched in
+  let alloc = Reg_assign.bist_aware g sched binding info in
+  let d = Hft_hls.Datapath_gen.generate ~width:4 g sched binding alloc in
+  let p = Bilbo.plan d in
+  check_int "no CBILBO needed on tseng" 0 p.Bilbo.n_cbilbo
+
+(* ------------------------------------------------------------------ *)
+(* BIST-aware register assignment                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_bist_aware_reduces_self_adjacency () =
+  List.iter
+    (fun name ->
+      let g, sched, binding, info, conventional, _ = synth name in
+      let aware = Reg_assign.bist_aware g sched binding info in
+      let before = Reg_assign.self_adjacent_count g binding conventional in
+      let after = Reg_assign.self_adjacent_count g binding aware in
+      check (name ^ ": self-adjacency not increased") true (after <= before);
+      (* Register count stays close (Avra reports equality on data
+         paths with several ALUs; under extreme unit sharing — one ALU
+         executing everything — a few extra registers are the price of
+         avoiding CBILBOs). *)
+      check (name ^ ": register count close") true
+        (aware.Hft_hls.Reg_alloc.n_regs
+         <= conventional.Hft_hls.Reg_alloc.n_regs + 4))
+    [ "tseng"; "ewf"; "iir4" ]
+
+let test_bist_aware_valid () =
+  let g, sched, binding, info, _, _ = synth "ewf" in
+  let aware = Reg_assign.bist_aware g sched binding info in
+  let extra = Reg_assign.self_adjacency_conflicts g binding info in
+  Hft_hls.Reg_alloc.validate ~extra_conflicts:extra g info aware
+
+(* ------------------------------------------------------------------ *)
+(* TFB / XTFB                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_tfb_map () =
+  let g = Bench_suite.ewf () in
+  let sched =
+    Hft_hls.List_sched.schedule g
+      ~resources:[ (Op.Multiplier, 2); (Op.Alu, 3) ]
+  in
+  let r = Tfb.map g sched in
+  check "TFBs created" true (r.Tfb.n_tfbs > 0);
+  check "self-adjacency free" true (Tfb.self_adjacency_free g r);
+  check_int "one register per TFB" r.Tfb.n_tfbs r.Tfb.n_test_registers;
+  (* Every op with an FU class is mapped. *)
+  Array.iteri
+    (fun o t ->
+      match Op.fu_class (Graph.op g o).Graph.o_kind with
+      | Some _ -> check "mapped" true (t >= 0)
+      | None -> check "moves unmapped" true (t = -1))
+    r.Tfb.tfb_of_op
+
+let test_xtfb_fewer_blocks () =
+  List.iter
+    (fun name ->
+      let g = Bench_suite.by_name name in
+      let sched =
+        Hft_hls.List_sched.schedule g
+          ~resources:
+            [ (Op.Multiplier, 3); (Op.Alu, 3); (Op.Comparator, 1);
+              (Op.Logic_unit, 1) ]
+      in
+      let t = Tfb.map g sched in
+      let x = Xtfb.map g sched in
+      check (name ^ ": xtfb no more blocks than tfb") true
+        (x.Xtfb.n_xtfbs <= t.Tfb.n_tfbs);
+      check (name ^ ": cbilbo free") true (Xtfb.cbilbo_free g x))
+    [ "ewf"; "diffeq"; "iir4" ]
+
+let prop_tfb_xtfb_invariants_random =
+  QCheck.Test.make ~name:"TFB/XTFB invariants hold on random CDFGs" ~count:40
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Hft_util.Rng.create seed in
+      let g = Bench_suite.random rng ~n_inputs:4 ~n_ops:12 ~p_feedback:0.2 in
+      let sched =
+        Hft_hls.List_sched.schedule g
+          ~resources:[ (Op.Multiplier, 3); (Op.Alu, 3) ]
+      in
+      let t = Tfb.map g sched in
+      let x = Xtfb.map g sched in
+      Tfb.self_adjacency_free g t
+      && Xtfb.cbilbo_free g x
+      && x.Xtfb.n_xtfbs <= t.Tfb.n_tfbs)
+
+let test_xtfb_area_lower () =
+  let g = Bench_suite.ewf () in
+  let sched =
+    Hft_hls.List_sched.schedule g
+      ~resources:[ (Op.Multiplier, 2); (Op.Alu, 3) ]
+  in
+  let t = Tfb.map g sched in
+  let x = Xtfb.map g sched in
+  check "xtfb area <= tfb area" true
+    (Xtfb.area ~width:8 x <= Tfb.area ~width:8 t)
+
+(* ------------------------------------------------------------------ *)
+(* Sharing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_sharing_no_more_test_registers () =
+  List.iter
+    (fun name ->
+      let g, sched, binding, info, _, d_conv = synth name in
+      let aware = Share.sharing_aware g sched binding info in
+      let d_aware =
+        Hft_hls.Datapath_gen.generate ~width:4 g sched binding aware
+      in
+      let conv = Share.test_register_count d_conv in
+      let shared = Share.test_register_count d_aware in
+      check
+        (Printf.sprintf "%s: sharing-aware %d <= conventional %d + 1" name
+           shared conv)
+        true
+        (shared <= conv + 1))
+    [ "diffeq"; "ewf"; "tseng" ]
+
+(* ------------------------------------------------------------------ *)
+(* Sessions                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_sessions_bounds () =
+  let _, _, _, _, _, d = synth "diffeq" in
+  let p = Bilbo.plan d in
+  let paths = Session.paths d p in
+  let colours, n = Session.schedule paths in
+  check "at least one session" true (n >= 1);
+  check "no more sessions than paths" true (n <= max 1 (List.length paths));
+  (* Colouring is proper. *)
+  List.iteri
+    (fun i ci ->
+      List.iteri
+        (fun j cj ->
+          if i < j && Session.conflict (List.nth paths i) (List.nth paths j)
+          then check "conflicting paths differ" true (ci <> cj))
+        colours)
+    colours
+
+let test_sessions_optimize_no_worse () =
+  List.iter
+    (fun name ->
+      let _, _, _, _, _, d = synth name in
+      let p = Bilbo.plan d in
+      let before = Session.count d p in
+      let after = Session.count d (Session.optimize d p) in
+      check (name ^ ": optimised sessions <= naive") true (after <= before))
+    [ "diffeq"; "ewf"; "iir4" ]
+
+let test_concurrency_aware_reduces_sessions () =
+  let g, sched, binding, info, conv_alloc, d_conv = synth "fir8" in
+  let plan = Bilbo.plan d_conv in
+  let before = Session.count d_conv plan in
+  let alloc = Session.concurrency_aware_alloc g binding info in
+  Hft_hls.Reg_alloc.validate g info alloc;
+  let d' = Hft_hls.Datapath_gen.generate ~width:4 g sched binding alloc in
+  let after = Session.count d' (Bilbo.plan d') in
+  check "sessions reduced or equal" true (after <= before);
+  check "register cost is the trade-off" true
+    (alloc.Hft_hls.Reg_alloc.n_regs >= conv_alloc.Hft_hls.Reg_alloc.n_regs);
+  (* The anti-shared datapath still computes the right thing. *)
+  let rng = Hft_util.Rng.create 13 in
+  check "still equivalent" true
+    (Hft_hls.Datapath_gen.check_against_behaviour ~width:4 ~trials:10 rng g d')
+
+let test_sessions_disjoint_paths_share () =
+  (* Two disjoint blocks: one session. *)
+  let a = { Session.fu = 0; tpgrs = [ 0; 1 ]; sr = 2 } in
+  let b = { Session.fu = 1; tpgrs = [ 3; 4 ]; sr = 5 } in
+  let _, n = Session.schedule [ a; b ] in
+  check_int "one session" 1 n;
+  let c = { Session.fu = 2; tpgrs = [ 2; 6 ]; sr = 7 } in
+  let _, n' = Session.schedule [ a; c ] in
+  check_int "shared register forces two" 2 n'
+
+(* ------------------------------------------------------------------ *)
+(* Arithmetic BIST                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_arith_full_sweep () =
+  let g = Arith.create ~width:6 ~seed:5 ~increment:7 in
+  let seen = Hashtbl.create 64 in
+  for _ = 1 to 64 do
+    Hashtbl.replace seen (Arith.next g) ()
+  done;
+  check_int "odd increment sweeps the space" 64 (Hashtbl.length seen)
+
+let test_subspace_coverage () =
+  let full = List.init 64 (fun i -> (i mod 8, i / 8)) in
+  check "full coverage" true
+    (abs_float (Arith.subspace_coverage ~k:3 full -. 1.0) < 1e-9);
+  let poor = List.init 64 (fun _ -> (0, 0)) in
+  check "poor coverage" true (Arith.subspace_coverage ~k:3 poor < 0.02)
+
+let test_op_streams () =
+  let g = Bench_suite.tseng () in
+  let streams = Arith.op_streams ~width:6 ~samples:32 ~seed:3 g in
+  check_int "stream per op" (Graph.n_ops g) (List.length streams);
+  List.iter
+    (fun (_, s) -> check_int "32 samples" 32 (List.length s))
+    streams
+
+let test_coverage_bind_valid () =
+  let g = Bench_suite.ewf () in
+  let resources = [ (Op.Multiplier, 2); (Op.Alu, 3) ] in
+  let sched = Hft_hls.List_sched.schedule g ~resources in
+  let b = Arith.coverage_bind ~resources ~width:6 ~samples:24 ~seed:1 g sched in
+  Hft_hls.Fu_bind.validate g sched b
+
+let test_compact_sensitivity () =
+  let s1 = List.init 30 (fun i -> i * 5) in
+  let s2 = List.init 30 (fun i -> if i = 7 then 99 else i * 5) in
+  check "compactor distinguishes (this pair)" true
+    (Arith.compact ~width:8 s1 <> Arith.compact ~width:8 s2)
+
+(* ------------------------------------------------------------------ *)
+(* In-situ BIST                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let insitu_setup () =
+  let g = Bench_suite.tseng () in
+  let resources =
+    [ (Op.Multiplier, 1); (Op.Alu, 1); (Op.Comparator, 1);
+      (Op.Logic_unit, 1) ]
+  in
+  let sched = Hft_hls.List_sched.schedule g ~resources in
+  let binding = Hft_hls.Fu_bind.left_edge ~resources g sched in
+  let info = Lifetime.compute g sched in
+  let alloc = Hft_hls.Reg_alloc.left_edge g info in
+  let d = Hft_hls.Datapath_gen.generate ~width:4 g sched binding alloc in
+  let ex = Hft_gate.Expand.of_datapath d in
+  let plan = Bilbo.plan d in
+  (g, d, ex, plan)
+
+let test_insitu_functional_transparency () =
+  (* bist_mode = 0 leaves the expansion functionally intact. *)
+  let g, d, ex, plan = insitu_setup () in
+  let t = Insitu.insert ex d plan in
+  ignore t;
+  let rng = Hft_util.Rng.create 4 in
+  for _ = 1 to 5 do
+    let inputs =
+      List.map
+        (fun v -> (v.Graph.v_name, Hft_util.Rng.int rng 16))
+        (Graph.inputs g)
+    in
+    let rtl_outs, _ = Hft_rtl.Datapath.simulate d ~inputs () in
+    (* run_iteration drives only the declared control/data PIs; the new
+       bist pins default to 0 = functional mode. *)
+    let gate_outs = Hft_gate.Expand.run_iteration d ex ~inputs () in
+    List.iter
+      (fun (name, v) ->
+        check ("functional " ^ name) true (List.assoc name gate_outs = v))
+      rtl_outs
+  done
+
+let test_insitu_signatures_reproducible () =
+  let _, d, ex, plan = insitu_setup () in
+  let t = Insitu.insert ex d plan in
+  let fu = 0 in
+  let sr = plan.Bilbo.sr_of_fu.(fu) in
+  if sr >= 0 then begin
+    let s1 = Insitu.run_session t d ~fu ~sr_reg:sr ~cycles:64 ~seed:7 in
+    let s2 = Insitu.run_session t d ~fu ~sr_reg:sr ~cycles:64 ~seed:7 in
+    check_int "deterministic signature" s1 s2;
+    let s3 = Insitu.run_session t d ~fu ~sr_reg:sr ~cycles:64 ~seed:11 in
+    check "seed changes signature" true (s1 <> s3)
+  end
+
+let test_insitu_campaign_detects () =
+  let _, d, ex, plan = insitu_setup () in
+  let t = Insitu.insert ex d plan in
+  let rng = Hft_util.Rng.create 23 in
+  (* Sample data-path faults only (nodes that exist pre-BIST). *)
+  let n_core = Hft_gate.Netlist.n_nodes ex.Hft_gate.Expand.netlist in
+  ignore n_core;
+  let faults =
+    Hft_gate.Fault.collapsed t.Insitu.netlist
+    |> List.filter (fun _ -> Hft_util.Rng.int rng 25 = 0)
+  in
+  let r = Insitu.campaign t d plan ~faults ~cycles:128 ~seed:5 in
+  check "sessions exist" true (List.length r.Insitu.sessions > 0);
+  check
+    (Printf.sprintf "in-situ coverage substantial (%d/%d)" r.Insitu.detected
+       r.Insitu.n_faults)
+    true
+    (Insitu.coverage r > 0.4)
+
+(* ------------------------------------------------------------------ *)
+(* Campaigns                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_run_block_curves () =
+  let r =
+    Run.run_block ~checkpoints:[ 16; 64; 256 ] ~source:Run.Lfsr_source ~seed:3
+      ~width:4 [ Op.Add; Op.Sub ]
+  in
+  check_int "three checkpoints" 3 (List.length r.Run.coverage);
+  let final = snd (List.nth r.Run.coverage 2) in
+  check "adder/sub block coverage high" true (final > 0.9)
+
+let test_run_campaign () =
+  let _, _, _, _, _, d = synth "diffeq" in
+  let r = Run.run ~checkpoints:[ 32; 128 ] ~source:Run.Lfsr_source ~seed:7 d in
+  check "blocks reported" true (List.length r.Run.blocks > 0);
+  check "total coverage sane" true
+    (r.Run.total_coverage > 0.5 && r.Run.total_coverage <= 1.0)
+
+let test_lfsr_vs_arith_shapes () =
+  (* Both sources reach high coverage on an adder block; the arithmetic
+     source is not catastrophically worse (the paper's point: adders
+     suffice as generators). *)
+  let final src =
+    let r =
+      Run.run_block ~checkpoints:[ 256 ] ~source:src ~seed:11 ~width:4
+        [ Op.Add ]
+    in
+    snd (List.hd r.Run.coverage)
+  in
+  let l = final Run.Lfsr_source and a = final Run.Arith_source in
+  check "lfsr high" true (l > 0.9);
+  check "arith close" true (a > 0.8)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "hft_bist"
+    [
+      ( "lfsr",
+        [
+          Alcotest.test_case "maximal period" `Quick test_lfsr_maximal_period;
+          Alcotest.test_case "nonzero" `Quick test_lfsr_nonzero;
+          Alcotest.test_case "deterministic" `Quick test_lfsr_deterministic;
+        ] );
+      ( "misr",
+        [
+          Alcotest.test_case "distinguishes" `Quick test_misr_distinguishes;
+          qt prop_misr_order_sensitive;
+        ] );
+      ( "bilbo",
+        [
+          Alcotest.test_case "plan" `Quick test_bilbo_plan_diffeq;
+          Alcotest.test_case "area" `Quick test_bilbo_annotate_area;
+          Alcotest.test_case "cbilbo only when forced" `Quick
+            test_bilbo_cbilbo_only_when_forced;
+        ] );
+      ( "reg_assign",
+        [
+          Alcotest.test_case "reduces self-adjacency" `Quick
+            test_bist_aware_reduces_self_adjacency;
+          Alcotest.test_case "valid" `Quick test_bist_aware_valid;
+        ] );
+      ( "tfb",
+        [
+          Alcotest.test_case "map" `Quick test_tfb_map;
+          Alcotest.test_case "xtfb fewer blocks" `Quick test_xtfb_fewer_blocks;
+          Alcotest.test_case "xtfb area" `Quick test_xtfb_area_lower;
+          qt prop_tfb_xtfb_invariants_random;
+        ] );
+      ( "share",
+        [
+          Alcotest.test_case "test registers" `Quick
+            test_sharing_no_more_test_registers;
+        ] );
+      ( "session",
+        [
+          Alcotest.test_case "bounds" `Quick test_sessions_bounds;
+          Alcotest.test_case "optimize no worse" `Quick
+            test_sessions_optimize_no_worse;
+          Alcotest.test_case "concurrency-aware assignment" `Quick
+            test_concurrency_aware_reduces_sessions;
+          Alcotest.test_case "disjoint share" `Quick
+            test_sessions_disjoint_paths_share;
+        ] );
+      ( "arith",
+        [
+          Alcotest.test_case "full sweep" `Quick test_arith_full_sweep;
+          Alcotest.test_case "subspace coverage" `Quick test_subspace_coverage;
+          Alcotest.test_case "op streams" `Quick test_op_streams;
+          Alcotest.test_case "coverage bind" `Quick test_coverage_bind_valid;
+          Alcotest.test_case "compactor" `Quick test_compact_sensitivity;
+        ] );
+      ( "insitu",
+        [
+          Alcotest.test_case "functional transparency" `Quick
+            test_insitu_functional_transparency;
+          Alcotest.test_case "signatures reproducible" `Quick
+            test_insitu_signatures_reproducible;
+          Alcotest.test_case "campaign detects" `Quick
+            test_insitu_campaign_detects;
+        ] );
+      ( "run",
+        [
+          Alcotest.test_case "block curves" `Quick test_run_block_curves;
+          Alcotest.test_case "campaign" `Quick test_run_campaign;
+          Alcotest.test_case "lfsr vs arith" `Quick test_lfsr_vs_arith_shapes;
+        ] );
+    ]

@@ -1,0 +1,494 @@
+open Hft_cdfg
+open Hft_core
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let resources =
+  [ (Op.Multiplier, 2); (Op.Alu, 2); (Op.Comparator, 1); (Op.Logic_unit, 1) ]
+
+let sched_of g = Hft_hls.List_sched.schedule g ~resources
+
+(* ------------------------------------------------------------------ *)
+(* Scan_vars                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_scan_vars_break_all () =
+  List.iter
+    (fun name ->
+      let g = Bench_suite.by_name name in
+      let sched = sched_of g in
+      List.iter
+        (fun (tag, sel) ->
+          check
+            (Printf.sprintf "%s/%s breaks all loops" name tag)
+            true
+            (Scan_vars.breaks_all g sel.Scan_vars.scan_vars))
+        [ ("mfvs", Scan_vars.select_mfvs g sched);
+          ("effective", Scan_vars.select_effective g sched);
+          ("boundary", Scan_vars.select_boundary g sched) ])
+    [ "diffeq"; "ewf"; "iir4"; "ar_lattice" ]
+
+let test_scan_vars_sharing_helps () =
+  (* The effectiveness selector never needs more scan registers than
+     the vertex-minimal baseline on the benchmark suite. *)
+  List.iter
+    (fun name ->
+      let g = Bench_suite.by_name name in
+      let sched = sched_of g in
+      let mfvs = Scan_vars.select_mfvs g sched in
+      let eff = Scan_vars.select_effective g sched in
+      check
+        (Printf.sprintf "%s: effective (%d regs) <= mfvs (%d regs)" name
+           eff.Scan_vars.n_scan_registers mfvs.Scan_vars.n_scan_registers)
+        true
+        (eff.Scan_vars.n_scan_registers <= mfvs.Scan_vars.n_scan_registers))
+    [ "diffeq"; "ewf"; "iir4"; "ar_lattice" ]
+
+let test_scan_vars_acyclic_graph_empty () =
+  let g = Bench_suite.tseng () in
+  let sched = sched_of g in
+  let sel = Scan_vars.select_effective g sched in
+  check_int "no loops, no scan" 0 (List.length sel.Scan_vars.scan_vars);
+  check_int "no scan registers" 0 sel.Scan_vars.n_scan_registers
+
+(* ------------------------------------------------------------------ *)
+(* Io_reg_assign                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_io_assign_improves () =
+  List.iter
+    (fun name ->
+      let g = Bench_suite.by_name name in
+      let sched = sched_of g in
+      let conv = Io_reg_assign.assign_conventional g sched in
+      let io = Io_reg_assign.assign g sched in
+      check
+        (Printf.sprintf "%s: io regs %d >= conventional %d" name
+           io.Io_reg_assign.n_io_registers conv.Io_reg_assign.n_io_registers)
+        true
+        (io.Io_reg_assign.n_io_registers >= conv.Io_reg_assign.n_io_registers);
+      check (name ^ ": register count close") true
+        (io.Io_reg_assign.n_registers <= conv.Io_reg_assign.n_registers + 2))
+    [ "tseng"; "diffeq"; "ewf"; "fir8" ]
+
+let test_io_assign_valid () =
+  let g = Bench_suite.ewf () in
+  let sched = sched_of g in
+  let io = Io_reg_assign.assign g sched in
+  let info = Lifetime.compute g sched in
+  Hft_hls.Reg_alloc.validate g info io.Io_reg_assign.alloc
+
+(* ------------------------------------------------------------------ *)
+(* Sim_sched_assign — including the paper's Figure 1                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_fig1_loop_avoidance () =
+  let g = Paper_fig1.graph () in
+  (* The paper's (b) binding creates an assignment loop; the
+     loop-aware binder under the same 2-adder constraint finds a
+     loop-free binding like (c). *)
+  let sched_b = Paper_fig1.schedule_b g in
+  let binding_b = Hft_hls.Fu_bind.of_class_indices g sched_b Paper_fig1.binding_b in
+  check "paper binding (b) has an assignment loop" true
+    (Sim_sched_assign.assignment_loops g binding_b > 0);
+  let sched_c = Paper_fig1.schedule_c g in
+  let binding_c = Hft_hls.Fu_bind.of_class_indices g sched_c Paper_fig1.binding_c in
+  check_int "paper binding (c) is loop-free" 0
+    (Sim_sched_assign.assignment_loops g binding_c);
+  let r = Sim_sched_assign.run ~resources:[ (Op.Alu, 2) ] g None in
+  check_int "loop-aware binder avoids the loop" 0
+    r.Sim_sched_assign.est_assignment_loops;
+  Hft_hls.Fu_bind.validate g r.Sim_sched_assign.sched r.Sim_sched_assign.binding
+
+let test_ssa_no_worse_than_conventional () =
+  List.iter
+    (fun name ->
+      let g = Bench_suite.by_name name in
+      let conv = Sim_sched_assign.conventional ~resources g in
+      let aware = Sim_sched_assign.run ~resources g None in
+      check
+        (Printf.sprintf "%s: aware loops %d <= conventional %d" name
+           aware.Sim_sched_assign.est_assignment_loops
+           conv.Sim_sched_assign.est_assignment_loops)
+        true
+        (aware.Sim_sched_assign.est_assignment_loops
+         <= conv.Sim_sched_assign.est_assignment_loops))
+    [ "tseng"; "diffeq"; "ewf"; "iir4" ]
+
+(* ------------------------------------------------------------------ *)
+(* Controller DFT                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_controller_dft_reduces_implications () =
+  let g = Bench_suite.diffeq () in
+  let r = Flow.synthesize_conventional ~width:4 g in
+  let rep = Controller_dft.harden r.Flow.datapath in
+  check "implications reduced" true
+    (rep.Controller_dft.implications_after
+     < rep.Controller_dft.implications_before);
+  check "few vectors" true (rep.Controller_dft.extra_vectors <= 8)
+
+(* ------------------------------------------------------------------ *)
+(* Behav_mod                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_behav_mod_test_statements () =
+  let b = Builder.create "hard" in
+  let x = Builder.input b "x" in
+  let y = Builder.input b "y" in
+  let s = Builder.binop b Op.Add x y ~name:"s" in
+  let c = Builder.binop b Op.Lt s y ~name:"c" in
+  Builder.mark_output b c;
+  let g = Builder.finish b in
+  let rep = Behav_mod.add_test_statements g in
+  check "hard before" true (rep.Behav_mod.hard_before > 0);
+  check_int "no hard after" 0 rep.Behav_mod.hard_after;
+  (* Behaviour itself unchanged on the original outputs. *)
+  let rng = Hft_util.Rng.create 1 in
+  check "behaviour preserved" true
+    (Transform.equivalent ~width:8 ~trials:30 rng g rep.Behav_mod.graph)
+
+let test_deflection_flow () =
+  let g = Bench_suite.ar_lattice () in
+  let rep =
+    Behav_mod.deflect_for_scan_sharing ~max_tries:4
+      ~resources:[ (Op.Multiplier, 2); (Op.Alu, 2) ] g
+  in
+  check "scan regs never increase" true
+    (rep.Behav_mod.scan_regs_after <= rep.Behav_mod.scan_regs_before);
+  (* When deflections were applied, behaviour is preserved. *)
+  if rep.Behav_mod.deflections > 0 then begin
+    let rng = Hft_util.Rng.create 2 in
+    check "behaviour preserved" true
+      (Transform.equivalent ~width:8 ~trials:20 rng g rep.Behav_mod.graph_defl)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Hier_test                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_justify_simple () =
+  let g = Bench_suite.tseng () in
+  let t1 = Graph.var_by_name g "t1" in
+  (match Hier_test.justify ~width:8 g ~wanted:[ (t1, 42) ] with
+   | None -> Alcotest.fail "t1 should be justifiable (i1 + i2)"
+   | Some pis ->
+     let all =
+       List.map
+         (fun v ->
+           match List.assoc_opt v.Graph.v_name pis with
+           | Some x -> (v.Graph.v_name, x)
+           | None -> (v.Graph.v_name, 0))
+         (Graph.inputs g)
+     in
+     let r = Graph.run ~width:8 g ~inputs:all () in
+     check_int "t1 = 42" 42 (Graph.value_of g r "t1"))
+
+let test_justify_conflict_detected () =
+  (* s = x + y, p = s * s: wanting s = 3 and s = 4 simultaneously is
+     impossible. *)
+  let b = Builder.create "conflict" in
+  let x = Builder.input b "x" in
+  let y = Builder.input b "y" in
+  let s = Builder.binop b Op.Add x y ~name:"s" in
+  let p = Builder.binop b Op.Mul s s ~name:"p" in
+  Builder.mark_output b p;
+  let g = Builder.finish b in
+  check "conflicting demands rejected" true
+    (Hier_test.justify ~width:8 g ~wanted:[ (s, 3); (s, 4) ] = None)
+
+let test_environment_and_compose () =
+  (* diffeq's m6 = u * dx feeds yl = y + m6 with y justifiable to 0,
+     and yl is a primary output: a textbook test environment. *)
+  let g = Bench_suite.diffeq () in
+  let m6_op =
+    match Graph.producer g (Graph.var_by_name g "m6") with
+    | Some o -> o.Graph.o_id
+    | None -> Alcotest.fail "no producer"
+  in
+  match Hier_test.environment ~width:8 g m6_op with
+  | None -> Alcotest.fail "m6 should have a test environment"
+  | Some env ->
+    let pairs = [ (3, 5); (7, 9); (0, 1); (13, 2) ] in
+    let c = Hier_test.compose ~width:8 g env pairs in
+    check_int "all vectors translated" (List.length pairs)
+      c.Hier_test.vectors_translated;
+    check_int "all vectors confirmed" (List.length pairs)
+      c.Hier_test.vectors_confirmed
+
+let test_environment_absent_when_unjustifiable () =
+  (* tseng's t5 = t3 * t4: justifying t3 and t4 simultaneously needs
+     i1 = 0 (for t4's Or) and i1 = a (for t3's chain) — impossible, so
+     no environment may be claimed. *)
+  let g = Bench_suite.tseng () in
+  let t5_op =
+    match Graph.producer g (Graph.var_by_name g "t5") with
+    | Some o -> o.Graph.o_id
+    | None -> Alcotest.fail "no producer"
+  in
+  check "t5 has no (validated) environment" true
+    (Hier_test.environment ~width:8 g t5_op = None)
+
+let prop_justify_really_justifies =
+  QCheck.Test.make ~name:"justify bindings achieve the requested value"
+    ~count:80
+    QCheck.(pair (int_bound 100000) (int_bound 255))
+    (fun (seed, value) ->
+      let rng = Hft_util.Rng.create seed in
+      let g = Bench_suite.random rng ~n_inputs:4 ~n_ops:10 ~p_feedback:0.0 in
+      (* Pick any intermediate variable and try to justify it. *)
+      let nv = Graph.n_vars g in
+      let v = Hft_util.Rng.int rng nv in
+      match (Graph.var g v).Graph.v_kind with
+      | Graph.V_const _ -> true
+      | _ ->
+        (match Hier_test.justify ~width:8 g ~wanted:[ (v, value) ] with
+         | None -> true (* unjustifiable is a legal answer *)
+         | Some pis ->
+           let all =
+             List.map
+               (fun inp ->
+                 match List.assoc_opt inp.Graph.v_name pis with
+                 | Some x -> (inp.Graph.v_name, x)
+                 | None -> (inp.Graph.v_name, 0))
+               (Graph.inputs g)
+           in
+           let r = Graph.run ~width:8 g ~inputs:all () in
+           List.assoc v r land 0xFF = value land 0xFF))
+
+let test_coverage_repair () =
+  let g = Bench_suite.diffeq () in
+  let sched = sched_of g in
+  let binding = Hft_hls.Fu_bind.left_edge ~resources g sched in
+  let covered, uncovered = Hier_test.covered_instances ~width:8 g binding in
+  check "some instances covered" true (List.length covered > 0);
+  if uncovered <> [] then begin
+    let g', points = Hier_test.ensure_coverage ~width:8 g binding in
+    check "points added" true (points > 0);
+    let _, uncovered' = Hier_test.covered_instances ~width:8 g' binding in
+    check "coverage improved" true
+      (List.length uncovered' < List.length uncovered)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Flows                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_flows_run_everywhere () =
+  List.iter
+    (fun (name, g) ->
+      let conv = Flow.synthesize_conventional ~width:4 g in
+      check (name ^ " conventional no overhead") true
+        (abs_float conv.Flow.report.Flow.area_overhead < 1e-9);
+      let ps = Flow.synthesize_for_partial_scan ~width:4 g in
+      check_int (name ^ " partial scan: loop-free") 0
+        ps.Flow.report.Flow.datapath_loops;
+      let bist = Flow.synthesize_for_bist ~width:4 g in
+      check (name ^ " bist has test registers") true
+        (bist.Flow.report.Flow.n_test_registers > 0);
+      check (name ^ " bist sessions >= 1") true
+        (bist.Flow.report.Flow.test_sessions >= 1))
+    (Bench_suite.all ())
+
+let test_flow_datapaths_still_correct () =
+  let rng = Hft_util.Rng.create 77 in
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun (tag, r) ->
+          check
+            (Printf.sprintf "%s/%s datapath equivalent" name tag)
+            true
+            (Hft_hls.Datapath_gen.check_against_behaviour ~width:4 ~trials:10
+               rng g r.Flow.datapath))
+        [ ("conv", Flow.synthesize_conventional ~width:4 g);
+          ("scan", Flow.synthesize_for_partial_scan ~width:4 g);
+          ("bist", Flow.synthesize_for_bist ~width:4 g) ])
+    (Bench_suite.all ())
+
+let prop_flows_on_random_cdfgs =
+  QCheck.Test.make ~name:"all flows sound on random CDFGs" ~count:25
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Hft_util.Rng.create seed in
+      let g =
+        Bench_suite.random rng ~n_inputs:4 ~n_ops:12 ~p_feedback:0.25
+      in
+      let conv = Flow.synthesize_conventional ~width:4 g in
+      let ps = Flow.synthesize_for_partial_scan ~width:4 g in
+      let bist = Flow.synthesize_for_bist ~width:4 g in
+      (* Partial scan always ends loop-free; all three datapaths remain
+         behaviourally correct. *)
+      ps.Flow.report.Flow.datapath_loops = 0
+      && List.for_all
+           (fun r ->
+             Hft_hls.Datapath_gen.check_against_behaviour ~width:4 ~trials:5
+               rng g r.Flow.datapath)
+           [ conv; ps; bist ])
+
+(* ------------------------------------------------------------------ *)
+(* Failure injection: the checkers actually catch broken artefacts    *)
+(* ------------------------------------------------------------------ *)
+
+let test_injected_datapath_bug_caught () =
+  (* Drop one Exec transfer: the equivalence checker must notice. *)
+  let g = Bench_suite.tseng () in
+  let r = Flow.synthesize_conventional ~width:6 g in
+  let d = r.Flow.datapath in
+  let broken =
+    { d with
+      Hft_rtl.Datapath.transfers =
+        (let dropped = ref false in
+         List.filter
+           (fun (_, m) ->
+             match m with
+             | Hft_rtl.Datapath.Exec _ when not !dropped ->
+               dropped := true;
+               false
+             | _ -> true)
+           d.Hft_rtl.Datapath.transfers) }
+  in
+  let rng = Hft_util.Rng.create 99 in
+  Alcotest.(check bool) "broken datapath detected" false
+    (Hft_hls.Datapath_gen.check_against_behaviour ~width:6 ~trials:20 rng g
+       broken)
+
+let test_injected_gate_bug_caught () =
+  (* Flip one gate kind in the expansion: gate-vs-RTL comparison must
+     fail on some vector. *)
+  let g = Bench_suite.tseng () in
+  let r = Flow.synthesize_conventional ~width:6 g in
+  let ex = Hft_gate.Expand.of_datapath r.Flow.datapath in
+  let nl = ex.Hft_gate.Expand.netlist in
+  (* Find an And gate and rewire it as Or by rebuilding: netlist kinds
+     are immutable, so instead swap two fanins of an Xor-feeding gate —
+     pick a Mux2 and swap its data inputs. *)
+  let mux =
+    let found = ref None in
+    for v = 0 to Hft_gate.Netlist.n_nodes nl - 1 do
+      if !found = None && Hft_gate.Netlist.kind nl v = Hft_gate.Netlist.Mux2
+      then found := Some v
+    done;
+    match !found with Some v -> v | None -> Alcotest.fail "no mux"
+  in
+  let fi = Hft_gate.Netlist.fanin nl mux in
+  let a = fi.(1) and b = fi.(2) in
+  if a <> b then begin
+    Hft_gate.Netlist.set_fanin nl mux 1 b;
+    Hft_gate.Netlist.set_fanin nl mux 2 a;
+    let rng = Hft_util.Rng.create 5 in
+    let differs = ref false in
+    for _ = 1 to 20 do
+      let inputs =
+        List.map
+          (fun v -> (v.Graph.v_name, Hft_util.Rng.int rng 64))
+          (Graph.inputs g)
+      in
+      let rtl_outs, _ = Hft_rtl.Datapath.simulate r.Flow.datapath ~inputs () in
+      let gate_outs =
+        Hft_gate.Expand.run_iteration r.Flow.datapath ex ~inputs ()
+      in
+      if List.exists (fun (n, v) -> List.assoc n gate_outs <> v) rtl_outs then
+        differs := true
+    done;
+    Alcotest.(check bool) "swapped mux detected" true !differs
+  end
+
+let test_injected_scan_chain_break_caught () =
+  (* Cut the chain between two cells: shift integrity must fail. *)
+  let g = Bench_suite.tseng () in
+  let r = Flow.synthesize_conventional ~width:4 g in
+  let ex = Hft_gate.Expand.of_datapath r.Flow.datapath in
+  let chain = Hft_scan.Full_scan.insert ex.Hft_gate.Expand.netlist in
+  Alcotest.(check bool) "intact chain shifts" true
+    (Hft_scan.Chain.verify_shift chain);
+  (* Break: make the second cell's scan mux take scan_in instead of the
+     first cell's Q. *)
+  (match chain.Hft_scan.Chain.cells with
+   | _ :: c2 :: _ ->
+     let nl = chain.Hft_scan.Chain.netlist in
+     let mux = (Hft_gate.Netlist.fanin nl c2).(0) in
+     Hft_gate.Netlist.set_fanin nl mux 2 chain.Hft_scan.Chain.scan_in;
+     Alcotest.(check bool) "broken chain caught" false
+       (Hft_scan.Chain.verify_shift chain)
+   | _ -> Alcotest.fail "chain too short")
+
+(* ------------------------------------------------------------------ *)
+(* Tool survey                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_table1 () =
+  check_int "seven tools" 7 (List.length Tool_survey.table1);
+  let s = Tool_survey.render () in
+  List.iter
+    (fun e ->
+      let contains needle =
+        let nh = String.length s and nn = String.length needle in
+        let rec go i = i + nn <= nh && (String.sub s i nn = needle || go (i + 1)) in
+        go 0
+      in
+      check (e.Tool_survey.vendor ^ " present") true
+        (contains e.Tool_survey.vendor))
+    Tool_survey.table1
+
+let () =
+  Alcotest.run "hft_core"
+    [
+      ( "scan_vars",
+        [
+          Alcotest.test_case "break all" `Quick test_scan_vars_break_all;
+          Alcotest.test_case "sharing helps" `Quick test_scan_vars_sharing_helps;
+          Alcotest.test_case "acyclic empty" `Quick
+            test_scan_vars_acyclic_graph_empty;
+        ] );
+      ( "io_reg_assign",
+        [
+          Alcotest.test_case "improves" `Quick test_io_assign_improves;
+          Alcotest.test_case "valid" `Quick test_io_assign_valid;
+        ] );
+      ( "sim_sched_assign",
+        [
+          Alcotest.test_case "figure 1" `Quick test_fig1_loop_avoidance;
+          Alcotest.test_case "no worse" `Quick test_ssa_no_worse_than_conventional;
+        ] );
+      ( "controller_dft",
+        [
+          Alcotest.test_case "implications" `Quick
+            test_controller_dft_reduces_implications;
+        ] );
+      ( "behav_mod",
+        [
+          Alcotest.test_case "test statements" `Quick
+            test_behav_mod_test_statements;
+          Alcotest.test_case "deflection flow" `Quick test_deflection_flow;
+        ] );
+      ( "hier_test",
+        [
+          Alcotest.test_case "justify" `Quick test_justify_simple;
+          Alcotest.test_case "conflict" `Quick test_justify_conflict_detected;
+          Alcotest.test_case "environment+compose" `Quick
+            test_environment_and_compose;
+          Alcotest.test_case "no bogus environment" `Quick
+            test_environment_absent_when_unjustifiable;
+          Alcotest.test_case "coverage repair" `Quick test_coverage_repair;
+          QCheck_alcotest.to_alcotest prop_justify_really_justifies;
+        ] );
+      ( "flow",
+        [
+          Alcotest.test_case "flows run" `Quick test_flows_run_everywhere;
+          Alcotest.test_case "datapaths correct" `Quick
+            test_flow_datapaths_still_correct;
+          QCheck_alcotest.to_alcotest prop_flows_on_random_cdfgs;
+        ] );
+      ( "failure_injection",
+        [
+          Alcotest.test_case "broken datapath caught" `Quick
+            test_injected_datapath_bug_caught;
+          Alcotest.test_case "broken expansion caught" `Quick
+            test_injected_gate_bug_caught;
+          Alcotest.test_case "broken scan chain caught" `Quick
+            test_injected_scan_chain_break_caught;
+        ] );
+      ("tool_survey", [ Alcotest.test_case "table 1" `Quick test_table1 ]);
+    ]

@@ -1,0 +1,345 @@
+open Hft_cdfg
+open Hft_hls
+open Hft_rtl
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let default_resources =
+  [ (Op.Multiplier, 2); (Op.Alu, 2); (Op.Comparator, 1); (Op.Logic_unit, 1) ]
+
+let conventional name =
+  Datapath_gen.conventional ~width:8 ~resources:default_resources
+    (Bench_suite.by_name name)
+
+let fig1_datapath which =
+  Hft_core.Fig1_exp.datapath
+    (match which with `B -> Hft_core.Fig1_exp.B | `C -> Hft_core.Fig1_exp.C)
+
+(* ------------------------------------------------------------------ *)
+(* Datapath queries                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_datapath_queries () =
+  let d = conventional "diffeq" in
+  check "has registers" true (Datapath.n_regs d > 0);
+  check "has fus" true (Datapath.n_fus d > 0);
+  check "inputs registered" true (List.length (Datapath.input_registers d) > 0);
+  check "outputs registered" true (List.length (Datapath.output_registers d) > 0);
+  (* Every FU's inputs and outputs are registers of the datapath. *)
+  for f = 0 to Datapath.n_fus d - 1 do
+    List.iter
+      (fun r -> check "in range" true (r >= 0 && r < Datapath.n_regs d))
+      (Datapath.fu_input_regs d f @ Datapath.fu_output_regs d f)
+  done
+
+let test_datapath_validate_catches () =
+  let d = conventional "tseng" in
+  let bad =
+    { d with
+      Datapath.transfers =
+        (0, Datapath.Move { src = Datapath.Sreg 0; dst = 999 })
+        :: d.Datapath.transfers }
+  in
+  check "dangling register caught" true
+    (match Datapath.validate bad with
+     | () -> false
+     | exception Invalid_argument _ -> true)
+
+let test_self_adjacent_diffeq () =
+  (* diffeq with merged state registers: xl shares x's register and xl =
+     x + dx on an ALU whose input includes that register -> self
+     adjacency is expected in a conventional datapath. *)
+  let d = conventional "diffeq" in
+  check "self-adjacent registers exist" true
+    (List.length (Datapath.self_adjacent_regs d) > 0)
+
+(* ------------------------------------------------------------------ *)
+(* S-graph                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_sgraph_fig1_b () =
+  let _, d = fig1_datapath `B in
+  let s = Sgraph.of_datapath d in
+  let nt = Sgraph.nontrivial_loops s in
+  check "assignment loop exists in (b)" true (List.length nt > 0);
+  (* The paper's loop has length 2: RA1 -> RA2 -> RA1. *)
+  check "a 2-loop" true (List.exists (fun l -> List.length l = 2) nt);
+  (* One scanned register suffices to break it. *)
+  let scan = Sgraph.scan_selection s in
+  check_int "one scan register" 1 (List.length scan);
+  check "loop-free after scan" true (Sgraph.is_loop_free s ~scanned:scan)
+
+let test_sgraph_fig1_c () =
+  let _, d = fig1_datapath `C in
+  let s = Sgraph.of_datapath d in
+  check_int "no nontrivial loops in (c)" 0
+    (List.length (Sgraph.nontrivial_loops s));
+  check "self-loops tolerated" true (List.length (Sgraph.self_loop_regs s) >= 1);
+  check_int "no scan registers needed" 0 (List.length (Sgraph.scan_selection s))
+
+let test_sgraph_diffeq_loops () =
+  let d = conventional "diffeq" in
+  let s = Sgraph.of_datapath d in
+  check "diffeq datapath has loops" true
+    (List.length (Sgraph.loops s) > 0);
+  let scan = Sgraph.scan_selection s in
+  check "scan breaks all" true (Sgraph.is_loop_free s ~scanned:scan)
+
+let test_sequential_depth () =
+  let d = conventional "tseng" in
+  let s = Sgraph.of_datapath d in
+  (match Sgraph.sequential_depth s ~scanned:[] with
+   | Some depth -> check "tseng depth positive" true (depth >= 1)
+   | None -> Alcotest.fail "tseng outputs unreachable");
+  (* Scanning everything drives depth to 0. *)
+  let all = List.init (Datapath.n_regs d) (fun i -> i) in
+  (match Sgraph.sequential_depth s ~scanned:all with
+   | Some depth -> check_int "full scan depth 0" 0 depth
+   | None -> Alcotest.fail "full scan unreachable")
+
+(* ------------------------------------------------------------------ *)
+(* Controller                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_controller_decode () =
+  let d = conventional "diffeq" in
+  let c = Controller.of_datapath d in
+  check_int "states = steps + 1" (d.Datapath.n_steps + 1) c.Controller.n_states;
+  check "has signals" true (List.length c.Controller.signals > 0);
+  (* Every Exec in the transfer table shows up as an enable. *)
+  List.iter
+    (fun (step, m) ->
+      match m with
+      | Datapath.Exec e ->
+        check "enable set" true
+          (Controller.value c.Controller.vectors.(step)
+             (Controller.Reg_enable e.dst) = 1)
+      | Datapath.Move { dst; _ } ->
+        check "move enable set" true
+          (Controller.value c.Controller.vectors.(step)
+             (Controller.Reg_enable dst) = 1))
+    d.Datapath.transfers
+
+let test_controller_unreachable_and_counts () =
+  let d = conventional "diffeq" in
+  let c = Controller.of_datapath d in
+  (* Functional vectors are distinct states: count is bounded by
+     n_states, and unreachable values exist (no state asserts every
+     enable at once). *)
+  check "n_vectors bounded" true (Controller.n_vectors c <= c.Controller.n_states);
+  (* Every listed unreachable (signal, value) really appears in no
+     vector — on these controllers single values are usually all
+     reachable (the restriction lives in the combinations, i.e. the
+     implications), so the list is typically empty. *)
+  List.iter
+    (fun (s, v) ->
+      Array.iter
+        (fun vec -> check "really unreachable" false (Controller.value vec s = v))
+        c.Controller.vectors)
+    (Controller.unreachable_values c);
+  (* Adding a test vector can only grow the vector count. *)
+  let tv = List.map (fun s -> (s, 1)) c.Controller.signals in
+  let c' = Controller.add_test_vectors c [ tv ] in
+  check "vector count grows" true
+    (Controller.n_vectors c' >= Controller.n_vectors c)
+
+let test_datapath_mux_legs_positive () =
+  let d = conventional "diffeq" in
+  check "shared datapath has mux legs" true (Datapath.mux_legs d > 0)
+
+let test_controller_implications () =
+  let d = conventional "diffeq" in
+  let c = Controller.of_datapath d in
+  let imps = Controller.implications c in
+  check "functional vectors imply things" true (List.length imps > 0)
+
+let test_controller_test_vectors_reduce_implications () =
+  let d = conventional "diffeq" in
+  let c = Controller.of_datapath d in
+  let before = List.length (Controller.implications c) in
+  (* A test vector asserting every enable with select 0 kills many
+     enable-enable implications. *)
+  let tv = List.map (fun s -> (s, match s with Controller.Reg_enable _ -> 1 | _ -> 0)) c.Controller.signals in
+  let c' = Controller.add_test_vectors c [ tv ] in
+  let after = List.length (Controller.implications c') in
+  check "implications reduced" true (after < before)
+
+(* ------------------------------------------------------------------ *)
+(* RTL testability                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_testability_ranges () =
+  let d = conventional "tseng" in
+  let s = Sgraph.of_datapath d in
+  let reports = Testability.analyze s in
+  check_int "one report per register" (Datapath.n_regs d)
+    (List.length reports);
+  (* Input registers are controllable in 0 cycles. *)
+  List.iter
+    (fun r ->
+      let rep = List.nth reports r in
+      check "input reg c-min 0" true (rep.Testability.control.min_cycles = Some 0))
+    (Datapath.input_registers d)
+
+let test_testability_loops_unbounded () =
+  let d = conventional "diffeq" in
+  let s = Sgraph.of_datapath d in
+  let reports = Testability.analyze s in
+  (* Registers inside loops have unbounded max control or observe. *)
+  let unbounded =
+    List.filter
+      (fun r ->
+        r.Testability.control.max_cycles = None
+        || r.Testability.observe.max_cycles = None)
+      reports
+  in
+  check "looped registers are unbounded" true (List.length unbounded > 0)
+
+let test_scan_removes_hard_nodes () =
+  let d = conventional "diffeq" in
+  let s = Sgraph.of_datapath d in
+  let scan = Testability.scan_for_hard_nodes ~threshold:3 s in
+  let reports = Testability.analyze ~scanned:scan s in
+  check_int "no hard nodes left" 0
+    (List.length (Testability.hard_nodes ~threshold:3 reports))
+
+(* ------------------------------------------------------------------ *)
+(* K-level test points                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_klevel_k0_vs_scan () =
+  let d = conventional "diffeq" in
+  let s = Sgraph.of_datapath d in
+  let r0 = Klevel.insert s ~k:0 in
+  check "k=0 covers all loops" true (r0.Klevel.loops_covered = r0.Klevel.loops_total);
+  check "k=0 needs test points" true (List.length r0.Klevel.test_points > 0)
+
+let test_klevel_monotone () =
+  let d = conventional "diffeq" in
+  let s = Sgraph.of_datapath d in
+  let sweep = Klevel.sweep s ~max_k:3 in
+  let counts = List.map (fun r -> List.length r.Klevel.test_points) sweep in
+  (* Larger k never needs more test points. *)
+  let rec mono = function
+    | a :: (b :: _ as tl) -> a >= b && mono tl
+    | _ -> true
+  in
+  check "monotone decreasing" true (mono counts)
+
+let test_klevel_covered () =
+  let d = conventional "diffeq" in
+  let s = Sgraph.of_datapath d in
+  let r = Klevel.insert s ~k:1 in
+  check "covered at k=1" true
+    (Klevel.covered s ~k:1 ~test_points:r.Klevel.test_points)
+
+(* ------------------------------------------------------------------ *)
+(* Transparent scan                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_tscan_covers () =
+  List.iter
+    (fun name ->
+      let d = conventional name in
+      let s = Sgraph.of_datapath d in
+      let sel = Tscan.select s in
+      if Sgraph.nontrivial_loops s <> [] then begin
+        check (name ^ ": cover complete") true (Tscan.covered s sel);
+        check (name ^ ": uses some cells") true (Tscan.n_cells sel > 0)
+      end)
+    [ "diffeq"; "ewf"; "iir4"; "ar_lattice" ]
+
+let test_tscan_fewer_cells_than_scan () =
+  List.iter
+    (fun name ->
+      let d = conventional name in
+      let s = Sgraph.of_datapath d in
+      let scan_only = List.length (Sgraph.scan_selection s) in
+      let mixed = Tscan.n_cells (Tscan.select s) in
+      check
+        (Printf.sprintf "%s: mixed %d <= scan-only %d" name mixed scan_only)
+        true (mixed <= scan_only))
+    [ "diffeq"; "ewf"; "iir4"; "ar_lattice" ]
+
+let test_tscan_empty_when_loop_free () =
+  let d = conventional "tseng" in
+  let s = Sgraph.of_datapath d in
+  if Sgraph.nontrivial_loops s = [] then
+    check_int "no cells when loop-free" 0 (Tscan.n_cells (Tscan.select s))
+
+(* ------------------------------------------------------------------ *)
+(* Area                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_area_monotone_in_dft () =
+  let d = conventional "diffeq" in
+  let base = Area.datapath_area d in
+  d.Datapath.regs.(0).Datapath.r_kind <- Datapath.Scan;
+  let with_scan = Area.datapath_area d in
+  check "scan costs area" true (with_scan > base);
+  d.Datapath.regs.(0).Datapath.r_kind <- Datapath.Cbilbo;
+  let with_cbilbo = Area.datapath_area d in
+  check "cbilbo costs more than scan" true (with_cbilbo > with_scan);
+  d.Datapath.regs.(0).Datapath.r_kind <- Datapath.Plain;
+  check "overhead zero at base" true (abs_float (Area.overhead ~base d) < 1e-9)
+
+let test_area_register_subset () =
+  let d = conventional "ewf" in
+  check "registers are part of total" true
+    (Area.register_area d < Area.datapath_area d)
+
+let () =
+  Alcotest.run "hft_rtl"
+    [
+      ( "datapath",
+        [
+          Alcotest.test_case "queries" `Quick test_datapath_queries;
+          Alcotest.test_case "validate catches" `Quick
+            test_datapath_validate_catches;
+          Alcotest.test_case "self-adjacency" `Quick test_self_adjacent_diffeq;
+        ] );
+      ( "sgraph",
+        [
+          Alcotest.test_case "fig1(b) assignment loop" `Quick test_sgraph_fig1_b;
+          Alcotest.test_case "fig1(c) self-loops only" `Quick test_sgraph_fig1_c;
+          Alcotest.test_case "diffeq loops" `Quick test_sgraph_diffeq_loops;
+          Alcotest.test_case "sequential depth" `Quick test_sequential_depth;
+        ] );
+      ( "controller",
+        [
+          Alcotest.test_case "decode" `Quick test_controller_decode;
+          Alcotest.test_case "unreachable/counts" `Quick
+            test_controller_unreachable_and_counts;
+          Alcotest.test_case "mux legs" `Quick test_datapath_mux_legs_positive;
+          Alcotest.test_case "implications" `Quick test_controller_implications;
+          Alcotest.test_case "test vectors help" `Quick
+            test_controller_test_vectors_reduce_implications;
+        ] );
+      ( "testability",
+        [
+          Alcotest.test_case "ranges" `Quick test_testability_ranges;
+          Alcotest.test_case "loops unbounded" `Quick
+            test_testability_loops_unbounded;
+          Alcotest.test_case "scan removes hard nodes" `Quick
+            test_scan_removes_hard_nodes;
+        ] );
+      ( "klevel",
+        [
+          Alcotest.test_case "k0 vs scan" `Quick test_klevel_k0_vs_scan;
+          Alcotest.test_case "monotone" `Quick test_klevel_monotone;
+          Alcotest.test_case "covered" `Quick test_klevel_covered;
+        ] );
+      ( "tscan",
+        [
+          Alcotest.test_case "covers" `Quick test_tscan_covers;
+          Alcotest.test_case "fewer cells" `Quick
+            test_tscan_fewer_cells_than_scan;
+          Alcotest.test_case "loop-free" `Quick test_tscan_empty_when_loop_free;
+        ] );
+      ( "area",
+        [
+          Alcotest.test_case "dft monotone" `Quick test_area_monotone_in_dft;
+          Alcotest.test_case "registers subset" `Quick test_area_register_subset;
+        ] );
+    ]

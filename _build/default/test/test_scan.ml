@@ -1,0 +1,312 @@
+open Hft_cdfg
+open Hft_gate
+open Hft_scan
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let small_datapath () =
+  let g = Bench_suite.diffeq () in
+  Hft_hls.Datapath_gen.conventional ~width:4
+    ~resources:[ (Op.Multiplier, 2); (Op.Alu, 1); (Op.Comparator, 1) ]
+    g
+
+(* ------------------------------------------------------------------ *)
+(* Chain                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_chain_shift_integrity () =
+  let d = small_datapath () in
+  let ex = Expand.of_datapath d in
+  let chain = Full_scan.insert ex.Expand.netlist in
+  check "chain shifts correctly" true (Chain.verify_shift chain)
+
+let test_chain_test_cycles () =
+  let nl = Netlist.create () in
+  let a = Netlist.add nl Netlist.Pi [||] in
+  let f1 = Netlist.add nl Netlist.Dff [| a |] in
+  let f2 = Netlist.add nl Netlist.Dff [| f1 |] in
+  let _ = Netlist.add nl Netlist.Po [| f2 |] in
+  let chain = Chain.insert nl [ f1; f2 ] in
+  (* 3 tests on a 2-cell chain: 3*(2+1) + 2 = 11 cycles. *)
+  check_int "test cycles" 11 (Chain.test_cycles chain ~n_tests:3)
+
+let test_chain_rejects_non_dff () =
+  let nl = Netlist.create () in
+  let a = Netlist.add nl Netlist.Pi [||] in
+  check "non-dff rejected" true
+    (match Chain.insert nl [ a ] with
+     | _ -> false
+     | exception Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Full scan ATPG                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_full_scan_coverage () =
+  let d = small_datapath () in
+  let ex = Expand.of_datapath d in
+  let nl = ex.Expand.netlist in
+  let rng = Hft_util.Rng.create 4 in
+  (* Sample the fault list to keep runtime in check. *)
+  let faults =
+    Fault.collapsed nl
+    |> List.filter (fun _ -> Hft_util.Rng.int rng 10 = 0)
+  in
+  let r = Full_scan.atpg ~backtrack_limit:300 nl ~faults in
+  check "full-scan efficiency > 95%" true
+    (Atpg_stats.efficiency r.Full_scan.stats > 0.95);
+  check "tests produced" true (List.length r.Full_scan.tests > 0)
+
+let test_full_scan_functionality_preserved () =
+  (* After chain insertion with scan_en = 0, functional behaviour is
+     untouched: compare against a pre-insertion copy via run_iteration
+     semantics on a tiny circuit. *)
+  let nl = Netlist.create () in
+  let a = Netlist.add nl ~name:"a" Netlist.Pi [||] in
+  let f = Netlist.add nl Netlist.Dff [| a |] in
+  let _y = Netlist.add nl ~name:"y" Netlist.Po [| f |] in
+  let before =
+    Sim.run_cycles nl ~stimuli:[| [| true |]; [| false |]; [| true |] |]
+  in
+  let chain = Full_scan.insert nl in
+  (* Same stimulus with scan controls low. *)
+  let pis = Netlist.pis nl in
+  let stim =
+    Array.map
+      (fun row ->
+        Array.of_list
+          (List.map
+             (fun p ->
+               if p = chain.Chain.scan_en || p = chain.Chain.scan_in then false
+               else row.(0))
+             pis))
+      [| [| true |]; [| false |]; [| true |] |]
+  in
+  let after = Sim.run_cycles nl ~stimuli:stim in
+  (* PO streams agree on the functional output (scan_out may differ). *)
+  Array.iteri
+    (fun c row -> check "functional value" true (row.(0) = before.(c).(0)))
+    after
+
+(* ------------------------------------------------------------------ *)
+(* Apply                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_apply_end_to_end () =
+  let d = small_datapath () in
+  let ex = Expand.of_datapath d in
+  let nl = ex.Expand.netlist in
+  let rng = Hft_util.Rng.create 9 in
+  let faults =
+    Fault.collapsed nl
+    |> List.filter (fun _ -> Hft_util.Rng.int rng 40 = 0)
+  in
+  (* Generate scan-view tests first, then insert the chain and apply
+     each test for real. *)
+  let dffs = Netlist.dffs nl in
+  let assignable = Netlist.pis nl @ dffs in
+  let observe =
+    Netlist.pos nl @ List.map (fun dd -> (Netlist.fanin nl dd).(0)) dffs
+  in
+  let pairs =
+    List.filter_map
+      (fun f ->
+        match
+          Podem.generate ~backtrack_limit:300 nl ~faults:[ f ] ~assignable
+            ~observe
+        with
+        | Podem.Test assignment, _ -> Some (f, assignment)
+        | Podem.Untestable, _ | Podem.Aborted, _ -> None)
+      faults
+  in
+  check "have scan tests" true (List.length pairs >= 3);
+  let chain = Full_scan.insert nl in
+  let applied = List.length pairs in
+  let caught =
+    List.length
+      (List.filter
+         (fun (f, assignment) ->
+           Apply.apply_and_check chain ~assignment ~fault:f)
+         pairs)
+  in
+  (* Scan application must catch the overwhelming majority; a test can
+     occasionally rely on a second capture (our application does one),
+     so allow a small slack. *)
+  check "almost all tests apply" true
+    (float_of_int caught /. float_of_int applied > 0.9)
+
+(* ------------------------------------------------------------------ *)
+(* Partial scan                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_partial_scan_breaks_loops () =
+  let d = small_datapath () in
+  let ex = Expand.of_datapath d in
+  let nl = ex.Expand.netlist in
+  let scanned = Partial_scan.select_gate_level nl in
+  check "selects something" true (List.length scanned > 0);
+  (* After removing scanned FFs the S-graph is loop-free modulo
+     self-loops. *)
+  let s = Gsgraph.of_netlist nl in
+  let idx_of = Hashtbl.create 16 in
+  List.iteri (fun i dd -> Hashtbl.replace idx_of dd i)
+    (Array.to_list s.Gsgraph.dff_ids);
+  let vertices = List.map (Hashtbl.find idx_of) scanned in
+  check "loop-free after cut" true
+    (Hft_util.Mfvs.is_feedback_set ~ignore_self_loops:true s.Gsgraph.graph
+       vertices)
+
+let test_rtl_selection_fewer_ffs () =
+  let d = small_datapath () in
+  let ex = Expand.of_datapath d in
+  let nl = ex.Expand.netlist in
+  let gate_sel = Partial_scan.select_gate_level nl in
+  let rtl_sel = Partial_scan.select_rtl_level d ex in
+  (* RTL selection picks whole registers: multiples of the width; and
+     the per-bit count should not exceed the gate-level count by much
+     (typically it is equal or smaller per broken loop). *)
+  check "rtl selection non-empty" true (List.length rtl_sel > 0);
+  check_int "whole registers" 0 (List.length rtl_sel mod d.Hft_rtl.Datapath.width);
+  (* Both selections break all loops. *)
+  let s = Gsgraph.of_netlist nl in
+  let idx_of = Hashtbl.create 16 in
+  List.iteri (fun i dd -> Hashtbl.replace idx_of dd i)
+    (Array.to_list s.Gsgraph.dff_ids);
+  List.iter
+    (fun sel ->
+      check "breaks loops" true
+        (Hft_util.Mfvs.is_feedback_set ~ignore_self_loops:true s.Gsgraph.graph
+           (List.map (Hashtbl.find idx_of) sel)))
+    [ gate_sel; rtl_sel ]
+
+let test_partial_scan_atpg_beats_noscan () =
+  let d = small_datapath () in
+  let ex = Expand.of_datapath d in
+  let nl = ex.Expand.netlist in
+  let rng = Hft_util.Rng.create 21 in
+  let faults =
+    Fault.collapsed nl
+    |> List.filter (fun _ -> Hft_util.Rng.int rng 60 = 0)
+  in
+  let scanned = Partial_scan.select_rtl_level d ex in
+  let no_scan =
+    Partial_scan.atpg ~backtrack_limit:60 ~max_frames:3 nl ~faults ~scanned:[]
+  in
+  let with_scan =
+    Partial_scan.atpg ~backtrack_limit:60 ~max_frames:3 nl ~faults ~scanned
+  in
+  check "partial scan coverage >= no scan" true
+    (Seq_atpg.fault_coverage with_scan >= Seq_atpg.fault_coverage no_scan)
+
+(* ------------------------------------------------------------------ *)
+(* Boundary scan                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Core under wrap: y0 = a & b, y1 = a ^ b. *)
+let bs_core () =
+  let nl = Netlist.create ~name:"bs_core" () in
+  let a = Netlist.add nl ~name:"a" Netlist.Pi [||] in
+  let b = Netlist.add nl ~name:"b" Netlist.Pi [||] in
+  let g1 = Netlist.add nl Netlist.And [| a; b |] in
+  let g2 = Netlist.add nl Netlist.Xor [| a; b |] in
+  let _ = Netlist.add nl ~name:"y0" Netlist.Po [| g1 |] in
+  let _ = Netlist.add nl ~name:"y1" Netlist.Po [| g2 |] in
+  nl
+
+let test_boundary_shift () =
+  let t = Boundary.insert (bs_core ()) in
+  check "chain shifts" true (Boundary.verify_shift t)
+
+let test_boundary_extest () =
+  let t = Boundary.insert (bs_core ()) in
+  (* EXTEST with a=1,b=1 driven from the cells (pins forced to 0 by the
+     harness): expect y0 = 1, y1 = 0. *)
+  (match Boundary.extest_roundtrip t ~inputs:[ true; true ] with
+   | [ y0; y1 ] ->
+     check "y0 = and = 1" true y0;
+     check "y1 = xor = 0" false y1
+   | _ -> Alcotest.fail "two output cells expected");
+  (match Boundary.extest_roundtrip t ~inputs:[ true; false ] with
+   | [ y0; y1 ] ->
+     check "y0 = 0" false y0;
+     check "y1 = 1" true y1
+   | _ -> Alcotest.fail "two output cells expected")
+
+let test_boundary_functional_transparency () =
+  (* With bs_shift = extest = 0 the wrapped core behaves like the bare
+     one. *)
+  let bare = bs_core () in
+  let bare_out =
+    Sim.run_cycles bare ~stimuli:[| [| true; false |]; [| true; true |] |]
+  in
+  let t = Boundary.insert (bs_core ()) in
+  let nl = t.Boundary.netlist in
+  let pis = Netlist.pis nl in
+  let stim =
+    Array.map
+      (fun row ->
+        Array.of_list
+          (List.map
+             (fun p ->
+               if p = t.Boundary.bs_shift || p = t.Boundary.extest
+                  || p = t.Boundary.bs_in
+               then false
+               else if Netlist.node_name nl p = "a" then row.(0)
+               else row.(1))
+             pis))
+      [| [| true; false |]; [| true; true |] |]
+  in
+  let wrapped_out = Sim.run_cycles nl ~stimuli:stim in
+  (* Compare the functional POs (y0, y1) — positions 0 and 1. *)
+  Array.iteri
+    (fun c row ->
+      check "y0 transparent" true (row.(0) = bare_out.(c).(0));
+      check "y1 transparent" true (row.(1) = bare_out.(c).(1)))
+    wrapped_out
+
+let test_boundary_on_datapath () =
+  let g = Hft_cdfg.Bench_suite.tseng () in
+  let r =
+    Hft_hls.Datapath_gen.conventional ~width:3
+      ~resources:
+        [ (Op.Multiplier, 1); (Op.Alu, 1); (Op.Comparator, 1);
+          (Op.Logic_unit, 1) ]
+      g
+  in
+  let ex = Expand.of_datapath r in
+  let t = Boundary.insert ex.Expand.netlist in
+  check "datapath boundary chain shifts" true (Boundary.verify_shift t)
+
+let () =
+  Alcotest.run "hft_scan"
+    [
+      ( "chain",
+        [
+          Alcotest.test_case "shift integrity" `Quick test_chain_shift_integrity;
+          Alcotest.test_case "test cycles" `Quick test_chain_test_cycles;
+          Alcotest.test_case "non-dff rejected" `Quick test_chain_rejects_non_dff;
+        ] );
+      ( "full_scan",
+        [
+          Alcotest.test_case "coverage" `Quick test_full_scan_coverage;
+          Alcotest.test_case "functionality preserved" `Quick
+            test_full_scan_functionality_preserved;
+        ] );
+      ("apply", [ Alcotest.test_case "end to end" `Quick test_apply_end_to_end ]);
+      ( "partial_scan",
+        [
+          Alcotest.test_case "breaks loops" `Quick test_partial_scan_breaks_loops;
+          Alcotest.test_case "rtl selection" `Quick test_rtl_selection_fewer_ffs;
+          Alcotest.test_case "atpg vs noscan" `Quick
+            test_partial_scan_atpg_beats_noscan;
+        ] );
+      ( "boundary",
+        [
+          Alcotest.test_case "shift" `Quick test_boundary_shift;
+          Alcotest.test_case "extest" `Quick test_boundary_extest;
+          Alcotest.test_case "transparency" `Quick
+            test_boundary_functional_transparency;
+          Alcotest.test_case "on a datapath" `Quick test_boundary_on_datapath;
+        ] );
+    ]
