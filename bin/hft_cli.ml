@@ -4,6 +4,7 @@
      hft analyze --bench diffeq
      hft atpg    --bench tseng [--sample 25]
      hft bist    --bench diffeq [--patterns 1024]
+     hft lint    --bench fig1b [--flow partial-scan] [--json]
      hft list *)
 
 open Cmdliner
@@ -12,11 +13,29 @@ open Hft_core
 
 let bench_names = List.map fst (Bench_suite.all ())
 
+(* Bench names arrive as free strings so unknown names can exit with a
+   clean diagnostic (code 2) instead of an uncaught exception. *)
+let resolve_bench ?(extra = []) name =
+  match List.assoc_opt name (Bench_suite.all ()) with
+  | Some g -> `Bench g
+  | None ->
+    (match List.assoc_opt name extra with
+     | Some v -> v
+     | None ->
+       Printf.eprintf "hft: unknown benchmark '%s' (known: %s)\n" name
+         (String.concat ", " (bench_names @ List.map fst extra));
+       exit 2)
+
+let bench_graph ?extra name =
+  match resolve_bench ?extra name with
+  | `Bench g -> g
+  | _ -> assert false
+
 let bench_arg =
   let doc =
     Printf.sprintf "Benchmark behaviour (%s)." (String.concat ", " bench_names)
   in
-  Arg.(required & opt (some (enum (List.map (fun n -> (n, n)) bench_names))) None
+  Arg.(required & opt (some string) None
        & info [ "b"; "bench" ] ~docv:"NAME" ~doc)
 
 let width_arg =
@@ -27,24 +46,15 @@ let dot_arg =
 
 (* ------------------------------------------------------------------ *)
 
+let flow_arg =
+  Arg.(value & opt (enum Flow.flow_kinds) Flow.Conventional
+       & info [ "f"; "flow" ] ~docv:"FLOW"
+           ~doc:"Synthesis flow: conventional, partial-scan or bist.")
+
 let synth_cmd =
-  let flow_arg =
-    let flows =
-      [ ("conventional", `Conventional); ("partial-scan", `Partial_scan);
-        ("bist", `Bist) ]
-    in
-    Arg.(value & opt (enum flows) `Conventional
-         & info [ "f"; "flow" ] ~docv:"FLOW"
-             ~doc:"Synthesis flow: conventional, partial-scan or bist.")
-  in
   let run bench flow width dot =
-    let g = Bench_suite.by_name bench in
-    let r =
-      match flow with
-      | `Conventional -> Flow.synthesize_conventional ~width g
-      | `Partial_scan -> Flow.synthesize_for_partial_scan ~width g
-      | `Bist -> Flow.synthesize_for_bist ~width g
-    in
+    let g = bench_graph bench in
+    let r = Flow.synthesize ~width flow g in
     if dot then print_string (Hft_rtl.Datapath.to_dot r.Flow.datapath)
     else begin
       print_string (Hft_rtl.Datapath.pp r.Flow.datapath);
@@ -57,7 +67,7 @@ let synth_cmd =
 
 let analyze_cmd =
   let run bench width =
-    let g = Bench_suite.by_name bench in
+    let g = bench_graph bench in
     Printf.printf "%s: %d ops, %d vars, %d states\n" bench (Graph.n_ops g)
       (Graph.n_vars g)
       (List.length (Graph.state_vars g));
@@ -86,7 +96,7 @@ let atpg_cmd =
          & info [ "sample" ] ~docv:"N" ~doc:"Keep one fault in N.")
   in
   let run bench width sample =
-    let g = Bench_suite.by_name bench in
+    let g = bench_graph bench in
     let rng = Hft_util.Rng.create 2024 in
     let conv = Flow.synthesize_conventional ~width g in
     let scan = Flow.synthesize_for_partial_scan ~width g in
@@ -125,7 +135,7 @@ let bist_cmd =
          & info [ "patterns" ] ~docv:"N" ~doc:"Pseudorandom patterns per block.")
   in
   let run bench width patterns =
-    let g = Bench_suite.by_name bench in
+    let g = bench_graph bench in
     let r = Flow.synthesize_for_bist ~width g in
     Hft_util.Pretty.print ~header:Flow.report_header
       [ Flow.report_row r.Flow.report ];
@@ -148,6 +158,65 @@ let bist_cmd =
   Cmd.v (Cmd.info "bist" ~doc:"BIST synthesis and pseudorandom campaign")
     Term.(const run $ bench_arg $ width_arg $ patterns_arg)
 
+let lint_cmd =
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit the report as machine-readable JSON.")
+  in
+  let cc_arg =
+    Arg.(value & opt int Hft_lint.Rules.default.Hft_lint.Rules.cc_threshold
+         & info [ "cc-threshold" ] ~docv:"N"
+             ~doc:"SCOAP controllability threshold (HFT-L007).")
+  in
+  let co_arg =
+    Arg.(value & opt int Hft_lint.Rules.default.Hft_lint.Rules.co_threshold
+         & info [ "co-threshold" ] ~docv:"N"
+             ~doc:"SCOAP observability threshold (HFT-L008).")
+  in
+  let fig1 which () =
+    let g, d = Fig1_exp.datapath which in
+    (Hft_lint.Rules.ctx ~graph:g d, "fig1-binding")
+  in
+  let run bench flow width json cc co =
+    let ctx, flow_name =
+      match
+        resolve_bench
+          ~extra:[ ("fig1b", `Fig1 Fig1_exp.B); ("fig1c", `Fig1 Fig1_exp.C) ]
+          bench
+      with
+      | `Fig1 which -> fig1 which ()
+      | `Bench g ->
+        let r = Flow.synthesize ~width flow g in
+        ( Hft_lint.Rules.ctx ~graph:r.Flow.graph r.Flow.datapath,
+          Flow.flow_kind_to_string flow )
+    in
+    let config =
+      { Hft_lint.Rules.default with
+        Hft_lint.Rules.cc_threshold = cc;
+        Hft_lint.Rules.co_threshold = co }
+    in
+    let diags = Hft_lint.Engine.run ~config ctx in
+    let datapath = ctx.Hft_lint.Rules.datapath in
+    if json then
+      print_endline
+        (Hft_util.Json.to_string
+           (Hft_lint.Report.to_json
+              ~meta:
+                [ ("bench", Hft_util.Json.String bench);
+                  ("flow", Hft_util.Json.String flow_name) ]
+              ~datapath diags))
+    else print_string (Hft_lint.Report.to_table ~datapath diags);
+    if Hft_lint.Diagnostic.has_errors diags then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Static testability analysis: SCOAP metrics and design-rule checks \
+          (exit 1 on error findings; benches include fig1b/fig1c, the two \
+          Figure 1 bindings)")
+    Term.(const run $ bench_arg $ flow_arg $ width_arg $ json_arg $ cc_arg
+          $ co_arg)
+
 let list_cmd =
   let run () =
     List.iter
@@ -169,4 +238,7 @@ let () =
     Cmd.info "hft" ~version:"1.0.0"
       ~doc:"High-level synthesis for testability (DAC'96 survey reproduction)"
   in
-  exit (Cmd.eval (Cmd.group info [ synth_cmd; analyze_cmd; atpg_cmd; bist_cmd; list_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ synth_cmd; analyze_cmd; atpg_cmd; bist_cmd; lint_cmd; list_cmd ]))

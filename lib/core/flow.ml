@@ -124,6 +124,23 @@ let synthesize_for_bist ?(width = 8) ?(resources = default_resources) g =
   { graph = g; sched; binding; alloc; datapath;
     report = measure ~flow:"bist" ~base_area datapath ~sessions }
 
+type flow_kind = Conventional | Partial_scan | Bist
+
+let flow_kinds =
+  [ ("conventional", Conventional); ("partial-scan", Partial_scan);
+    ("bist", Bist) ]
+
+let flow_kind_to_string k =
+  fst (List.find (fun (_, k') -> k' = k) flow_kinds)
+
+let flow_kind_of_string s = List.assoc_opt s flow_kinds
+
+let synthesize ?width ?resources kind g =
+  match kind with
+  | Conventional -> synthesize_conventional ?width ?resources g
+  | Partial_scan -> synthesize_for_partial_scan ?width ?resources g
+  | Bist -> synthesize_for_bist ?width ?resources g
+
 let report_header =
   [ "flow"; "regs"; "scan"; "test-regs"; "cbilbo"; "loops"; "self-loops";
     "depth"; "area-ovh"; "sessions" ]

@@ -46,5 +46,20 @@ val synthesize_for_partial_scan :
 val synthesize_for_bist :
   ?width:int -> ?resources:(Op.fu_class * int) list -> Graph.t -> result
 
+(** {1 Uniform flow dispatch}
+
+    One name per flow, so callers (the CLI, the lint driver, tests)
+    can select a flow by string without enumerating the entry points. *)
+
+type flow_kind = Conventional | Partial_scan | Bist
+
+val flow_kinds : (string * flow_kind) list
+val flow_kind_to_string : flow_kind -> string
+val flow_kind_of_string : string -> flow_kind option
+
+val synthesize :
+  ?width:int -> ?resources:(Op.fu_class * int) list -> flow_kind -> Graph.t ->
+  result
+
 val report_header : string list
 val report_row : dft_report -> string list

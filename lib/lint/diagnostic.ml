@@ -1,0 +1,61 @@
+type severity = Error | Warning | Info
+
+type location =
+  | Design
+  | Register of int
+  | Fu of int
+  | Net of int
+  | Loop of int list
+
+type t = {
+  code : string;
+  severity : severity;
+  loc : location;
+  message : string;
+}
+
+let make ~code ~severity ~loc message = { code; severity; loc; message }
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let loc_to_string ?datapath loc =
+  let reg_name r =
+    match datapath with
+    | Some d when r >= 0 && r < Hft_rtl.Datapath.n_regs d ->
+      d.Hft_rtl.Datapath.regs.(r).Hft_rtl.Datapath.r_name
+    | _ -> Printf.sprintf "r%d" r
+  in
+  match loc with
+  | Design -> "design"
+  | Register r -> reg_name r
+  | Fu f ->
+    (match datapath with
+     | Some d when f >= 0 && f < Hft_rtl.Datapath.n_fus d ->
+       d.Hft_rtl.Datapath.fus.(f).Hft_rtl.Datapath.f_name
+     | _ -> Printf.sprintf "fu%d" f)
+  | Net i -> Printf.sprintf "net%d" i
+  | Loop regs -> String.concat ">" (List.map reg_name regs)
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let compare a b =
+  match Stdlib.compare (severity_rank a.severity) (severity_rank b.severity) with
+  | 0 ->
+    (match String.compare a.code b.code with
+     | 0 -> Stdlib.compare (a.loc, a.message) (b.loc, b.message)
+     | c -> c)
+  | c -> c
+
+let errors ds = List.filter (fun d -> d.severity = Error) ds
+let has_errors ds = errors ds <> []
+
+let summary ds =
+  let count s = List.length (List.filter (fun d -> d.severity = s) ds) in
+  let part n what = Printf.sprintf "%d %s%s" n what (if n = 1 then "" else "s") in
+  Printf.sprintf "%s, %s, %d info"
+    (part (count Error) "error")
+    (part (count Warning) "warning")
+    (count Info)

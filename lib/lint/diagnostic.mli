@@ -1,0 +1,42 @@
+(** Typed lint findings.
+
+    Every check in {!Rules} reports through this one type so the
+    reporting layer ({!Report}) and the CLI exit-code policy treat all
+    rules uniformly.  Codes are stable strings ([HFT-Lnnn]) documented
+    in the README rule catalogue. *)
+
+type severity = Error | Warning | Info
+
+(** Where a finding points.  Register/FU ids refer to the linted
+    {!Hft_rtl.Datapath}; net ids to the expanded {!Hft_gate.Netlist}. *)
+type location =
+  | Design                  (** whole-design finding *)
+  | Register of int
+  | Fu of int
+  | Net of int
+  | Loop of int list        (** S-graph register cycle *)
+
+type t = {
+  code : string;            (** e.g. ["HFT-L001"] *)
+  severity : severity;
+  loc : location;
+  message : string;
+}
+
+val make : code:string -> severity:severity -> loc:location -> string -> t
+
+val severity_to_string : severity -> string
+
+(** Render a location with register/FU names resolved against the data
+    path ([None]: raw ids). *)
+val loc_to_string : ?datapath:Hft_rtl.Datapath.t -> location -> string
+
+(** Sort key: errors first, then warnings, then info; ties broken by
+    code then location (deterministic output). *)
+val compare : t -> t -> int
+
+val errors : t list -> t list
+val has_errors : t list -> bool
+
+(** ["2 errors, 1 warning, 3 info"] *)
+val summary : t list -> string

@@ -1,0 +1,9 @@
+let run ?(config = Rules.default) ctx =
+  List.stable_sort Diagnostic.compare (Rules.all config ctx)
+
+let lint_datapath ?config ?graph d = run ?config (Rules.ctx ?graph d)
+
+let lint_flow ?config (r : Hft_core.Flow.result) =
+  run ?config (Rules.ctx ~graph:r.Hft_core.Flow.graph r.Hft_core.Flow.datapath)
+
+let clean ds = not (Diagnostic.has_errors ds)

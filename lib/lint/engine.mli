@@ -1,0 +1,25 @@
+(** One-call lint drivers.
+
+    The engine runs the whole {!Rules} catalogue over a synthesized
+    design and returns sorted diagnostics; the CLI's [hft lint] and the
+    test-suite oracle ("synthesize, then lint must come back clean")
+    both enter here. *)
+
+(** Lint a bare data path (e.g. the Fig. 1 bindings, which have no full
+    flow result); [graph] enables behavioural context where a rule can
+    use it. *)
+val lint_datapath :
+  ?config:Rules.config ->
+  ?graph:Hft_cdfg.Graph.t ->
+  Hft_rtl.Datapath.t ->
+  Diagnostic.t list
+
+(** Lint a complete flow result. *)
+val lint_flow :
+  ?config:Rules.config -> Hft_core.Flow.result -> Diagnostic.t list
+
+(** Run the catalogue on a prepared context (sorted output). *)
+val run : ?config:Rules.config -> Rules.ctx -> Diagnostic.t list
+
+(** [true] when the design has no error-severity findings. *)
+val clean : Diagnostic.t list -> bool

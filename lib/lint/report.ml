@@ -1,0 +1,65 @@
+open Hft_util
+
+let sorted ds = List.stable_sort Diagnostic.compare ds
+
+let to_table ?datapath ds =
+  let ds = sorted ds in
+  let rows =
+    List.map
+      (fun (d : Diagnostic.t) ->
+        [ d.Diagnostic.code;
+          Diagnostic.severity_to_string d.Diagnostic.severity;
+          Diagnostic.loc_to_string ?datapath d.Diagnostic.loc;
+          d.Diagnostic.message ])
+      ds
+  in
+  let table =
+    if rows = [] then "no findings\n"
+    else
+      Pretty.render
+        ~aligns:[ Pretty.Left; Pretty.Left; Pretty.Left; Pretty.Left ]
+        ~header:[ "code"; "severity"; "location"; "message" ]
+        rows
+  in
+  table ^ Diagnostic.summary ds ^ "\n"
+
+let count sev ds =
+  List.length (List.filter (fun d -> d.Diagnostic.severity = sev) ds)
+
+let to_json ?(meta = []) ?datapath ds =
+  let ds = sorted ds in
+  let design =
+    match datapath with
+    | Some d -> Json.String d.Hft_rtl.Datapath.name
+    | None -> Json.Null
+  in
+  Json.Obj
+    (meta
+    @ [
+        ("design", design);
+        ( "summary",
+          Json.Obj
+            [
+              ("errors", Json.Int (count Diagnostic.Error ds));
+              ("warnings", Json.Int (count Diagnostic.Warning ds));
+              ("info", Json.Int (count Diagnostic.Info ds));
+            ] );
+        ( "diagnostics",
+          Json.List
+            (List.map
+               (fun (d : Diagnostic.t) ->
+                 Json.Obj
+                   [
+                     ("code", Json.String d.Diagnostic.code);
+                     ( "severity",
+                       Json.String
+                         (Diagnostic.severity_to_string d.Diagnostic.severity)
+                     );
+                     ( "location",
+                       Json.String
+                         (Diagnostic.loc_to_string ?datapath d.Diagnostic.loc)
+                     );
+                     ("message", Json.String d.Diagnostic.message);
+                   ])
+               ds) );
+      ])

@@ -1,0 +1,19 @@
+(** Rendering of lint results: fixed-width table for humans, JSON for
+    machines (the CI smoke test and any downstream tooling parse the
+    latter with {!Hft_util.Json}). *)
+
+(** Table of findings (sorted: errors first) plus a summary line. *)
+val to_table : ?datapath:Hft_rtl.Datapath.t -> Diagnostic.t list -> string
+
+(** Machine-readable report.  [meta] fields (e.g. bench and flow names)
+    are prepended to the toplevel object:
+
+    {v
+    { "design": ..., "summary": {"errors": n, "warnings": n, "info": n},
+      "diagnostics": [ {"code", "severity", "location", "message"} ] }
+    v} *)
+val to_json :
+  ?meta:(string * Hft_util.Json.t) list ->
+  ?datapath:Hft_rtl.Datapath.t ->
+  Diagnostic.t list ->
+  Hft_util.Json.t

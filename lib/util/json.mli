@@ -1,0 +1,23 @@
+(** Minimal JSON values: emission for machine-readable reports and a
+    small recursive-descent parser used by the test suite to check that
+    emitted reports are well-formed.  No external dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Compact serialisation with full string escaping. *)
+val to_string : t -> string
+
+(** Parse a complete JSON document; [Error msg] on malformed input or
+    trailing garbage.  Numbers with a fraction or exponent parse as
+    [Float], others as [Int]. *)
+val parse : string -> (t, string) result
+
+(** Object field lookup ([None] on non-objects too). *)
+val member : string -> t -> t option
