@@ -12,18 +12,44 @@ let resources =
 let benches () = Bench_suite.all ()
 let sched_of g = Hft_hls.List_sched.schedule g ~resources
 
+(* All numeric output flows through [table] so the same rows serve the
+   pretty text mode and the JSONL mode ([--json] in main.ml) without
+   per-experiment formatting code.  [banner] remembers the experiment
+   id so JSONL rows are tagged with the table they came from. *)
+let current = ref ""
+
 let banner id title =
-  Printf.printf "\n================ %s — %s ================\n" id title
+  current := id;
+  if !Hft_obs.Table.mode = Hft_obs.Table.Jsonl then
+    Printf.eprintf "== %s — %s ==\n%!" id title
+  else Printf.printf "\n================ %s — %s ================\n" id title
+
+let table ?title ~header rows =
+  match !Hft_obs.Table.mode with
+  | Hft_obs.Table.Text -> Hft_obs.Table.emit ?title ~header rows
+  | Hft_obs.Table.Jsonl ->
+    let title =
+      match title with
+      | Some t -> Printf.sprintf "%s: %s" !current t
+      | None -> !current
+    in
+    Hft_obs.Table.emit ~title ~header rows
+
+(* Pre-rendered text blocks (paper tables) go to stderr in JSONL mode
+   so stdout stays machine-parseable. *)
+let text_block s =
+  if !Hft_obs.Table.mode = Hft_obs.Table.Jsonl then prerr_string s
+  else print_string s
 
 (* ------------------------------------------------------------------ *)
 
 let table1 () =
   banner "T1" "paper Table 1 (verbatim)";
-  print_string (Tool_survey.render ())
+  text_block (Tool_survey.render ())
 
 let fig1 () =
   banner "F1" "paper Figure 1, executed";
-  print_string (Fig1_exp.render ())
+  text_block (Fig1_exp.render ())
 
 (* E1: scan registers to break all CDFG loops, three selectors. *)
 let e1_scanregs () =
@@ -47,7 +73,7 @@ let e1_scanregs () =
               string_of_int b.Scan_vars.n_scan_registers ])
       (benches ())
   in
-  Pretty.print
+  table
     ~header:
       [ "bench"; "mfvs vars"; "mfvs regs"; "eff vars"; "eff regs";
         "bnd vars"; "bnd regs" ]
@@ -75,7 +101,7 @@ let e2_ioregs () =
           string_of_int (Hft_hls.Mobility_path.io_sharable_count g mp) ])
       (benches ())
   in
-  Pretty.print
+  table
     ~header:
       [ "bench"; "conv io/total"; "[25] io/total"; "[25]+[26] io/total";
         "sharable (list)"; "sharable (mob-path)" ]
@@ -105,7 +131,7 @@ let e3_assignloops () =
           string_of_int (scan_regs aware) ])
       (benches ())
   in
-  Pretty.print
+  table
     ~header:[ "bench"; "conv loops"; "conv scan regs"; "[33] loops"; "[33] scan regs" ]
     rows
 
@@ -148,7 +174,7 @@ let e4_seqatpg () =
           string_of_int full.Hft_scan.Full_scan.stats.Hft_scan.Atpg_stats.backtracks ])
       [ "tseng"; "diffeq" ]
   in
-  Pretty.print
+  table
     ~header:
       [ "bench"; "faults"; "noDFT cov"; "noDFT btk"; "pscan cov"; "pscan btk";
         "pscan cells"; "fscan cov"; "fscan btk" ]
@@ -172,7 +198,7 @@ let e5_selfadj () =
           string_of_int (Hft_bist.Reg_assign.self_adjacent_count g binding aware) ])
       (benches ())
   in
-  Pretty.print
+  table
     ~header:[ "bench"; "conv regs"; "conv self-adj"; "[3] regs"; "[3] self-adj" ]
     rows
 
@@ -197,7 +223,7 @@ let e6_tfb () =
           Pretty.ff ~dp:0 (Hft_bist.Xtfb.area ~width x) ])
       (benches ())
   in
-  Pretty.print
+  table
     ~header:
       [ "bench"; "[3] test regs"; "[3] cbilbo"; "TFBs"; "TFB area";
         "XTFBs"; "XTFB tpgr-only"; "XTFB area" ]
@@ -225,7 +251,7 @@ let e7_share () =
           string_of_int cs ])
       (benches ())
   in
-  Pretty.print
+  table
     ~header:[ "bench"; "conv test regs"; "conv cbilbo"; "[32] test regs"; "[32] cbilbo" ]
     rows
 
@@ -257,7 +283,7 @@ let e8_sessions () =
           Printf.sprintf "%d (%d regs)" conc (Hft_rtl.Datapath.n_regs d') ])
       (benches ())
   in
-  Pretty.print
+  table
     ~header:
       [ "bench"; "blocks"; "sessions (naive SR)"; "sessions (SR opt)";
         "sessions ([20] assign)" ]
@@ -286,7 +312,7 @@ let e9_arith () =
             (Hft_bist.Run.Arith_source, "accumulator") ])
       [ [ Op.Add ]; [ Op.Mul ]; [ Op.Add; Op.Sub ] ]
   in
-  Pretty.print
+  table
     ~header:
       ([ "block"; "generator" ]
        @ List.map (fun c -> Printf.sprintf "@%d" c) checkpoints)
@@ -306,7 +332,7 @@ let e9_arith () =
     in
     List.fold_left ( +. ) 0.0 per_inst /. float_of_int (List.length per_inst)
   in
-  Pretty.print
+  table
     ~title:"mean subspace state coverage at unit inputs (k = 3), ewf"
     ~header:[ "binding"; "coverage" ]
     [ [ "conventional"; Pretty.pct (fu_cov conv) ];
@@ -331,7 +357,7 @@ let e10_klevel () =
                   sweep))
       (benches ())
   in
-  Pretty.print
+  table
     ~header:[ "bench"; "scan regs (k=0 cut)"; "tp k=0"; "tp k=1"; "tp k=2"; "tp k=3" ]
     rows
 
@@ -349,7 +375,7 @@ let e11_ctrl () =
           string_of_int rep.Controller_dft.extra_vectors ])
       (benches ())
   in
-  Pretty.print
+  table
     ~header:[ "bench"; "implications"; "after DFT"; "extra vectors" ]
     rows;
   (* Composite (FSM-driven) sequential ATPG, with and without the test
@@ -390,7 +416,7 @@ let e11_ctrl () =
           Pretty.pct cov1 ])
       [ "tseng"; "diffeq" ]
   in
-  Pretty.print
+  table
     ~title:"composite controller+datapath sequential ATPG (sampled faults)"
     ~header:
       [ "bench"; "faults (plain)"; "coverage (plain)"; "faults (dft)";
@@ -417,7 +443,7 @@ let e12_behmod () =
           string_of_int defl.Behav_mod.deflections ])
       (benches ())
   in
-  Pretty.print
+  table
     ~header:
       [ "bench"; "hard vars"; "after [9]"; "test points"; "scan regs";
         "after [16]"; "deflections" ]
@@ -442,7 +468,7 @@ let e13_hier () =
             (List.length covered + List.length uncovered) ])
       (benches ())
   in
-  Pretty.print
+  table
     ~header:[ "bench"; "instances w/ env"; "test points added"; "after repair" ]
     rows;
   (* Composition demo: translate module vectors for diffeq's m6, and
@@ -455,9 +481,10 @@ let e13_hier () =
       | Some env ->
         let pairs = List.init 16 (fun i -> (i * 3 mod 17, i * 7 mod 13)) in
         let c = Hier_test.compose ~width:8 g env pairs in
-        Printf.printf
-          "compose (diffeq multiplier m6): %d module vectors translated, %d confirmed end-to-end\n"
-          c.Hier_test.vectors_translated c.Hier_test.vectors_confirmed;
+        table ~title:"compose (diffeq multiplier m6)"
+          ~header:[ "vectors translated"; "confirmed end-to-end" ]
+          [ [ string_of_int c.Hier_test.vectors_translated;
+              string_of_int c.Hier_test.vectors_confirmed ] ];
         (* Hierarchical effort: PODEM on the 4-bit multiplier block. *)
         let blk = Hft_gate.Expand.comb_block ~width:4 [ Op.Mul ] in
         let bnl = blk.Hft_gate.Expand.b_netlist in
@@ -486,17 +513,27 @@ let e13_hier () =
           Hft_gate.Seq_atpg.run ~backtrack_limit:40 ~max_frames:3 nl
             ~faults:flat_faults ~scanned:[]
         in
-        Printf.printf
-          "effort: hierarchical %d module faults, %d detected, %d implications\n"
-          (List.length mod_faults) !mod_det !mod_impl;
-        Printf.printf
-          "        flat sequential ATPG %d faults, %d detected, %d implications (%.0fx more per fault)\n"
-          flat.Hft_gate.Seq_atpg.total flat.Hft_gate.Seq_atpg.detected
-          flat.Hft_gate.Seq_atpg.implications
-          (float_of_int flat.Hft_gate.Seq_atpg.implications
-           /. float_of_int flat.Hft_gate.Seq_atpg.total
-           /. (float_of_int !mod_impl /. float_of_int (List.length mod_faults)))
-      | None -> print_endline "compose demo: no environment found")
+        let per_fault impl total =
+          float_of_int impl /. float_of_int (max 1 total)
+        in
+        let ratio =
+          per_fault flat.Hft_gate.Seq_atpg.implications
+            flat.Hft_gate.Seq_atpg.total
+          /. per_fault !mod_impl (List.length mod_faults)
+        in
+        table ~title:"hierarchical vs flat ATPG effort"
+          ~header:
+            [ "approach"; "faults"; "detected"; "implications"; "impl ratio" ]
+          [ [ "hierarchical (module)";
+              string_of_int (List.length mod_faults);
+              string_of_int !mod_det;
+              string_of_int !mod_impl; "1.0" ];
+            [ "flat sequential";
+              string_of_int flat.Hft_gate.Seq_atpg.total;
+              string_of_int flat.Hft_gate.Seq_atpg.detected;
+              string_of_int flat.Hft_gate.Seq_atpg.implications;
+              Printf.sprintf "%.1f" ratio ] ]
+      | None -> prerr_endline "compose demo: no environment found")
    | None -> ())
 
 (* E14: transparent scan on non-register nodes. *)
@@ -520,7 +557,7 @@ let e14_tscan () =
               string_of_int (Hft_rtl.Tscan.n_cells sel) ])
       (benches ())
   in
-  Pretty.print
+  table
     ~header:
       [ "bench"; "loops"; "scan-only regs"; "mixed: scan regs";
         "mixed: tscan cells"; "mixed total" ]
@@ -565,7 +602,7 @@ let e15_testtime () =
           Pretty.pct report.Hft_bist.Run.total_coverage ])
       [ "tseng"; "diffeq" ]
   in
-  Pretty.print
+  table
     ~header:
       [ "bench"; "scan tests"; "chain len"; "scan cycles"; "sessions";
         "bist cycles"; "scan cov"; "bist cov" ]
@@ -616,7 +653,7 @@ let e16_rtl_scan () =
             (List.length range_sel) (cov range_sel) ])
       [ "tseng"; "diffeq" ]
   in
-  Pretty.print
+  table
     ~header:[ "bench"; "gate-level MFVS"; "RTL S-graph"; "RTL ranges [12]" ]
     rows
 
@@ -655,7 +692,7 @@ let e17_insitu () =
           Pretty.pct (Hft_bist.Insitu.coverage r) ])
       [ "tseng"; "diffeq" ]
   in
-  Pretty.print
+  table
     ~header:[ "bench"; "sessions"; "faults"; "detected"; "in-situ coverage" ]
     rows
 
@@ -671,7 +708,7 @@ let flows () =
             Flow.synthesize_for_partial_scan ~width:8 g;
             Flow.synthesize_for_bist ~width:8 g ]
       in
-      Pretty.print ~title:name ~header:Flow.report_header rows)
+      table ~title:name ~header:Flow.report_header rows)
     (benches ())
 
 let all : (string * (unit -> unit)) list =

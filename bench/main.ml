@@ -3,7 +3,9 @@
    Usage:
      dune exec bench/main.exe                 -- all experiment tables + timings
      dune exec bench/main.exe -- e1_scanregs  -- selected experiments only
-     dune exec bench/main.exe -- --no-timing  -- tables only *)
+     dune exec bench/main.exe -- --no-timing  -- tables only
+     dune exec bench/main.exe -- --json       -- one JSON object per table row
+                                                 on stdout (banners on stderr) *)
 
 let timing_tests () =
   let open Bechamel in
@@ -83,9 +85,11 @@ let timing_tests () =
 
 let run_timings () =
   let open Bechamel in
-  print_newline ();
-  print_endline
-    "================ timings (Bechamel, monotonic clock) ================";
+  if !Hft_obs.Table.mode = Hft_obs.Table.Text then begin
+    print_newline ();
+    print_endline
+      "================ timings (Bechamel, monotonic clock) ================"
+  end;
   let instances = [ Toolkit.Instance.monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:None () in
   let raw =
@@ -109,12 +113,15 @@ let run_timings () =
       ols []
     |> List.sort compare
   in
-  Hft_util.Pretty.print ~header:[ "kernel"; "ns/run" ] rows
+  Hft_obs.Table.emit ~title:"timings" ~header:[ "kernel"; "ns/run" ] rows
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let no_timing = List.mem "--no-timing" args in
-  let wanted = List.filter (fun a -> a <> "--no-timing") args in
+  if List.mem "--json" args then Hft_obs.Table.mode := Hft_obs.Table.Jsonl;
+  let wanted =
+    List.filter (fun a -> a <> "--no-timing" && a <> "--json") args
+  in
   let selected =
     match wanted with
     | [] -> Experiments.all

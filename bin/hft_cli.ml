@@ -1,11 +1,16 @@
 (* hft: high-level synthesis for testability, command-line driver.
 
-     hft synth   --bench ewf --flow partial-scan [--width 8]
+     hft synth   --bench ewf --flow partial-scan [--width 8] [--trace]
      hft analyze --bench diffeq
      hft atpg    --bench tseng [--sample 25]
      hft bist    --bench diffeq [--patterns 1024]
      hft lint    --bench fig1b [--flow partial-scan] [--json]
-     hft list *)
+     hft bench   [--quick] [--json] [--out BENCH_hft.json]
+     hft list
+
+   Every subcommand accepts --trace / --metrics / --metrics-json
+   (observability report after the run); timing diagnostics go to
+   stderr so piped --json output stays parseable. *)
 
 open Cmdliner
 open Hft_cdfg
@@ -45,6 +50,52 @@ let dot_arg =
   Arg.(value & flag & info [ "dot" ] ~doc:"Emit the data path as Graphviz DOT.")
 
 (* ------------------------------------------------------------------ *)
+(* Observability plumbing shared by every subcommand.                 *)
+
+type obs_opts = { trace : bool; metrics : bool; metrics_json : bool }
+
+let obs_term =
+  let trace =
+    Arg.(value & flag
+         & info [ "trace" ]
+             ~doc:"Print the nested span tree of the run after the report.")
+  in
+  let metrics =
+    Arg.(value & flag
+         & info [ "metrics" ]
+             ~doc:"Print the metric registry as a table after the run.")
+  in
+  let metrics_json =
+    Arg.(value & flag
+         & info [ "metrics-json" ]
+             ~doc:"Print the metric registry as one JSON object after the run.")
+  in
+  Term.(const (fun trace metrics metrics_json -> { trace; metrics; metrics_json })
+        $ trace $ metrics $ metrics_json)
+
+(* Run a subcommand body under the observability sink.  Tracing turns
+   on when any obs flag is given; the trace/metrics report prints to
+   stdout (the user asked for it), while the elapsed-time diagnostic
+   always goes to stderr so `... --json | jq` stays clean.  The body's
+   result is returned so callers can turn it into an exit status
+   *after* the reports are flushed. *)
+let with_obs ~cmd obs f =
+  if obs.trace || obs.metrics || obs.metrics_json then Hft_obs.enabled := true;
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  if obs.trace then print_string (Hft_obs.Span.render ());
+  if obs.metrics then print_string (Hft_obs.Export.metrics_table ());
+  if obs.metrics_json then
+    print_endline (Hft_util.Json.to_string (Hft_obs.Export.metrics_json ()));
+  Printf.eprintf "hft %s: %.1f ms\n%!" cmd
+    (1e3 *. (Unix.gettimeofday () -. t0));
+  r
+
+(* Figure 1's CDFG doubles as a (tiny) synthesisable bench, so the
+   traceable flows cover the paper's worked example too. *)
+let fig1_extra () =
+  let g = Paper_fig1.graph () in
+  [ ("fig1b", `Bench g); ("fig1c", `Bench g) ]
 
 let flow_arg =
   Arg.(value & opt (enum Flow.flow_kinds) Flow.Conventional
@@ -52,8 +103,9 @@ let flow_arg =
            ~doc:"Synthesis flow: conventional, partial-scan or bist.")
 
 let synth_cmd =
-  let run bench flow width dot =
-    let g = bench_graph bench in
+  let run bench flow width dot obs =
+    with_obs ~cmd:"synth" obs @@ fun () ->
+    let g = bench_graph ~extra:(fig1_extra ()) bench in
     let r = Flow.synthesize ~width flow g in
     if dot then print_string (Hft_rtl.Datapath.to_dot r.Flow.datapath)
     else begin
@@ -63,10 +115,11 @@ let synth_cmd =
     end
   in
   Cmd.v (Cmd.info "synth" ~doc:"Synthesise a benchmark with a DFT flow")
-    Term.(const run $ bench_arg $ flow_arg $ width_arg $ dot_arg)
+    Term.(const run $ bench_arg $ flow_arg $ width_arg $ dot_arg $ obs_term)
 
 let analyze_cmd =
-  let run bench width =
+  let run bench width obs =
+    with_obs ~cmd:"analyze" obs @@ fun () ->
     let g = bench_graph bench in
     Printf.printf "%s: %d ops, %d vars, %d states\n" bench (Graph.n_ops g)
       (Graph.n_vars g)
@@ -88,14 +141,15 @@ let analyze_cmd =
          (Hft_rtl.Testability.analyze s))
   in
   Cmd.v (Cmd.info "analyze" ~doc:"Testability analysis of a benchmark")
-    Term.(const run $ bench_arg $ width_arg)
+    Term.(const run $ bench_arg $ width_arg $ obs_term)
 
 let atpg_cmd =
   let sample_arg =
     Arg.(value & opt int 25
          & info [ "sample" ] ~docv:"N" ~doc:"Keep one fault in N.")
   in
-  let run bench width sample =
+  let run bench width sample obs =
+    with_obs ~cmd:"atpg" obs @@ fun () ->
     let g = bench_graph bench in
     let rng = Hft_util.Rng.create 2024 in
     let conv = Flow.synthesize_conventional ~width g in
@@ -127,14 +181,15 @@ let atpg_cmd =
     atpg "partial scan" scan
   in
   Cmd.v (Cmd.info "atpg" ~doc:"Gate-level sequential ATPG comparison")
-    Term.(const run $ bench_arg $ width_arg $ sample_arg)
+    Term.(const run $ bench_arg $ width_arg $ sample_arg $ obs_term)
 
 let bist_cmd =
   let patterns_arg =
     Arg.(value & opt int 1024
          & info [ "patterns" ] ~docv:"N" ~doc:"Pseudorandom patterns per block.")
   in
-  let run bench width patterns =
+  let run bench width patterns obs =
+    with_obs ~cmd:"bist" obs @@ fun () ->
     let g = bench_graph bench in
     let r = Flow.synthesize_for_bist ~width g in
     Hft_util.Pretty.print ~header:Flow.report_header
@@ -156,7 +211,7 @@ let bist_cmd =
       (Hft_util.Pretty.pct report.Hft_bist.Run.total_coverage)
   in
   Cmd.v (Cmd.info "bist" ~doc:"BIST synthesis and pseudorandom campaign")
-    Term.(const run $ bench_arg $ width_arg $ patterns_arg)
+    Term.(const run $ bench_arg $ width_arg $ patterns_arg $ obs_term)
 
 let lint_cmd =
   let json_arg =
@@ -177,36 +232,45 @@ let lint_cmd =
     let g, d = Fig1_exp.datapath which in
     (Hft_lint.Rules.ctx ~graph:g d, "fig1-binding")
   in
-  let run bench flow width json cc co =
-    let ctx, flow_name =
-      match
-        resolve_bench
-          ~extra:[ ("fig1b", `Fig1 Fig1_exp.B); ("fig1c", `Fig1 Fig1_exp.C) ]
-          bench
-      with
-      | `Fig1 which -> fig1 which ()
-      | `Bench g ->
-        let r = Flow.synthesize ~width flow g in
-        ( Hft_lint.Rules.ctx ~graph:r.Flow.graph r.Flow.datapath,
-          Flow.flow_kind_to_string flow )
+  let run bench flow width json cc co obs =
+    let has_errors =
+      with_obs ~cmd:"lint" obs @@ fun () ->
+      let ctx, flow_name =
+        match
+          resolve_bench
+            ~extra:[ ("fig1b", `Fig1 Fig1_exp.B); ("fig1c", `Fig1 Fig1_exp.C) ]
+            bench
+        with
+        | `Fig1 which -> fig1 which ()
+        | `Bench g ->
+          let r = Flow.synthesize ~width flow g in
+          ( Hft_lint.Rules.ctx ~graph:r.Flow.graph r.Flow.datapath,
+            Flow.flow_kind_to_string flow )
+      in
+      let config =
+        { Hft_lint.Rules.default with
+          Hft_lint.Rules.cc_threshold = cc;
+          Hft_lint.Rules.co_threshold = co }
+      in
+      let diags = Hft_lint.Engine.run ~config ctx in
+      let datapath = ctx.Hft_lint.Rules.datapath in
+      if json then
+        print_endline
+          (Hft_util.Json.to_string
+             (Hft_lint.Report.to_json
+                ~meta:
+                  [ ("bench", Hft_util.Json.String bench);
+                    ("flow", Hft_util.Json.String flow_name) ]
+                ~datapath diags))
+      else print_string (Hft_lint.Report.to_table ~datapath diags);
+      (* The exit-status-relevant summary goes to stderr so `--json |
+         jq` pipelines see only the report on stdout. *)
+      Printf.eprintf "hft lint: %s (%s, %s)\n%!"
+        (Hft_lint.Diagnostic.summary diags)
+        bench flow_name;
+      Hft_lint.Diagnostic.has_errors diags
     in
-    let config =
-      { Hft_lint.Rules.default with
-        Hft_lint.Rules.cc_threshold = cc;
-        Hft_lint.Rules.co_threshold = co }
-    in
-    let diags = Hft_lint.Engine.run ~config ctx in
-    let datapath = ctx.Hft_lint.Rules.datapath in
-    if json then
-      print_endline
-        (Hft_util.Json.to_string
-           (Hft_lint.Report.to_json
-              ~meta:
-                [ ("bench", Hft_util.Json.String bench);
-                  ("flow", Hft_util.Json.String flow_name) ]
-              ~datapath diags))
-    else print_string (Hft_lint.Report.to_table ~datapath diags);
-    if Hft_lint.Diagnostic.has_errors diags then exit 1
+    if has_errors then exit 1
   in
   Cmd.v
     (Cmd.info "lint"
@@ -215,7 +279,159 @@ let lint_cmd =
           (exit 1 on error findings; benches include fig1b/fig1c, the two \
           Figure 1 bindings)")
     Term.(const run $ bench_arg $ flow_arg $ width_arg $ json_arg $ cc_arg
-          $ co_arg)
+          $ co_arg $ obs_term)
+
+(* ------------------------------------------------------------------ *)
+(* hft bench: the flow×bench matrix with wall-clock timings and       *)
+(* engine counters, written to BENCH_hft.json so every commit has a   *)
+(* comparable perf record.                                            *)
+
+let bench_cmd =
+  let quick_arg =
+    Arg.(value & flag
+         & info [ "quick" ]
+             ~doc:"Small matrix (tseng/diffeq only, heavier fault sampling) \
+                   for CI.")
+  in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Print the result document to stdout as JSON.")
+  in
+  let out_arg =
+    Arg.(value & opt string "BENCH_hft.json"
+         & info [ "out" ] ~docv:"FILE" ~doc:"Output file for the JSON document.")
+  in
+  let bench_width_arg =
+    Arg.(value & opt int 4
+         & info [ "w"; "width" ] ~docv:"BITS"
+             ~doc:"Data-path width (4 keeps the gate-level legs fast).")
+  in
+  let measure_cell ~width ~sample bench_name flow_kind g =
+    (* Fresh registry/trace per cell so counters are attributable to
+       one (bench, flow) pair. *)
+    Hft_obs.reset ();
+    let now = Unix.gettimeofday in
+    let t0 = now () in
+    let r = Flow.synthesize ~width flow_kind g in
+    let t_synth = now () -. t0 in
+    (* Gate-level legs: a sampled sequential-ATPG run (PODEM effort)
+       and a pseudorandom fault-simulation run (event throughput). *)
+    let t1 = now () in
+    let ex = Hft_gate.Expand.of_datapath r.Flow.datapath in
+    let nl = ex.Hft_gate.Expand.netlist in
+    let rng = Hft_util.Rng.create 2024 in
+    let faults =
+      Hft_gate.Fault.collapsed nl
+      |> List.filter (fun _ -> Hft_util.Rng.int rng sample = 0)
+    in
+    let scanned =
+      Array.to_list r.Flow.datapath.Hft_rtl.Datapath.regs
+      |> List.concat_map (fun reg ->
+             if reg.Hft_rtl.Datapath.r_kind = Hft_rtl.Datapath.Scan then
+               Array.to_list ex.Hft_gate.Expand.reg_q.(reg.Hft_rtl.Datapath.r_id)
+             else [])
+    in
+    let stats =
+      Hft_scan.Partial_scan.atpg ~backtrack_limit:20 ~max_frames:2 nl ~faults
+        ~scanned
+    in
+    let t_atpg = now () -. t1 in
+    let t2 = now () in
+    let fr = Hft_gate.Fsim.comb_random nl ~rng ~n_patterns:64 faults in
+    let t_fsim = now () -. t2 in
+    let snapshot = Hft_obs.Registry.snapshot () in
+    let flow_name = Flow.flow_kind_to_string flow_kind in
+    let ms x = Float.round (1e5 *. x) /. 100.0 in
+    let cell =
+      Hft_util.Json.Obj
+        [ ("bench", Hft_util.Json.String bench_name);
+          ("flow", Hft_util.Json.String flow_name);
+          ("wall_ms",
+           Hft_util.Json.Obj
+             [ ("synth", Hft_util.Json.Float (ms t_synth));
+               ("atpg", Hft_util.Json.Float (ms t_atpg));
+               ("fsim", Hft_util.Json.Float (ms t_fsim));
+               ("total", Hft_util.Json.Float (ms (t_synth +. t_atpg +. t_fsim)))
+             ]);
+          ("faults", Hft_util.Json.Int (List.length faults));
+          ("podem_backtracks",
+           Hft_util.Json.Int (Hft_obs.Registry.count "hft.podem.backtracks"));
+          ("fsim_events",
+           Hft_util.Json.Int (Hft_obs.Registry.count "hft.fsim.events"));
+          ("atpg_coverage",
+           Hft_util.Json.Float (Hft_gate.Seq_atpg.fault_coverage stats));
+          ("fsim_coverage", Hft_util.Json.Float (Hft_gate.Fsim.coverage fr));
+          ("report",
+           Hft_util.Json.Obj
+             [ ("regs", Hft_util.Json.Int r.Flow.report.Flow.n_registers);
+               ("scan_regs",
+                Hft_util.Json.Int r.Flow.report.Flow.n_scan_registers);
+               ("test_regs",
+                Hft_util.Json.Int r.Flow.report.Flow.n_test_registers);
+               ("loops", Hft_util.Json.Int r.Flow.report.Flow.datapath_loops);
+               ("area_overhead",
+                Hft_util.Json.Float r.Flow.report.Flow.area_overhead);
+               ("sessions", Hft_util.Json.Int r.Flow.report.Flow.test_sessions)
+             ]);
+          ("counters", Hft_obs.Export.metrics_json ~snapshot ()) ]
+    in
+    let row =
+      [ bench_name; flow_name;
+        Printf.sprintf "%.2f" (1e3 *. t_synth);
+        Printf.sprintf "%.2f" (1e3 *. t_atpg);
+        Printf.sprintf "%.2f" (1e3 *. t_fsim);
+        string_of_int (Hft_obs.Registry.count "hft.podem.backtracks");
+        string_of_int (Hft_obs.Registry.count "hft.fsim.events") ]
+    in
+    (cell, row)
+  in
+  let run quick json out width obs =
+    with_obs ~cmd:"bench" obs @@ fun () ->
+    Hft_obs.enabled := true;
+    let benches =
+      if quick then [ "tseng"; "diffeq" ] else bench_names
+    in
+    let sample = if quick then 40 else 20 in
+    let cells_rows =
+      List.concat_map
+        (fun bname ->
+          let g = bench_graph bname in
+          List.map
+            (fun (_, kind) -> measure_cell ~width ~sample bname kind g)
+            Flow.flow_kinds)
+        benches
+    in
+    let cells = List.map fst cells_rows and rows = List.map snd cells_rows in
+    let doc =
+      Hft_util.Json.Obj
+        [ ("schema", Hft_util.Json.String "hft-bench/1");
+          ("created_unix", Hft_util.Json.Float (Unix.time ()));
+          ("width", Hft_util.Json.Int width);
+          ("quick", Hft_util.Json.Bool quick);
+          ("results", Hft_util.Json.List cells) ]
+    in
+    let text = Hft_util.Json.to_string doc in
+    let oc = open_out out in
+    output_string oc text;
+    output_char oc '\n';
+    close_out oc;
+    if json then print_endline text
+    else
+      Hft_obs.Table.emit
+        ~header:
+          [ "bench"; "flow"; "synth ms"; "atpg ms"; "fsim ms";
+            "podem btk"; "fsim events" ]
+        rows;
+    Printf.eprintf "hft bench: wrote %s (%d cells)\n%!" out
+      (List.length cells)
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Run the flow×bench matrix with wall-clock timings and engine \
+          counters; writes BENCH_hft.json")
+    Term.(const run $ quick_arg $ json_arg $ out_arg $ bench_width_arg
+          $ obs_term)
 
 let list_cmd =
   let run () =
@@ -241,4 +457,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ synth_cmd; analyze_cmd; atpg_cmd; bist_cmd; lint_cmd; list_cmd ]))
+          [ synth_cmd; analyze_cmd; atpg_cmd; bist_cmd; lint_cmd; bench_cmd;
+            list_cmd ]))

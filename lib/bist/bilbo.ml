@@ -69,6 +69,13 @@ let plan d =
   }
 
 let annotate d p =
+  if !Hft_obs.Config.enabled then begin
+    Hft_obs.Registry.incr "hft.bist.plans";
+    Hft_obs.Registry.incr "hft.bist.tpgr" ~by:p.n_tpgr;
+    Hft_obs.Registry.incr "hft.bist.sr" ~by:p.n_sr;
+    Hft_obs.Registry.incr "hft.bist.bilbo" ~by:p.n_bilbo;
+    Hft_obs.Registry.incr "hft.bist.cbilbo" ~by:p.n_cbilbo
+  end;
   Array.iteri
     (fun r role ->
       let kind =

@@ -34,6 +34,12 @@ let run_block ?(checkpoints = default_checkpoints) ~source ~seed ~width kinds =
   let blk = Expand.comb_block ~width kinds in
   let nl = blk.Expand.b_netlist in
   let faults = Fault.collapsed nl in
+  if !Hft_obs.Config.enabled then begin
+    Hft_obs.Registry.incr "hft.bist.blocks";
+    Hft_obs.Registry.incr "hft.bist.block_faults" ~by:(List.length faults);
+    Hft_obs.Registry.incr "hft.bist.patterns"
+      ~by:(List.fold_left max 0 checkpoints)
+  end;
   let n_pi = List.length (Netlist.pis nl) in
   let next_pattern = make_source source ~seed ~n_pi in
   let curve = Fsim.coverage_curve nl ~checkpoints ~next_pattern faults in
@@ -78,6 +84,12 @@ let fu_kinds d f =
        d.Hft_rtl.Datapath.transfers)
 
 let run ?(checkpoints = default_checkpoints) ~source ~seed d =
+  Hft_obs.Span.with_ "bist-campaign"
+    ~attrs:
+      [ ("patterns",
+         string_of_int
+           (List.fold_left max 0 checkpoints)) ]
+  @@ fun () ->
   let blocks =
     List.filter_map
       (fun f ->

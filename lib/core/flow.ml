@@ -61,68 +61,133 @@ let measure ~flow ~base_area d ~sessions =
     test_sessions = sessions;
   }
 
+(* Every flow runs under one root span with a child span per phase, so
+   [--trace] shows where a synthesis run spends its time; the per-flow
+   total also feeds the [hft.flow.time] timer. *)
+let span = Hft_obs.Span.with_
+
+let flow_root name g f =
+  Hft_obs.Registry.time "hft.flow.time" @@ fun () ->
+  span ("flow:" ^ name)
+    ~attrs:[ ("ops", string_of_int (Hft_cdfg.Graph.n_ops g)) ]
+    (fun () ->
+      Hft_obs.Registry.incr "hft.flow.runs";
+      f ())
+
 let synthesize_conventional ?(width = 8) ?(resources = default_resources) g =
+  flow_root "conventional" g @@ fun () ->
   let latency = Hft_hls.Sched_algos.latencies g in
-  let sched = Hft_hls.List_sched.schedule ~latency g ~resources in
-  let binding = Hft_hls.Fu_bind.left_edge ~resources g sched in
-  let info = Lifetime.compute g sched in
-  let alloc = Hft_hls.Reg_alloc.left_edge g info in
-  let datapath = Hft_hls.Datapath_gen.generate ~width g sched binding alloc in
+  let sched =
+    span "schedule" (fun () -> Hft_hls.List_sched.schedule ~latency g ~resources)
+  in
+  let binding =
+    span "fu-bind" (fun () -> Hft_hls.Fu_bind.left_edge ~resources g sched)
+  in
+  let info = span "lifetime" (fun () -> Lifetime.compute g sched) in
+  let alloc = span "reg-alloc" (fun () -> Hft_hls.Reg_alloc.left_edge g info) in
+  let datapath =
+    span "datapath-gen" (fun () ->
+        Hft_hls.Datapath_gen.generate ~width g sched binding alloc)
+  in
   let base = Area.datapath_area datapath in
-  { graph = g; sched; binding; alloc; datapath;
-    report = measure ~flow:"conventional" ~base_area:base datapath ~sessions:0 }
+  let report =
+    span "measure" (fun () ->
+        measure ~flow:"conventional" ~base_area:base datapath ~sessions:0)
+  in
+  { graph = g; sched; binding; alloc; datapath; report }
 
 let synthesize_for_partial_scan ?(width = 8) ?(resources = default_resources) g =
-  let base = (synthesize_conventional ~width ~resources g).datapath in
+  flow_root "partial-scan" g @@ fun () ->
+  let base =
+    span "baseline" (fun () -> (synthesize_conventional ~width ~resources g).datapath)
+  in
   let base_area = Area.datapath_area base in
   (* Loop-aware scheduling+binding, scan variables from the CDFG. *)
-  let ssa = Sim_sched_assign.run ~resources g None in
+  let ssa =
+    span "sched-assign" (fun () -> Sim_sched_assign.run ~resources g None)
+  in
   let sched = ssa.Sim_sched_assign.sched in
   let binding = ssa.Sim_sched_assign.binding in
-  let info = Lifetime.compute g sched in
-  let sel = Scan_vars.select_effective g sched in
+  let info = span "lifetime" (fun () -> Lifetime.compute g sched) in
+  let sel =
+    span "scan-select" (fun () -> Scan_vars.select_effective g sched)
+  in
   (* Scan variables should share scan registers: colour them first,
      preferring to join an existing scan register. *)
   let scan_set = sel.Scan_vars.scan_vars in
-  let alloc = Hft_hls.Reg_alloc.color ~order:scan_set g info in
-  let datapath = Hft_hls.Datapath_gen.generate ~width g sched binding alloc in
+  let alloc =
+    span "reg-alloc" (fun () -> Hft_hls.Reg_alloc.color ~order:scan_set g info)
+  in
+  let datapath =
+    span "datapath-gen" (fun () ->
+        Hft_hls.Datapath_gen.generate ~width g sched binding alloc)
+  in
   (* Annotate scan registers: those holding a scan variable, plus any
      further registers needed to break residual assignment loops. *)
-  let scan_regs =
-    List.filter_map (fun v ->
-        let r = alloc.Hft_hls.Reg_alloc.reg_of_var.(v) in
-        if r >= 0 then Some r else None)
-      scan_set
-    |> List.sort_uniq compare
+  let all_scan =
+    span "scan-annotate" @@ fun () ->
+    let scan_regs =
+      List.filter_map (fun v ->
+          let r = alloc.Hft_hls.Reg_alloc.reg_of_var.(v) in
+          if r >= 0 then Some r else None)
+        scan_set
+      |> List.sort_uniq compare
+    in
+    let s = Sgraph.of_datapath datapath in
+    let residual =
+      let g' = Hft_util.Digraph.copy s.Sgraph.graph in
+      List.iter (fun r -> Hft_util.Digraph.detach g' r) scan_regs;
+      Hft_util.Mfvs.greedy ~ignore_self_loops:true g'
+    in
+    List.sort_uniq compare (scan_regs @ residual)
   in
-  let s = Sgraph.of_datapath datapath in
-  let residual =
-    let g' = Hft_util.Digraph.copy s.Sgraph.graph in
-    List.iter (fun r -> Hft_util.Digraph.detach g' r) scan_regs;
-    Hft_util.Mfvs.greedy ~ignore_self_loops:true g'
-  in
-  let all_scan = List.sort_uniq compare (scan_regs @ residual) in
   List.iter
     (fun r -> datapath.Datapath.regs.(r).Datapath.r_kind <- Datapath.Scan)
     all_scan;
-  { graph = g; sched; binding; alloc; datapath;
-    report =
-      measure ~flow:"partial-scan" ~base_area datapath ~sessions:0 }
+  Hft_obs.Registry.incr "hft.scan.regs_selected" ~by:(List.length all_scan);
+  Hft_obs.Span.add_attr_int "scan-regs" (List.length all_scan);
+  let report =
+    span "measure" (fun () ->
+        measure ~flow:"partial-scan" ~base_area datapath ~sessions:0)
+  in
+  { graph = g; sched; binding; alloc; datapath; report }
 
 let synthesize_for_bist ?(width = 8) ?(resources = default_resources) g =
-  let base = (synthesize_conventional ~width ~resources g).datapath in
+  flow_root "bist" g @@ fun () ->
+  let base =
+    span "baseline" (fun () -> (synthesize_conventional ~width ~resources g).datapath)
+  in
   let base_area = Area.datapath_area base in
   let latency = Hft_hls.Sched_algos.latencies g in
-  let sched = Hft_hls.List_sched.schedule ~latency g ~resources in
-  let binding = Hft_hls.Fu_bind.left_edge ~resources g sched in
-  let info = Lifetime.compute g sched in
-  let alloc = Hft_bist.Reg_assign.bist_aware g sched binding info in
-  let datapath = Hft_hls.Datapath_gen.generate ~width g sched binding alloc in
-  let plan = Hft_bist.Bilbo.plan datapath in
-  Hft_bist.Bilbo.annotate datapath plan;
-  let sessions = Hft_bist.Session.count datapath plan in
-  { graph = g; sched; binding; alloc; datapath;
-    report = measure ~flow:"bist" ~base_area datapath ~sessions }
+  let sched =
+    span "schedule" (fun () -> Hft_hls.List_sched.schedule ~latency g ~resources)
+  in
+  let binding =
+    span "fu-bind" (fun () -> Hft_hls.Fu_bind.left_edge ~resources g sched)
+  in
+  let info = span "lifetime" (fun () -> Lifetime.compute g sched) in
+  let alloc =
+    span "bist-reg-assign" (fun () ->
+        Hft_bist.Reg_assign.bist_aware g sched binding info)
+  in
+  let datapath =
+    span "datapath-gen" (fun () ->
+        Hft_hls.Datapath_gen.generate ~width g sched binding alloc)
+  in
+  let plan, sessions =
+    span "bilbo-plan" @@ fun () ->
+    let plan = Hft_bist.Bilbo.plan datapath in
+    Hft_bist.Bilbo.annotate datapath plan;
+    let sessions = Hft_bist.Session.count datapath plan in
+    Hft_obs.Registry.incr "hft.bist.sessions" ~by:sessions;
+    Hft_obs.Span.add_attr_int "sessions" sessions;
+    (plan, sessions)
+  in
+  ignore plan;
+  let report =
+    span "measure" (fun () -> measure ~flow:"bist" ~base_area datapath ~sessions)
+  in
+  { graph = g; sched; binding; alloc; datapath; report }
 
 type flow_kind = Conventional | Partial_scan | Bist
 

@@ -20,7 +20,24 @@ let load_patterns nl st patterns =
       Sim.pset_pi st pi bv)
     pis
 
+(* One flush per simulation call: [events] counts node evaluations
+   (nodes × passes), the unit the ROADMAP's events/sec goal is stated
+   in. *)
+let flush ~faults ~detected ~patterns ~events ~seconds =
+  if !Hft_obs.Config.enabled then begin
+    Hft_obs.Registry.incr "hft.fsim.runs";
+    Hft_obs.Registry.incr "hft.fsim.faults" ~by:faults;
+    Hft_obs.Registry.incr "hft.fsim.detected" ~by:detected;
+    Hft_obs.Registry.incr "hft.fsim.patterns" ~by:patterns;
+    Hft_obs.Registry.incr "hft.fsim.events" ~by:events;
+    Hft_obs.Registry.observe "hft.fsim.time" seconds;
+    if seconds > 0.0 then
+      Hft_obs.Registry.set "hft.fsim.events_per_sec"
+        (float_of_int events /. seconds)
+  end
+
 let comb nl ~patterns faults =
+  let t0 = Hft_obs.Clock.now () in
   let n_patterns = Array.length patterns in
   if n_patterns = 0 then
     { detected = []; undetected = faults; n_patterns = 0 }
@@ -49,6 +66,12 @@ let comb nl ~patterns faults =
         in
         if diff then detected := f :: !detected else undetected := f :: !undetected)
       faults;
+    let n_faults = List.length faults in
+    flush ~faults:n_faults
+      ~detected:(List.length !detected)
+      ~patterns:n_patterns
+      ~events:(Netlist.n_nodes nl * (n_faults + 1))
+      ~seconds:(Hft_obs.Clock.now () -. t0);
     { detected = List.rev !detected; undetected = List.rev !undetected;
       n_patterns }
   end
@@ -80,6 +103,7 @@ let coverage_curve nl ~checkpoints ~next_pattern faults =
     checkpoints
 
 let sequential nl ~stimuli faults =
+  let t0 = Hft_obs.Clock.now () in
   let good = Sim.run_cycles nl ~stimuli in
   let detected = ref [] and undetected = ref [] in
   List.iter
@@ -88,5 +112,11 @@ let sequential nl ~stimuli faults =
       if bad <> good then detected := f :: !detected
       else undetected := f :: !undetected)
     faults;
+  let n_faults = List.length faults in
+  flush ~faults:n_faults
+    ~detected:(List.length !detected)
+    ~patterns:(Array.length stimuli)
+    ~events:(Netlist.n_nodes nl * (n_faults + 1) * Array.length stimuli)
+    ~seconds:(Hft_obs.Clock.now () -. t0);
   { detected = List.rev !detected; undetected = List.rev !undetected;
     n_patterns = Array.length stimuli }

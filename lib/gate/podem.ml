@@ -22,6 +22,22 @@ let inverts = function
   | Netlist.Mux2 | Netlist.Pi | Netlist.Dff | Netlist.Const0 | Netlist.Const1
     -> false
 
+(* Effort counters are accumulated locally during the search and
+   flushed to the registry once per call, so the hot loop never touches
+   the metric table. *)
+let flush_effort effort result =
+  if !Hft_obs.Config.enabled then begin
+    Hft_obs.Registry.incr "hft.podem.runs";
+    Hft_obs.Registry.incr "hft.podem.decisions" ~by:effort.decisions;
+    Hft_obs.Registry.incr "hft.podem.backtracks" ~by:effort.backtracks;
+    Hft_obs.Registry.incr "hft.podem.implications" ~by:effort.implications;
+    Hft_obs.Registry.incr
+      (match result with
+       | Test _ -> "hft.podem.tests"
+       | Untestable -> "hft.podem.untestable"
+       | Aborted -> "hft.podem.aborts")
+  end
+
 let generate ?(backtrack_limit = 500) nl ~faults ~assignable ~observe =
   let n = Netlist.n_nodes nl in
   let effort = { decisions = 0; backtracks = 0; implications = 0 } in
@@ -245,15 +261,19 @@ let generate ?(backtrack_limit = 500) nl ~faults ~assignable ~observe =
        end
      done
    with Stack_overflow -> result := Some `Aborted);
-  match !result with
-  | Some `Found ->
-    let assignment =
-      Hashtbl.fold (fun p v acc -> (p, v = 1) :: acc) pi_val []
-      |> List.sort compare
-    in
-    (Test assignment, effort)
-  | Some `Untestable -> (Untestable, effort)
-  | Some `Aborted | None -> (Aborted, effort)
+  let outcome =
+    match !result with
+    | Some `Found ->
+      let assignment =
+        Hashtbl.fold (fun p v acc -> (p, v = 1) :: acc) pi_val []
+        |> List.sort compare
+      in
+      Test assignment
+    | Some `Untestable -> Untestable
+    | Some `Aborted | None -> Aborted
+  in
+  flush_effort effort outcome;
+  (outcome, effort)
 
 let generate_comb ?backtrack_limit nl ~fault =
   generate ?backtrack_limit nl ~faults:[ fault ] ~assignable:(Netlist.pis nl)

@@ -104,10 +104,18 @@ let unroll ?assignable_pis ?(strapped = []) nl ~frames ~scanned =
         { f with Fault.node = node_map.(t).(f.Fault.node) })
     |> List.filter (fun f' -> f'.Fault.node >= 0)
   in
+  Hft_obs.Registry.incr "hft.seq_atpg.frames_expanded" ~by:frames;
+  Hft_obs.Registry.incr "hft.seq_atpg.unrolls";
   (u, List.rev !assignable, List.rev !observe, map_fault)
 
 let run ?(backtrack_limit = 200) ?(min_frames = 1) ?(max_frames = 6)
     ?assignable_pis ?strapped nl ~faults ~scanned =
+  Hft_obs.Span.with_ "seq-atpg"
+    ~attrs:
+      [ ("circuit", Netlist.circuit_name nl);
+        ("faults", string_of_int (List.length faults));
+        ("scanned", string_of_int (List.length scanned)) ]
+  @@ fun () ->
   let detected = ref 0 and untestable = ref 0 and aborted = ref 0 in
   let decisions = ref 0 and backtracks = ref 0 and implications = ref 0 in
   let frames_used = ref 0 in
@@ -146,6 +154,9 @@ let run ?(backtrack_limit = 200) ?(min_frames = 1) ?(max_frames = 6)
       | `Untestable -> incr untestable
       | `Aborted -> incr aborted)
     faults;
+  Hft_obs.Registry.incr "hft.seq_atpg.faults" ~by:(List.length faults);
+  Hft_obs.Registry.incr "hft.seq_atpg.detected" ~by:!detected;
+  Hft_obs.Span.add_attr_int "detected" !detected;
   {
     detected = !detected;
     untestable = !untestable;

@@ -13,6 +13,8 @@ let ops_conflict sched a b =
 
 let bind ?resources ~choose g sched =
   let n = Graph.n_ops g in
+  let candidate_evals = ref 0 in
+  let opened = ref 0 in
   let fu_of_op = Array.make n (-1) in
   let inst_class : Op.fu_class option array ref = ref (Array.make 8 None) in
   let inst_ops : int list array ref = ref (Array.make 8 []) in
@@ -48,6 +50,7 @@ let bind ?resources ~choose g sched =
       | None -> ()
       | Some cl ->
         let candidates = ref [] in
+        candidate_evals := !candidate_evals + !n_inst;
         for i = !n_inst - 1 downto 0 do
           if !inst_class.(i) = Some cl
              && List.for_all
@@ -87,8 +90,14 @@ let bind ?resources ~choose g sched =
            fu_of_op.(o) <- !n_inst;
            !inst_class.(!n_inst) <- Some cl;
            !inst_ops.(!n_inst) <- [ o ];
+           incr opened;
            incr n_inst))
     order;
+  if !Hft_obs.Config.enabled then begin
+    Hft_obs.Registry.incr "hft.bind.runs";
+    Hft_obs.Registry.incr "hft.bind.candidate_evals" ~by:!candidate_evals;
+    Hft_obs.Registry.incr "hft.bind.instances_opened" ~by:!opened
+  end;
   (snapshot ())
 
 let left_edge ?resources g sched =

@@ -39,6 +39,7 @@ let schedule ?latency ?priority ?max_steps g ~resources =
   let start = Array.make n 0 in
   let unscheduled = ref n in
   let step = ref 0 in
+  let candidate_evals = ref 0 in
   (* busy.(class slot accounting): list of (class, finish_step) *)
   let busy = ref [] in
   while !unscheduled > 0 && !step <= max_steps do
@@ -61,6 +62,7 @@ let schedule ?latency ?priority ?max_steps g ~resources =
       |> List.filter ready
       |> List.sort (fun a b -> compare (-priority.(a), a) (-priority.(b), b))
     in
+    candidate_evals := !candidate_evals + List.length candidates;
     List.iter
       (fun o ->
         match Op.fu_class (Graph.op g o).Graph.o_kind with
@@ -77,6 +79,11 @@ let schedule ?latency ?priority ?max_steps g ~resources =
       candidates
   done;
   if !unscheduled > 0 then invalid_arg "List_sched: step budget exhausted";
+  if !Hft_obs.Config.enabled then begin
+    Hft_obs.Registry.incr "hft.sched.runs";
+    Hft_obs.Registry.incr "hft.sched.steps" ~by:!step;
+    Hft_obs.Registry.incr "hft.sched.candidate_evals" ~by:!candidate_evals
+  end;
   let n_steps =
     Array.fold_left max 1 (Array.mapi (fun o s -> s + latency.(o) - 1) start)
   in

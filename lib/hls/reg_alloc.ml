@@ -42,6 +42,13 @@ let left_edge g info =
       fix tl
   in
   fix candidates;
+  if !Hft_obs.Config.enabled then begin
+    Hft_obs.Registry.incr "hft.reg_alloc.runs";
+    Hft_obs.Registry.incr "hft.reg_alloc.candidates"
+      ~by:(List.length candidates);
+    Hft_obs.Registry.incr "hft.reg_alloc.spills" ~by:(!n_regs - n);
+    Hft_obs.Registry.incr "hft.reg_alloc.regs" ~by:!n_regs
+  end;
   let reg_of_var =
     spread_to_members info candidates (Hashtbl.find track_tbl)
   in
@@ -53,7 +60,9 @@ let color ?(extra_conflicts = []) ?order ?prefer g info =
   let extra =
     List.map (fun (a, b) -> (rep_of a, rep_of b)) extra_conflicts
   in
+  let conflict_checks = ref 0 in
   let conflict a b =
+    incr conflict_checks;
     a <> b
     && (Lifetime.conflict info a b
         || List.mem (a, b) extra || List.mem (b, a) extra)
@@ -115,6 +124,14 @@ let color ?(extra_conflicts = []) ?order ?prefer g info =
         Hashtbl.replace color_of rep !n_regs;
         incr n_regs)
     order;
+  if !Hft_obs.Config.enabled then begin
+    Hft_obs.Registry.incr "hft.reg_alloc.runs";
+    Hft_obs.Registry.incr "hft.reg_alloc.candidates"
+      ~by:(List.length candidates);
+    Hft_obs.Registry.incr "hft.reg_alloc.conflict_checks"
+      ~by:!conflict_checks;
+    Hft_obs.Registry.incr "hft.reg_alloc.regs" ~by:!n_regs
+  end;
   let reg_of_var =
     spread_to_members info candidates (Hashtbl.find color_of)
   in

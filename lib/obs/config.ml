@@ -1,0 +1,15 @@
+(* The single on/off switch for the whole observability layer.
+
+   Every recording entry point (Registry, Span) begins with
+   [if not !enabled then ...]: one ref dereference and a branch, so a
+   disabled build stays within noise of an uninstrumented one.  Hot
+   loops in the engines accumulate into local mutable state and flush
+   once per call, so even the enabled overhead is per-invocation, not
+   per-iteration. *)
+
+let enabled = ref false
+
+let with_enabled v f =
+  let prev = !enabled in
+  enabled := v;
+  Fun.protect ~finally:(fun () -> enabled := prev) f

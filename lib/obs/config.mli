@@ -1,0 +1,11 @@
+(** Global enable switch for metrics and tracing.
+
+    All of {!Registry} and {!Span} check this ref on entry; with it
+    [false] (the default) every recording call is a ref dereference and
+    a branch. *)
+
+val enabled : bool ref
+
+(** [with_enabled v f] runs [f] with the switch set to [v], restoring
+    the previous value afterwards (also on exceptions). *)
+val with_enabled : bool -> (unit -> 'a) -> 'a

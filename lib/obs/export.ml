@@ -1,0 +1,37 @@
+(* Rendering of registry snapshots: fixed-width table for humans, JSON
+   for machines.  Kept apart from Registry so the registry itself has
+   no opinion about presentation. *)
+
+let fmt_value (s : Metric.snapshot) =
+  match s.Metric.s_kind with
+  | Metric.Counter -> string_of_int s.Metric.s_count
+  | Metric.Gauge -> Printf.sprintf "%g" s.Metric.s_last
+  | Metric.Timer -> Printf.sprintf "%.3f ms" (1e3 *. s.Metric.s_sum)
+
+let fmt_detail (s : Metric.snapshot) =
+  match s.Metric.s_kind with
+  | Metric.Counter -> ""
+  | Metric.Gauge ->
+    if s.Metric.s_count <= 1 then ""
+    else Printf.sprintf "min %g, max %g" s.Metric.s_min s.Metric.s_max
+  | Metric.Timer ->
+    if s.Metric.s_count = 0 then ""
+    else
+      Printf.sprintf "n=%d, mean %.3f ms, max %.3f ms" s.Metric.s_count
+        (1e3 *. Metric.mean s)
+        (1e3 *. s.Metric.s_max)
+
+let metrics_table ?(snapshot = Registry.snapshot ()) () =
+  match snapshot with
+  | [] -> "(no metrics recorded)\n"
+  | snaps ->
+    Hft_util.Pretty.render ~header:[ "metric"; "kind"; "value"; "detail" ]
+      (List.map
+         (fun s ->
+           [ s.Metric.s_name; Metric.kind_to_string s.Metric.s_kind;
+             fmt_value s; fmt_detail s ])
+         snaps)
+
+let metrics_json ?(snapshot = Registry.snapshot ()) () =
+  Hft_util.Json.Obj
+    (List.map (fun s -> (s.Metric.s_name, Metric.snapshot_to_json s)) snapshot)

@@ -1,0 +1,7 @@
+(** Registry snapshots rendered for people (fixed-width table) or for
+    machines (one JSON object keyed by metric name, each value the
+    {!Metric.snapshot_to_json} form — the same shape `hft bench` embeds
+    in [BENCH_hft.json]). *)
+
+val metrics_table : ?snapshot:Metric.snapshot list -> unit -> string
+val metrics_json : ?snapshot:Metric.snapshot list -> unit -> Hft_util.Json.t

@@ -1,0 +1,18 @@
+(* Library root: re-exports the observability toolkit and the global
+   switch, so client code reads [Hft_obs.enabled := true],
+   [Hft_obs.Span.with_ "podem" ...], [Hft_obs.Registry.incr ...]. *)
+
+module Config = Config
+module Clock = Clock
+module Metric = Metric
+module Registry = Registry
+module Span = Span
+module Export = Export
+module Table = Table
+
+let enabled = Config.enabled
+let with_enabled = Config.with_enabled
+
+let reset () =
+  Registry.reset ();
+  Span.reset ()

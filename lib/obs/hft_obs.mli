@@ -1,0 +1,28 @@
+(** [Hft_obs]: zero-dependency observability for the hft stack.
+
+    Three pieces: a metrics {!Registry} (named counters, gauges and
+    histogram-style timers), hierarchical {!Span} tracing, and
+    {!Export}/{!Table} rendering via {!Hft_util.Json}.  Everything is
+    off by default; flip {!enabled} (or use {!with_enabled}) to record.
+    Disabled calls cost a ref dereference and a branch, and the engines
+    accumulate locally and flush per call, so hot loops stay hot.
+
+    The metric name catalogue ([hft.podem.*], [hft.fsim.*],
+    [hft.flow.*], ...) is documented in the README's Observability
+    section. *)
+
+module Config = Config
+module Clock = Clock
+module Metric = Metric
+module Registry = Registry
+module Span = Span
+module Export = Export
+module Table = Table
+
+(** Alias of [Config.enabled]. *)
+val enabled : bool ref
+
+val with_enabled : bool -> (unit -> 'a) -> 'a
+
+(** Clear both the metric registry and the span trace. *)
+val reset : unit -> unit

@@ -1,0 +1,93 @@
+type kind = Counter | Gauge | Timer
+
+type t = {
+  name : string;
+  kind : kind;
+  mutable count : int;
+  mutable sum : float;
+  mutable min : float;
+  mutable max : float;
+  mutable last : float;
+}
+
+type snapshot = {
+  s_name : string;
+  s_kind : kind;
+  s_count : int;
+  s_sum : float;
+  s_min : float;
+  s_max : float;
+  s_last : float;
+}
+
+let create ~kind name =
+  { name; kind; count = 0; sum = 0.0; min = infinity; max = neg_infinity;
+    last = 0.0 }
+
+let kind_to_string = function
+  | Counter -> "counter"
+  | Gauge -> "gauge"
+  | Timer -> "timer"
+
+let incr ?(by = 1) t =
+  t.count <- t.count + by;
+  t.sum <- t.sum +. float_of_int by;
+  t.last <- float_of_int by
+
+let set t v =
+  if t.count = 0 || v < t.min then t.min <- v;
+  if t.count = 0 || v > t.max then t.max <- v;
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. v;
+  t.last <- v
+
+(* Timers and gauges share the streaming-summary update; the kind only
+   changes how the value is rendered (seconds vs raw). *)
+let observe = set
+
+let clear t =
+  t.count <- 0;
+  t.sum <- 0.0;
+  t.min <- infinity;
+  t.max <- neg_infinity;
+  t.last <- 0.0
+
+let snapshot t =
+  { s_name = t.name; s_kind = t.kind; s_count = t.count; s_sum = t.sum;
+    s_min = t.min; s_max = t.max; s_last = t.last }
+
+let value s =
+  match s.s_kind with
+  | Counter -> s.s_sum
+  | Gauge -> s.s_last
+  | Timer -> s.s_sum
+
+let mean s =
+  if s.s_count = 0 then 0.0 else s.s_sum /. float_of_int s.s_count
+
+let snapshot_to_json s =
+  let headline =
+    (* Counters are integral by construction; keep them JSON ints so
+       consumers need no float coercion. *)
+    match s.s_kind with
+    | Counter -> Hft_util.Json.Int s.s_count
+    | Gauge | Timer -> Hft_util.Json.Float (value s)
+  in
+  let base =
+    [ ("name", Hft_util.Json.String s.s_name);
+      ("kind", Hft_util.Json.String (kind_to_string s.s_kind));
+      ("count", Hft_util.Json.Int s.s_count);
+      ("value", headline) ]
+  in
+  let summary =
+    match s.s_kind with
+    | Counter -> []
+    | Gauge | Timer ->
+      if s.s_count = 0 then []
+      else
+        [ ("sum", Hft_util.Json.Float s.s_sum);
+          ("min", Hft_util.Json.Float s.s_min);
+          ("max", Hft_util.Json.Float s.s_max);
+          ("mean", Hft_util.Json.Float (mean s)) ]
+  in
+  Hft_util.Json.Obj (base @ summary)

@@ -1,0 +1,41 @@
+(** One named instrument: monotonic counter, gauge, or histogram-style
+    timer (count/sum/min/max/last streaming summary — no buckets, so
+    updates are O(1) and allocation-free). *)
+
+type kind = Counter | Gauge | Timer
+
+type t
+
+(** Immutable copy of a metric's state, for reporting. *)
+type snapshot = {
+  s_name : string;
+  s_kind : kind;
+  s_count : int;  (** counter value, or number of observations *)
+  s_sum : float;
+  s_min : float;  (** [infinity] when no observation yet *)
+  s_max : float;  (** [neg_infinity] when no observation yet *)
+  s_last : float;
+}
+
+val create : kind:kind -> string -> t
+val kind_to_string : kind -> string
+
+(** Counter increment (default 1). *)
+val incr : ?by:int -> t -> unit
+
+(** Gauge assignment; also maintains the min/max/sum summary. *)
+val set : t -> float -> unit
+
+(** Timer/histogram observation (seconds, or any unit the caller
+    chooses). *)
+val observe : t -> float -> unit
+
+val clear : t -> unit
+val snapshot : t -> snapshot
+
+(** Headline value: counters report their total, gauges their last
+    value, timers their sum. *)
+val value : snapshot -> float
+
+val mean : snapshot -> float
+val snapshot_to_json : snapshot -> Hft_util.Json.t

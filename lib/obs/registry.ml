@@ -1,0 +1,52 @@
+(* Process-global metric registry.
+
+   Names are dotted paths ([hft.podem.backtracks]); the catalogue in
+   use is documented in the README's Observability section.  A name is
+   bound to its kind on first use; re-registering with another kind is
+   a programming error and raises. *)
+
+let table : (string, Metric.t) Hashtbl.t = Hashtbl.create 64
+
+let find_or_create ~kind name =
+  match Hashtbl.find_opt table name with
+  | Some m ->
+    if Metric.snapshot m |> fun s -> s.Metric.s_kind <> kind then
+      invalid_arg
+        (Printf.sprintf "Hft_obs.Registry: %s re-registered with new kind"
+           name);
+    m
+  | None ->
+    let m = Metric.create ~kind name in
+    Hashtbl.replace table name m;
+    m
+
+let counter name = find_or_create ~kind:Metric.Counter name
+let gauge name = find_or_create ~kind:Metric.Gauge name
+let timer name = find_or_create ~kind:Metric.Timer name
+
+let incr ?by name =
+  if !Config.enabled then Metric.incr ?by (counter name)
+
+let set name v = if !Config.enabled then Metric.set (gauge name) v
+let observe name v = if !Config.enabled then Metric.observe (timer name) v
+
+let time name f =
+  if not !Config.enabled then f ()
+  else begin
+    let t0 = Clock.now () in
+    Fun.protect ~finally:(fun () -> observe name (Clock.now () -. t0)) f
+  end
+
+let find name = Option.map Metric.snapshot (Hashtbl.find_opt table name)
+
+let value name =
+  match find name with None -> 0.0 | Some s -> Metric.value s
+
+let count name =
+  match find name with None -> 0 | Some s -> s.Metric.s_count
+
+let snapshot () =
+  Hashtbl.fold (fun _ m acc -> Metric.snapshot m :: acc) table []
+  |> List.sort (fun a b -> compare a.Metric.s_name b.Metric.s_name)
+
+let reset () = Hashtbl.reset table

@@ -1,0 +1,100 @@
+type t = {
+  sp_name : string;
+  mutable sp_attrs : (string * string) list; (* reverse insertion order *)
+  sp_start : float;
+  mutable sp_elapsed : float;
+  mutable sp_children : t list; (* reverse order *)
+}
+
+let name t = t.sp_name
+let elapsed t = t.sp_elapsed
+let attrs t = List.rev t.sp_attrs
+let children t = List.rev t.sp_children
+
+(* Current trace: finished roots plus the stack of open spans.  One
+   process-wide trace is enough for a batch tool; the CLI resets it
+   around each subcommand. *)
+let finished_roots : t list ref = ref []
+let stack : t list ref = ref []
+
+let reset () =
+  finished_roots := [];
+  stack := []
+
+let roots () = List.rev !finished_roots
+
+let add_attr k v =
+  if !Config.enabled then
+    match !stack with
+    | [] -> ()
+    | sp :: _ -> sp.sp_attrs <- (k, v) :: sp.sp_attrs
+
+let add_attr_int k v = add_attr k (string_of_int v)
+
+let with_ ?(attrs = []) name f =
+  if not !Config.enabled then f ()
+  else begin
+    let sp =
+      { sp_name = name; sp_attrs = List.rev attrs; sp_start = Clock.now ();
+        sp_elapsed = 0.0; sp_children = [] }
+    in
+    stack := sp :: !stack;
+    let finish () =
+      sp.sp_elapsed <- Clock.now () -. sp.sp_start;
+      (match !stack with
+       | top :: rest when top == sp -> stack := rest
+       | _ ->
+         (* A callee escaped with spans still open (exception paths
+            unwound by Fun.protect keep this balanced; this is pure
+            defence).  Drop down to this span. *)
+         let rec pop = function
+           | top :: rest when top == sp -> rest
+           | _ :: rest -> pop rest
+           | [] -> []
+         in
+         stack := pop !stack);
+      match !stack with
+      | parent :: _ -> parent.sp_children <- sp :: parent.sp_children
+      | [] -> finished_roots := sp :: !finished_roots
+    in
+    Fun.protect ~finally:finish f
+  end
+
+let rec count t = 1 + List.fold_left (fun n c -> n + count c) 0 (children t)
+
+let render_one t =
+  let buf = Buffer.create 256 in
+  let rec go depth t =
+    Buffer.add_string buf (String.make (2 * depth) ' ');
+    Buffer.add_string buf t.sp_name;
+    Buffer.add_string buf (Printf.sprintf "  %.3f ms" (1e3 *. t.sp_elapsed));
+    (match attrs t with
+     | [] -> ()
+     | kvs ->
+       Buffer.add_string buf "  {";
+       List.iteri
+         (fun i (k, v) ->
+           if i > 0 then Buffer.add_string buf ", ";
+           Buffer.add_string buf k;
+           Buffer.add_char buf '=';
+           Buffer.add_string buf v)
+         kvs;
+       Buffer.add_char buf '}');
+    Buffer.add_char buf '\n';
+    List.iter (go (depth + 1)) (children t)
+  in
+  go 0 t;
+  Buffer.contents buf
+
+let render () = String.concat "" (List.map render_one (roots ()))
+
+let rec to_json t =
+  Hft_util.Json.Obj
+    [ ("name", Hft_util.Json.String t.sp_name);
+      ("elapsed_ms", Hft_util.Json.Float (1e3 *. t.sp_elapsed));
+      ("attrs",
+       Hft_util.Json.Obj
+         (List.map (fun (k, v) -> (k, Hft_util.Json.String v)) (attrs t)));
+      ("children", Hft_util.Json.List (List.map to_json (children t))) ]
+
+let trace_to_json () = Hft_util.Json.List (List.map to_json (roots ()))

@@ -1,0 +1,45 @@
+(* Shared table emitter for the experiment harness and CLI reports.
+
+   Exactly one code path decides how a numeric row is shown, so the
+   human tables and the [--json] variants cannot drift apart: Text mode
+   is Hft_util.Pretty verbatim, Jsonl mode emits one object per row
+   (keys from the header) with numeric-looking cells promoted to JSON
+   numbers — the same convention Export uses for metric snapshots. *)
+
+type mode = Text | Jsonl
+
+let mode = ref Text
+
+(* "97.3%" and "12" should both survive as numbers; anything else stays
+   a string. *)
+let cell_to_json (s : string) : Hft_util.Json.t =
+  match int_of_string_opt s with
+  | Some i -> Hft_util.Json.Int i
+  | None ->
+    (match float_of_string_opt s with
+     | Some f -> Hft_util.Json.Float f
+     | None ->
+       let n = String.length s in
+       if n > 1 && s.[n - 1] = '%' then
+         match float_of_string_opt (String.sub s 0 (n - 1)) with
+         | Some f -> Hft_util.Json.Float (f /. 100.0)
+         | None -> Hft_util.Json.String s
+       else Hft_util.Json.String s)
+
+let row_to_json ?title ~header row =
+  let fields = List.map2 (fun k c -> (k, cell_to_json c)) header row in
+  let fields =
+    match title with
+    | Some t -> ("table", Hft_util.Json.String t) :: fields
+    | None -> fields
+  in
+  Hft_util.Json.Obj fields
+
+let emit ?title ~header rows =
+  match !mode with
+  | Text -> Hft_util.Pretty.print ?title ~header rows
+  | Jsonl ->
+    List.iter
+      (fun row ->
+        print_endline (Hft_util.Json.to_string (row_to_json ?title ~header row)))
+      rows

@@ -1,0 +1,21 @@
+(** One shared table emitter, so every experiment and report prints
+    numbers through the same code path in both human and machine
+    modes. *)
+
+type mode =
+  | Text   (** {!Hft_util.Pretty} fixed-width table *)
+  | Jsonl  (** one JSON object per row, keys from the header *)
+
+val mode : mode ref
+
+(** Cell conversion used in [Jsonl] mode: ints and floats are promoted
+    to JSON numbers, ["97.3%"] becomes [0.973], anything else stays a
+    string. *)
+val cell_to_json : string -> Hft_util.Json.t
+
+val row_to_json :
+  ?title:string -> header:string list -> string list -> Hft_util.Json.t
+
+(** Print [rows] under [header] in the current {!mode}.  Rows must have
+    the header's width (enforced by {!Hft_util.Pretty} / [List.map2]). *)
+val emit : ?title:string -> header:string list -> string list list -> unit

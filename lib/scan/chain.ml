@@ -32,6 +32,8 @@ let insert nl dffs =
     dffs;
   let scan_out = Netlist.add nl ~name:"scan_out" Netlist.Po [| !prev |] in
   Netlist.validate nl;
+  Hft_obs.Registry.incr "hft.scan.chains";
+  Hft_obs.Registry.incr "hft.scan.cells_inserted" ~by:(List.length dffs);
   { netlist = nl; cells = dffs; scan_en; scan_in; scan_out }
 
 let test_cycles t ~n_tests =

@@ -7,6 +7,9 @@ type result = {
 }
 
 let atpg ?(backtrack_limit = 500) nl ~faults =
+  Hft_obs.Span.with_ "full-scan-atpg"
+    ~attrs:[ ("faults", string_of_int (List.length faults)) ]
+  @@ fun () ->
   let dffs = Netlist.dffs nl in
   let assignable = Netlist.pis nl @ dffs in
   let observe =

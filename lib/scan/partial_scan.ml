@@ -10,6 +10,7 @@ let select_rtl_level d ex =
   List.concat_map (fun r -> Array.to_list ex.Expand.reg_q.(r)) regs
 
 let annotate_rtl d regs =
+  Hft_obs.Registry.incr "hft.scan.regs_annotated" ~by:(List.length regs);
   List.iter
     (fun r ->
       d.Hft_rtl.Datapath.regs.(r).Hft_rtl.Datapath.r_kind <-
@@ -17,4 +18,5 @@ let annotate_rtl d regs =
     regs
 
 let atpg ?backtrack_limit ?max_frames nl ~faults ~scanned =
+  Hft_obs.Span.with_ "partial-scan-atpg" @@ fun () ->
   Seq_atpg.run ?backtrack_limit ?max_frames nl ~faults ~scanned

@@ -23,6 +23,24 @@ let escape s =
     s;
   Buffer.contents b
 
+(* Shortest decimal form that parses back to exactly [f].  JSON has no
+   nan/inf literals, so those degrade to null rather than emitting a
+   token no parser accepts. *)
+let float_repr f =
+  if Float.is_nan f || Float.abs f = Float.infinity then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else
+    let try_prec p =
+      let s = Printf.sprintf "%.*g" p f in
+      if float_of_string s = f then Some s else None
+    in
+    match try_prec 15 with
+    | Some s -> s
+    | None ->
+      (match try_prec 16 with
+       | Some s -> s
+       | None -> Printf.sprintf "%.17g" f)
+
 let to_string v =
   let b = Buffer.create 256 in
   let rec go = function
@@ -30,10 +48,7 @@ let to_string v =
     | Bool true -> Buffer.add_string b "true"
     | Bool false -> Buffer.add_string b "false"
     | Int i -> Buffer.add_string b (string_of_int i)
-    | Float f ->
-      if Float.is_integer f && Float.abs f < 1e15 then
-        Buffer.add_string b (Printf.sprintf "%.1f" f)
-      else Buffer.add_string b (Printf.sprintf "%.17g" f)
+    | Float f -> Buffer.add_string b (float_repr f)
     | String s ->
       Buffer.add_char b '"';
       Buffer.add_string b (escape s);
@@ -66,7 +81,21 @@ exception Bad of string
 let parse s =
   let n = String.length s in
   let pos = ref 0 in
-  let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let fail msg =
+    (* Offsets alone are hard to act on in multi-line documents. *)
+    let line = ref 1 and bol = ref 0 in
+    String.iteri
+      (fun i c ->
+        if i < !pos && c = '\n' then begin
+          incr line;
+          bol := i + 1
+        end)
+      s;
+    raise
+      (Bad
+         (Printf.sprintf "%s at offset %d (line %d, column %d)" msg !pos !line
+            (!pos - !bol + 1)))
+  in
   let peek () = if !pos < n then Some s.[!pos] else None in
   let skip_ws () =
     while

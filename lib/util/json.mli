@@ -11,12 +11,16 @@ type t =
   | List of t list
   | Obj of (string * t) list
 
-(** Compact serialisation with full string escaping. *)
+(** Compact serialisation with full string escaping.  Floats use the
+    shortest decimal form that round-trips exactly (integral values
+    keep a [.0] suffix so they stay floats on re-parse); nan/inf have
+    no JSON literal and degrade to [null]. *)
 val to_string : t -> string
 
 (** Parse a complete JSON document; [Error msg] on malformed input or
-    trailing garbage.  Numbers with a fraction or exponent parse as
-    [Float], others as [Int]. *)
+    trailing garbage, with the failure offset and line/column in the
+    message.  Numbers with a fraction or exponent parse as [Float],
+    others as [Int]. *)
 val parse : string -> (t, string) result
 
 (** Object field lookup ([None] on non-objects too). *)

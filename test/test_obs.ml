@@ -1,0 +1,249 @@
+(* Hft_obs: metrics registry, span tracing, export, and the flow-level
+   instrumentation contract (each synthesize call yields one root span
+   with named phase children). *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+let checkf = Alcotest.(check (float 1e-9))
+
+(* Every test owns the global switch + state; restore on exit so test
+   order never matters. *)
+let with_obs ?(on = true) f =
+  Hft_obs.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Hft_obs.enabled := false;
+      Hft_obs.reset ())
+    (fun () -> Hft_obs.with_enabled on f)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter () =
+  with_obs @@ fun () ->
+  Hft_obs.Registry.incr "c";
+  Hft_obs.Registry.incr "c" ~by:41;
+  check_int "count accumulates by" 42 (Hft_obs.Registry.count "c");
+  checkf "value is the sum" 42.0 (Hft_obs.Registry.value "c");
+  check_int "absent metric reads 0" 0 (Hft_obs.Registry.count "nope");
+  Hft_obs.Registry.reset ();
+  check_int "reset clears" 0 (Hft_obs.Registry.count "c")
+
+let test_gauge_and_timer () =
+  with_obs @@ fun () ->
+  Hft_obs.Registry.set "g" 3.0;
+  Hft_obs.Registry.set "g" 1.5;
+  checkf "gauge reads last" 1.5 (Hft_obs.Registry.value "g");
+  Hft_obs.Registry.observe "t" 2.0;
+  Hft_obs.Registry.observe "t" 4.0;
+  (match Hft_obs.Registry.find "t" with
+   | None -> Alcotest.fail "timer not registered"
+   | Some s ->
+     check_int "two observations" 2 s.Hft_obs.Metric.s_count;
+     checkf "sum" 6.0 s.Hft_obs.Metric.s_sum;
+     checkf "min" 2.0 s.Hft_obs.Metric.s_min;
+     checkf "max" 4.0 s.Hft_obs.Metric.s_max;
+     checkf "mean" 3.0 (Hft_obs.Metric.mean s))
+
+let test_time_uses_clock () =
+  with_obs @@ fun () ->
+  let t = ref 100.0 in
+  Hft_obs.Clock.with_source (fun () -> !t) @@ fun () ->
+  let x = Hft_obs.Registry.time "t" (fun () -> t := !t +. 2.5; 7) in
+  check_int "time returns the thunk's value" 7 x;
+  checkf "elapsed from the override clock" 2.5 (Hft_obs.Registry.value "t")
+
+let test_kind_mismatch () =
+  with_obs @@ fun () ->
+  ignore (Hft_obs.Registry.counter "k");
+  check "re-registering under another kind is an error" true
+    (match Hft_obs.Registry.timer "k" with
+     | _ -> false
+     | exception Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_tree () =
+  with_obs @@ fun () ->
+  let t = ref 0.0 in
+  Hft_obs.Clock.with_source (fun () -> !t) @@ fun () ->
+  Hft_obs.Span.with_ "outer" ~attrs:[ ("bench", "tseng") ] (fun () ->
+      t := !t +. 0.5;
+      Hft_obs.Span.with_ "inner" (fun () -> t := !t +. 0.25);
+      Hft_obs.Span.add_attr_int "loops" 3);
+  match Hft_obs.Span.roots () with
+  | [ root ] ->
+    check_str "root name" "outer" (Hft_obs.Span.name root);
+    checkf "root elapsed" 0.75 (Hft_obs.Span.elapsed root);
+    check "attrs in order" true
+      (Hft_obs.Span.attrs root = [ ("bench", "tseng"); ("loops", "3") ]);
+    check_int "subtree size" 2 (Hft_obs.Span.count root);
+    (match Hft_obs.Span.children root with
+     | [ inner ] ->
+       check_str "child name" "inner" (Hft_obs.Span.name inner);
+       checkf "child elapsed" 0.25 (Hft_obs.Span.elapsed inner)
+     | _ -> Alcotest.fail "expected one child")
+  | roots ->
+    Alcotest.failf "expected one root span, got %d" (List.length roots)
+
+let test_span_exception_safe () =
+  with_obs @@ fun () ->
+  (try
+     Hft_obs.Span.with_ "boom" (fun () ->
+         Hft_obs.Span.with_ "inner" (fun () -> failwith "bang"))
+   with Failure _ -> ());
+  match Hft_obs.Span.roots () with
+  | [ root ] ->
+    check_str "raising span still recorded" "boom" (Hft_obs.Span.name root);
+    check_int "inner attached too" 2 (Hft_obs.Span.count root);
+    (* The stack fully unwound: a new span starts a new root. *)
+    Hft_obs.Span.with_ "next" (fun () -> ());
+    check_int "subsequent span is a fresh root" 2
+      (List.length (Hft_obs.Span.roots ()))
+  | _ -> Alcotest.fail "expected one root span"
+
+let test_span_render () =
+  with_obs @@ fun () ->
+  Hft_obs.Span.with_ "a" (fun () -> Hft_obs.Span.with_ "b" (fun () -> ()));
+  let s = Hft_obs.Span.render () in
+  let has sub =
+    let nh = String.length s and nn = String.length sub in
+    let rec go i = i + nn <= nh && (String.sub s i nn = sub || go (i + 1)) in
+    go 0
+  in
+  check "root present" true (has "a  ");
+  check "child indented" true (has "\n  b  ");
+  check "durations in ms" true (has "ms")
+
+(* ------------------------------------------------------------------ *)
+(* Disabled mode                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_disabled_noop () =
+  with_obs ~on:false @@ fun () ->
+  Hft_obs.Registry.incr "c" ~by:9;
+  Hft_obs.Registry.observe "t" 1.0;
+  let x = Hft_obs.Span.with_ "s" (fun () -> 5) in
+  Hft_obs.Span.add_attr "k" "v";
+  check_int "with_ still returns the value" 5 x;
+  check_int "no metric recorded" 0 (Hft_obs.Registry.count "c");
+  check "no snapshot entries" true (Hft_obs.Registry.snapshot () = []);
+  check "no spans recorded" true (Hft_obs.Span.roots () = [])
+
+(* ------------------------------------------------------------------ *)
+(* Export round-trips                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_json_roundtrip () =
+  with_obs @@ fun () ->
+  Hft_obs.Registry.incr "hft.podem.backtracks" ~by:17;
+  Hft_obs.Registry.observe "hft.flow.time" 0.25;
+  let text = Hft_util.Json.to_string (Hft_obs.Export.metrics_json ()) in
+  match Hft_util.Json.parse text with
+  | Error e -> Alcotest.fail e
+  | Ok doc ->
+    (match Hft_util.Json.member "hft.podem.backtracks" doc with
+     | Some m ->
+       check "counter value survives" true
+         (Hft_util.Json.member "value" m = Some (Hft_util.Json.Int 17))
+     | None -> Alcotest.fail "counter missing from export");
+    (match Hft_util.Json.member "hft.flow.time" doc with
+     | Some m ->
+       check "timer sum survives" true
+         (Hft_util.Json.member "sum" m = Some (Hft_util.Json.Float 0.25))
+     | None -> Alcotest.fail "timer missing from export")
+
+let test_trace_json () =
+  with_obs @@ fun () ->
+  Hft_obs.Span.with_ "a" ~attrs:[ ("k", "v") ] (fun () ->
+      Hft_obs.Span.with_ "b" (fun () -> ()));
+  let text = Hft_util.Json.to_string (Hft_obs.Span.trace_to_json ()) in
+  match Hft_util.Json.parse text with
+  | Ok (Hft_util.Json.List [ root ]) ->
+    check "root name" true
+      (Hft_util.Json.member "name" root = Some (Hft_util.Json.String "a"));
+    (match Hft_util.Json.member "children" root with
+     | Some (Hft_util.Json.List [ _ ]) -> ()
+     | _ -> Alcotest.fail "child span missing")
+  | Ok _ -> Alcotest.fail "expected a one-root trace"
+  | Error e -> Alcotest.fail e
+
+let test_table_cells () =
+  let open Hft_util.Json in
+  check "int cell" true (Hft_obs.Table.cell_to_json "12" = Int 12);
+  check "float cell" true (Hft_obs.Table.cell_to_json "1.5" = Float 1.5);
+  check "percentage cell" true (Hft_obs.Table.cell_to_json "97.3%" = Float 0.973);
+  check "string cell" true (Hft_obs.Table.cell_to_json "ewf" = String "ewf");
+  match
+    Hft_obs.Table.row_to_json ~title:"t" ~header:[ "bench"; "n" ]
+      [ "ewf"; "34" ]
+  with
+  | Obj kvs ->
+    check "title column" true (List.assoc_opt "table" kvs = Some (String "t"));
+    check "typed cell" true (List.assoc_opt "n" kvs = Some (Int 34))
+  | _ -> Alcotest.fail "row_to_json should build an object"
+
+(* ------------------------------------------------------------------ *)
+(* Flow instrumentation contract                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_flow_spans () =
+  let g = Hft_cdfg.Paper_fig1.graph () in
+  List.iter
+    (fun (name, kind) ->
+      with_obs @@ fun () ->
+      ignore (Hft_core.Flow.synthesize ~width:4 kind g);
+      match Hft_obs.Span.roots () with
+      | [ root ] ->
+        check_str
+          (Printf.sprintf "%s root span" name)
+          ("flow:" ^ name) (Hft_obs.Span.name root);
+        check
+          (Printf.sprintf "%s has >= 3 phase children" name)
+          true
+          (List.length (Hft_obs.Span.children root) >= 3);
+        (* Partial-scan and BIST run a conventional baseline internally,
+           so runs >= 1 but the root span is still the outer flow. *)
+        check
+          (Printf.sprintf "%s counted its run" name)
+          true
+          (Hft_obs.Registry.count "hft.flow.runs" >= 1);
+        check
+          (Printf.sprintf "%s timed its run" name)
+          true
+          (Hft_obs.Registry.value "hft.flow.time" >= 0.0
+           && Hft_obs.Registry.count "hft.flow.time" >= 1)
+      | roots ->
+        Alcotest.failf "%s: expected one root span, got %d" name
+          (List.length roots))
+    Hft_core.Flow.flow_kinds
+
+let () =
+  Alcotest.run "hft_obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter" `Quick test_counter;
+          Alcotest.test_case "gauge and timer" `Quick test_gauge_and_timer;
+          Alcotest.test_case "time uses clock" `Quick test_time_uses_clock;
+          Alcotest.test_case "kind mismatch" `Quick test_kind_mismatch;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "tree" `Quick test_span_tree;
+          Alcotest.test_case "exception safety" `Quick test_span_exception_safe;
+          Alcotest.test_case "render" `Quick test_span_render;
+        ] );
+      ("disabled", [ Alcotest.test_case "no-op" `Quick test_disabled_noop ]);
+      ( "export",
+        [
+          Alcotest.test_case "metrics json" `Quick test_metrics_json_roundtrip;
+          Alcotest.test_case "trace json" `Quick test_trace_json;
+          Alcotest.test_case "table cells" `Quick test_table_cells;
+        ] );
+      ("flow", [ Alcotest.test_case "phase spans" `Quick test_flow_spans ]);
+    ]

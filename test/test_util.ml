@@ -403,6 +403,64 @@ let test_pretty_table () =
   check "contains row" true (contains_sub s "ring");
   check "right-aligns numbers" true (contains_sub s "  5")
 
+(* ------------------------------------------------------------------ *)
+(* Json                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_float_roundtrip () =
+  List.iter
+    (fun f ->
+      match Json.parse (Json.to_string (Json.Float f)) with
+      | Ok (Json.Float f') ->
+        check
+          (Printf.sprintf "float %h survives" f)
+          true
+          (Int64.bits_of_float f = Int64.bits_of_float f')
+      | Ok _ -> Alcotest.fail "float parsed as non-float"
+      | Error e -> Alcotest.fail e)
+    [ 1.2e-4; -1.2e-4; 5.0; -0.0; 0.1; 1e300; -7.25e-12; 3.14159265358979312;
+      Float.min_float; 1.0 +. epsilon_float ]
+
+let test_json_float_compact () =
+  let s f = Json.to_string (Json.Float f) in
+  Alcotest.(check string) "integral keeps .0" "5.0" (s 5.0);
+  Alcotest.(check string) "negative zero" "-0.0" (s (-0.0));
+  Alcotest.(check string) "shortest form" "0.00012" (s 1.2e-4);
+  Alcotest.(check string) "nan degrades to null" "null" (s Float.nan);
+  Alcotest.(check string) "inf degrades to null" "null" (s Float.infinity)
+
+let test_json_number_classes () =
+  (match Json.parse "42" with
+   | Ok (Json.Int 42) -> ()
+   | _ -> Alcotest.fail "plain int");
+  (match Json.parse "-42" with
+   | Ok (Json.Int (-42)) -> ()
+   | _ -> Alcotest.fail "negative int");
+  (match Json.parse "42.0" with
+   | Ok (Json.Float f) -> check "fractional" true (f = 42.0)
+   | _ -> Alcotest.fail "zero-fraction float");
+  match Json.parse "1.2e-4" with
+  | Ok (Json.Float f) -> check "exponent" true (f = 1.2e-4)
+  | _ -> Alcotest.fail "exponent float"
+
+let test_json_error_position () =
+  match Json.parse "{\n  \"a\": tru }" with
+  | Ok _ -> Alcotest.fail "expected a parse error"
+  | Error msg ->
+    check "mentions line" true (contains_sub msg "line 2");
+    check "mentions column" true (contains_sub msg "column")
+
+let test_json_doc_roundtrip () =
+  let doc =
+    Json.Obj
+      [ ("name", Json.String "hft \"quoted\"\n");
+        ("xs", Json.List [ Json.Int 1; Json.Float 2.5; Json.Null ]);
+        ("ok", Json.Bool true) ]
+  in
+  match Json.parse (Json.to_string doc) with
+  | Ok doc' -> check "document round-trips" true (doc = doc')
+  | Error e -> Alcotest.fail e
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "hft_util"
@@ -463,6 +521,14 @@ let () =
           Alcotest.test_case "table" `Quick test_pretty_table;
           Alcotest.test_case "ragged rejected" `Quick test_pretty_ragged_rejected;
           Alcotest.test_case "formatters" `Quick test_pretty_formatters;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "float round-trip" `Quick test_json_float_roundtrip;
+          Alcotest.test_case "float printing" `Quick test_json_float_compact;
+          Alcotest.test_case "number classes" `Quick test_json_number_classes;
+          Alcotest.test_case "error position" `Quick test_json_error_position;
+          Alcotest.test_case "document round-trip" `Quick test_json_doc_roundtrip;
         ] );
       ( "misc",
         [
