@@ -306,7 +306,7 @@ let bench_cmd =
          & info [ "w"; "width" ] ~docv:"BITS"
              ~doc:"Data-path width (4 keeps the gate-level legs fast).")
   in
-  let measure_cell ~width ~sample bench_name flow_kind g =
+  let measure_cell ~width ~sample ~naive bench_name flow_kind g =
     (* Fresh registry/trace per cell so counters are attributable to
        one (bench, flow) pair. *)
     Hft_obs.reset ();
@@ -315,30 +315,16 @@ let bench_cmd =
     let r = Flow.synthesize ~width flow_kind g in
     let t_synth = now () -. t0 in
     (* Gate-level legs: a sampled sequential-ATPG run (PODEM effort)
-       and a pseudorandom fault-simulation run (event throughput). *)
-    let t1 = now () in
-    let ex = Hft_gate.Expand.of_datapath r.Flow.datapath in
-    let nl = ex.Hft_gate.Expand.netlist in
-    let rng = Hft_util.Rng.create 2024 in
-    let faults =
-      Hft_gate.Fault.collapsed nl
-      |> List.filter (fun _ -> Hft_util.Rng.int rng sample = 0)
+       and a coverage fault-simulation run (event throughput), shared
+       with the library as [Flow.test_campaign]. *)
+    let strategy = if naive then Flow.Naive else Flow.Fast in
+    let c =
+      Flow.test_campaign ~strategy ~backtrack_limit:20 ~max_frames:2 ~sample
+        ~seed:2024 ~n_patterns:64 r
     in
-    let scanned =
-      Array.to_list r.Flow.datapath.Hft_rtl.Datapath.regs
-      |> List.concat_map (fun reg ->
-             if reg.Hft_rtl.Datapath.r_kind = Hft_rtl.Datapath.Scan then
-               Array.to_list ex.Hft_gate.Expand.reg_q.(reg.Hft_rtl.Datapath.r_id)
-             else [])
-    in
-    let stats =
-      Hft_scan.Partial_scan.atpg ~backtrack_limit:20 ~max_frames:2 nl ~faults
-        ~scanned
-    in
-    let t_atpg = now () -. t1 in
-    let t2 = now () in
-    let fr = Hft_gate.Fsim.comb_random nl ~rng ~n_patterns:64 faults in
-    let t_fsim = now () -. t2 in
+    let faults = c.Flow.c_faults in
+    let stats = c.Flow.c_atpg and fr = c.Flow.c_fsim in
+    let t_atpg = c.Flow.c_t_atpg and t_fsim = c.Flow.c_t_fsim in
     let snapshot = Hft_obs.Registry.snapshot () in
     let flow_name = Flow.flow_kind_to_string flow_kind in
     let ms x = Float.round (1e5 *. x) /. 100.0 in
@@ -361,6 +347,9 @@ let bench_cmd =
           ("atpg_coverage",
            Hft_util.Json.Float (Hft_gate.Seq_atpg.fault_coverage stats));
           ("fsim_coverage", Hft_util.Json.Float (Hft_gate.Fsim.coverage fr));
+          ("patterns_stored", Hft_util.Json.Int c.Flow.c_patterns_stored);
+          ("strategy",
+           Hft_util.Json.String (if naive then "naive" else "fast"));
           ("report",
            Hft_util.Json.Obj
              [ ("regs", Hft_util.Json.Int r.Flow.report.Flow.n_registers);
@@ -385,7 +374,14 @@ let bench_cmd =
     in
     (cell, row)
   in
-  let run quick json out width obs =
+  let naive_arg =
+    Arg.(value & flag
+         & info [ "naive" ]
+             ~doc:"Use the pre-optimization engines (no fault collapsing, \
+                   no dropping, full-resimulation fault simulation of pure \
+                   random patterns) — for before/after comparison.")
+  in
+  let run quick json out width naive obs =
     with_obs ~cmd:"bench" obs @@ fun () ->
     Hft_obs.enabled := true;
     let benches =
@@ -397,7 +393,7 @@ let bench_cmd =
         (fun bname ->
           let g = bench_graph bname in
           List.map
-            (fun (_, kind) -> measure_cell ~width ~sample bname kind g)
+            (fun (_, kind) -> measure_cell ~width ~sample ~naive bname kind g)
             Flow.flow_kinds)
         benches
     in
@@ -431,7 +427,7 @@ let bench_cmd =
          "Run the flow×bench matrix with wall-clock timings and engine \
           counters; writes BENCH_hft.json")
     Term.(const run $ quick_arg $ json_arg $ out_arg $ bench_width_arg
-          $ obs_term)
+          $ naive_arg $ obs_term)
 
 let list_cmd =
   let run () =

@@ -63,3 +63,40 @@ val synthesize :
 
 val report_header : string list
 val report_row : dft_report -> string list
+
+(** {1 Gate-level test campaign}
+
+    The uniform post-synthesis sequence: expand the data path to gates,
+    sample the collapsed fault list, run (partial-scan) sequential ATPG,
+    then measure final coverage by fault simulation.
+
+    [Fast] (default) is the optimized pipeline — equivalence-class
+    collapsing, fault dropping after every generated test, cone-limited
+    fault simulation — and every ATPG test lands in a {!Pattern_store},
+    so the final coverage run replays deterministic, fault-targeting
+    patterns through the scan view ({!Hft_gate.Fsim.comb_scan}: scan
+    cells pattern-loaded and observed) with random fill up to
+    [n_patterns].  [Naive] reproduces the historical behaviour: one
+    PODEM call per fault, full-resimulation fault simulation of
+    [n_patterns] pure-random patterns with all DFFs stuck at 0 (which is
+    why it reports near-zero coverage on register-dominated paths). *)
+
+type atpg_strategy = Fast | Naive
+
+type campaign = {
+  c_netlist : Hft_gate.Netlist.t;
+  c_faults : Hft_gate.Fault.t list;   (** the sampled fault list *)
+  c_scanned : int list;               (** scan-cell DFF node ids *)
+  c_atpg : Hft_gate.Seq_atpg.stats;
+  c_fsim : Hft_gate.Fsim.comb_result;
+  c_patterns_stored : int;            (** ATPG-derived pattern rows *)
+  c_t_atpg : float;                   (** ATPG leg wall seconds *)
+  c_t_fsim : float;                   (** fsim leg wall seconds *)
+}
+
+(** [test_campaign r] — [sample] keeps one fault in N ([seed] fixes the
+    sample), [backtrack_limit]/[max_frames] bound the PODEM search,
+    [n_patterns] is the minimum final-fsim pattern count. *)
+val test_campaign :
+  ?strategy:atpg_strategy -> ?backtrack_limit:int -> ?max_frames:int ->
+  ?sample:int -> ?seed:int -> ?n_patterns:int -> result -> campaign

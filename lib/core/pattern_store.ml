@@ -1,0 +1,27 @@
+type t = { mutable rows : bool array list; mutable n : int }
+
+let create () = { rows = []; n = 0 }
+
+let add t row =
+  t.rows <- row :: t.rows;
+  t.n <- t.n + 1
+
+let size t = t.n
+
+let patterns t = Array.of_list (List.rev t.rows)
+
+let fit width row =
+  if Array.length row = width then row
+  else begin
+    let out = Array.make width false in
+    Array.blit row 0 out 0 (min width (Array.length row));
+    out
+  end
+
+let padded t ~rng ~n_min ~width =
+  let stored = List.rev_map (fit width) t.rows in
+  let fill = max 0 (n_min - t.n) in
+  let random =
+    List.init fill (fun _ -> Array.init width (fun _ -> Hft_util.Rng.bool rng))
+  in
+  Array.of_list (stored @ random)

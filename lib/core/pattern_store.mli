@@ -1,0 +1,23 @@
+(** Accumulates the test patterns generated during a flow (deterministic
+    ATPG tests, notably) so later stages — the final coverage fault
+    simulation above all — replay them instead of relying on pure random
+    patterns.  Rows are plain bit vectors; the producer fixes the column
+    convention (here: PI values then scan-cell loads). *)
+
+type t
+
+val create : unit -> t
+
+(** Append one pattern row (insertion order is preserved). *)
+val add : t -> bool array -> unit
+
+val size : t -> int
+
+(** All stored rows, oldest first. *)
+val patterns : t -> bool array array
+
+(** [padded t ~rng ~n_min ~width] — the stored rows fitted to [width]
+    columns (truncated / zero-padded), followed by uniform random rows
+    up to a total of at least [n_min]. *)
+val padded :
+  t -> rng:Hft_util.Rng.t -> n_min:int -> width:int -> bool array array

@@ -1,5 +1,7 @@
 open Hft_util
 
+type strategy = Naive | Cone
+
 type comb_result = {
   detected : Fault.t list;
   undetected : Fault.t list;
@@ -21,7 +23,8 @@ let load_patterns nl st patterns =
     pis
 
 (* One flush per simulation call: [events] counts node evaluations
-   (nodes × passes), the unit the ROADMAP's events/sec goal is stated
+   (nodes × passes for the naive strategy, good pass + cone sizes for
+   the cone strategy), the unit the ROADMAP's events/sec goal is stated
    in. *)
 let flush ~faults ~detected ~patterns ~events ~seconds =
   if !Hft_obs.Config.enabled then begin
@@ -36,53 +39,355 @@ let flush ~faults ~detected ~patterns ~events ~seconds =
         (float_of_int events /. seconds)
   end
 
-let comb nl ~patterns faults =
+(* ------------------------------------------------------------------ *)
+(* Group engine.  A group is one logical fault as a list of injection  *)
+(* sites (several when replicated across time frames); detection means *)
+(* some observe node differs from the good machine with all sites      *)
+(* active at once.                                                     *)
+
+(* Effective roots of a group for one combinational pass: a stem fault
+   changes its own node, a pin fault changes the consuming gate — except
+   on a [Dff], whose D input is only sampled by [pclock], never read
+   combinationally. *)
+let group_roots nl group =
+  List.filter_map
+    (fun f ->
+      match f.Fault.pin with
+      | None -> Some f.Fault.node
+      | Some _ ->
+        if Netlist.kind nl f.Fault.node = Netlist.Dff then None
+        else Some f.Fault.node)
+    group
+
+let group_cone nl group = Netlist.fanout_cone_union nl (group_roots nl group)
+
+(* [run_groups] simulates every group against the good machine whose
+   sources [load] establishes.  Returns per-group detection flags plus
+   the event count.
+
+   Naive: full re-evaluation of the netlist per group (the historical
+   algorithm, kept for differential testing).
+
+   Cone: copy-on-write from the good state — only the union of the
+   fault sites' fanout cones is re-evaluated, reading good values for
+   fanins outside the cone, and only observe nodes inside the cone are
+   compared.  Nodes outside the cone provably keep their good values,
+   so the two strategies report bit-identical detections. *)
+let run_groups ~strategy nl ~n_patterns ~load ~observe groups =
+  let n = Netlist.n_nodes nl in
+  let good = Sim.pcreate nl ~n_patterns in
+  load good;
+  Sim.peval nl good;
+  let events = ref n in
+  let n_groups = List.length groups in
+  let detected = Array.make n_groups false in
+  (match strategy with
+   | Naive ->
+     let good_obs =
+       List.map (fun o -> Bitvec.copy (Sim.pvalue good o)) observe
+     in
+     let faulty = Sim.pcreate nl ~n_patterns in
+     List.iteri
+       (fun gi group ->
+         (* Reload source values each time: a stem fault on a source
+            node forces the state in place and would otherwise leak
+            into later groups. *)
+         load faulty;
+         Sim.peval ~faults:group nl faulty;
+         events := !events + n;
+         detected.(gi) <-
+           List.exists2
+             (fun o gobs -> Bitvec.any_diff (Sim.pvalue faulty o) gobs)
+             observe good_obs)
+       groups
+   | Cone ->
+     let is_obs = Array.make n false in
+     List.iter (fun o -> is_obs.(o) <- true) observe;
+     (* Copy-on-write faulty values: [None] means "same as good". *)
+     let fval : Bitvec.t option array = Array.make n None in
+     let pool = ref [] in
+     let alloc () =
+       match !pool with
+       | b :: tl -> pool := tl; b
+       | [] -> Bitvec.create n_patterns
+     in
+     let forced = Array.init 3 (fun _ -> Bitvec.create n_patterns) in
+     let tmp = Bitvec.create n_patterns in
+     List.iteri
+       (fun gi group ->
+         (* Groups are one logical fault (a handful of sites at most):
+            direct list probes beat building tables. *)
+         let stem_of v =
+           List.fold_left
+             (fun acc f ->
+               if f.Fault.pin = None && f.Fault.node = v then Some f else acc)
+             None group
+         and pin_of v p =
+           List.find_opt
+             (fun f -> f.Fault.node = v && f.Fault.pin = Some p)
+             group
+         in
+         let read src consumer pin =
+           match pin_of consumer pin with
+           | Some f ->
+             Bitvec.fill forced.(pin) f.Fault.stuck;
+             forced.(pin)
+           | None ->
+             (match fval.(src) with
+              | Some b -> b
+              | None -> Sim.pvalue good src)
+         in
+         let cone = group_cone nl group in
+         let hit = ref false in
+         Array.iter
+           (fun v ->
+             incr events;
+             (match stem_of v with
+              | Some f ->
+                let b = alloc () in
+                Bitvec.fill b f.Fault.stuck;
+                fval.(v) <- Some b
+              | None ->
+                (match Netlist.kind nl v with
+                 | Netlist.Pi | Netlist.Dff | Netlist.Const0 | Netlist.Const1
+                   -> () (* sources keep their good values *)
+                 | Netlist.Po | Netlist.Buf ->
+                   let b = alloc () in
+                   Bitvec.assign ~dst:b (read (Netlist.fanin nl v).(0) v 0);
+                   fval.(v) <- Some b
+                 | Netlist.Not ->
+                   let b = alloc () in
+                   Bitvec.not_ ~dst:b (read (Netlist.fanin nl v).(0) v 0);
+                   fval.(v) <- Some b
+                 | Netlist.And | Netlist.Or | Netlist.Nand | Netlist.Nor
+                 | Netlist.Xor | Netlist.Xnor ->
+                   let fi = Netlist.fanin nl v in
+                   let a = read fi.(0) v 0 and c = read fi.(1) v 1 in
+                   let b = alloc () in
+                   (match Netlist.kind nl v with
+                    | Netlist.And -> Bitvec.and_ ~dst:b a c
+                    | Netlist.Or -> Bitvec.or_ ~dst:b a c
+                    | Netlist.Xor -> Bitvec.xor ~dst:b a c
+                    | Netlist.Nand ->
+                      Bitvec.and_ ~dst:tmp a c;
+                      Bitvec.not_ ~dst:b tmp
+                    | Netlist.Nor ->
+                      Bitvec.or_ ~dst:tmp a c;
+                      Bitvec.not_ ~dst:b tmp
+                    | Netlist.Xnor ->
+                      Bitvec.xor ~dst:tmp a c;
+                      Bitvec.not_ ~dst:b tmp
+                    | _ -> assert false);
+                   fval.(v) <- Some b
+                 | Netlist.Mux2 ->
+                   let fi = Netlist.fanin nl v in
+                   let s = read fi.(0) v 0 in
+                   let a = read fi.(1) v 1 and c = read fi.(2) v 2 in
+                   let b = alloc () in
+                   Bitvec.mux ~dst:b s a c;
+                   fval.(v) <- Some b));
+             if is_obs.(v) then
+               match fval.(v) with
+               | Some b ->
+                 if Bitvec.any_diff b (Sim.pvalue good v) then hit := true
+               | None -> ())
+           cone;
+         detected.(gi) <- !hit;
+         Array.iter
+           (fun v ->
+             match fval.(v) with
+             | Some b ->
+               pool := b :: !pool;
+               fval.(v) <- None
+             | None -> ())
+           cone)
+       groups);
+  (detected, !events)
+
+let count_true a = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 a
+
+let result_of_flags faults flags n_patterns =
+  let detected = ref [] and undetected = ref [] in
+  List.iteri
+    (fun i f ->
+      if flags.(i) then detected := f :: !detected
+      else undetected := f :: !undetected)
+    faults;
+  { detected = List.rev !detected; undetected = List.rev !undetected;
+    n_patterns }
+
+let zero_dffs nl st =
+  List.iter (fun d -> Bitvec.fill (Sim.pvalue st d) false) (Netlist.dffs nl)
+
+let comb ?(strategy = Cone) nl ~patterns faults =
   let t0 = Hft_obs.Clock.now () in
   let n_patterns = Array.length patterns in
   if n_patterns = 0 then
     { detected = []; undetected = faults; n_patterns = 0 }
   else begin
-    let good = Sim.pcreate nl ~n_patterns in
-    load_patterns nl good patterns;
-    Sim.peval nl good;
-    let pos = Netlist.pos nl in
-    let good_pos = List.map (fun po -> Bitvec.copy (Sim.pvalue good po)) pos in
-    let faulty = Sim.pcreate nl ~n_patterns in
-    let detected = ref [] and undetected = ref [] in
-    List.iter
-      (fun f ->
-        (* Reload PI values and DFF states each time: a stem fault on a
-           source node forces the state in place and would otherwise
-           leak into later faults. *)
-        load_patterns nl faulty patterns;
-        List.iter
-          (fun d -> Bitvec.fill (Sim.pvalue faulty d) false)
-          (Netlist.dffs nl);
-        Sim.peval ~faults:[ f ] nl faulty;
-        let diff =
-          List.exists2
-            (fun po gpo -> Bitvec.any_diff (Sim.pvalue faulty po) gpo)
-            pos good_pos
-        in
-        if diff then detected := f :: !detected else undetected := f :: !undetected)
-      faults;
-    let n_faults = List.length faults in
-    flush ~faults:n_faults
-      ~detected:(List.length !detected)
-      ~patterns:n_patterns
-      ~events:(Netlist.n_nodes nl * (n_faults + 1))
+    let load st =
+      load_patterns nl st patterns;
+      zero_dffs nl st
+    in
+    let flags, events =
+      run_groups ~strategy nl ~n_patterns ~load ~observe:(Netlist.pos nl)
+        (List.map (fun f -> [ f ]) faults)
+    in
+    flush ~faults:(List.length faults) ~detected:(count_true flags)
+      ~patterns:n_patterns ~events
       ~seconds:(Hft_obs.Clock.now () -. t0);
-    { detected = List.rev !detected; undetected = List.rev !undetected;
-      n_patterns }
+    result_of_flags faults flags n_patterns
   end
 
-let comb_random nl ~rng ~n_patterns faults =
+let comb_random ?strategy nl ~rng ~n_patterns faults =
   let n_pi = List.length (Netlist.pis nl) in
   let patterns =
     Array.init n_patterns (fun _ ->
         Array.init n_pi (fun _ -> Rng.bool rng))
   in
-  comb nl ~patterns faults
+  comb ?strategy nl ~patterns faults
+
+let comb_scan ?(strategy = Cone) nl ~scanned ~patterns faults =
+  let t0 = Hft_obs.Clock.now () in
+  let n_patterns = Array.length patterns in
+  if n_patterns = 0 then
+    { detected = []; undetected = faults; n_patterns = 0 }
+  else begin
+    let pis = Netlist.pis nl in
+    let n_pi = List.length pis in
+    let load st =
+      load_patterns nl st patterns;
+      zero_dffs nl st;
+      (* Scan load: columns beyond the PIs preset the scan cells. *)
+      List.iteri
+        (fun i d ->
+          let bv = Sim.pvalue st d in
+          Array.iteri (fun p row -> Bitvec.set bv p row.(n_pi + i)) patterns)
+        scanned
+    in
+    (* Scan observe: the captured next state of every scan cell is
+       shifted out, so its D input joins the POs as an observation
+       point. *)
+    let observe =
+      List.sort_uniq compare
+        (Netlist.pos nl
+         @ List.map (fun d -> (Netlist.fanin nl d).(0)) scanned)
+    in
+    let flags, events =
+      run_groups ~strategy nl ~n_patterns ~load ~observe
+        (List.map (fun f -> [ f ]) faults)
+    in
+    flush ~faults:(List.length faults) ~detected:(count_true flags)
+      ~patterns:n_patterns ~events
+      ~seconds:(Hft_obs.Clock.now () -. t0);
+    result_of_flags faults flags n_patterns
+  end
+
+let detect_groups ?(strategy = Cone) nl ~assignment ~observe groups =
+  let t0 = Hft_obs.Clock.now () in
+  let load st =
+    List.iter (fun p -> Bitvec.fill (Sim.pvalue st p) false) (Netlist.pis nl);
+    zero_dffs nl st;
+    List.iter
+      (fun (v, b) -> Bitvec.set (Sim.pvalue st v) 0 b)
+      assignment
+  in
+  let flags, events =
+    run_groups ~strategy nl ~n_patterns:1 ~load ~observe groups
+  in
+  flush ~faults:(List.length groups) ~detected:(count_true flags) ~patterns:1
+    ~events ~seconds:(Hft_obs.Clock.now () -. t0);
+  flags
+
+(* Three-valued (X-sound) variant of the drop check: sources without an
+   assignment stay at X, and detection requires a defined, differing
+   good/faulty pair at an observe node — exactly [Podem.check]'s
+   criterion, so a positive answer is valid for {e any} value of the
+   unassigned sources (unknown initial state included).  The [Cone]
+   strategy evaluates only each group's fanout cone copy-on-write over
+   the good three-valued state. *)
+let detect_groups_tri ?(strategy = Cone) nl ~assignment ~observe groups =
+  let t0 = Hft_obs.Clock.now () in
+  let n = Netlist.n_nodes nl in
+  let load st =
+    List.iter (fun (v, b) -> st.(v) <- (if b then 1 else 0)) assignment
+  in
+  let good = Sim.tcreate nl in
+  load good;
+  Sim.teval nl good;
+  let events = ref n in
+  let n_groups = List.length groups in
+  let detected = Array.make n_groups false in
+  let differs g f = g < 2 && f < 2 && g <> f in
+  (match strategy with
+   | Naive ->
+     List.iteri
+       (fun gi group ->
+         let faulty = Sim.tcreate nl in
+         load faulty;
+         Sim.teval ~faults:group nl faulty;
+         events := !events + n;
+         detected.(gi) <-
+           List.exists (fun o -> differs good.(o) faulty.(o)) observe)
+       groups
+   | Cone ->
+     let is_obs = Array.make n false in
+     List.iter (fun o -> is_obs.(o) <- true) observe;
+     (* Copy-on-write faulty values: [-1] means "same as good". *)
+     let fval = Array.make n (-1) in
+     List.iteri
+       (fun gi group ->
+         let stem_of v =
+           List.fold_left
+             (fun acc f ->
+               if f.Fault.pin = None && f.Fault.node = v then Some f else acc)
+             None group
+         and pin_of v p =
+           List.find_opt
+             (fun f -> f.Fault.node = v && f.Fault.pin = Some p)
+             group
+         in
+         let read src consumer pin =
+           match pin_of consumer pin with
+           | Some f -> if f.Fault.stuck then 1 else 0
+           | None -> if fval.(src) >= 0 then fval.(src) else good.(src)
+         in
+         let cone = group_cone nl group in
+         let hit = ref false in
+         Array.iter
+           (fun v ->
+             incr events;
+             (match stem_of v with
+              | Some f -> fval.(v) <- (if f.Fault.stuck then 1 else 0)
+              | None ->
+                (match Netlist.kind nl v with
+                 | Netlist.Pi | Netlist.Dff | Netlist.Const0 | Netlist.Const1
+                   -> ()
+                 | Netlist.Po | Netlist.Buf | Netlist.Not ->
+                   fval.(v) <-
+                     Netlist.eval_tri (Netlist.kind nl v)
+                       [| read (Netlist.fanin nl v).(0) v 0 |]
+                 | Netlist.And | Netlist.Or | Netlist.Nand | Netlist.Nor
+                 | Netlist.Xor | Netlist.Xnor ->
+                   let fi = Netlist.fanin nl v in
+                   fval.(v) <-
+                     Netlist.eval_tri (Netlist.kind nl v)
+                       [| read fi.(0) v 0; read fi.(1) v 1 |]
+                 | Netlist.Mux2 ->
+                   let fi = Netlist.fanin nl v in
+                   fval.(v) <-
+                     Netlist.eval_tri Netlist.Mux2
+                       [| read fi.(0) v 0; read fi.(1) v 1; read fi.(2) v 2 |]));
+             if is_obs.(v) && fval.(v) >= 0 && differs good.(v) fval.(v) then
+               hit := true)
+           cone;
+         detected.(gi) <- !hit;
+         Array.iter (fun v -> fval.(v) <- -1) cone)
+       groups);
+  flush ~faults:n_groups ~detected:(count_true detected) ~patterns:1
+    ~events:!events
+    ~seconds:(Hft_obs.Clock.now () -. t0);
+  detected
 
 let coverage_curve nl ~checkpoints ~next_pattern faults =
   let checkpoints = List.sort compare checkpoints in

@@ -22,6 +22,9 @@ type t = {
   mutable n : int;
   mutable fanouts : int list array option; (* cache *)
   mutable order : int list option; (* comb_order cache *)
+  mutable topo_pos : int array option; (* node -> position in comb_order *)
+  mutable cones : int array option array option; (* fanout_cone cache *)
+  mutable version : int; (* bumped by add/set_fanin *)
 }
 
 let create ?(name = "netlist") () =
@@ -33,6 +36,9 @@ let create ?(name = "netlist") () =
     n = 0;
     fanouts = None;
     order = None;
+    topo_pos = None;
+    cones = None;
+    version = 0;
   }
 
 let arity = function
@@ -65,15 +71,21 @@ let add nl ?(name = "") kind fanins =
   nl.n <- id + 1;
   nl.fanouts <- None;
   nl.order <- None;
+  nl.topo_pos <- None;
+  nl.cones <- None;
+  nl.version <- nl.version + 1;
   id
 
 let n_nodes nl = nl.n
+let version nl = nl.version
 
 let check nl i =
   if i < 0 || i >= nl.n then invalid_arg "Netlist: node out of range"
 
 let kind nl i = check nl i; nl.kinds.(i)
 let fanin nl i = check nl i; nl.fanins.(i)
+let raw_kinds nl = nl.kinds
+let raw_fanins nl = nl.fanins
 let node_name nl i = check nl i; nl.names.(i)
 let circuit_name nl = nl.cname
 
@@ -99,7 +111,10 @@ let set_fanin nl node pin new_src =
   if pin < 0 || pin >= Array.length fi then invalid_arg "Netlist.set_fanin";
   fi.(pin) <- new_src;
   nl.fanouts <- None;
-  nl.order <- None
+  nl.order <- None;
+  nl.topo_pos <- None;
+  nl.cones <- None;
+  nl.version <- nl.version + 1
 
 let of_kind nl k =
   let acc = ref [] in
@@ -172,6 +187,98 @@ let comb_order nl =
     nl.order <- Some o;
     o
 
+let topo_pos nl =
+  match nl.topo_pos with
+  | Some p -> p
+  | None ->
+    let p = Array.make nl.n 0 in
+    List.iteri (fun i v -> p.(v) <- i) (comb_order nl);
+    nl.topo_pos <- Some p;
+    p
+
+let fanout_cone nl root =
+  check nl root;
+  let cache =
+    match nl.cones with
+    | Some c when Array.length c = nl.n -> c
+    | Some _ | None ->
+      let c = Array.make nl.n None in
+      nl.cones <- Some c;
+      c
+  in
+  match cache.(root) with
+  | Some cone -> cone
+  | None ->
+    (* Forward closure over combinational edges only: a [Dff] consumer
+       terminates the walk because a single combinational pass never
+       updates its state. *)
+    let pos = topo_pos nl in
+    let seen = Array.make nl.n false in
+    let acc = ref [] and count = ref 0 in
+    let rec visit v =
+      if not seen.(v) then begin
+        seen.(v) <- true;
+        acc := v :: !acc;
+        incr count;
+        List.iter
+          (fun w -> if nl.kinds.(w) <> Dff then visit w)
+          (fanout nl v)
+      end
+    in
+    visit root;
+    let cone = Array.make !count root in
+    List.iteri (fun i v -> cone.(i) <- v) !acc;
+    Array.sort (fun a b -> compare pos.(a) pos.(b)) cone;
+    cache.(root) <- Some cone;
+    cone
+
+let fanout_cone_union nl = function
+  | [] -> [||]
+  | [ r ] -> fanout_cone nl r
+  | roots ->
+    (* Memoized cones are already sorted by topological position, so the
+       union is a plain sorted-merge with duplicate elimination — no
+       hashing, no re-sort. *)
+    let pos = topo_pos nl in
+    let merge a b =
+      let la = Array.length a and lb = Array.length b in
+      if la = 0 then Array.copy b
+      else if lb = 0 then Array.copy a
+      else begin
+        let out = Array.make (la + lb) 0 in
+        let i = ref 0 and j = ref 0 and k = ref 0 in
+        while !i < la && !j < lb do
+          let va = a.(!i) and vb = b.(!j) in
+          if va = vb then begin
+            out.(!k) <- va;
+            incr i;
+            incr j
+          end
+          else if pos.(va) < pos.(vb) then begin
+            out.(!k) <- va;
+            incr i
+          end
+          else begin
+            out.(!k) <- vb;
+            incr j
+          end;
+          incr k
+        done;
+        while !i < la do
+          out.(!k) <- a.(!i);
+          incr i;
+          incr k
+        done;
+        while !j < lb do
+          out.(!k) <- b.(!j);
+          incr j;
+          incr k
+        done;
+        if !k = la + lb then out else Array.sub out 0 !k
+      end
+    in
+    List.fold_left (fun acc r -> merge acc (fanout_cone nl r)) [||] roots
+
 let eval_bool k (ins : bool array) =
   match k with
   | Buf | Po -> ins.(0)
@@ -199,6 +306,9 @@ let tri_or a b =
 
 let tri_xor a b = if a = x || b = x then x else if a <> b then 1 else 0
 
+let tri_mux s a b =
+  match s with 0 -> a | 1 -> b | _ -> if a = b then a else x
+
 let eval_tri k (ins : int array) =
   match k with
   | Buf | Po -> ins.(0)
@@ -209,11 +319,7 @@ let eval_tri k (ins : int array) =
   | Nor -> tri_not (tri_or ins.(0) ins.(1))
   | Xor -> tri_xor ins.(0) ins.(1)
   | Xnor -> tri_not (tri_xor ins.(0) ins.(1))
-  | Mux2 ->
-    (match ins.(0) with
-     | 0 -> ins.(1)
-     | 1 -> ins.(2)
-     | _ -> if ins.(1) = ins.(2) then ins.(1) else x)
+  | Mux2 -> tri_mux ins.(0) ins.(1) ins.(2)
   | Pi | Dff | Const0 | Const1 ->
     invalid_arg "Netlist.eval_tri: source node"
 

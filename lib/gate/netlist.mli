@@ -31,8 +31,23 @@ val create : ?name:string -> unit -> t
 val add : t -> ?name:string -> kind -> int array -> int
 
 val n_nodes : t -> int
+
+(** Mutation counter, bumped by {!add} and {!set_fanin} — lets external
+    caches keyed on a netlist notice structural changes. *)
+val version : t -> int
+
 val kind : t -> int -> kind
 val fanin : t -> int -> int array
+
+(**/**)
+
+(** Raw backing arrays (may be longer than [n_nodes]; indices beyond it
+    are garbage).  For the simulator hot loops only — read-only. *)
+val raw_kinds : t -> kind array
+
+val raw_fanins : t -> int array array
+
+(**/**)
 val node_name : t -> int -> string
 val circuit_name : t -> string
 
@@ -56,11 +71,36 @@ val n_gates : t -> int
     [Invalid_argument] on a combinational cycle. *)
 val comb_order : t -> int list
 
+(** [topo_pos nl] maps node id to its position in {!comb_order}
+    (memoized; invalidated by [add]/[set_fanin]). *)
+val topo_pos : t -> int array
+
+(** [fanout_cone nl v] is the combinational fanout cone of [v] — every
+    node whose single-pass evaluation can change when [v]'s value
+    changes — in levelized ({!comb_order}) order, [v] included.  [Dff]
+    consumers terminate the walk: one combinational pass never updates
+    flip-flop state.  Memoized per node; do not mutate the returned
+    array. *)
+val fanout_cone : t -> int -> int array
+
+(** Topologically sorted union of the roots' fanout cones (deduplicated;
+    freshly allocated, safe to mutate). *)
+val fanout_cone_union : t -> int list -> int array
+
 (** Eval one gate over booleans ([Pi]/[Dff]/[Const] excluded). *)
 val eval_bool : kind -> bool array -> bool
 
 (** 3-valued evaluation; values are [0], [1], [2] (= X). *)
 val eval_tri : kind -> int array -> int
+
+(** Non-allocating 3-valued primitives ([2] = X) — the hot simulation
+    loops use these directly instead of boxing operand arrays for
+    {!eval_tri}. *)
+val tri_not : int -> int
+val tri_and : int -> int -> int
+val tri_or : int -> int -> int
+val tri_xor : int -> int -> int
+val tri_mux : int -> int -> int -> int
 
 val validate : t -> unit
 val stats : t -> string

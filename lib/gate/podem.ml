@@ -38,6 +38,31 @@ let flush_effort effort result =
        | Aborted -> "hft.podem.aborts")
   end
 
+(* All-X good-machine fixpoint, cached per netlist (physical equality +
+   {!Netlist.version}, so structural edits between calls invalidate the
+   entry): every [generate] starts from the same empty test cube, so the
+   first implication is a [blit] of this baseline plus a fault-cone
+   patch instead of two whole-netlist passes. *)
+let baseline_cache : (Netlist.t * int * Sim.tstate) list ref = ref []
+
+let baseline nl =
+  let ver = Netlist.version nl in
+  match
+    List.find_opt
+      (fun (nl', ver', _) -> nl' == nl && ver' = ver)
+      !baseline_cache
+  with
+  | Some (_, _, b) -> b
+  | None ->
+    let b = Sim.tcreate nl in
+    Sim.teval nl b;
+    let keep =
+      List.filter (fun (nl', _, _) -> nl' != nl) !baseline_cache
+      |> List.filteri (fun i _ -> i < 3)
+    in
+    baseline_cache := (nl, ver, b) :: keep;
+    b
+
 let generate ?(backtrack_limit = 500) nl ~faults ~assignable ~observe =
   let n = Netlist.n_nodes nl in
   let effort = { decisions = 0; backtracks = 0; implications = 0 } in
@@ -45,34 +70,189 @@ let generate ?(backtrack_limit = 500) nl ~faults ~assignable ~observe =
   let is_assignable = Array.make n false in
   List.iter (fun p -> is_assignable.(p) <- true) assignable;
   let gv = Sim.tcreate nl and fv = Sim.tcreate nl in
+  let dirty = ref [] in
+  let initialized = ref false in
+  (* The set of D-carrying nodes (good and faulty machines both concrete
+     and different) is maintained incrementally from the implication
+     wavefront: has_d can only flip at nodes whose gv or fv changed, so
+     the per-iteration D consumers — detection, X-path seeding, the
+     D-frontier — cost O(|D|) instead of a cone scan. *)
+  let is_d_arr = Array.make n false in
+  let d_list = ref [] in
+  let changed = ref [] in
+  let has_d v = gv.(v) <> x && fv.(v) <> x && gv.(v) <> fv.(v) in
+  let update_d () =
+    match !changed with
+    | [] -> ()
+    | ch ->
+      changed := [];
+      let newd = ref [] in
+      List.iter
+        (fun v ->
+          let nd = has_d v in
+          if nd && not is_d_arr.(v) then newd := v :: !newd;
+          is_d_arr.(v) <- nd)
+        ch;
+      d_list := !newd @ List.filter (fun v -> is_d_arr.(v)) !d_list
+  in
+  let set_pi p v =
+    Hashtbl.replace pi_val p v;
+    dirty := p :: !dirty
+  in
+  let unset_pi p =
+    Hashtbl.remove pi_val p;
+    dirty := p :: !dirty
+  in
+  (* Event-driven implication over a topo-ordered heap.  The
+     combinational fixpoint is a pure function of the sources, so after
+     a decision or backtrack only nodes downstream of an actual value
+     change need re-evaluation: each changed node pushes its consumers,
+     the heap pops in topological order (so a node is evaluated once,
+     after its fanins settled), and an evaluation that reproduces the
+     old value stops the wavefront.  Reproduces a full pass bit for
+     bit. *)
+  let geval = Sim.teval_fn nl in
+  let feval = Sim.teval_fn ~faults nl in
+  let tpos = Netlist.topo_pos nl in
+  let heap = Array.make (n + 1) 0 in
+  let hsize = ref 0 in
+  let inheap = Array.make n 0 in
+  let hstamp = ref 0 in
+  let hpush v =
+    if inheap.(v) <> !hstamp then begin
+      inheap.(v) <- !hstamp;
+      incr hsize;
+      heap.(!hsize) <- v;
+      let i = ref !hsize in
+      let up = ref true in
+      while !up && !i > 1 do
+        let p = !i / 2 in
+        if tpos.(heap.(p)) > tpos.(heap.(!i)) then begin
+          let tmp = heap.(p) in
+          heap.(p) <- heap.(!i);
+          heap.(!i) <- tmp;
+          i := p
+        end
+        else up := false
+      done
+    end
+  in
+  let hpop () =
+    let top = heap.(1) in
+    heap.(1) <- heap.(!hsize);
+    decr hsize;
+    let i = ref 1 in
+    let down = ref true in
+    while !down do
+      let l = 2 * !i and r = (2 * !i) + 1 in
+      let m = ref !i in
+      if l <= !hsize && tpos.(heap.(l)) < tpos.(heap.(!m)) then m := l;
+      if r <= !hsize && tpos.(heap.(r)) < tpos.(heap.(!m)) then m := r;
+      if !m <> !i then begin
+        let tmp = heap.(!m) in
+        heap.(!m) <- heap.(!i);
+        heap.(!i) <- tmp;
+        i := !m
+      end
+      else down := false
+    done;
+    top
+  in
+  let propagate_from v = List.iter hpush (Netlist.fanout nl v) in
+  let drain () =
+    while !hsize > 0 do
+      let v = hpop () in
+      let og = gv.(v) and ofv = fv.(v) in
+      geval gv v;
+      feval fv v;
+      if gv.(v) <> og || fv.(v) <> ofv then begin
+        changed := v :: !changed;
+        propagate_from v
+      end
+    done
+  in
+  let touch_source p v =
+    let og = gv.(p) and ofv = fv.(p) in
+    gv.(p) <- v;
+    fv.(p) <- v;
+    (* A stem fault on a source keeps it forced. *)
+    feval fv p;
+    if gv.(p) <> og || fv.(p) <> ofv then begin
+      changed := p :: !changed;
+      propagate_from p
+    end
+  in
   let imply () =
     effort.implications <- effort.implications + 1;
-    Array.fill gv 0 n x;
-    Array.fill fv 0 n x;
-    Hashtbl.iter
-      (fun p v ->
-        gv.(p) <- v;
-        fv.(p) <- v)
-      pi_val;
-    Sim.teval nl gv;
-    Sim.teval ~faults nl fv
+    if not !initialized then begin
+      initialized := true;
+      dirty := [];
+      let base = baseline nl in
+      Array.blit base 0 gv 0 n;
+      Array.blit base 0 fv 0 n;
+      changed := [];
+      incr hstamp;
+      hsize := 0;
+      (* The cube is empty on the first implication in the current
+         search order, but stay general. *)
+      Hashtbl.iter (fun p v -> touch_source p v) pi_val;
+      (* Patch the faulty machine at the injection sites; the wavefront
+         carries the difference forward. *)
+      List.iter
+        (fun f ->
+          let v = f.Fault.node in
+          let ofv = fv.(v) in
+          feval fv v;
+          if fv.(v) <> ofv then begin
+            changed := v :: !changed;
+            propagate_from v
+          end)
+        faults;
+      drain ();
+      update_d ()
+    end
+    else
+      match List.sort_uniq compare !dirty with
+      | [] -> ()
+      | ds ->
+        dirty := [];
+        changed := [];
+        incr hstamp;
+        hsize := 0;
+        List.iter
+          (fun p ->
+            let v =
+              match Hashtbl.find_opt pi_val p with Some v -> v | None -> x
+            in
+            touch_source p v)
+          ds;
+        drain ();
+        update_d ()
   in
+  let observe_set = Array.make n false in
+  List.iter (fun o -> observe_set.(o) <- true) observe;
   let detected () =
-    List.exists (fun o -> gv.(o) <> x && fv.(o) <> x && gv.(o) <> fv.(o)) observe
+    List.exists (fun v -> observe_set.(v)) !d_list
   in
-  let has_d v = gv.(v) <> x && fv.(v) <> x && gv.(v) <> fv.(v) in
   (* X-path: from any D-carrying node, can a difference still reach an
-     observe node through not-yet-blocked nodes? *)
+     observe node through not-yet-blocked nodes?  Pure reachability, so
+     visit order is irrelevant and the first observe hit ends the walk;
+     the visited set is a stamp array reused across calls instead of a
+     per-call allocation. *)
+  let xseen = Array.make n 0 in
+  let xstamp = ref 0 in
+  let xstack = Array.make n 0 in
   let xpath_ok () =
     let blocked v = gv.(v) <> x && fv.(v) <> x && gv.(v) = fv.(v) in
-    let seen = Array.make n false in
-    let q = Queue.create () in
-    for v = 0 to n - 1 do
-      if has_d v then begin
-        seen.(v) <- true;
-        Queue.add v q
-      end
-    done;
+    incr xstamp;
+    let s = !xstamp in
+    let top = ref 0 in
+    let push v =
+      xseen.(v) <- s;
+      xstack.(!top) <- v;
+      incr top
+    in
+    List.iter (fun v -> if xseen.(v) <> s then push v) !d_list;
     (* Activated pin faults originate their difference at the consumer
        gate even before any node carries a D. *)
     List.iter
@@ -82,27 +262,20 @@ let generate ?(backtrack_limit = 500) nl ~faults ~assignable ~observe =
           let drv = (Netlist.fanin nl f.Fault.node).(p) in
           if gv.(drv) <> x
              && gv.(drv) <> (if f.Fault.stuck then 1 else 0)
-             && (not seen.(f.Fault.node))
+             && xseen.(f.Fault.node) <> s
              && not (blocked f.Fault.node)
-          then begin
-            seen.(f.Fault.node) <- true;
-            Queue.add f.Fault.node q
-          end
+          then push f.Fault.node
         | None -> ())
       faults;
     let reach = ref false in
-    let observe_set = Array.make n false in
-    List.iter (fun o -> observe_set.(o) <- true) observe;
-    while not (Queue.is_empty q) do
-      let v = Queue.take q in
-      if observe_set.(v) then reach := true;
-      List.iter
-        (fun w ->
-          if (not seen.(w)) && not (blocked w) then begin
-            seen.(w) <- true;
-            Queue.add w q
-          end)
-        (Netlist.fanout nl v)
+    while (not !reach) && !top > 0 do
+      decr top;
+      let v = xstack.(!top) in
+      if observe_set.(v) then reach := true
+      else
+        List.iter
+          (fun w -> if xseen.(w) <> s && not (blocked w) then push w)
+          (Netlist.fanout nl v)
     done;
     !reach
   in
@@ -147,34 +320,46 @@ let generate ?(backtrack_limit = 500) nl ~faults ~assignable ~observe =
         | None -> false)
       faults
   in
+  let pseen = Array.make n 0 in
+  let pstamp = ref 0 in
   let propagation_objectives () =
+    (* Frontier gates either consume a D node or host an activated pin
+       fault, so enumerating D consumers beats any scan.  The stamp
+       array dedups gates fed by several D inputs; the sort keeps the
+       historical ascending-node-id candidate order. *)
+    incr pstamp;
+    let s = !pstamp in
     let acc = ref [] in
-    for v = n - 1 downto 0 do
-      match Netlist.kind nl v with
-      | Netlist.Pi | Netlist.Dff | Netlist.Const0 | Netlist.Const1 -> ()
-      | k ->
-        let fi = Netlist.fanin nl v in
-        let out_x = gv.(v) = x || fv.(v) = x in
-        let frontier =
-          Array.exists (fun i -> has_d i) fi || pin_fault_active v
-        in
-        if out_x && frontier then begin
-          (* Set an X input to the non-controlling value (or, for kinds
-             without one, a heuristic value — implication sorts it
-             out). *)
-          match
-            Array.to_list fi
-            |> List.find_opt (fun i -> gv.(i) = x || fv.(i) = x)
-          with
-          | Some i ->
-            let v_obj =
-              match controlling k with Some c -> 1 - c | None -> 1
-            in
-            acc := (i, v_obj) :: !acc
-          | None -> ()
-        end
-    done;
-    !acc
+    let consider v =
+      if pseen.(v) <> s then begin
+        pseen.(v) <- s;
+        match Netlist.kind nl v with
+        | Netlist.Pi | Netlist.Dff | Netlist.Const0 | Netlist.Const1 -> ()
+        | k ->
+          if gv.(v) = x || fv.(v) = x then begin
+            (* Set an X input to the non-controlling value (or, for
+               kinds without one, a heuristic value — implication sorts
+               it out). *)
+            match
+              Array.to_list (Netlist.fanin nl v)
+              |> List.find_opt (fun i -> gv.(i) = x || fv.(i) = x)
+            with
+            | Some i ->
+              let v_obj =
+                match controlling k with Some c -> 1 - c | None -> 1
+              in
+              acc := (v, (i, v_obj)) :: !acc
+            | None -> ()
+          end
+      end
+    in
+    List.iter (fun d -> List.iter consider (Netlist.fanout nl d)) !d_list;
+    List.iter
+      (fun f ->
+        if f.Fault.pin <> None && pin_fault_active f.Fault.node then
+          consider f.Fault.node)
+      faults;
+    List.sort (fun (a, _) (b, _) -> compare a b) !acc |> List.map snd
   in
   (* Backtrace an objective to an assignable PI with X value.  Failed
      (node, want) pairs are memoised per call: without this the search
@@ -221,11 +406,11 @@ let generate ?(backtrack_limit = 500) nl ~faults ~assignable ~observe =
     match !stack with
     | [] -> `Exhausted
     | (pi, _, true) :: tl ->
-      Hashtbl.remove pi_val pi;
+      unset_pi pi;
       stack := tl;
       backtrack ()
     | (pi, v, false) :: tl ->
-      Hashtbl.replace pi_val pi (1 - v);
+      set_pi pi (1 - v);
       stack := (pi, 1 - v, true) :: tl;
       `Continue
   in
@@ -250,7 +435,7 @@ let generate ?(backtrack_limit = 500) nl ~faults ~assignable ~observe =
               | None -> decide rest
               | Some (pi, v) ->
                 effort.decisions <- effort.decisions + 1;
-                Hashtbl.replace pi_val pi v;
+                set_pi pi v;
                 stack := (pi, v, false) :: !stack;
                 false)
          in

@@ -9,15 +9,50 @@ type stats = {
   frames_used : int;
 }
 
+type strategy = Naive | Drop
+
+type test = {
+  t_frames : int;
+  t_pi_vectors : bool array array;
+  t_scan_state : bool array;
+  t_detects : Fault.t list;
+}
+
 let fault_coverage s =
   if s.total = 0 then 1.0 else float_of_int s.detected /. float_of_int s.total
 
-let unroll ?assignable_pis ?(strapped = []) nl ~frames ~scanned =
+(* Where an unrolled assignable PI comes from, for reconstructing tests
+   in terms of the original circuit. *)
+type origin =
+  | Orig_pi of int * int  (* original PI node, frame *)
+  | Strapped_pi of int    (* original PI node, all frames share one copy *)
+  | Scan_state of int     (* scanned DFF node, frame-0 load *)
+
+type unrolled = {
+  u_net : Netlist.t;
+  u_assignable : int list;
+  u_observe : int list;
+  u_map_fault : Fault.t -> Fault.t list;
+  u_origin : (int, origin) Hashtbl.t;
+  u_frames : int;
+}
+
+let unroll_full ?assignable_pis ?(strapped = []) nl ~frames ~scanned =
   if frames < 1 then invalid_arg "Seq_atpg.unroll: frames < 1";
+  (* Membership probes are per-node in the copy loop: precompute hash
+     sets instead of [List.mem] scans. *)
   let pi_allowed =
     match assignable_pis with
     | None -> fun _ -> true
-    | Some l -> fun v -> List.mem v l
+    | Some l ->
+      let h = Hashtbl.create (List.length l + 1) in
+      List.iter (fun v -> Hashtbl.replace h v ()) l;
+      fun v -> Hashtbl.mem h v
+  in
+  let is_strapped =
+    let h = Hashtbl.create (List.length strapped + 1) in
+    List.iter (fun v -> Hashtbl.replace h v ()) strapped;
+    fun v -> Hashtbl.mem h v
   in
   let strap_copy = Hashtbl.create 4 in
   let n = Netlist.n_nodes nl in
@@ -26,6 +61,7 @@ let unroll ?assignable_pis ?(strapped = []) nl ~frames ~scanned =
   let node_map = Array.make_matrix frames n (-1) in
   let assignable = ref [] in
   let observe = ref [] in
+  let origin = Hashtbl.create 16 in
   let is_scanned = Array.make n false in
   List.iter (fun d -> is_scanned.(d) <- true) scanned;
   let order = Netlist.comb_order nl in
@@ -39,7 +75,10 @@ let unroll ?assignable_pis ?(strapped = []) nl ~frames ~scanned =
           if t = 0 then begin
             let pi = Netlist.add u ~name Netlist.Pi [||] in
             node_map.(0).(v) <- pi;
-            if is_scanned.(v) then assignable := pi :: !assignable
+            if is_scanned.(v) then begin
+              assignable := pi :: !assignable;
+              Hashtbl.replace origin pi (Scan_state v)
+            end
             (* unscanned frame-0 state: PI left unassignable = X *)
           end
           else begin
@@ -56,7 +95,7 @@ let unroll ?assignable_pis ?(strapped = []) nl ~frames ~scanned =
         match Netlist.kind nl v with
         | Netlist.Dff -> ()
         | Netlist.Pi ->
-          if List.mem v strapped then begin
+          if is_strapped v then begin
             let pi =
               match Hashtbl.find_opt strap_copy v with
               | Some pi -> pi
@@ -65,7 +104,10 @@ let unroll ?assignable_pis ?(strapped = []) nl ~frames ~scanned =
                   Netlist.add u ~name:(Netlist.node_name nl v) Netlist.Pi [||]
                 in
                 Hashtbl.replace strap_copy v pi;
-                if pi_allowed v then assignable := pi :: !assignable;
+                if pi_allowed v then begin
+                  assignable := pi :: !assignable;
+                  Hashtbl.replace origin pi (Strapped_pi v)
+                end;
                 pi
             in
             node_map.(t).(v) <- pi
@@ -74,7 +116,10 @@ let unroll ?assignable_pis ?(strapped = []) nl ~frames ~scanned =
             let name = Printf.sprintf "%s@%d" (Netlist.node_name nl v) t in
             let pi = Netlist.add u ~name Netlist.Pi [||] in
             node_map.(t).(v) <- pi;
-            if pi_allowed v then assignable := pi :: !assignable
+            if pi_allowed v then begin
+              assignable := pi :: !assignable;
+              Hashtbl.replace origin pi (Orig_pi (v, t))
+            end
           end
         | k ->
           let fi = Array.map (fun f -> node_map.(t).(f)) (Netlist.fanin nl v) in
@@ -106,10 +151,122 @@ let unroll ?assignable_pis ?(strapped = []) nl ~frames ~scanned =
   in
   Hft_obs.Registry.incr "hft.seq_atpg.frames_expanded" ~by:frames;
   Hft_obs.Registry.incr "hft.seq_atpg.unrolls";
-  (u, List.rev !assignable, List.rev !observe, map_fault)
+  {
+    u_net = u;
+    u_assignable = List.rev !assignable;
+    u_observe = List.rev !observe;
+    u_map_fault = map_fault;
+    u_origin = origin;
+    u_frames = frames;
+  }
+
+let unroll ?assignable_pis ?strapped nl ~frames ~scanned =
+  let u = unroll_full ?assignable_pis ?strapped nl ~frames ~scanned in
+  (u.u_net, u.u_assignable, u.u_observe, u.u_map_fault)
+
+(* Rebuild a test in original-circuit terms from a PODEM assignment over
+   unrolled PIs.  Unassigned inputs (X in the test cube) are filled with
+   0 — any concrete fill keeps the test valid for the targeted fault. *)
+let reconstruct_test nl ~scanned u assignment ~detects =
+  let pis = Netlist.pis nl in
+  let pi_col = Hashtbl.create (List.length pis) in
+  List.iteri (fun i v -> Hashtbl.replace pi_col v i) pis;
+  let scan_col = Hashtbl.create (List.length scanned + 1) in
+  List.iteri (fun i v -> Hashtbl.replace scan_col v i) scanned;
+  let vectors = Array.make_matrix u.u_frames (List.length pis) false in
+  let state = Array.make (List.length scanned) false in
+  List.iter
+    (fun (upi, b) ->
+      match Hashtbl.find_opt u.u_origin upi with
+      | Some (Orig_pi (v, t)) -> vectors.(t).(Hashtbl.find pi_col v) <- b
+      | Some (Strapped_pi v) ->
+        let c = Hashtbl.find pi_col v in
+        Array.iter (fun row -> row.(c) <- b) vectors
+      | Some (Scan_state d) -> state.(Hashtbl.find scan_col d) <- b
+      | None -> ())
+    assignment;
+  {
+    t_frames = u.u_frames;
+    t_pi_vectors = vectors;
+    t_scan_state = state;
+    t_detects = detects;
+  }
+
+(* Confirm which of [faults] the reconstructed tests detect.  Each test
+   is applied on the unrolled circuit — frame-0 unscanned state held at
+   0, the concrete counterpart of the X that PODEM guaranteed detection
+   under — with the cone-limited group check, and only against the
+   pending faults it was proven to detect during generation
+   ([t_detects]), so the cost is a handful of small cone replays rather
+   than whole-netlist sequential passes.  Detected faults are dropped
+   between tests. *)
+let replay ?assignable_pis ?strapped nl ~scanned ~tests faults =
+  let pis = Netlist.pis nl in
+  let pi_col = Hashtbl.create (List.length pis) in
+  List.iteri (fun i v -> Hashtbl.replace pi_col v i) pis;
+  let scan_col = Hashtbl.create (List.length scanned + 1) in
+  List.iteri (fun i v -> Hashtbl.replace scan_col v i) scanned;
+  let by_frames = Hashtbl.create 4 in
+  List.iter
+    (fun t ->
+      let prev = try Hashtbl.find by_frames t.t_frames with Not_found -> [] in
+      Hashtbl.replace by_frames t.t_frames (t :: prev))
+    tests;
+  let frame_counts =
+    Hashtbl.fold (fun k _ acc -> k :: acc) by_frames [] |> List.sort compare
+  in
+  let detected = ref [] in
+  let pending = ref faults in
+  List.iter
+    (fun frames ->
+      if !pending <> [] then begin
+        let u = unroll_full ?assignable_pis ?strapped nl ~frames ~scanned in
+        let assignment_of t =
+          List.map
+            (fun upi ->
+              match Hashtbl.find_opt u.u_origin upi with
+              | Some (Orig_pi (v, fr)) ->
+                (upi, t.t_pi_vectors.(fr).(Hashtbl.find pi_col v))
+              | Some (Strapped_pi v) ->
+                (upi, t.t_pi_vectors.(0).(Hashtbl.find pi_col v))
+              | Some (Scan_state d) ->
+                (upi, t.t_scan_state.(Hashtbl.find scan_col d))
+              | None -> (upi, false))
+            (Netlist.pis u.u_net)
+        in
+        List.iter
+          (fun t ->
+            let ps =
+              List.filter (fun f -> List.mem f t.t_detects) !pending
+            in
+            match ps with
+            | [] -> ()
+            | ps ->
+              let flags =
+                Fsim.detect_groups u.u_net ~assignment:(assignment_of t)
+                  ~observe:u.u_observe
+                  (List.map u.u_map_fault ps)
+              in
+              let hit = Hashtbl.create (List.length ps) in
+              List.iteri
+                (fun i f -> if flags.(i) then Hashtbl.replace hit f ())
+                ps;
+              pending :=
+                List.filter
+                  (fun f ->
+                    if Hashtbl.mem hit f then begin
+                      detected := f :: !detected;
+                      false
+                    end
+                    else true)
+                  !pending)
+          (List.rev (Hashtbl.find by_frames frames))
+      end)
+    frame_counts;
+  (List.rev !detected, !pending)
 
 let run ?(backtrack_limit = 200) ?(min_frames = 1) ?(max_frames = 6)
-    ?assignable_pis ?strapped nl ~faults ~scanned =
+    ?assignable_pis ?strapped ?(strategy = Drop) ?on_test nl ~faults ~scanned =
   Hft_obs.Span.with_ "seq-atpg"
     ~attrs:
       [ ("circuit", Netlist.circuit_name nl);
@@ -123,40 +280,105 @@ let run ?(backtrack_limit = 200) ?(min_frames = 1) ?(max_frames = 6)
      faults). *)
   let unrolled =
     Array.init max_frames (fun i ->
-        lazy (unroll ?assignable_pis ?strapped nl ~frames:(i + 1) ~scanned))
+        lazy (unroll_full ?assignable_pis ?strapped nl ~frames:(i + 1) ~scanned))
   in
-  List.iter
-    (fun f ->
-      let rec attempt frames last =
-        if frames > max_frames then last
-        else begin
-          let u, assignable, observe, map_fault =
-            Lazy.force unrolled.(frames - 1)
-          in
-          let result, effort =
-            Podem.generate ~backtrack_limit u ~faults:(map_fault f)
-              ~assignable ~observe
-          in
-          decisions := !decisions + effort.Podem.decisions;
-          backtracks := !backtracks + effort.Podem.backtracks;
-          implications := !implications + effort.Podem.implications;
-          if frames > !frames_used then frames_used := frames;
-          match result with
-          | Podem.Test _ -> `Detected
-          | Podem.Untestable ->
-            (* May become testable with more frames. *)
-            attempt (frames + 1) `Untestable
-          | Podem.Aborted -> attempt (frames + 1) `Aborted
-        end
+  (* Work on one representative per structural equivalence class; every
+     class member shares the representative's outcome exactly (identical
+     faulty functions). *)
+  let groups =
+    match strategy with
+    | Naive -> List.map (fun f -> (f, [ f ])) faults
+    | Drop ->
+      let fc = Fault_collapse.compute nl in
+      let p = Fault_collapse.partition fc faults in
+      Hft_obs.Registry.incr "hft.seq_atpg.classes" ~by:(List.length p);
+      p
+  in
+  let leaders = Array.of_list (List.map fst groups) in
+  let members = Array.of_list (List.map snd groups) in
+  let sizes = Array.of_list (List.map (fun (_, ms) -> List.length ms) groups) in
+  let n_groups = Array.length leaders in
+  let status = Array.make n_groups `Pending in
+  let dropped = ref 0 in
+  (* Fault dropping: fault-simulate each fresh test against every
+     pending class, three-valued ([Fsim.detect_groups_tri], cone
+     limited) with unassigned sources at X — a sequential circuit's
+     initial state is unknown, and the X-sound check guarantees the
+     dropped fault is detected for any initial state, exactly PODEM's
+     own criterion. *)
+  let drop_pass u assignment self =
+    let pending = ref [] in
+    for gj = n_groups - 1 downto 0 do
+      if gj <> self && status.(gj) = `Pending then pending := gj :: !pending
+    done;
+    match !pending with
+    | [] -> []
+    | pending ->
+      let flags =
+        Fsim.detect_groups_tri u.u_net ~assignment ~observe:u.u_observe
+          (List.map (fun gj -> u.u_map_fault leaders.(gj)) pending)
       in
-      match attempt (min min_frames max_frames) `Untestable with
-      | `Detected -> incr detected
-      | `Untestable -> incr untestable
-      | `Aborted -> incr aborted)
-    faults;
+      let drops = ref [] in
+      List.iteri
+        (fun k gj ->
+          if flags.(k) then begin
+            status.(gj) <- `Detected;
+            dropped := !dropped + sizes.(gj);
+            drops := members.(gj) @ !drops
+          end)
+        pending;
+      !drops
+  in
+  Array.iteri
+    (fun gi f ->
+      if status.(gi) = `Pending then begin
+        let rec attempt frames last =
+          if frames > max_frames then last
+          else begin
+            let u = Lazy.force unrolled.(frames - 1) in
+            let result, effort =
+              Podem.generate ~backtrack_limit u.u_net ~faults:(u.u_map_fault f)
+                ~assignable:u.u_assignable ~observe:u.u_observe
+            in
+            decisions := !decisions + effort.Podem.decisions;
+            backtracks := !backtracks + effort.Podem.backtracks;
+            implications := !implications + effort.Podem.implications;
+            if frames > !frames_used then frames_used := frames;
+            match result with
+            | Podem.Test assignment ->
+              (* Drop first: the test's recorded detections then cover
+                 both the targeted class and every class it swept. *)
+              let drops =
+                if strategy = Drop then drop_pass u assignment gi else []
+              in
+              (match on_test with
+               | Some k ->
+                 k (reconstruct_test nl ~scanned u assignment
+                      ~detects:(members.(gi) @ drops))
+               | None -> ());
+              `Detected
+            | Podem.Untestable ->
+              (* May become testable with more frames. *)
+              attempt (frames + 1) `Untestable
+            | Podem.Aborted -> attempt (frames + 1) `Aborted
+          end
+        in
+        status.(gi) <- attempt (min min_frames max_frames) `Untestable
+      end)
+    leaders;
+  Array.iteri
+    (fun gi st ->
+      match st with
+      | `Detected -> detected := !detected + sizes.(gi)
+      | `Untestable -> untestable := !untestable + sizes.(gi)
+      | `Aborted -> aborted := !aborted + sizes.(gi)
+      | `Pending -> assert false)
+    status;
   Hft_obs.Registry.incr "hft.seq_atpg.faults" ~by:(List.length faults);
   Hft_obs.Registry.incr "hft.seq_atpg.detected" ~by:!detected;
+  Hft_obs.Registry.incr "hft.seq_atpg.dropped" ~by:!dropped;
   Hft_obs.Span.add_attr_int "detected" !detected;
+  Hft_obs.Span.add_attr_int "dropped" !dropped;
   {
     detected = !detected;
     untestable = !untestable;

@@ -6,6 +6,17 @@
     decision variable (scan load) and whose final-frame D input is
     observable (scan out).  The fault is injected in every frame.
 
+    The default [Drop] strategy is the classical ATPG pipeline: the
+    fault list is first collapsed into structural equivalence classes
+    ({!Fault_collapse}), PODEM runs on one representative per class, and
+    every generated test is immediately fault-simulated (cone-limited,
+    {!Fsim.detect_groups}) against the remaining undetected classes —
+    serendipitous detections are confirmed by dual three-valued
+    simulation ({!Podem.check}, unknown state at X, so dropping is sound
+    for any initial state) and dropped before the next PODEM call.
+    [Naive] is the historical one-PODEM-call-per-fault loop, kept for
+    differential measurement.
+
     This module is the measurement instrument for the survey's central
     empirical claim (§3.1): test generation effort explodes with
     S-graph loops and grows with sequential depth, and scan — full or
@@ -22,21 +33,55 @@ type stats = {
   frames_used : int;
 }
 
+(** [Drop] (default): collapse + fault dropping. [Naive]: one PODEM call
+    per fault, no collapsing — the pre-optimization behaviour. *)
+type strategy = Naive | Drop
+
+(** A generated test reconstructed in original-circuit terms: one PI
+    vector per frame ([Netlist.pis] order) plus the frame-0 scan load
+    (in [scanned] order).  Inputs PODEM left at X are filled with 0.
+    [t_detects] lists the faults this test was proven to detect at
+    generation time (the targeted class plus any swept by dropping) —
+    {!replay} only re-checks those, keeping confirmation cheap. *)
+type test = {
+  t_frames : int;
+  t_pi_vectors : bool array array;
+  t_scan_state : bool array;
+  t_detects : Fault.t list;
+}
+
 val fault_coverage : stats -> float
 
 (** [run nl ~faults ~scanned ~max_frames ~backtrack_limit] attempts each
-    fault with growing frame counts (1, 2, ... max_frames), recording
-    aggregate effort.  [scanned] lists DFF node ids treated as scan
-    cells.  [assignable_pis] restricts which of the original PIs ATPG
-    may drive (default: all) — used for controller–data-path composites
-    whose control lines are internally driven.
+    fault (class) with growing frame counts (1, 2, ... max_frames),
+    recording aggregate effort.  [scanned] lists DFF node ids treated as
+    scan cells.  [assignable_pis] restricts which of the original PIs
+    ATPG may drive (default: all) — used for controller–data-path
+    composites whose control lines are internally driven.
     [strapped] PIs get a single shared copy across all frames (test-mode
     and test-select pins are held constant during a test in reality, and
-    one decision instead of one per frame keeps the search tractable). *)
+    one decision instead of one per frame keeps the search tractable).
+    [on_test] is called once per PODEM-generated test, e.g. to feed a
+    pattern store.  Outcomes are reported over the full fault list: a
+    class outcome applies to each of its sampled members. *)
 val run :
   ?backtrack_limit:int -> ?min_frames:int -> ?max_frames:int ->
   ?assignable_pis:int list -> ?strapped:int list ->
+  ?strategy:strategy -> ?on_test:(test -> unit) ->
   Netlist.t -> faults:Fault.t list -> scanned:int list -> stats
+
+(** [replay nl ~scanned ~tests faults] — which of [faults] the
+    reconstructed [tests] actually detect.  Each test is applied on the
+    unrolled circuit with frame-0 unscanned state held at 0 (the
+    concrete counterpart of the X PODEM guaranteed detection under) and
+    checked with the cone-limited {!Fsim.detect_groups}; detected faults
+    are dropped between tests.  Returns [(detected, undetected)].
+    Pass the same [assignable_pis]/[strapped] as the generating {!run}
+    so strapped pins keep their shared per-test value. *)
+val replay :
+  ?assignable_pis:int list -> ?strapped:int list -> Netlist.t ->
+  scanned:int list -> tests:test list -> Fault.t list ->
+  Fault.t list * Fault.t list
 
 (** Unroll helper exposed for tests: returns the unrolled netlist, the
     assignable PI ids, the observe ids, and a function mapping a fault

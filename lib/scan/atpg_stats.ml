@@ -12,20 +12,26 @@ let empty =
   { detected = 0; untestable = 0; aborted = 0; total = 0; decisions = 0;
     backtracks = 0; implications = 0 }
 
-let add_outcome t result (e : Hft_gate.Podem.effort) =
+let add_outcome ?(n = 1) t result (e : Hft_gate.Podem.effort) =
+  (* [n > 1] when the outcome covers a whole equivalence class: the
+     search effort was spent once, but the verdict holds for each
+     member. *)
   let t =
     {
       t with
-      total = t.total + 1;
+      total = t.total + n;
       decisions = t.decisions + e.Hft_gate.Podem.decisions;
       backtracks = t.backtracks + e.Hft_gate.Podem.backtracks;
       implications = t.implications + e.Hft_gate.Podem.implications;
     }
   in
   match result with
-  | Hft_gate.Podem.Test _ -> { t with detected = t.detected + 1 }
-  | Hft_gate.Podem.Untestable -> { t with untestable = t.untestable + 1 }
-  | Hft_gate.Podem.Aborted -> { t with aborted = t.aborted + 1 }
+  | Hft_gate.Podem.Test _ -> { t with detected = t.detected + n }
+  | Hft_gate.Podem.Untestable -> { t with untestable = t.untestable + n }
+  | Hft_gate.Podem.Aborted -> { t with aborted = t.aborted + n }
+
+let add_detected t ~n =
+  { t with total = t.total + n; detected = t.detected + n }
 
 let coverage t =
   if t.total = 0 then 1.0 else float_of_int t.detected /. float_of_int t.total

@@ -11,7 +11,17 @@ type t = {
 }
 
 val empty : t
-val add_outcome : t -> Hft_gate.Podem.result -> Hft_gate.Podem.effort -> t
+
+(** [add_outcome ?n t r e] records one PODEM verdict; [n] (default 1)
+    replicates it over an equivalence class while counting the effort
+    once. *)
+val add_outcome :
+  ?n:int -> t -> Hft_gate.Podem.result -> Hft_gate.Podem.effort -> t
+
+(** [add_detected t ~n] records [n] faults detected by fault dropping —
+    no PODEM call, no effort. *)
+val add_detected : t -> n:int -> t
+
 val coverage : t -> float
 
 (** Fault efficiency: (detected + proven untestable) / total. *)

@@ -6,7 +6,13 @@ type result = {
   stats : Atpg_stats.t;
 }
 
-let atpg ?(backtrack_limit = 500) nl ~faults =
+(* Full scan makes every DFF a pseudo primary input (scan load) and its
+   D input a pseudo primary output (scan capture), so ATPG and fault
+   dropping are purely combinational.  With every source concretely
+   assigned (PODEM's X positions filled with 0), a two-valued detection
+   check is exact — no three-valued confirmation needed, unlike the
+   sequential case in {!Hft_gate.Seq_atpg}. *)
+let atpg ?(backtrack_limit = 500) ?(strategy = Seq_atpg.Drop) nl ~faults =
   Hft_obs.Span.with_ "full-scan-atpg"
     ~attrs:[ ("faults", string_of_int (List.length faults)) ]
   @@ fun () ->
@@ -15,16 +21,55 @@ let atpg ?(backtrack_limit = 500) nl ~faults =
   let observe =
     Netlist.pos nl @ List.map (fun d -> (Netlist.fanin nl d).(0)) dffs
   in
+  let groups =
+    match strategy with
+    | Seq_atpg.Naive -> List.map (fun f -> (f, [ f ])) faults
+    | Seq_atpg.Drop ->
+      let fc = Fault_collapse.compute nl in
+      Fault_collapse.partition fc faults
+  in
+  let leaders = Array.of_list (List.map fst groups) in
+  let sizes = Array.of_list (List.map (fun (_, ms) -> List.length ms) groups) in
+  let n_groups = Array.length leaders in
+  let dropped = Array.make n_groups false in
   let stats = ref Atpg_stats.empty in
   let tests = ref [] in
-  List.iter
-    (fun f ->
-      let r, e = Podem.generate ~backtrack_limit nl ~faults:[ f ] ~assignable ~observe in
-      stats := Atpg_stats.add_outcome !stats r e;
-      match r with
-      | Podem.Test assignment -> tests := assignment :: !tests
-      | Podem.Untestable | Podem.Aborted -> ())
-    faults;
+  Array.iteri
+    (fun gi f ->
+      if dropped.(gi) then
+        stats := Atpg_stats.add_detected !stats ~n:sizes.(gi)
+      else begin
+        let r, e =
+          Podem.generate ~backtrack_limit nl ~faults:[ f ] ~assignable ~observe
+        in
+        stats := Atpg_stats.add_outcome ~n:sizes.(gi) !stats r e;
+        match r with
+        | Podem.Test assignment ->
+          tests := assignment :: !tests;
+          if strategy = Seq_atpg.Drop then begin
+            let pending = ref [] in
+            for gj = n_groups - 1 downto gi + 1 do
+              if not dropped.(gj) then pending := gj :: !pending
+            done;
+            match !pending with
+            | [] -> ()
+            | pending ->
+              let flags =
+                Fsim.detect_groups nl ~assignment ~observe
+                  (List.map (fun gj -> [ leaders.(gj) ]) pending)
+              in
+              List.iteri
+                (fun k gj -> if flags.(k) then dropped.(gj) <- true)
+                pending;
+              Hft_obs.Registry.incr "hft.full_scan.dropped"
+                ~by:
+                  (List.fold_left
+                     (fun acc gj -> if dropped.(gj) then acc + 1 else acc)
+                     0 pending)
+          end
+        | Podem.Untestable | Podem.Aborted -> ()
+      end)
+    leaders;
   let chain = Chain.insert nl dffs in
   { chain; tests = List.rev !tests; stats = !stats }
 

@@ -13,8 +13,15 @@ type result = {
 }
 
 (** Combinational ATPG over the scan view of [nl] (no structural change
-    needed): full PI+FF controllability, PO+FF-input observability. *)
-val atpg : ?backtrack_limit:int -> Netlist.t -> faults:Fault.t list -> result
+    needed): full PI+FF controllability, PO+FF-input observability.
+    The default [Drop] strategy collapses the fault list into structural
+    equivalence classes and fault-simulates every generated test against
+    the pending classes (two-valued, exact here because all sources are
+    concretely assigned), dropping detections before the next PODEM
+    call; [Naive] is the historical one-PODEM-call-per-fault loop. *)
+val atpg :
+  ?backtrack_limit:int -> ?strategy:Seq_atpg.strategy -> Netlist.t ->
+  faults:Fault.t list -> result
 
 (** Structural insertion of the full chain ([Chain.insert] on all
     DFFs). *)

@@ -22,7 +22,10 @@ val select_rtl_level : Hft_rtl.Datapath.t -> Expand.t -> int list
     register kinds) — used for area accounting. *)
 val annotate_rtl : Hft_rtl.Datapath.t -> int list -> unit
 
-(** Sequential ATPG with the given scan set. *)
+(** Sequential ATPG with the given scan set ({!Seq_atpg.run}
+    pass-through: collapsing + fault dropping by default, [on_test]
+    observes every generated test). *)
 val atpg :
-  ?backtrack_limit:int -> ?max_frames:int -> Netlist.t ->
-  faults:Fault.t list -> scanned:int list -> Seq_atpg.stats
+  ?backtrack_limit:int -> ?max_frames:int ->
+  ?strategy:Seq_atpg.strategy -> ?on_test:(Seq_atpg.test -> unit) ->
+  Netlist.t -> faults:Fault.t list -> scanned:int list -> Seq_atpg.stats

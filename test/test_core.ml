@@ -275,6 +275,29 @@ let test_coverage_repair () =
 (* Flows                                                              *)
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* Pattern store                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_pattern_store () =
+  let ps = Pattern_store.create () in
+  check_int "empty" 0 (Pattern_store.size ps);
+  Pattern_store.add ps [| true; false |];
+  Pattern_store.add ps [| false; true; true |];
+  check_int "two rows" 2 (Pattern_store.size ps);
+  let rows = Pattern_store.patterns ps in
+  check "insertion order" true
+    (rows.(0) = [| true; false |] && rows.(1) = [| false; true; true |]);
+  (* Fitting: truncate/zero-pad to width, then random fill to n_min. *)
+  let rng = Hft_util.Rng.create 9 in
+  let p = Pattern_store.padded ps ~rng ~n_min:10 ~width:2 in
+  check "at least n_min rows" true (Array.length p >= 10);
+  check "stored rows lead" true
+    (p.(0) = [| true; false |] && p.(1) = [| false; true |]);
+  Array.iter (fun row -> check_int "uniform width" 2 (Array.length row)) p;
+  let wide = Pattern_store.padded ps ~rng ~n_min:2 ~width:4 in
+  check "zero padding" true (wide.(0) = [| true; false; false; false |])
+
 let test_flows_run_everywhere () =
   List.iter
     (fun (name, g) ->
@@ -474,6 +497,8 @@ let () =
           Alcotest.test_case "coverage repair" `Quick test_coverage_repair;
           QCheck_alcotest.to_alcotest prop_justify_really_justifies;
         ] );
+      ( "pattern_store",
+        [ Alcotest.test_case "store and pad" `Quick test_pattern_store ] );
       ( "flow",
         [
           Alcotest.test_case "flows run" `Quick test_flows_run_everywhere;

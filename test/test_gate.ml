@@ -606,6 +606,145 @@ let prop_seq_atpg_tests_consistent =
       in
       stats.Seq_atpg.detected = comb_detected)
 
+(* ------------------------------------------------------------------ *)
+(* Fault-dropping pipeline: collapsing, cone fsim, drop strategy      *)
+(* ------------------------------------------------------------------ *)
+
+let sorted_faults fs = List.sort compare fs
+
+(* The cone-limited fault simulator must be bit-identical to the naive
+   whole-netlist oracle on every pattern set. *)
+let prop_fsim_cone_matches_naive =
+  QCheck.Test.make ~name:"Fsim.comb Cone bit-identical to Naive" ~count:60
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Hft_util.Rng.create seed in
+      let n_pi = 3 + Hft_util.Rng.int rng 4 in
+      let nl = random_comb_netlist rng ~n_pi ~n_gates:15 in
+      let patterns =
+        Array.init 24 (fun _ ->
+            Array.init n_pi (fun _ -> Hft_util.Rng.bool rng))
+      in
+      let faults = Fault.universe nl in
+      let naive = Fsim.comb ~strategy:Fsim.Naive nl ~patterns faults in
+      let cone = Fsim.comb ~strategy:Fsim.Cone nl ~patterns faults in
+      sorted_faults naive.Fsim.detected = sorted_faults cone.Fsim.detected)
+
+(* The X-sound drop check must agree between strategies and with the
+   dual-simulation oracle PODEM itself uses. *)
+let prop_detect_groups_tri_matches_check =
+  QCheck.Test.make
+    ~name:"detect_groups_tri: Cone = Naive = Podem.check" ~count:60
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Hft_util.Rng.create seed in
+      let n_pi = 3 + Hft_util.Rng.int rng 3 in
+      let nl = random_comb_netlist rng ~n_pi ~n_gates:12 in
+      let observe = Netlist.pos nl in
+      (* A partial assignment: some PIs stay at X. *)
+      let assignment =
+        Netlist.pis nl
+        |> List.filter (fun _ -> Hft_util.Rng.int rng 3 > 0)
+        |> List.map (fun pi -> (pi, Hft_util.Rng.bool rng))
+      in
+      let groups = List.map (fun f -> [ f ]) (Fault.universe nl) in
+      let naive =
+        Fsim.detect_groups_tri ~strategy:Fsim.Naive nl ~assignment ~observe
+          groups
+      in
+      let cone =
+        Fsim.detect_groups_tri ~strategy:Fsim.Cone nl ~assignment ~observe
+          groups
+      in
+      naive = cone
+      && List.for_all2
+           (fun g flag ->
+             flag = Podem.check nl ~faults:g ~assignment ~observe)
+           groups (Array.to_list naive))
+
+let test_fault_collapse_invariants () =
+  let rng = Hft_util.Rng.create 77 in
+  let nl = random_comb_netlist rng ~n_pi:5 ~n_gates:15 in
+  let u = Fault.universe nl in
+  let fc = Fault_collapse.compute nl in
+  check_int "covers the universe" (List.length u) (Fault_collapse.n_faults fc);
+  (* Classes partition the universe: every fault belongs to exactly one
+     class, and member lists are disjoint and complete. *)
+  let seen = Hashtbl.create 64 in
+  let total = ref 0 in
+  for c = 0 to Fault_collapse.n_classes fc - 1 do
+    let ms = Fault_collapse.members fc c in
+    check "class non-empty" true (ms <> []);
+    check "representative is a member" true
+      (List.mem (Fault_collapse.representative fc c) ms);
+    List.iter
+      (fun f ->
+        check "no overlap" false (Hashtbl.mem seen f);
+        Hashtbl.replace seen f ();
+        check "class_of agrees" true (Fault_collapse.class_of fc f = Some c);
+        incr total)
+      ms
+  done;
+  check_int "partition complete" (List.length u) !total;
+  (* Semantic soundness: members share one faulty function, so any
+     pattern set detects all of a class or none of it. *)
+  let patterns =
+    Array.init 32 (fun _ -> Array.init 5 (fun _ -> Hft_util.Rng.bool rng))
+  in
+  let r = Fsim.comb nl ~patterns u in
+  let det = Hashtbl.create 64 in
+  List.iter (fun f -> Hashtbl.replace det f ()) r.Fsim.detected;
+  for c = 0 to Fault_collapse.n_classes fc - 1 do
+    match Fault_collapse.members fc c with
+    | [] | [ _ ] -> ()
+    | m :: ms ->
+      let d0 = Hashtbl.mem det m in
+      List.iter
+        (fun f ->
+          if Hashtbl.mem det f <> d0 then
+            Alcotest.failf "class %d split by fault simulation" c)
+        ms
+  done
+
+(* The Drop pipeline must reach exactly the Naive verdicts — collapsing
+   and dropping are pure work-avoidance, not approximation. *)
+let prop_seq_atpg_drop_matches_naive =
+  QCheck.Test.make ~name:"Seq_atpg Drop verdicts = Naive verdicts" ~count:20
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Hft_util.Rng.create seed in
+      let nl = random_comb_netlist rng ~n_pi:4 ~n_gates:10 in
+      let faults = Fault.universe nl in
+      let naive =
+        Seq_atpg.run ~backtrack_limit:2000 ~max_frames:1
+          ~strategy:Seq_atpg.Naive nl ~faults ~scanned:[]
+      in
+      let drop =
+        Seq_atpg.run ~backtrack_limit:2000 ~max_frames:1
+          ~strategy:Seq_atpg.Drop nl ~faults ~scanned:[]
+      in
+      naive.Seq_atpg.aborted = 0 && drop.Seq_atpg.aborted = 0
+      && naive.Seq_atpg.detected = drop.Seq_atpg.detected
+      && naive.Seq_atpg.untestable = drop.Seq_atpg.untestable
+      (* ...and it must actually be cheaper (or equal on tiny cases). *)
+      && drop.Seq_atpg.implications <= naive.Seq_atpg.implications)
+
+let test_seq_atpg_drop_on_sequential () =
+  (* Same equivalence on a genuinely sequential circuit. *)
+  let nl = shift_register () in
+  let faults = Fault.universe nl in
+  let naive =
+    Seq_atpg.run ~max_frames:4 ~strategy:Seq_atpg.Naive nl ~faults ~scanned:[]
+  in
+  let drop =
+    Seq_atpg.run ~max_frames:4 ~strategy:Seq_atpg.Drop nl ~faults ~scanned:[]
+  in
+  check_int "detected equal" naive.Seq_atpg.detected drop.Seq_atpg.detected;
+  check_int "untestable equal" naive.Seq_atpg.untestable
+    drop.Seq_atpg.untestable;
+  check "drop effort no worse" true
+    (drop.Seq_atpg.implications <= naive.Seq_atpg.implications)
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "hft_gate"
@@ -656,6 +795,16 @@ let () =
         ] );
       ( "podem_vs_exhaustive",
         [ qt prop_podem_agrees_with_exhaustive ] );
+      ( "fault_dropping",
+        [
+          qt prop_fsim_cone_matches_naive;
+          qt prop_detect_groups_tri_matches_check;
+          Alcotest.test_case "collapse invariants" `Quick
+            test_fault_collapse_invariants;
+          qt prop_seq_atpg_drop_matches_naive;
+          Alcotest.test_case "drop on sequential" `Quick
+            test_seq_atpg_drop_on_sequential;
+        ] );
       ( "ctrl_expand",
         [
           Alcotest.test_case "composite matches RTL" `Quick

@@ -40,8 +40,99 @@ let test_chain_rejects_non_dff () =
      | exception Invalid_argument _ -> true)
 
 (* ------------------------------------------------------------------ *)
+(* Scan-view fault simulation                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_comb_scan_observes_state_inputs () =
+  (* [g = not a] feeds only a DFF: invisible to plain combinational
+     fault simulation (no PO in its cone), but the scan capture
+     observes f's D input. *)
+  let nl = Netlist.create () in
+  let a = Netlist.add nl ~name:"a" Netlist.Pi [||] in
+  let g = Netlist.add nl Netlist.Not [| a |] in
+  let f = Netlist.add nl ~name:"f" Netlist.Dff [| g |] in
+  let h = Netlist.add nl Netlist.Buf [| f |] in
+  let _y = Netlist.add nl ~name:"y" Netlist.Po [| h |] in
+  let fault = { Fault.node = g; pin = None; stuck = false } in
+  let plain = Fsim.comb nl ~patterns:[| [| false |] |] [ fault ] in
+  check_int "invisible without scan" 0 (List.length plain.Fsim.detected);
+  (* Pattern row: PI column then the scan load of [f]. *)
+  let patterns = [| [| false; false |] |] in
+  let naive =
+    Fsim.comb_scan ~strategy:Fsim.Naive nl ~scanned:[ f ] ~patterns [ fault ]
+  in
+  let cone =
+    Fsim.comb_scan ~strategy:Fsim.Cone nl ~scanned:[ f ] ~patterns [ fault ]
+  in
+  check_int "scan capture detects" 1 (List.length naive.Fsim.detected);
+  check "strategies agree" true
+    (naive.Fsim.detected = cone.Fsim.detected)
+
+(* ------------------------------------------------------------------ *)
 (* Full scan ATPG                                                     *)
 (* ------------------------------------------------------------------ *)
+
+let test_full_scan_drop_matches_naive () =
+  (* Exact equality on a fully-testable block: with no aborts the
+     strategies must agree verdict for verdict — dropping only removes
+     faults a generated test provably detects, and equivalence class
+     members share their representative's verdict. *)
+  let blk = Expand.comb_block ~width:4 [ Op.Add ] in
+  let nl = blk.Expand.b_netlist in
+  (* Register the outputs so the scan view has cells: PO drivers become
+     capture points, DFF outputs pseudo PIs — still fully testable. *)
+  List.iter
+    (fun po ->
+      let src = (Netlist.fanin nl po).(0) in
+      let f = Netlist.add nl Netlist.Dff [| src |] in
+      Netlist.set_fanin nl po 0 f)
+    (Netlist.pos nl);
+  let faults = Fault.universe nl in
+  let naive =
+    Full_scan.atpg ~backtrack_limit:5000 ~strategy:Seq_atpg.Naive nl ~faults
+  in
+  let drop =
+    Full_scan.atpg ~backtrack_limit:5000 ~strategy:Seq_atpg.Drop nl ~faults
+  in
+  check_int "naive aborts none" 0 naive.Full_scan.stats.Atpg_stats.aborted;
+  check_int "drop aborts none" 0 drop.Full_scan.stats.Atpg_stats.aborted;
+  check_int "detected equal" naive.Full_scan.stats.Atpg_stats.detected
+    drop.Full_scan.stats.Atpg_stats.detected;
+  check_int "untestable equal" naive.Full_scan.stats.Atpg_stats.untestable
+    drop.Full_scan.stats.Atpg_stats.untestable;
+  check "drop produces no more tests" true
+    (List.length drop.Full_scan.tests <= List.length naive.Full_scan.tests);
+  check "drop effort no worse" true
+    (drop.Full_scan.stats.Atpg_stats.implications
+     <= naive.Full_scan.stats.Atpg_stats.implications)
+
+let test_full_scan_drop_sound_with_aborts () =
+  (* On the real datapath a couple of hard faults abort at any sane
+     backtrack limit; with aborts present only bounds hold: every fault
+     Drop reports detected is truly testable (at most the testable ones
+     Naive aborted more), and a Naive detection can only go missing into
+     Drop's aborted bucket. *)
+  let d = small_datapath () in
+  let ex = Expand.of_datapath d in
+  let nl = ex.Expand.netlist in
+  let rng = Hft_util.Rng.create 21 in
+  let faults =
+    Fault.collapsed nl |> List.filter (fun _ -> Hft_util.Rng.int rng 20 = 0)
+  in
+  let naive =
+    Full_scan.atpg ~backtrack_limit:300 ~strategy:Seq_atpg.Naive nl ~faults
+  in
+  let drop =
+    Full_scan.atpg ~backtrack_limit:300 ~strategy:Seq_atpg.Drop nl ~faults
+  in
+  let sn = naive.Full_scan.stats and sd = drop.Full_scan.stats in
+  check "upper bound" true
+    (sd.Atpg_stats.detected
+     <= sn.Atpg_stats.detected + sn.Atpg_stats.aborted);
+  check "lower bound" true
+    (sd.Atpg_stats.detected >= sn.Atpg_stats.detected - sd.Atpg_stats.aborted);
+  check "drop effort no worse" true
+    (sd.Atpg_stats.implications <= sn.Atpg_stats.implications)
 
 let test_full_scan_coverage () =
   let d = small_datapath () in
@@ -287,9 +378,18 @@ let () =
           Alcotest.test_case "test cycles" `Quick test_chain_test_cycles;
           Alcotest.test_case "non-dff rejected" `Quick test_chain_rejects_non_dff;
         ] );
+      ( "comb_scan",
+        [
+          Alcotest.test_case "observes state inputs" `Quick
+            test_comb_scan_observes_state_inputs;
+        ] );
       ( "full_scan",
         [
           Alcotest.test_case "coverage" `Quick test_full_scan_coverage;
+          Alcotest.test_case "drop matches naive" `Quick
+            test_full_scan_drop_matches_naive;
+          Alcotest.test_case "drop sound with aborts" `Quick
+            test_full_scan_drop_sound_with_aborts;
           Alcotest.test_case "functionality preserved" `Quick
             test_full_scan_functionality_preserved;
         ] );

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Bench regression gate.
+
+Compares a fresh `hft bench --quick` run against the committed
+BENCH_hft.json baseline, row by (bench, flow) row:
+
+- `fsim_events` and `podem_backtracks` are deterministic engine
+  counters: an increase beyond --tolerance is a hard failure (the
+  fault-processing pipeline got less incremental, or the search
+  changed shape unannounced).
+- `wall_ms.atpg` is reported as a speedup ratio for every row.  Wall
+  clock is noisy on shared CI runners, so it only fails when the
+  fresh run is slower than the baseline by more than --atpg-slack.
+
+Exit status 0 = pass, 1 = regression, 2 = usage/schema problem.
+"""
+
+import argparse
+import json
+import sys
+
+
+def rows_by_key(doc):
+    if doc.get("schema") != "hft-bench/1":
+        sys.exit(f"unexpected bench schema: {doc.get('schema')!r}")
+    return {(r["bench"], r["flow"]): r for r in doc["results"]}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True, help="committed BENCH_hft.json")
+    ap.add_argument("--fresh", required=True, help="bench output from this run")
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=1.0,
+        help="allowed counter growth factor (default: exact match or better)",
+    )
+    ap.add_argument(
+        "--atpg-slack",
+        type=float,
+        default=3.0,
+        help="fail when fresh atpg wall time exceeds baseline by this factor",
+    )
+    args = ap.parse_args()
+
+    try:
+        with open(args.baseline) as f:
+            base = rows_by_key(json.load(f))
+        with open(args.fresh) as f:
+            fresh = rows_by_key(json.load(f))
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"cannot load bench files: {e}")
+
+    missing = sorted(set(base) - set(fresh))
+    if missing:
+        print(f"FAIL: rows missing from fresh run: {missing}")
+        return 1
+
+    failures = 0
+    print(f"{'bench':8} {'flow':14} {'atpg ms':>16} {'events':>14} {'backtracks':>14}")
+    for key in sorted(base):
+        b, f = base[key], fresh[key]
+        b_ms, f_ms = b["wall_ms"]["atpg"], f["wall_ms"]["atpg"]
+        ratio = b_ms / f_ms if f_ms > 0 else float("inf")
+        verdicts = []
+        for field in ("fsim_events", "podem_backtracks"):
+            if f[field] > b[field] * args.tolerance:
+                verdicts.append(f"{field} {b[field]} -> {f[field]}")
+        if f_ms > b_ms * args.atpg_slack:
+            verdicts.append(f"atpg {b_ms}ms -> {f_ms}ms")
+        status = "ok" if not verdicts else "FAIL " + "; ".join(verdicts)
+        print(
+            f"{key[0]:8} {key[1]:14} {b_ms:7.2f}->{f_ms:6.2f} "
+            f"{b['fsim_events']:>6}->{f['fsim_events']:<6} "
+            f"{b['podem_backtracks']:>6}->{f['podem_backtracks']:<6} "
+            f"[{ratio:4.1f}x] {status}"
+        )
+        failures += bool(verdicts)
+
+    if failures:
+        print(f"\n{failures} row(s) regressed")
+        return 1
+    print("\nall rows within bounds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
