@@ -6,11 +6,14 @@
      hft bist    --bench diffeq [--patterns 1024]
      hft lint    --bench fig1b [--flow partial-scan] [--json]
      hft bench   [--quick] [--json] [--out BENCH_hft.json]
+     hft report  --bench fig1b [--flow partial-scan] [--top 10] [--json]
      hft list
 
    Every subcommand accepts --trace / --metrics / --metrics-json
-   (observability report after the run); timing diagnostics go to
-   stderr so piped --json output stays parseable. *)
+   (observability report after the run) plus --trace-out FILE (Chrome
+   trace-event JSON) and --journal-out FILE (event journal as JSONL);
+   timing diagnostics go to stderr so piped --json output stays
+   parseable. *)
 
 open Cmdliner
 open Hft_cdfg
@@ -52,7 +55,13 @@ let dot_arg =
 (* ------------------------------------------------------------------ *)
 (* Observability plumbing shared by every subcommand.                 *)
 
-type obs_opts = { trace : bool; metrics : bool; metrics_json : bool }
+type obs_opts = {
+  trace : bool;
+  metrics : bool;
+  metrics_json : bool;
+  trace_out : string option;
+  journal_out : string option;
+}
 
 let obs_term =
   let trace =
@@ -70,8 +79,21 @@ let obs_term =
          & info [ "metrics-json" ]
              ~doc:"Print the metric registry as one JSON object after the run.")
   in
-  Term.(const (fun trace metrics metrics_json -> { trace; metrics; metrics_json })
-        $ trace $ metrics $ metrics_json)
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:"Write the span tree as a Chrome trace-event JSON file \
+                   (load in chrome://tracing or Perfetto).")
+  in
+  let journal_out =
+    Arg.(value & opt (some string) None
+         & info [ "journal-out" ] ~docv:"FILE"
+             ~doc:"Write the structured event journal as JSONL (one typed \
+                   event object per line).")
+  in
+  Term.(const (fun trace metrics metrics_json trace_out journal_out ->
+            { trace; metrics; metrics_json; trace_out; journal_out })
+        $ trace $ metrics $ metrics_json $ trace_out $ journal_out)
 
 (* Run a subcommand body under the observability sink.  Tracing turns
    on when any obs flag is given; the trace/metrics report prints to
@@ -80,13 +102,33 @@ let obs_term =
    result is returned so callers can turn it into an exit status
    *after* the reports are flushed. *)
 let with_obs ~cmd obs f =
-  if obs.trace || obs.metrics || obs.metrics_json then Hft_obs.enabled := true;
+  if obs.trace || obs.metrics || obs.metrics_json || obs.trace_out <> None
+     || obs.journal_out <> None
+  then Hft_obs.enabled := true;
   let t0 = Unix.gettimeofday () in
   let r = f () in
   if obs.trace then print_string (Hft_obs.Span.render ());
   if obs.metrics then print_string (Hft_obs.Export.metrics_table ());
   if obs.metrics_json then
     print_endline (Hft_util.Json.to_string (Hft_obs.Export.metrics_json ()));
+  let write_file file text what =
+    let oc = open_out file in
+    output_string oc text;
+    if text = "" || text.[String.length text - 1] <> '\n' then
+      output_char oc '\n';
+    close_out oc;
+    Printf.eprintf "hft %s: wrote %s %s\n%!" cmd what file
+  in
+  (match obs.trace_out with
+   | Some file ->
+     write_file file
+       (Hft_util.Json.to_string (Hft_obs.Export.chrome_trace ()))
+       "Chrome trace"
+   | None -> ());
+  (match obs.journal_out with
+   | Some file ->
+     write_file file (Hft_obs.Journal.to_jsonl ()) "event journal"
+   | None -> ());
   Printf.eprintf "hft %s: %.1f ms\n%!" cmd
     (1e3 *. (Unix.gettimeofday () -. t0));
   r
@@ -348,6 +390,7 @@ let bench_cmd =
            Hft_util.Json.Float (Hft_gate.Seq_atpg.fault_coverage stats));
           ("fsim_coverage", Hft_util.Json.Float (Hft_gate.Fsim.coverage fr));
           ("patterns_stored", Hft_util.Json.Int c.Flow.c_patterns_stored);
+          ("waterfall", Hft_obs.Ledger.waterfall_json ());
           ("strategy",
            Hft_util.Json.String (if naive then "naive" else "fast"));
           ("report",
@@ -429,6 +472,111 @@ let bench_cmd =
     Term.(const run $ quick_arg $ json_arg $ out_arg $ bench_width_arg
           $ naive_arg $ obs_term)
 
+(* ------------------------------------------------------------------ *)
+(* hft report: run a test campaign with the flight recorder on and    *)
+(* present the forensics — the coverage waterfall (where every        *)
+(* collapsed fault class ended up) and the most expensive faults.     *)
+
+let report_cmd =
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit the report as machine-readable JSON.")
+  in
+  let top_arg =
+    Arg.(value & opt int 10
+         & info [ "top" ] ~docv:"K"
+             ~doc:"Rows in the most-expensive-faults table.")
+  in
+  let sample_arg =
+    Arg.(value & opt int 1
+         & info [ "sample" ] ~docv:"N" ~doc:"Keep one fault in N.")
+  in
+  let run bench flow width sample top json obs =
+    with_obs ~cmd:"report" obs @@ fun () ->
+    Hft_obs.enabled := true;
+    Hft_obs.reset ();
+    let g = bench_graph ~extra:(fig1_extra ()) bench in
+    let r = Flow.synthesize ~width flow g in
+    let c =
+      Flow.test_campaign ~backtrack_limit:50 ~max_frames:3 ~sample ~seed:2024
+        ~n_patterns:64 r
+    in
+    let flow_name = Flow.flow_kind_to_string flow in
+    let n_faults = List.length c.Flow.c_faults in
+    let waterfall = Hft_obs.Ledger.waterfall () in
+    let expensive = Hft_obs.Ledger.top_expensive ~k:top in
+    if json then
+      print_endline
+        (Hft_util.Json.to_string
+           (Hft_util.Json.Obj
+              [ ("schema", Hft_util.Json.String "hft-report/1");
+                ("bench", Hft_util.Json.String bench);
+                ("flow", Hft_util.Json.String flow_name);
+                ("faults", Hft_util.Json.Int n_faults);
+                ("waterfall", Hft_obs.Ledger.waterfall_json ());
+                ("coverage",
+                 Hft_util.Json.Obj
+                   [ ("atpg",
+                      Hft_util.Json.Float
+                        (Hft_gate.Seq_atpg.fault_coverage c.Flow.c_atpg));
+                     ("fsim",
+                      Hft_util.Json.Float
+                        (Hft_gate.Fsim.coverage c.Flow.c_fsim)) ]);
+                ("tests", Hft_util.Json.Int (Hft_obs.Ledger.n_tests ()));
+                ("patterns_stored",
+                 Hft_util.Json.Int c.Flow.c_patterns_stored);
+                ("expensive",
+                 Hft_util.Json.List
+                   (List.map Hft_obs.Ledger.row_to_json expensive)) ]))
+    else begin
+      Printf.printf "coverage waterfall (%s, %s):\n" bench flow_name;
+      Hft_util.Pretty.print ~header:[ "stage"; "classes"; "faults" ]
+        ([ [ "total (sampled)"; "-"; string_of_int n_faults ];
+           [ "collapsed";
+             string_of_int (Hft_obs.Ledger.n_classes ());
+             string_of_int (Hft_obs.Ledger.total_faults ()) ] ]
+         @ List.map
+             (fun (key, (classes, faults)) ->
+               [ key; string_of_int classes; string_of_int faults ])
+             waterfall);
+      Printf.printf
+        "%d tests generated, %d pattern rows stored; coverage: atpg %s, \
+         fsim %s\n"
+        (Hft_obs.Ledger.n_tests ())
+        c.Flow.c_patterns_stored
+        (Hft_util.Pretty.pct (Hft_gate.Seq_atpg.fault_coverage c.Flow.c_atpg))
+        (Hft_util.Pretty.pct (Hft_gate.Fsim.coverage c.Flow.c_fsim));
+      if expensive <> [] then begin
+        Printf.printf "\nmost expensive fault classes (top %d):\n"
+          (List.length expensive);
+        Hft_util.Pretty.print
+          ~header:
+            [ "class"; "fault"; "resolution"; "fsim ev"; "impl"; "btk";
+              "cost" ]
+          (List.map
+             (fun (row : Hft_obs.Ledger.row) ->
+               [ string_of_int row.Hft_obs.Ledger.lr_class;
+                 row.Hft_obs.Ledger.lr_rep;
+                 Hft_obs.Ledger.resolution_to_string
+                   row.Hft_obs.Ledger.lr_resolution;
+                 string_of_int row.Hft_obs.Ledger.lr_fsim_events;
+                 string_of_int row.Hft_obs.Ledger.lr_implications;
+                 string_of_int row.Hft_obs.Ledger.lr_backtracks;
+                 string_of_int (Hft_obs.Ledger.cost row) ])
+             expensive)
+      end
+    end
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Run a test campaign with the flight recorder on and report the \
+          fault forensics: coverage waterfall (total, collapsed, dropped, \
+          PODEM-detected, aborted, untestable) and the most expensive fault \
+          classes (benches include fig1b/fig1c)")
+    Term.(const run $ bench_arg $ flow_arg $ width_arg $ sample_arg $ top_arg
+          $ json_arg $ obs_term)
+
 let list_cmd =
   let run () =
     List.iter
@@ -454,4 +602,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ synth_cmd; analyze_cmd; atpg_cmd; bist_cmd; lint_cmd; bench_cmd;
-            list_cmd ]))
+            report_cmd; list_cmd ]))

@@ -250,6 +250,7 @@ let test_campaign ?(strategy = Fast) ?(backtrack_limit = 20) ?(max_frames = 2)
        Only frame 0 carries a real scan load; later frames' rows are
        still deterministic, fault-targeting stimuli and get a zero scan
        fill. *)
+    let first_row = Pattern_store.size store in
     Array.iteri
       (fun i pi_vec ->
         let row = Array.make (n_pi + n_scan) false in
@@ -257,6 +258,11 @@ let test_campaign ?(strategy = Fast) ?(backtrack_limit = 20) ?(max_frames = 2)
         if i = 0 then Array.blit t.Hft_gate.Seq_atpg.t_scan_state 0 row n_pi n_scan;
         Pattern_store.add store row)
       t.Hft_gate.Seq_atpg.t_pi_vectors;
+    (* The ATPG registered this test in the ledger just before calling
+       us (synchronously), so "last test" is the right one to annotate
+       with its pattern-store rows. *)
+    Hft_obs.Ledger.annotate_last_test ~first_row
+      ~n_rows:(Array.length t.Hft_gate.Seq_atpg.t_pi_vectors);
     (* Multi-frame tests detect through unscanned state, which a single
        combinational pass cannot reproduce — keep them for a sequential
        (unrolled) replay. *)

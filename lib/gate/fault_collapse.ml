@@ -94,7 +94,9 @@ let compute nl =
   if !Hft_obs.Config.enabled then begin
     Hft_obs.Registry.incr "hft.collapse.runs";
     Hft_obs.Registry.incr "hft.collapse.faults" ~by:n;
-    Hft_obs.Registry.incr "hft.collapse.classes" ~by:!next
+    Hft_obs.Registry.incr "hft.collapse.classes" ~by:!next;
+    Hft_obs.Journal.record
+      (Hft_obs.Journal.Collapse { faults = n; classes = !next })
   end;
   { universe; index; class_id; classes; reps }
 

@@ -36,7 +36,9 @@ let flush ~faults ~detected ~patterns ~events ~seconds =
     Hft_obs.Registry.observe "hft.fsim.time" seconds;
     if seconds > 0.0 then
       Hft_obs.Registry.set "hft.fsim.events_per_sec"
-        (float_of_int events /. seconds)
+        (float_of_int events /. seconds);
+    Hft_obs.Journal.record
+      (Hft_obs.Journal.Fsim_run { faults; detected; patterns; events })
   end
 
 (* ------------------------------------------------------------------ *)
@@ -73,7 +75,8 @@ let group_cone nl group = Netlist.fanout_cone_union nl (group_roots nl group)
    fanins outside the cone, and only observe nodes inside the cone are
    compared.  Nodes outside the cone provably keep their good values,
    so the two strategies report bit-identical detections. *)
-let run_groups ~strategy nl ~n_patterns ~load ~observe groups =
+let run_groups ?(on_group_events = fun _ _ -> ()) ~strategy nl ~n_patterns
+    ~load ~observe groups =
   let n = Netlist.n_nodes nl in
   let good = Sim.pcreate nl ~n_patterns in
   load good;
@@ -95,6 +98,7 @@ let run_groups ~strategy nl ~n_patterns ~load ~observe groups =
          load faulty;
          Sim.peval ~faults:group nl faulty;
          events := !events + n;
+         on_group_events gi n;
          detected.(gi) <-
            List.exists2
              (fun o gobs -> Bitvec.any_diff (Sim.pvalue faulty o) gobs)
@@ -138,6 +142,10 @@ let run_groups ~strategy nl ~n_patterns ~load ~observe groups =
               | None -> Sim.pvalue good src)
          in
          let cone = group_cone nl group in
+         if !Hft_obs.Config.enabled then
+           Hft_obs.Registry.record "hft.fsim.cone_nodes"
+             (float_of_int (Array.length cone));
+         on_group_events gi (Array.length cone);
          let hit = ref false in
          Array.iter
            (fun v ->
@@ -283,7 +291,8 @@ let comb_scan ?(strategy = Cone) nl ~scanned ~patterns faults =
     result_of_flags faults flags n_patterns
   end
 
-let detect_groups ?(strategy = Cone) nl ~assignment ~observe groups =
+let detect_groups ?on_group_events ?(strategy = Cone) nl ~assignment ~observe
+    groups =
   let t0 = Hft_obs.Clock.now () in
   let load st =
     List.iter (fun p -> Bitvec.fill (Sim.pvalue st p) false) (Netlist.pis nl);
@@ -293,7 +302,8 @@ let detect_groups ?(strategy = Cone) nl ~assignment ~observe groups =
       assignment
   in
   let flags, events =
-    run_groups ~strategy nl ~n_patterns:1 ~load ~observe groups
+    run_groups ?on_group_events ~strategy nl ~n_patterns:1 ~load ~observe
+      groups
   in
   flush ~faults:(List.length groups) ~detected:(count_true flags) ~patterns:1
     ~events ~seconds:(Hft_obs.Clock.now () -. t0);
@@ -306,7 +316,8 @@ let detect_groups ?(strategy = Cone) nl ~assignment ~observe groups =
    unassigned sources (unknown initial state included).  The [Cone]
    strategy evaluates only each group's fanout cone copy-on-write over
    the good three-valued state. *)
-let detect_groups_tri ?(strategy = Cone) nl ~assignment ~observe groups =
+let detect_groups_tri ?(on_group_events = fun _ _ -> ()) ?(strategy = Cone) nl
+    ~assignment ~observe groups =
   let t0 = Hft_obs.Clock.now () in
   let n = Netlist.n_nodes nl in
   let load st =
@@ -327,6 +338,7 @@ let detect_groups_tri ?(strategy = Cone) nl ~assignment ~observe groups =
          load faulty;
          Sim.teval ~faults:group nl faulty;
          events := !events + n;
+         on_group_events gi n;
          detected.(gi) <-
            List.exists (fun o -> differs good.(o) faulty.(o)) observe)
        groups
@@ -353,6 +365,10 @@ let detect_groups_tri ?(strategy = Cone) nl ~assignment ~observe groups =
            | None -> if fval.(src) >= 0 then fval.(src) else good.(src)
          in
          let cone = group_cone nl group in
+         if !Hft_obs.Config.enabled then
+           Hft_obs.Registry.record "hft.fsim.cone_nodes"
+             (float_of_int (Array.length cone));
+         on_group_events gi (Array.length cone);
          let hit = ref false in
          Array.iter
            (fun v ->

@@ -55,8 +55,13 @@ val comb_scan :
     each group is one logical fault as a list of simultaneous injection
     sites (several when a fault is replicated across time frames).
     Returns a per-group flag: some node in [observe] differs from the
-    good machine. *)
+    good machine.  [on_group_events] (default: ignore) is called once
+    per group with [(group index, simulation events charged to it)] —
+    the cone size under [Cone], the full node count under [Naive] —
+    letting callers attribute fsim cost to individual fault classes
+    (the {!Hft_obs.Ledger} hook). *)
 val detect_groups :
+  ?on_group_events:(int -> int -> unit) ->
   ?strategy:strategy ->
   Netlist.t -> assignment:(int * bool) list -> observe:int list ->
   Fault.t list list -> bool array
@@ -68,6 +73,7 @@ val detect_groups :
     value of the unassigned sources — the sound drop check on circuits
     with unknown initial state. *)
 val detect_groups_tri :
+  ?on_group_events:(int -> int -> unit) ->
   ?strategy:strategy ->
   Netlist.t -> assignment:(int * bool) list -> observe:int list ->
   Fault.t list list -> bool array

@@ -35,7 +35,13 @@ let flush_effort effort result =
       (match result with
        | Test _ -> "hft.podem.tests"
        | Untestable -> "hft.podem.untestable"
-       | Aborted -> "hft.podem.aborts")
+       | Aborted -> "hft.podem.aborts");
+    if effort.backtracks > 0 then
+      Hft_obs.Journal.record
+        (Hft_obs.Journal.Backtrack
+           { backtracks = effort.backtracks;
+             decisions = effort.decisions;
+             implications = effort.implications })
   end
 
 (* All-X good-machine fixpoint, cached per netlist (physical equality +
@@ -64,6 +70,7 @@ let baseline nl =
     b
 
 let generate ?(backtrack_limit = 500) nl ~faults ~assignable ~observe =
+  let t_start = if !Hft_obs.Config.enabled then Hft_obs.Clock.now () else 0.0 in
   let n = Netlist.n_nodes nl in
   let effort = { decisions = 0; backtracks = 0; implications = 0 } in
   let pi_val = Hashtbl.create 16 in
@@ -457,6 +464,9 @@ let generate ?(backtrack_limit = 500) nl ~faults ~assignable ~observe =
     | Some `Untestable -> Untestable
     | Some `Aborted | None -> Aborted
   in
+  if !Hft_obs.Config.enabled then
+    Hft_obs.Registry.observe "hft.podem.time"
+      (Hft_obs.Clock.now () -. t_start);
   flush_effort effort outcome;
   (outcome, effort)
 

@@ -300,13 +300,25 @@ let run ?(backtrack_limit = 200) ?(min_frames = 1) ?(max_frames = 6)
   let n_groups = Array.length leaders in
   let status = Array.make n_groups `Pending in
   let dropped = ref 0 in
+  (* Forensics ledger: one row per class.  Handles are [-1] when
+     observability is off, making every ledger call below a no-op; the
+     [obs] guard additionally skips the display-string building. *)
+  let obs = !Hft_obs.Config.enabled in
+  let lh =
+    if obs then
+      Array.init n_groups (fun gi ->
+          Hft_obs.Ledger.register_class
+            ~rep:(Fault.to_string nl leaders.(gi))
+            ~members:(List.map (Fault.to_string nl) members.(gi)))
+    else Array.make n_groups (-1)
+  in
   (* Fault dropping: fault-simulate each fresh test against every
      pending class, three-valued ([Fsim.detect_groups_tri], cone
      limited) with unassigned sources at X — a sequential circuit's
      initial state is unknown, and the X-sound check guarantees the
      dropped fault is detected for any initial state, exactly PODEM's
      own criterion. *)
-  let drop_pass u assignment self =
+  let drop_pass u assignment self tid =
     let pending = ref [] in
     for gj = n_groups - 1 downto 0 do
       if gj <> self && status.(gj) = `Pending then pending := gj :: !pending
@@ -314,8 +326,12 @@ let run ?(backtrack_limit = 200) ?(min_frames = 1) ?(max_frames = 6)
     match !pending with
     | [] -> []
     | pending ->
+      let parr = Array.of_list pending in
       let flags =
-        Fsim.detect_groups_tri u.u_net ~assignment ~observe:u.u_observe
+        Fsim.detect_groups_tri u.u_net
+          ~on_group_events:(fun k ev ->
+            Hft_obs.Ledger.charge lh.(parr.(k)) ~fsim_events:ev)
+          ~assignment ~observe:u.u_observe
           (List.map (fun gj -> u.u_map_fault leaders.(gj)) pending)
       in
       let drops = ref [] in
@@ -324,6 +340,11 @@ let run ?(backtrack_limit = 200) ?(min_frames = 1) ?(max_frames = 6)
           if flags.(k) then begin
             status.(gj) <- `Detected;
             dropped := !dropped + sizes.(gj);
+            Hft_obs.Ledger.resolve lh.(gj)
+              (Hft_obs.Ledger.Drop_detected { test = tid });
+            if obs then
+              Hft_obs.Journal.record
+                (Hft_obs.Journal.Fault_dropped { cls = lh.(gj); test = tid });
             drops := members.(gj) @ !drops
           end)
         pending;
@@ -332,10 +353,26 @@ let run ?(backtrack_limit = 200) ?(min_frames = 1) ?(max_frames = 6)
   Array.iteri
     (fun gi f ->
       if status.(gi) = `Pending then begin
+        let cls_backtracks = ref 0 in
         let rec attempt frames last =
-          if frames > max_frames then last
+          if frames > max_frames then begin
+            (match last with
+             | `Untestable ->
+               Hft_obs.Ledger.resolve lh.(gi)
+                 (Hft_obs.Ledger.Proved_untestable { frames = max_frames })
+             | `Aborted ->
+               Hft_obs.Ledger.resolve lh.(gi)
+                 (Hft_obs.Ledger.Aborted
+                    { budget = backtrack_limit; frames = max_frames })
+             | _ -> ());
+            last
+          end
           else begin
             let u = Lazy.force unrolled.(frames - 1) in
+            if obs then
+              Hft_obs.Journal.record
+                (Hft_obs.Journal.Atpg_target
+                   { cls = lh.(gi); rep = Fault.to_string nl f; frames });
             let result, effort =
               Podem.generate ~backtrack_limit u.u_net ~faults:(u.u_map_fault f)
                 ~assignable:u.u_assignable ~observe:u.u_observe
@@ -343,19 +380,41 @@ let run ?(backtrack_limit = 200) ?(min_frames = 1) ?(max_frames = 6)
             decisions := !decisions + effort.Podem.decisions;
             backtracks := !backtracks + effort.Podem.backtracks;
             implications := !implications + effort.Podem.implications;
+            cls_backtracks := !cls_backtracks + effort.Podem.backtracks;
+            Hft_obs.Ledger.charge lh.(gi)
+              ~implications:effort.Podem.implications
+              ~backtracks:effort.Podem.backtracks;
+            if obs then
+              Hft_obs.Journal.record
+                (Hft_obs.Journal.Podem_result
+                   { cls = lh.(gi);
+                     outcome =
+                       (match result with
+                        | Podem.Test _ -> "test"
+                        | Podem.Untestable -> "untestable"
+                        | Podem.Aborted -> "aborted");
+                     frames;
+                     backtracks = effort.Podem.backtracks });
             if frames > !frames_used then frames_used := frames;
             match result with
             | Podem.Test assignment ->
+              let tid = Hft_obs.Ledger.register_test ~frames in
               (* Drop first: the test's recorded detections then cover
                  both the targeted class and every class it swept. *)
               let drops =
-                if strategy = Drop then drop_pass u assignment gi else []
+                if strategy = Drop then drop_pass u assignment gi tid else []
               in
+              if obs then
+                Hft_obs.Journal.record
+                  (Hft_obs.Journal.Test_generated { test = tid; frames });
               (match on_test with
                | Some k ->
                  k (reconstruct_test nl ~scanned u assignment
                       ~detects:(members.(gi) @ drops))
                | None -> ());
+              Hft_obs.Ledger.resolve lh.(gi)
+                (Hft_obs.Ledger.Podem_detected
+                   { test = tid; backtracks = !cls_backtracks; frames });
               `Detected
             | Podem.Untestable ->
               (* May become testable with more frames. *)

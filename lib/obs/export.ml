@@ -1,12 +1,15 @@
 (* Rendering of registry snapshots: fixed-width table for humans, JSON
    for machines.  Kept apart from Registry so the registry itself has
-   no opinion about presentation. *)
+   no opinion about presentation.  Also hosts the Chrome trace-event
+   exporter for the span tree (load the file in chrome://tracing or
+   https://ui.perfetto.dev). *)
 
 let fmt_value (s : Metric.snapshot) =
   match s.Metric.s_kind with
   | Metric.Counter -> string_of_int s.Metric.s_count
   | Metric.Gauge -> Printf.sprintf "%g" s.Metric.s_last
   | Metric.Timer -> Printf.sprintf "%.3f ms" (1e3 *. s.Metric.s_sum)
+  | Metric.Histogram -> Printf.sprintf "%g" s.Metric.s_sum
 
 let fmt_detail (s : Metric.snapshot) =
   match s.Metric.s_kind with
@@ -17,9 +20,20 @@ let fmt_detail (s : Metric.snapshot) =
   | Metric.Timer ->
     if s.Metric.s_count = 0 then ""
     else
-      Printf.sprintf "n=%d, mean %.3f ms, max %.3f ms" s.Metric.s_count
+      Printf.sprintf "n=%d, mean %.3f ms, p50 %.3f ms, p95 %.3f ms, max %.3f ms"
+        s.Metric.s_count
         (1e3 *. Metric.mean s)
+        (1e3 *. Metric.percentile s 0.5)
+        (1e3 *. Metric.percentile s 0.95)
         (1e3 *. s.Metric.s_max)
+  | Metric.Histogram ->
+    if s.Metric.s_count = 0 then ""
+    else
+      Printf.sprintf "n=%d, mean %g, p50 %g, p95 %g, max %g" s.Metric.s_count
+        (Metric.mean s)
+        (Metric.percentile s 0.5)
+        (Metric.percentile s 0.95)
+        s.Metric.s_max
 
 let metrics_table ?(snapshot = Registry.snapshot ()) () =
   match snapshot with
@@ -35,3 +49,35 @@ let metrics_table ?(snapshot = Registry.snapshot ()) () =
 let metrics_json ?(snapshot = Registry.snapshot ()) () =
   Hft_util.Json.Obj
     (List.map (fun s -> (s.Metric.s_name, Metric.snapshot_to_json s)) snapshot)
+
+(* Chrome trace-event format: a flat list of complete ("ph":"X") events
+   with microsecond timestamps relative to the earliest root, one per
+   span.  Nesting is implied by time containment on a shared pid/tid,
+   which holds by construction — a child span opens after and closes
+   before its parent. *)
+let chrome_trace ?(roots = Span.roots ()) () =
+  let t0 =
+    List.fold_left (fun acc r -> Float.min acc (Span.start r)) infinity roots
+  in
+  let t0 = if t0 = infinity then 0.0 else t0 in
+  let rec emit acc sp =
+    let ev =
+      Hft_util.Json.Obj
+        [ ("name", Hft_util.Json.String (Span.name sp));
+          ("ph", Hft_util.Json.String "X");
+          ("ts", Hft_util.Json.Float (1e6 *. (Span.start sp -. t0)));
+          ("dur", Hft_util.Json.Float (1e6 *. Span.elapsed sp));
+          ("pid", Hft_util.Json.Int 1);
+          ("tid", Hft_util.Json.Int 1);
+          ("args",
+           Hft_util.Json.Obj
+             (List.map
+                (fun (k, v) -> (k, Hft_util.Json.String v))
+                (Span.attrs sp))) ]
+    in
+    List.fold_left emit (ev :: acc) (Span.children sp)
+  in
+  let events = List.rev (List.fold_left emit [] roots) in
+  Hft_util.Json.Obj
+    [ ("traceEvents", Hft_util.Json.List events);
+      ("displayTimeUnit", Hft_util.Json.String "ms") ]

@@ -1,7 +1,15 @@
 (** Registry snapshots rendered for people (fixed-width table) or for
     machines (one JSON object keyed by metric name, each value the
     {!Metric.snapshot_to_json} form — the same shape `hft bench` embeds
-    in [BENCH_hft.json]). *)
+    in [BENCH_hft.json]); plus the Chrome trace-event exporter for the
+    span tree. *)
 
 val metrics_table : ?snapshot:Metric.snapshot list -> unit -> string
 val metrics_json : ?snapshot:Metric.snapshot list -> unit -> Hft_util.Json.t
+
+(** [chrome_trace ()] — the span forest as a Chrome trace-event
+    document ([{"traceEvents": [...]}]): one complete ("ph":"X") event
+    per span with [ts]/[dur] in microseconds relative to the earliest
+    root start, span attributes under [args].  Load the serialised file
+    in [chrome://tracing] or Perfetto. *)
+val chrome_trace : ?roots:Span.t list -> unit -> Hft_util.Json.t

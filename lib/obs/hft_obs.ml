@@ -7,6 +7,8 @@ module Clock = Clock
 module Metric = Metric
 module Registry = Registry
 module Span = Span
+module Journal = Journal
+module Ledger = Ledger
 module Export = Export
 module Table = Table
 
@@ -15,4 +17,6 @@ let with_enabled = Config.with_enabled
 
 let reset () =
   Registry.reset ();
-  Span.reset ()
+  Span.reset ();
+  Journal.reset ();
+  Ledger.reset ()

@@ -1,11 +1,14 @@
 (** [Hft_obs]: zero-dependency observability for the hft stack.
 
-    Three pieces: a metrics {!Registry} (named counters, gauges and
-    histogram-style timers), hierarchical {!Span} tracing, and
-    {!Export}/{!Table} rendering via {!Hft_util.Json}.  Everything is
-    off by default; flip {!enabled} (or use {!with_enabled}) to record.
-    Disabled calls cost a ref dereference and a branch, and the engines
-    accumulate locally and flush per call, so hot loops stay hot.
+    Five pieces: a metrics {!Registry} (named counters, gauges,
+    histogram timers), hierarchical {!Span} tracing, the flight
+    recorder — a typed event {!Journal} (bounded ring, JSONL export)
+    and a per-fault-class forensics {!Ledger} — and {!Export}/{!Table}
+    rendering via {!Hft_util.Json} (including Chrome trace events).
+    Everything is off by default; flip {!enabled} (or use
+    {!with_enabled}) to record.  Disabled calls cost a ref dereference
+    and a branch, and the engines accumulate locally and flush per
+    call, so hot loops stay hot.
 
     The metric name catalogue ([hft.podem.*], [hft.fsim.*],
     [hft.flow.*], ...) is documented in the README's Observability
@@ -16,6 +19,8 @@ module Clock = Clock
 module Metric = Metric
 module Registry = Registry
 module Span = Span
+module Journal = Journal
+module Ledger = Ledger
 module Export = Export
 module Table = Table
 
@@ -24,5 +29,6 @@ val enabled : bool ref
 
 val with_enabled : bool -> (unit -> 'a) -> 'a
 
-(** Clear both the metric registry and the span trace. *)
+(** Clear the metric registry, the span trace, the event journal and
+    the fault ledger. *)
 val reset : unit -> unit

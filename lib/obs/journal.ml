@@ -1,0 +1,113 @@
+(* Structured event journal: a bounded ring buffer of typed events
+   emitted from the gate/scan/core layers behind [Config.enabled].
+
+   Events are recorded with a wall-clock stamp and a global sequence
+   number, so the exported JSONL reads as a flight-recorder tape: what
+   the engines did, in order, with the per-record cost of one array
+   store.  The ring is bounded — a runaway campaign overwrites its own
+   oldest history rather than growing without limit — and the number of
+   overwritten records is reported ([dropped]). *)
+
+type event =
+  | Phase_begin of { name : string }
+  | Phase_end of { name : string; elapsed : float }
+  | Collapse of { faults : int; classes : int }
+  | Atpg_target of { cls : int; rep : string; frames : int }
+  | Podem_result of { cls : int; outcome : string; frames : int;
+                      backtracks : int }
+  | Backtrack of { backtracks : int; decisions : int; implications : int }
+  | Test_generated of { test : int; frames : int }
+  | Fault_dropped of { cls : int; test : int }
+  | Fsim_run of { faults : int; detected : int; patterns : int; events : int }
+  | Note of { key : string; value : string }
+
+type entry = { e_seq : int; e_time : float; e_event : event }
+
+let default_capacity = 4096
+let cap = ref default_capacity
+let buf : entry option array ref = ref (Array.make default_capacity None)
+let total = ref 0
+
+let capacity () = !cap
+
+let reset () =
+  Array.fill !buf 0 (Array.length !buf) None;
+  total := 0
+
+let set_capacity n =
+  if n < 1 then invalid_arg "Hft_obs.Journal.set_capacity";
+  cap := n;
+  buf := Array.make n None;
+  total := 0
+
+let recorded () = !total
+let dropped () = max 0 (!total - !cap)
+
+let record ev =
+  if !Config.enabled then begin
+    let e = { e_seq = !total; e_time = Clock.now (); e_event = ev } in
+    !buf.(!total mod !cap) <- Some e;
+    incr total
+  end
+
+let entries () =
+  let n = min !total !cap in
+  let first = !total - n in
+  List.init n (fun i ->
+      match !buf.((first + i) mod !cap) with
+      | Some e -> e
+      | None -> assert false)
+
+let event_type = function
+  | Phase_begin _ -> "phase_begin"
+  | Phase_end _ -> "phase_end"
+  | Collapse _ -> "collapse"
+  | Atpg_target _ -> "atpg_target"
+  | Podem_result _ -> "podem_result"
+  | Backtrack _ -> "backtrack"
+  | Test_generated _ -> "test_generated"
+  | Fault_dropped _ -> "fault_dropped"
+  | Fsim_run _ -> "fsim_run"
+  | Note _ -> "note"
+
+let event_fields ev =
+  let open Hft_util.Json in
+  match ev with
+  | Phase_begin { name } -> [ ("name", String name) ]
+  | Phase_end { name; elapsed } ->
+    [ ("name", String name); ("elapsed_ms", Float (1e3 *. elapsed)) ]
+  | Collapse { faults; classes } ->
+    [ ("faults", Int faults); ("classes", Int classes) ]
+  | Atpg_target { cls; rep; frames } ->
+    [ ("class", Int cls); ("rep", String rep); ("frames", Int frames) ]
+  | Podem_result { cls; outcome; frames; backtracks } ->
+    [ ("class", Int cls); ("outcome", String outcome);
+      ("frames", Int frames); ("backtracks", Int backtracks) ]
+  | Backtrack { backtracks; decisions; implications } ->
+    [ ("backtracks", Int backtracks); ("decisions", Int decisions);
+      ("implications", Int implications) ]
+  | Test_generated { test; frames } ->
+    [ ("test", Int test); ("frames", Int frames) ]
+  | Fault_dropped { cls; test } -> [ ("class", Int cls); ("test", Int test) ]
+  | Fsim_run { faults; detected; patterns; events } ->
+    [ ("faults", Int faults); ("detected", Int detected);
+      ("patterns", Int patterns); ("events", Int events) ]
+  | Note { key; value } -> [ ("key", String key); ("value", String value) ]
+
+let entry_to_json e =
+  Hft_util.Json.Obj
+    (("seq", Hft_util.Json.Int e.e_seq)
+     :: ("time", Hft_util.Json.Float e.e_time)
+     :: ("type", Hft_util.Json.String (event_type e.e_event))
+     :: event_fields e.e_event)
+
+(* One JSON object per line; an empty journal is the empty string, so
+   consumers can `wc -l` the tape. *)
+let to_jsonl () =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      Buffer.add_string b (Hft_util.Json.to_string (entry_to_json e));
+      Buffer.add_char b '\n')
+    (entries ());
+  Buffer.contents b

@@ -1,0 +1,59 @@
+(** Structured event journal: a bounded ring of typed engine events.
+
+    Recording is a no-op while [!Config.enabled] is false; when enabled,
+    each {!record} stamps the event with {!Clock.now} and a global
+    sequence number.  The ring holds the most recent {!capacity} events
+    — older ones are overwritten and counted by {!dropped} — and exports
+    as JSONL (one object per line) through {!Hft_util.Json}. *)
+
+type event =
+  | Phase_begin of { name : string }
+      (** A span opened (emitted by {!Span.with_}). *)
+  | Phase_end of { name : string; elapsed : float }
+      (** A span closed; [elapsed] in seconds. *)
+  | Collapse of { faults : int; classes : int }
+      (** Fault-collapse summary: universe size and class count. *)
+  | Atpg_target of { cls : int; rep : string; frames : int }
+      (** PODEM is about to target ledger class [cls] at [frames]. *)
+  | Podem_result of { cls : int; outcome : string; frames : int;
+                      backtracks : int }
+      (** One PODEM attempt finished ([outcome]: test/untestable/aborted). *)
+  | Backtrack of { backtracks : int; decisions : int; implications : int }
+      (** Per-PODEM-call effort summary (emitted when backtracks > 0). *)
+  | Test_generated of { test : int; frames : int }
+      (** A test entered the ledger's test table under id [test]. *)
+  | Fault_dropped of { cls : int; test : int }
+      (** Ledger class [cls] detected by fault-simulating test [test]. *)
+  | Fsim_run of { faults : int; detected : int; patterns : int; events : int }
+      (** One fault-simulation call's totals. *)
+  | Note of { key : string; value : string }  (** Free-form breadcrumb. *)
+
+type entry = { e_seq : int; e_time : float; e_event : event }
+
+val record : event -> unit
+
+(** Entries still in the ring, oldest first. *)
+val entries : unit -> entry list
+
+(** Total events recorded since the last [reset] (including
+    overwritten ones). *)
+val recorded : unit -> int
+
+(** Events overwritten because the ring was full. *)
+val dropped : unit -> int
+
+val capacity : unit -> int
+
+(** Replace the ring with an empty one of size [n] (default 4096).
+    Raises [Invalid_argument] when [n < 1]. *)
+val set_capacity : int -> unit
+
+val reset : unit -> unit
+
+(** The snake_case tag exported as the ["type"] field. *)
+val event_type : event -> string
+
+val entry_to_json : entry -> Hft_util.Json.t
+
+(** One JSON object per line, oldest first; [""] when empty. *)
+val to_jsonl : unit -> string

@@ -1,0 +1,226 @@
+(* Fault-forensics ledger: one lifecycle record per collapsed fault
+   class of a test campaign.
+
+   The ATPG engines register each class when they start (representative
+   plus members, as display strings — this library knows nothing of
+   netlists), then resolve it exactly once and charge search/simulation
+   cost to it as they go.  The ledger answers "why is coverage X%": for
+   every class, how it was resolved and what it cost, plus the
+   aggregated coverage waterfall.  Everything is gated on
+   [Config.enabled]; registration returns [-1] when disabled and every
+   other entry point treats a negative handle as a no-op, so call sites
+   need no guards of their own. *)
+
+type resolution =
+  | Drop_detected of { test : int }
+  | Podem_detected of { test : int; backtracks : int; frames : int }
+  | Proved_untestable of { frames : int }
+  | Aborted of { budget : int; frames : int }
+  | Never_targeted
+
+type row = {
+  lr_class : int;
+  lr_rep : string;
+  lr_members : string list;
+  lr_resolution : resolution;
+  lr_fsim_events : int;
+  lr_implications : int;
+  lr_backtracks : int;
+}
+
+type test = { lt_id : int; lt_frames : int; lt_rows : (int * int) option }
+
+(* Growable internal storage; handles are indexes, so [charge] on a hot
+   drop pass is two array reads and an add. *)
+type mrow = {
+  m_rep : string;
+  m_members : string list;
+  mutable m_res : resolution;
+  mutable m_fsim : int;
+  mutable m_impl : int;
+  mutable m_btk : int;
+}
+
+type mtest = { mt_frames : int; mutable mt_rows : (int * int) option }
+
+let rows_buf : mrow array ref = ref [||]
+let n_rows_ = ref 0
+let tests_buf : mtest array ref = ref [||]
+let n_tests_ = ref 0
+
+let reset () =
+  rows_buf := [||];
+  n_rows_ := 0;
+  tests_buf := [||];
+  n_tests_ := 0
+
+let push buf n dummy v =
+  let a = !buf in
+  let cap = Array.length a in
+  if !n = cap then begin
+    let a' = Array.make (max 16 (2 * cap)) dummy in
+    Array.blit a 0 a' 0 cap;
+    a'.(cap) <- v;
+    buf := a';
+    n := cap + 1;
+    cap
+  end
+  else begin
+    a.(!n) <- v;
+    incr n;
+    !n - 1
+  end
+
+let dummy_row =
+  { m_rep = ""; m_members = []; m_res = Never_targeted; m_fsim = 0;
+    m_impl = 0; m_btk = 0 }
+
+let dummy_test = { mt_frames = 0; mt_rows = None }
+
+let register_class ~rep ~members =
+  if not !Config.enabled then -1
+  else
+    push rows_buf n_rows_ dummy_row
+      { m_rep = rep; m_members = members; m_res = Never_targeted; m_fsim = 0;
+        m_impl = 0; m_btk = 0 }
+
+let resolve h res = if h >= 0 && h < !n_rows_ then !rows_buf.(h).m_res <- res
+
+let charge ?(fsim_events = 0) ?(implications = 0) ?(backtracks = 0) h =
+  if h >= 0 && h < !n_rows_ then begin
+    let r = !rows_buf.(h) in
+    r.m_fsim <- r.m_fsim + fsim_events;
+    r.m_impl <- r.m_impl + implications;
+    r.m_btk <- r.m_btk + backtracks
+  end
+
+let register_test ~frames =
+  if not !Config.enabled then -1
+  else push tests_buf n_tests_ dummy_test { mt_frames = frames; mt_rows = None }
+
+let annotate_last_test ~first_row ~n_rows =
+  if !Config.enabled && !n_tests_ > 0 then
+    !tests_buf.(!n_tests_ - 1).mt_rows <- Some (first_row, n_rows)
+
+let n_classes () = !n_rows_
+let n_tests () = !n_tests_
+
+let row_of i =
+  let m = !rows_buf.(i) in
+  { lr_class = i; lr_rep = m.m_rep; lr_members = m.m_members;
+    lr_resolution = m.m_res; lr_fsim_events = m.m_fsim;
+    lr_implications = m.m_impl; lr_backtracks = m.m_btk }
+
+let rows () = List.init !n_rows_ row_of
+
+let tests () =
+  List.init !n_tests_ (fun i ->
+      let t = !tests_buf.(i) in
+      { lt_id = i; lt_frames = t.mt_frames; lt_rows = t.mt_rows })
+
+let cost r = r.lr_fsim_events + r.lr_implications + r.lr_backtracks
+
+let resolution_key = function
+  | Drop_detected _ -> "drop_detected"
+  | Podem_detected _ -> "podem_detected"
+  | Proved_untestable _ -> "untestable"
+  | Aborted _ -> "aborted"
+  | Never_targeted -> "never_targeted"
+
+let resolution_to_string = function
+  | Drop_detected { test } -> Printf.sprintf "drop-detected (test %d)" test
+  | Podem_detected { test; backtracks; frames } ->
+    Printf.sprintf "podem-detected (test %d, %d btk, %d frames)" test
+      backtracks frames
+  | Proved_untestable { frames } ->
+    Printf.sprintf "untestable (%d frames)" frames
+  | Aborted { budget; frames } ->
+    Printf.sprintf "aborted (budget %d, %d frames)" budget frames
+  | Never_targeted -> "never-targeted"
+
+(* The waterfall columns in their reporting order. *)
+let outcome_keys =
+  [ "drop_detected"; "podem_detected"; "aborted"; "untestable";
+    "never_targeted" ]
+
+let waterfall () =
+  let tally = List.map (fun k -> (k, (ref 0, ref 0))) outcome_keys in
+  for i = 0 to !n_rows_ - 1 do
+    let m = !rows_buf.(i) in
+    let classes, faults = List.assoc (resolution_key m.m_res) tally in
+    incr classes;
+    faults := !faults + List.length m.m_members
+  done;
+  List.map (fun (k, (c, f)) -> (k, (!c, !f))) tally
+
+let total_faults () =
+  let n = ref 0 in
+  for i = 0 to !n_rows_ - 1 do
+    n := !n + List.length !rows_buf.(i).m_members
+  done;
+  !n
+
+let waterfall_json () =
+  let open Hft_util.Json in
+  Obj
+    (("classes", Int !n_rows_)
+     :: ("faults", Int (total_faults ()))
+     :: List.map
+          (fun (k, (c, f)) ->
+            (k, Obj [ ("classes", Int c); ("faults", Int f) ]))
+          (waterfall ()))
+
+let resolution_to_json res =
+  let open Hft_util.Json in
+  let fields =
+    match res with
+    | Drop_detected { test } -> [ ("test", Int test) ]
+    | Podem_detected { test; backtracks; frames } ->
+      [ ("test", Int test); ("backtracks", Int backtracks);
+        ("frames", Int frames) ]
+    | Proved_untestable { frames } -> [ ("frames", Int frames) ]
+    | Aborted { budget; frames } ->
+      [ ("budget", Int budget); ("frames", Int frames) ]
+    | Never_targeted -> []
+  in
+  Obj (("outcome", String (resolution_key res)) :: fields)
+
+let row_to_json r =
+  let open Hft_util.Json in
+  Obj
+    [ ("class", Int r.lr_class);
+      ("rep", String r.lr_rep);
+      ("members", List (List.map (fun m -> String m) r.lr_members));
+      ("resolution", resolution_to_json r.lr_resolution);
+      ("fsim_events", Int r.lr_fsim_events);
+      ("implications", Int r.lr_implications);
+      ("backtracks", Int r.lr_backtracks);
+      ("cost", Int (cost r)) ]
+
+let to_json () =
+  Hft_util.Json.Obj
+    [ ("waterfall", waterfall_json ());
+      ("rows", Hft_util.Json.List (List.map row_to_json (rows ())));
+      ("tests",
+       Hft_util.Json.List
+         (List.map
+            (fun t ->
+              Hft_util.Json.Obj
+                (("test", Hft_util.Json.Int t.lt_id)
+                 :: ("frames", Hft_util.Json.Int t.lt_frames)
+                 ::
+                 (match t.lt_rows with
+                  | None -> []
+                  | Some (first, n) ->
+                    [ ("first_row", Hft_util.Json.Int first);
+                      ("n_rows", Hft_util.Json.Int n) ])))
+            (tests ()))) ]
+
+(* Most expensive first; class id breaks ties so the order is total. *)
+let top_expensive ~k =
+  rows ()
+  |> List.sort (fun a b ->
+         match compare (cost b) (cost a) with
+         | 0 -> compare a.lr_class b.lr_class
+         | c -> c)
+  |> List.filteri (fun i _ -> i < k)

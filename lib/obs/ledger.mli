@@ -1,0 +1,96 @@
+(** Fault-forensics ledger: one lifecycle record per collapsed fault
+    class of a test campaign.
+
+    The ATPG engines ({!Hft_gate.Seq_atpg}, [Hft_scan.Full_scan])
+    register each equivalence class up front, resolve it exactly once
+    (dropped / PODEM-detected / untestable / aborted), and charge
+    search and simulation cost to it as the campaign runs.  Faults and
+    members are display strings — the ledger knows nothing of netlists,
+    so it lives in [Hft_obs] below every engine.
+
+    Registration is gated on [!Config.enabled] and returns [-1] when
+    disabled; every other entry point treats a negative handle as a
+    no-op, so instrumented call sites need no guards. *)
+
+type resolution =
+  | Drop_detected of { test : int }
+      (** Detected by fault-simulating an earlier test ({!test} is the
+          ledger id of the dropping test) — never targeted by PODEM. *)
+  | Podem_detected of { test : int; backtracks : int; frames : int }
+      (** PODEM produced [test] for this class after [backtracks] total
+          backtracks across its attempts, at [frames] time frames. *)
+  | Proved_untestable of { frames : int }
+      (** Search space exhausted at every frame count up to [frames]. *)
+  | Aborted of { budget : int; frames : int }
+      (** The backtrack budget [budget] tripped at every frame count up
+          to [frames]. *)
+  | Never_targeted  (** Campaign ended before this class was processed. *)
+
+type row = {
+  lr_class : int;  (** handle, dense from 0 in registration order *)
+  lr_rep : string;  (** representative fault, display form *)
+  lr_members : string list;  (** every sampled member, rep included *)
+  lr_resolution : resolution;
+  lr_fsim_events : int;  (** fault-simulation node events in its cones *)
+  lr_implications : int;  (** PODEM implication passes spent on it *)
+  lr_backtracks : int;  (** PODEM backtracks spent on it *)
+}
+
+type test = {
+  lt_id : int;
+  lt_frames : int;
+  lt_rows : (int * int) option;
+      (** [(first_row, n_rows)] in the campaign's pattern store, when the
+          flow recorded the mapping. *)
+}
+
+(** Returns the class handle, or [-1] when observability is disabled. *)
+val register_class : rep:string -> members:string list -> int
+
+(** Record the class outcome (last write wins; engines resolve once). *)
+val resolve : int -> resolution -> unit
+
+(** Accumulate cost counters onto a class; all default to 0. *)
+val charge :
+  ?fsim_events:int -> ?implications:int -> ?backtracks:int -> int -> unit
+
+(** Append a test to the campaign's test table, returning its id
+    ([-1] when disabled). *)
+val register_test : frames:int -> int
+
+(** Attach pattern-store coordinates to the most recently registered
+    test (called by the flow's [on_test], which runs synchronously after
+    {!register_test}). *)
+val annotate_last_test : first_row:int -> n_rows:int -> unit
+
+val n_classes : unit -> int
+val n_tests : unit -> int
+val rows : unit -> row list
+val tests : unit -> test list
+
+(** [lr_fsim_events + lr_implications + lr_backtracks] — the ranking
+    used by the "most expensive faults" report. *)
+val cost : row -> int
+
+(** Waterfall outcome keys in reporting order: [drop_detected],
+    [podem_detected], [aborted], [untestable], [never_targeted]. *)
+val outcome_keys : string list
+
+(** Per-outcome [(classes, faults)] tallies, in {!outcome_keys} order;
+    the class counts sum to {!n_classes} by construction. *)
+val waterfall : unit -> (string * (int * int)) list
+
+(** Total sampled faults across all classes (sum of member counts). *)
+val total_faults : unit -> int
+
+val resolution_key : resolution -> string
+val resolution_to_string : resolution -> string
+val resolution_to_json : resolution -> Hft_util.Json.t
+val waterfall_json : unit -> Hft_util.Json.t
+val row_to_json : row -> Hft_util.Json.t
+val to_json : unit -> Hft_util.Json.t
+
+(** The [k] most expensive rows, descending cost (class id tiebreak). *)
+val top_expensive : k:int -> row list
+
+val reset : unit -> unit

@@ -1,8 +1,13 @@
-(** One named instrument: monotonic counter, gauge, or histogram-style
-    timer (count/sum/min/max/last streaming summary — no buckets, so
-    updates are O(1) and allocation-free). *)
+(** One named instrument: monotonic counter, gauge, histogram-style
+    timer, or raw-valued histogram.
 
-type kind = Counter | Gauge | Timer
+    Timers and histograms keep a count/sum/min/max streaming summary
+    {e plus} a log-bucketed distribution (40 power-of-two buckets from
+    a 100 ns floor), so snapshots report p50/p95 as well as the mean —
+    heavy-tailed series (PODEM time per fault, fanout-cone sizes) hide
+    their tail behind a mean.  Updates stay O(1) and allocation-free. *)
+
+type kind = Counter | Gauge | Timer | Histogram
 
 type t
 
@@ -15,27 +20,45 @@ type snapshot = {
   s_min : float;  (** [infinity] when no observation yet *)
   s_max : float;  (** [neg_infinity] when no observation yet *)
   s_last : float;
+      (** gauges/timers: the most recent observation; counters: the
+          running total *)
+  s_buckets : int array;  (** log-bucket counts (timers/histograms) *)
 }
 
 val create : kind:kind -> string -> t
 val kind_to_string : kind -> string
 
-(** Counter increment (default 1). *)
+(** Counter increment (default 1).  Maintains [last] as the cumulative
+    total. *)
 val incr : ?by:int -> t -> unit
 
 (** Gauge assignment; also maintains the min/max/sum summary. *)
 val set : t -> float -> unit
 
 (** Timer/histogram observation (seconds, or any unit the caller
-    chooses). *)
+    chooses); also bins the value for {!percentile}. *)
 val observe : t -> float -> unit
 
 val clear : t -> unit
 val snapshot : t -> snapshot
 
 (** Headline value: counters report their total, gauges their last
-    value, timers their sum. *)
+    value, timers/histograms their sum. *)
 val value : snapshot -> float
 
 val mean : snapshot -> float
+
+(** [percentile s q] — bucketed quantile estimate for an {!observe}
+    stream ([q] in [0,1]), clamped to the observed min/max, exact for
+    all-equal streams and otherwise within one power-of-two bucket.
+    0 when nothing was observed. *)
+val percentile : snapshot -> float -> float
+
+(** Number of log buckets in every histogram (array length of
+    [s_buckets]). *)
+val n_buckets : int
+
+(** Upper bound of bucket [i] (the floor value for bucket 0). *)
+val bucket_upper : int -> float
+
 val snapshot_to_json : snapshot -> Hft_util.Json.t

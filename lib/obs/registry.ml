@@ -23,12 +23,14 @@ let find_or_create ~kind name =
 let counter name = find_or_create ~kind:Metric.Counter name
 let gauge name = find_or_create ~kind:Metric.Gauge name
 let timer name = find_or_create ~kind:Metric.Timer name
+let histogram name = find_or_create ~kind:Metric.Histogram name
 
 let incr ?by name =
   if !Config.enabled then Metric.incr ?by (counter name)
 
 let set name v = if !Config.enabled then Metric.set (gauge name) v
 let observe name v = if !Config.enabled then Metric.observe (timer name) v
+let record name v = if !Config.enabled then Metric.observe (histogram name) v
 
 let time name f =
   if not !Config.enabled then f ()

@@ -11,6 +11,7 @@ val counter : string -> Metric.t
 
 val gauge : string -> Metric.t
 val timer : string -> Metric.t
+val histogram : string -> Metric.t
 
 (** Record by name (find-or-create, then update) — gated on
     [Config.enabled]. *)
@@ -18,6 +19,10 @@ val incr : ?by:int -> string -> unit
 
 val set : string -> float -> unit
 val observe : string -> float -> unit
+
+(** Raw-valued histogram observation (cone sizes, batch widths, ...) —
+    same bucketed summary as {!observe} but rendered unitless. *)
+val record : string -> float -> unit
 
 (** [time name f] observes [f]'s wall-clock duration (seconds) under
     timer [name]; when disabled it is exactly [f ()]. *)

@@ -8,7 +8,23 @@ type t = {
 
 let name t = t.sp_name
 let elapsed t = t.sp_elapsed
-let attrs t = List.rev t.sp_attrs
+let start t = t.sp_start
+
+(* [sp_attrs] is most-recent-first, so keeping each key's first
+   occurrence makes repeated [add_attr] last-write-win; the surviving
+   entries come out in final-write order. *)
+let attrs t =
+  let seen = Hashtbl.create 8 in
+  List.rev
+    (List.filter
+       (fun (k, _) ->
+         if Hashtbl.mem seen k then false
+         else begin
+           Hashtbl.add seen k ();
+           true
+         end)
+       t.sp_attrs)
+
 let children t = List.rev t.sp_children
 
 (* Current trace: finished roots plus the stack of open spans.  One
@@ -39,8 +55,10 @@ let with_ ?(attrs = []) name f =
         sp_elapsed = 0.0; sp_children = [] }
     in
     stack := sp :: !stack;
+    Journal.record (Journal.Phase_begin { name });
     let finish () =
       sp.sp_elapsed <- Clock.now () -. sp.sp_start;
+      Journal.record (Journal.Phase_end { name; elapsed = sp.sp_elapsed });
       (match !stack with
        | top :: rest when top == sp -> stack := rest
        | _ ->

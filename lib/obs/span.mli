@@ -2,8 +2,9 @@
 
     [with_ "podem" (fun () -> ...)] times the thunk and records a span;
     spans opened while another is running become its children, so a
-    synthesis flow produces one tree per root call.  Everything is a
-    no-op while [!Config.enabled] is false. *)
+    synthesis flow produces one tree per root call.  Each open/close
+    also lands in the event {!Journal} as [Phase_begin]/[Phase_end].
+    Everything is a no-op while [!Config.enabled] is false. *)
 
 type t
 
@@ -12,7 +13,12 @@ val name : t -> string
 (** Wall-clock duration in seconds. *)
 val elapsed : t -> float
 
-(** Attributes in insertion order. *)
+(** Wall-clock start instant ([Clock.now] at open), for absolute-time
+    exporters (Chrome trace events). *)
+val start : t -> float
+
+(** Attributes in insertion order; when a key was written several
+    times, only the last value survives (in last-write position). *)
 val attrs : t -> (string * string) list
 
 (** Children in start order. *)

@@ -29,9 +29,21 @@ let atpg ?(backtrack_limit = 500) ?(strategy = Seq_atpg.Drop) nl ~faults =
       Fault_collapse.partition fc faults
   in
   let leaders = Array.of_list (List.map fst groups) in
+  let members = Array.of_list (List.map snd groups) in
   let sizes = Array.of_list (List.map (fun (_, ms) -> List.length ms) groups) in
   let n_groups = Array.length leaders in
   let dropped = Array.make n_groups false in
+  (* Forensics ledger rows, one per class ([-1] handles = no-ops when
+     observability is off; see {!Hft_obs.Ledger}). *)
+  let obs = !Hft_obs.Config.enabled in
+  let lh =
+    if obs then
+      Array.init n_groups (fun gi ->
+          Hft_obs.Ledger.register_class
+            ~rep:(Fault.to_string nl leaders.(gi))
+            ~members:(List.map (Fault.to_string nl) members.(gi)))
+    else Array.make n_groups (-1)
+  in
   let stats = ref Atpg_stats.empty in
   let tests = ref [] in
   Array.iteri
@@ -39,13 +51,37 @@ let atpg ?(backtrack_limit = 500) ?(strategy = Seq_atpg.Drop) nl ~faults =
       if dropped.(gi) then
         stats := Atpg_stats.add_detected !stats ~n:sizes.(gi)
       else begin
+        if obs then
+          Hft_obs.Journal.record
+            (Hft_obs.Journal.Atpg_target
+               { cls = lh.(gi); rep = Fault.to_string nl f; frames = 1 });
         let r, e =
           Podem.generate ~backtrack_limit nl ~faults:[ f ] ~assignable ~observe
         in
         stats := Atpg_stats.add_outcome ~n:sizes.(gi) !stats r e;
+        Hft_obs.Ledger.charge lh.(gi) ~implications:e.Podem.implications
+          ~backtracks:e.Podem.backtracks;
+        if obs then
+          Hft_obs.Journal.record
+            (Hft_obs.Journal.Podem_result
+               { cls = lh.(gi);
+                 outcome =
+                   (match r with
+                    | Podem.Test _ -> "test"
+                    | Podem.Untestable -> "untestable"
+                    | Podem.Aborted -> "aborted");
+                 frames = 1;
+                 backtracks = e.Podem.backtracks });
         match r with
         | Podem.Test assignment ->
           tests := assignment :: !tests;
+          let tid = Hft_obs.Ledger.register_test ~frames:1 in
+          if obs then
+            Hft_obs.Journal.record
+              (Hft_obs.Journal.Test_generated { test = tid; frames = 1 });
+          Hft_obs.Ledger.resolve lh.(gi)
+            (Hft_obs.Ledger.Podem_detected
+               { test = tid; backtracks = e.Podem.backtracks; frames = 1 });
           if strategy = Seq_atpg.Drop then begin
             let pending = ref [] in
             for gj = n_groups - 1 downto gi + 1 do
@@ -54,12 +90,25 @@ let atpg ?(backtrack_limit = 500) ?(strategy = Seq_atpg.Drop) nl ~faults =
             match !pending with
             | [] -> ()
             | pending ->
+              let parr = Array.of_list pending in
               let flags =
-                Fsim.detect_groups nl ~assignment ~observe
+                Fsim.detect_groups nl
+                  ~on_group_events:(fun k ev ->
+                    Hft_obs.Ledger.charge lh.(parr.(k)) ~fsim_events:ev)
+                  ~assignment ~observe
                   (List.map (fun gj -> [ leaders.(gj) ]) pending)
               in
               List.iteri
-                (fun k gj -> if flags.(k) then dropped.(gj) <- true)
+                (fun k gj ->
+                  if flags.(k) then begin
+                    dropped.(gj) <- true;
+                    Hft_obs.Ledger.resolve lh.(gj)
+                      (Hft_obs.Ledger.Drop_detected { test = tid });
+                    if obs then
+                      Hft_obs.Journal.record
+                        (Hft_obs.Journal.Fault_dropped
+                           { cls = lh.(gj); test = tid })
+                  end)
                 pending;
               Hft_obs.Registry.incr "hft.full_scan.dropped"
                 ~by:
@@ -67,7 +116,12 @@ let atpg ?(backtrack_limit = 500) ?(strategy = Seq_atpg.Drop) nl ~faults =
                      (fun acc gj -> if dropped.(gj) then acc + 1 else acc)
                      0 pending)
           end
-        | Podem.Untestable | Podem.Aborted -> ()
+        | Podem.Untestable ->
+          Hft_obs.Ledger.resolve lh.(gi)
+            (Hft_obs.Ledger.Proved_untestable { frames = 1 })
+        | Podem.Aborted ->
+          Hft_obs.Ledger.resolve lh.(gi)
+            (Hft_obs.Ledger.Aborted { budget = backtrack_limit; frames = 1 })
       end)
     leaders;
   let chain = Chain.insert nl dffs in

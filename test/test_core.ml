@@ -438,6 +438,96 @@ let test_injected_scan_chain_break_caught () =
    | _ -> Alcotest.fail "chain too short")
 
 (* ------------------------------------------------------------------ *)
+(* Flight recorder over a real campaign                               *)
+(* ------------------------------------------------------------------ *)
+
+let run_fig1_campaign () =
+  let g = Paper_fig1.graph () in
+  let r = Flow.synthesize ~width:4 Flow.Partial_scan g in
+  Flow.test_campaign ~backtrack_limit:20 ~max_frames:2 ~sample:4 ~seed:7
+    ~n_patterns:32 r
+
+let test_campaign_waterfall_conserves () =
+  Hft_obs.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Hft_obs.enabled := false;
+      Hft_obs.reset ())
+  @@ fun () ->
+  Hft_obs.with_enabled true @@ fun () ->
+  let c = run_fig1_campaign () in
+  let waterfall = Hft_obs.Ledger.waterfall () in
+  check_int "outcome classes sum to the collapsed total"
+    (Hft_obs.Ledger.n_classes ())
+    (List.fold_left (fun acc (_, (cl, _)) -> acc + cl) 0 waterfall);
+  check_int "outcome faults sum to the sampled total"
+    (List.length c.Flow.c_faults)
+    (List.fold_left (fun acc (_, (_, fa)) -> acc + fa) 0 waterfall);
+  check "campaign resolved every class" true
+    (List.assoc_opt "never_targeted" waterfall = Some (0, 0));
+  check "dropping happened" true
+    (match List.assoc_opt "drop_detected" waterfall with
+     | Some (cl, _) -> cl > 0
+     | None -> false);
+  (* Detected classes name real test ids, and every annotated test maps
+     to rows that exist in the campaign's pattern store. *)
+  let n_tests = Hft_obs.Ledger.n_tests () in
+  check "tests were generated" true (n_tests > 0);
+  List.iter
+    (fun (row : Hft_obs.Ledger.row) ->
+      match row.Hft_obs.Ledger.lr_resolution with
+      | Hft_obs.Ledger.Drop_detected { test }
+      | Hft_obs.Ledger.Podem_detected { test; _ } ->
+        check
+          (Printf.sprintf "class %d cites a registered test"
+             row.Hft_obs.Ledger.lr_class)
+          true
+          (test >= 0 && test < n_tests)
+      | _ -> ())
+    (Hft_obs.Ledger.rows ());
+  List.iter
+    (fun (t : Hft_obs.Ledger.test) ->
+      match t.Hft_obs.Ledger.lt_rows with
+      | Some (first, n) ->
+        check
+          (Printf.sprintf "test %d rows inside the pattern store"
+             t.Hft_obs.Ledger.lt_id)
+          true
+          (first >= 0 && n > 0 && first + n <= c.Flow.c_patterns_stored)
+      | None ->
+        Alcotest.failf "test %d has no pattern-store rows"
+          t.Hft_obs.Ledger.lt_id)
+    (Hft_obs.Ledger.tests ())
+
+let test_campaign_unchanged_when_disabled () =
+  (* The flight recorder must not perturb the engines: the same campaign
+     with observability off yields identical ATPG stats and coverage,
+     and records nothing. *)
+  Hft_obs.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Hft_obs.enabled := false;
+      Hft_obs.reset ())
+  @@ fun () ->
+  let on = Hft_obs.with_enabled true run_fig1_campaign in
+  let on_waterfall = Hft_obs.Ledger.waterfall () in
+  Hft_obs.reset ();
+  let off = Hft_obs.with_enabled false run_fig1_campaign in
+  check "atpg stats identical with recorder off" true
+    (on.Flow.c_atpg = off.Flow.c_atpg);
+  check "pattern counts identical" true
+    (on.Flow.c_patterns_stored = off.Flow.c_patterns_stored);
+  check "fsim coverage identical" true
+    (Hft_gate.Fsim.coverage on.Flow.c_fsim
+     = Hft_gate.Fsim.coverage off.Flow.c_fsim);
+  check "disabled run recorded no metrics" true
+    (Hft_obs.Registry.snapshot () = []);
+  check_int "disabled run journalled nothing" 0 (Hft_obs.Journal.recorded ());
+  check_int "disabled run has no ledger rows" 0 (Hft_obs.Ledger.n_classes ());
+  check "enabled run had resolved classes" true
+    (List.exists (fun (_, (cl, _)) -> cl > 0) on_waterfall)
+
+(* ------------------------------------------------------------------ *)
 (* Tool survey                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -505,6 +595,13 @@ let () =
           Alcotest.test_case "datapaths correct" `Quick
             test_flow_datapaths_still_correct;
           QCheck_alcotest.to_alcotest prop_flows_on_random_cdfgs;
+        ] );
+      ( "flight_recorder",
+        [
+          Alcotest.test_case "waterfall conserves" `Quick
+            test_campaign_waterfall_conserves;
+          Alcotest.test_case "engines unchanged when disabled" `Quick
+            test_campaign_unchanged_when_disabled;
         ] );
       ( "failure_injection",
         [

@@ -47,6 +47,48 @@ let test_gauge_and_timer () =
      checkf "max" 4.0 s.Hft_obs.Metric.s_max;
      checkf "mean" 3.0 (Hft_obs.Metric.mean s))
 
+let test_counter_last_cumulative () =
+  with_obs @@ fun () ->
+  Hft_obs.Registry.incr "c";
+  Hft_obs.Registry.incr "c" ~by:41;
+  match Hft_obs.Registry.find "c" with
+  | None -> Alcotest.fail "counter not registered"
+  | Some s ->
+    checkf "last is the cumulative total, not the delta" 42.0
+      s.Hft_obs.Metric.s_last;
+    checkf "value agrees" 42.0 (Hft_obs.Registry.value "c")
+
+let test_histogram_percentiles () =
+  with_obs @@ fun () ->
+  (* All-equal stream: every percentile is exactly the value (the
+     bucket bound is clamped to [min, max]). *)
+  for _ = 1 to 10 do
+    Hft_obs.Registry.record "h" 5.0
+  done;
+  (match Hft_obs.Registry.find "h" with
+   | None -> Alcotest.fail "histogram not registered"
+   | Some s ->
+     check "histogram kind" true (s.Hft_obs.Metric.s_kind = Hft_obs.Metric.Histogram);
+     checkf "p50 exact on all-equal stream" 5.0
+       (Hft_obs.Metric.percentile s 0.5);
+     checkf "p95 exact on all-equal stream" 5.0
+       (Hft_obs.Metric.percentile s 0.95));
+  (* Spread stream: percentiles are monotone in q and bounded by the
+     observed range. *)
+  List.iter
+    (fun v -> Hft_obs.Registry.observe "t" v)
+    [ 0.001; 0.002; 0.004; 0.008; 0.016; 0.032; 0.064; 0.128; 0.256; 1.024 ];
+  match Hft_obs.Registry.find "t" with
+  | None -> Alcotest.fail "timer not registered"
+  | Some s ->
+    let p50 = Hft_obs.Metric.percentile s 0.5
+    and p95 = Hft_obs.Metric.percentile s 0.95 in
+    check "p50 <= p95" true (p50 <= p95);
+    check "p50 within range" true
+      (p50 >= s.Hft_obs.Metric.s_min && p50 <= s.Hft_obs.Metric.s_max);
+    check "p95 within range" true
+      (p95 >= s.Hft_obs.Metric.s_min && p95 <= s.Hft_obs.Metric.s_max)
+
 let test_time_uses_clock () =
   with_obs @@ fun () ->
   let t = ref 100.0 in
@@ -89,6 +131,18 @@ let test_span_tree () =
      | _ -> Alcotest.fail "expected one child")
   | roots ->
     Alcotest.failf "expected one root span, got %d" (List.length roots)
+
+let test_span_dup_attrs () =
+  with_obs @@ fun () ->
+  Hft_obs.Span.with_ "s" ~attrs:[ ("k", "old"); ("other", "x") ] (fun () ->
+      Hft_obs.Span.add_attr "k" "new");
+  match Hft_obs.Span.roots () with
+  | [ root ] ->
+    let attrs = Hft_obs.Span.attrs root in
+    check "last write wins" true (List.assoc_opt "k" attrs = Some "new");
+    check "other key kept" true (List.assoc_opt "other" attrs = Some "x");
+    check_int "one entry per key" 2 (List.length attrs)
+  | _ -> Alcotest.fail "expected one root span"
 
 let test_span_exception_safe () =
   with_obs @@ fun () ->
@@ -188,6 +242,162 @@ let test_table_cells () =
   | _ -> Alcotest.fail "row_to_json should build an object"
 
 (* ------------------------------------------------------------------ *)
+(* Flight recorder: journal, ledger, Chrome trace                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_journal_ring () =
+  with_obs @@ fun () ->
+  Hft_obs.Journal.set_capacity 8;
+  Fun.protect ~finally:(fun () -> Hft_obs.Journal.set_capacity 4096)
+  @@ fun () ->
+  for i = 0 to 19 do
+    Hft_obs.Journal.record
+      (Hft_obs.Journal.Note { key = "i"; value = string_of_int i })
+  done;
+  let entries = Hft_obs.Journal.entries () in
+  check_int "ring keeps the newest capacity entries" 8 (List.length entries);
+  check_int "recorded counts everything" 20 (Hft_obs.Journal.recorded ());
+  check_int "dropped = recorded - kept" 12 (Hft_obs.Journal.dropped ());
+  (match entries with
+   | first :: _ ->
+     check_int "oldest surviving seq" 12 first.Hft_obs.Journal.e_seq
+   | [] -> Alcotest.fail "empty ring");
+  check "entries are seq-ordered" true
+    (List.for_all2
+       (fun e i -> e.Hft_obs.Journal.e_seq = 12 + i)
+       entries
+       (List.init 8 Fun.id))
+
+let test_journal_jsonl () =
+  with_obs @@ fun () ->
+  Hft_obs.Journal.record (Hft_obs.Journal.Collapse { faults = 9; classes = 4 });
+  Hft_obs.Journal.record
+    (Hft_obs.Journal.Fault_dropped { cls = 3; test = 1 });
+  let lines =
+    String.split_on_char '\n' (Hft_obs.Journal.to_jsonl ())
+    |> List.filter (fun l -> l <> "")
+  in
+  check_int "one line per entry" 2 (List.length lines);
+  let types =
+    List.map
+      (fun line ->
+        match Hft_util.Json.parse line with
+        | Error e -> Alcotest.failf "line does not parse: %s" e
+        | Ok doc ->
+          (match Hft_util.Json.member "type" doc with
+           | Some (Hft_util.Json.String t) -> t
+           | _ -> Alcotest.fail "line has no type field"))
+      lines
+  in
+  check "snake_case event tags" true (types = [ "collapse"; "fault_dropped" ])
+
+let test_ledger_lifecycle () =
+  with_obs @@ fun () ->
+  let a = Hft_obs.Ledger.register_class ~rep:"f0/SA0" ~members:[ "f0/SA0" ] in
+  let b =
+    Hft_obs.Ledger.register_class ~rep:"f1/SA1"
+      ~members:[ "f1/SA1"; "f2/SA0" ]
+  in
+  check_int "dense handles" 0 a;
+  check_int "dense handles (2)" 1 b;
+  let t = Hft_obs.Ledger.register_test ~frames:2 in
+  Hft_obs.Ledger.annotate_last_test ~first_row:5 ~n_rows:2;
+  Hft_obs.Ledger.resolve a
+    (Hft_obs.Ledger.Podem_detected { test = t; backtracks = 3; frames = 2 });
+  Hft_obs.Ledger.resolve b (Hft_obs.Ledger.Drop_detected { test = t });
+  Hft_obs.Ledger.charge a ~implications:10 ~backtracks:3;
+  Hft_obs.Ledger.charge b ~fsim_events:50;
+  let waterfall = Hft_obs.Ledger.waterfall () in
+  check_int "waterfall classes conserve" (Hft_obs.Ledger.n_classes ())
+    (List.fold_left (fun acc (_, (c, _)) -> acc + c) 0 waterfall);
+  check_int "waterfall faults conserve" (Hft_obs.Ledger.total_faults ())
+    (List.fold_left (fun acc (_, (_, f)) -> acc + f) 0 waterfall);
+  check_int "dropped class counts both members" 2
+    (match List.assoc_opt "drop_detected" waterfall with
+     | Some (_, f) -> f
+     | None -> -1);
+  (match Hft_obs.Ledger.tests () with
+   | [ test ] ->
+     check_int "test id" t test.Hft_obs.Ledger.lt_id;
+     check "pattern rows attached" true
+       (test.Hft_obs.Ledger.lt_rows = Some (5, 2))
+   | _ -> Alcotest.fail "expected one registered test");
+  match Hft_obs.Ledger.top_expensive ~k:1 with
+  | [ row ] ->
+    check_int "most expensive is the fsim-heavy class" b
+      row.Hft_obs.Ledger.lr_class;
+    check_int "cost sums the counters" 50 (Hft_obs.Ledger.cost row)
+  | _ -> Alcotest.fail "expected one top row"
+
+let test_flight_recorder_disabled () =
+  with_obs ~on:false @@ fun () ->
+  Hft_obs.Journal.record (Hft_obs.Journal.Note { key = "k"; value = "v" });
+  let h = Hft_obs.Ledger.register_class ~rep:"f/SA0" ~members:[ "f/SA0" ] in
+  check_int "register_class returns -1 when disabled" (-1) h;
+  Hft_obs.Ledger.resolve h (Hft_obs.Ledger.Drop_detected { test = 0 });
+  Hft_obs.Ledger.charge h ~fsim_events:5;
+  check_int "no test ids when disabled" (-1)
+    (Hft_obs.Ledger.register_test ~frames:1);
+  Hft_obs.Ledger.annotate_last_test ~first_row:0 ~n_rows:1;
+  check "journal stays empty" true (Hft_obs.Journal.entries () = []);
+  check_int "journal recorded nothing" 0 (Hft_obs.Journal.recorded ());
+  check_int "ledger has no rows" 0 (Hft_obs.Ledger.n_classes ());
+  check "ledger rows empty" true (Hft_obs.Ledger.rows () = [])
+
+let test_chrome_trace () =
+  with_obs @@ fun () ->
+  let t = ref 10.0 in
+  Hft_obs.Clock.with_source (fun () -> !t) @@ fun () ->
+  Hft_obs.Span.with_ "outer" ~attrs:[ ("bench", "tseng") ] (fun () ->
+      t := !t +. 0.25;
+      Hft_obs.Span.with_ "inner" (fun () -> t := !t +. 0.5);
+      t := !t +. 0.25);
+  let doc = Hft_obs.Export.chrome_trace () in
+  let events =
+    match Hft_util.Json.member "traceEvents" doc with
+    | Some (Hft_util.Json.List evs) -> evs
+    | _ -> Alcotest.fail "no traceEvents list"
+  in
+  check_int "one event per span" 2 (List.length events);
+  let field ev k =
+    match Hft_util.Json.member k ev with
+    | Some v -> v
+    | None -> Alcotest.failf "event missing %s" k
+  in
+  let num ev k =
+    match field ev k with
+    | Hft_util.Json.Float f -> f
+    | Hft_util.Json.Int i -> float_of_int i
+    | _ -> Alcotest.failf "%s not numeric" k
+  in
+  List.iter
+    (fun ev ->
+      check "complete events" true
+        (field ev "ph" = Hft_util.Json.String "X");
+      check "shared pid" true (field ev "pid" = Hft_util.Json.Int 1);
+      check "shared tid" true (field ev "tid" = Hft_util.Json.Int 1))
+    events;
+  let by_name n =
+    match
+      List.find_opt (fun ev -> field ev "name" = Hft_util.Json.String n) events
+    with
+    | Some ev -> ev
+    | None -> Alcotest.failf "span %s missing from trace" n
+  in
+  let outer = by_name "outer" and inner = by_name "inner" in
+  checkf "timestamps relative to earliest root (us)" 0.0 (num outer "ts");
+  checkf "outer duration in us" 1e6 (num outer "dur");
+  checkf "child offset in us" 0.25e6 (num inner "ts");
+  checkf "child duration in us" 0.5e6 (num inner "dur");
+  check "child contained in parent" true
+    (num inner "ts" >= num outer "ts"
+     && num inner "ts" +. num inner "dur"
+        <= num outer "ts" +. num outer "dur");
+  match Hft_util.Json.member "bench" (field outer "args") with
+  | Some (Hft_util.Json.String "tseng") -> ()
+  | _ -> Alcotest.fail "span attrs not exported under args"
+
+(* ------------------------------------------------------------------ *)
 (* Flow instrumentation contract                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -228,22 +438,39 @@ let () =
       ( "metrics",
         [
           Alcotest.test_case "counter" `Quick test_counter;
+          Alcotest.test_case "counter last is cumulative" `Quick
+            test_counter_last_cumulative;
           Alcotest.test_case "gauge and timer" `Quick test_gauge_and_timer;
+          Alcotest.test_case "histogram percentiles" `Quick
+            test_histogram_percentiles;
           Alcotest.test_case "time uses clock" `Quick test_time_uses_clock;
           Alcotest.test_case "kind mismatch" `Quick test_kind_mismatch;
         ] );
       ( "spans",
         [
           Alcotest.test_case "tree" `Quick test_span_tree;
+          Alcotest.test_case "duplicate attrs" `Quick test_span_dup_attrs;
           Alcotest.test_case "exception safety" `Quick test_span_exception_safe;
           Alcotest.test_case "render" `Quick test_span_render;
         ] );
-      ("disabled", [ Alcotest.test_case "no-op" `Quick test_disabled_noop ]);
+      ( "disabled",
+        [
+          Alcotest.test_case "no-op" `Quick test_disabled_noop;
+          Alcotest.test_case "flight recorder no-op" `Quick
+            test_flight_recorder_disabled;
+        ] );
       ( "export",
         [
           Alcotest.test_case "metrics json" `Quick test_metrics_json_roundtrip;
           Alcotest.test_case "trace json" `Quick test_trace_json;
+          Alcotest.test_case "chrome trace" `Quick test_chrome_trace;
           Alcotest.test_case "table cells" `Quick test_table_cells;
+        ] );
+      ( "flight recorder",
+        [
+          Alcotest.test_case "journal ring" `Quick test_journal_ring;
+          Alcotest.test_case "journal jsonl" `Quick test_journal_jsonl;
+          Alcotest.test_case "ledger lifecycle" `Quick test_ledger_lifecycle;
         ] );
       ("flow", [ Alcotest.test_case "phase spans" `Quick test_flow_spans ]);
     ]

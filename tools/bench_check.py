@@ -11,6 +11,11 @@ BENCH_hft.json baseline, row by (bench, flow) row:
 - `wall_ms.atpg` is reported as a speedup ratio for every row.  Wall
   clock is noisy on shared CI runners, so it only fails when the
   fresh run is slower than the baseline by more than --atpg-slack.
+- `waterfall` (the fault-forensics ledger's per-outcome class/fault
+  tallies) is fully deterministic: any drift from the baseline is a
+  hard failure — a fault silently moved between drop-detected /
+  PODEM-detected / aborted / untestable.  Rows whose baseline predates
+  the field are skipped.
 
 Exit status 0 = pass, 1 = regression, 2 = usage/schema problem.
 """
@@ -69,6 +74,10 @@ def main():
                 verdicts.append(f"{field} {b[field]} -> {f[field]}")
         if f_ms > b_ms * args.atpg_slack:
             verdicts.append(f"atpg {b_ms}ms -> {f_ms}ms")
+        if "waterfall" in b and b["waterfall"] != f.get("waterfall"):
+            verdicts.append(
+                f"waterfall drift {b['waterfall']} -> {f.get('waterfall')}"
+            )
         status = "ok" if not verdicts else "FAIL " + "; ".join(verdicts)
         print(
             f"{key[0]:8} {key[1]:14} {b_ms:7.2f}->{f_ms:6.2f} "
