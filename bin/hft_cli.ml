@@ -190,9 +190,80 @@ let atpg_cmd =
     Arg.(value & opt int 25
          & info [ "sample" ] ~docv:"N" ~doc:"Keep one fault in N.")
   in
-  let run bench width sample obs =
+  let checkpoint_arg =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoint" ] ~docv:"FILE"
+             ~doc:"Run a resumable partial-scan test campaign, appending \
+                   every generated test and fault-class resolution to FILE \
+                   (hft-ckpt/1 JSONL) as the campaign runs.")
+  in
+  let resume_arg =
+    Arg.(value & flag
+         & info [ "resume" ]
+             ~doc:"Load the --checkpoint file first and continue the \
+                   interrupted campaign (bit-identical to an uninterrupted \
+                   run).")
+  in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Campaign mode (--checkpoint): print the summary as JSON.")
+  in
+  (* Campaign mode: one supervised, checkpointed partial-scan campaign
+     (the resumable path the robustness tests and CI exercise). *)
+  let run_campaign bench width sample checkpoint resume json =
+    Hft_obs.enabled := true;
+    Hft_obs.reset ();
+    let g = bench_graph ~extra:(fig1_extra ()) bench in
+    let r = Flow.synthesize_for_partial_scan ~width g in
+    let c =
+      Flow.test_campaign ~backtrack_limit:50 ~max_frames:3 ~sample ~seed:2024
+        ~n_patterns:64 ~checkpoint ~resume r
+    in
+    let atpg_cov = Hft_gate.Seq_atpg.fault_coverage c.Flow.c_atpg in
+    let fsim_cov = Hft_gate.Fsim.coverage c.Flow.c_fsim in
+    if json then
+      print_endline
+        (Hft_util.Json.to_string
+           (Hft_util.Json.Obj
+              [ ("schema", Hft_util.Json.String "hft-campaign/1");
+                ("bench", Hft_util.Json.String bench);
+                ("checkpoint", Hft_util.Json.String checkpoint);
+                ("resumed", Hft_util.Json.Bool resume);
+                ("faults", Hft_util.Json.Int (List.length c.Flow.c_faults));
+                ("tests", Hft_util.Json.Int (Hft_obs.Ledger.n_tests ()));
+                ("patterns_stored",
+                 Hft_util.Json.Int c.Flow.c_patterns_stored);
+                ("resumed_classes", Hft_util.Json.Int c.Flow.c_resumed_classes);
+                ("resumed_tests", Hft_util.Json.Int c.Flow.c_resumed_tests);
+                ("waterfall", Hft_obs.Ledger.waterfall_json ());
+                ("coverage",
+                 Hft_util.Json.Obj
+                   [ ("atpg", Hft_util.Json.Float atpg_cov);
+                     ("fsim", Hft_util.Json.Float fsim_cov) ]) ]))
+    else begin
+      Printf.printf
+        "campaign %s: %d faults, %d tests, %d pattern rows; coverage atpg \
+         %s, fsim %s\n"
+        bench
+        (List.length c.Flow.c_faults)
+        (Hft_obs.Ledger.n_tests ())
+        c.Flow.c_patterns_stored
+        (Hft_util.Pretty.pct atpg_cov)
+        (Hft_util.Pretty.pct fsim_cov);
+      if resume then
+        Printf.printf "resumed: %d classes, %d tests restored from %s\n"
+          c.Flow.c_resumed_classes c.Flow.c_resumed_tests checkpoint
+    end
+  in
+  let run bench width sample checkpoint resume json obs =
+    match checkpoint with
+    | Some file ->
+      with_obs ~cmd:"atpg" obs @@ fun () ->
+      run_campaign bench width sample file resume json
+    | None ->
     with_obs ~cmd:"atpg" obs @@ fun () ->
-    let g = bench_graph bench in
+    let g = bench_graph ~extra:(fig1_extra ()) bench in
     let rng = Hft_util.Rng.create 2024 in
     let conv = Flow.synthesize_conventional ~width g in
     let scan = Flow.synthesize_for_partial_scan ~width g in
@@ -222,8 +293,13 @@ let atpg_cmd =
     atpg "no DFT" conv;
     atpg "partial scan" scan
   in
-  Cmd.v (Cmd.info "atpg" ~doc:"Gate-level sequential ATPG comparison")
-    Term.(const run $ bench_arg $ width_arg $ sample_arg $ obs_term)
+  Cmd.v
+    (Cmd.info "atpg"
+       ~doc:
+         "Gate-level sequential ATPG comparison; with --checkpoint, a \
+          resumable supervised test campaign")
+    Term.(const run $ bench_arg $ width_arg $ sample_arg $ checkpoint_arg
+          $ resume_arg $ json_arg $ obs_term)
 
 let bist_cmd =
   let patterns_arg =
@@ -593,13 +669,51 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List the benchmark behaviours")
     Term.(const run $ const ())
 
+(* Exit-code contract: 0 success, 1 engine failure (an exception out of
+   a run, including chaos injections), 2 bad input or usage (typed
+   validation diagnostics, unknown benches, cmdliner parse errors).
+   Uncaught errors print a single JSON object to stderr so `--json`
+   pipelines reading stdout stay parseable. *)
 let () =
+  Hft_robust.Chaos.of_env ();
   let info =
     Cmd.info "hft" ~version:"1.0.0"
       ~doc:"High-level synthesis for testability (DAC'96 survey reproduction)"
   in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [ synth_cmd; analyze_cmd; atpg_cmd; bist_cmd; lint_cmd; bench_cmd;
-            report_cmd; list_cmd ]))
+  let group =
+    Cmd.group info
+      [ synth_cmd; analyze_cmd; atpg_cmd; bist_cmd; lint_cmd; bench_cmd;
+        report_cmd; list_cmd ]
+  in
+  let error_json fields =
+    Printf.eprintf "%s\n%!"
+      (Hft_util.Json.to_string
+         (Hft_util.Json.Obj [ ("error", Hft_util.Json.Obj fields) ]))
+  in
+  let code =
+    try
+      match Cmd.eval ~catch:false group with
+      | c when c = Cmd.Exit.cli_error -> 2
+      | c when c = Cmd.Exit.internal_error -> 1
+      | c -> c
+    with
+    | Hft_robust.Validation.Invalid d ->
+      (match Hft_robust.Validation.to_json d with
+       | Hft_util.Json.Obj fields ->
+         error_json (("kind", Hft_util.Json.String "invalid-input") :: fields)
+       | j -> error_json [ ("kind", Hft_util.Json.String "invalid-input");
+                           ("detail", j) ]);
+      2
+    | Hft_robust.Chaos.Injection { site; seq } ->
+      error_json
+        [ ("kind", Hft_util.Json.String "chaos-injection");
+          ("site", Hft_util.Json.String site);
+          ("seq", Hft_util.Json.Int seq) ];
+      1
+    | e ->
+      error_json
+        [ ("kind", Hft_util.Json.String "engine-failure");
+          ("message", Hft_util.Json.String (Printexc.to_string e)) ];
+      1
+  in
+  exit code

@@ -42,7 +42,21 @@ let run_block ?(checkpoints = default_checkpoints) ~source ~seed ~width kinds =
   end;
   let n_pi = List.length (Netlist.pis nl) in
   let next_pattern = make_source source ~seed ~n_pi in
-  let curve = Fsim.coverage_curve nl ~checkpoints ~next_pattern faults in
+  let curve =
+    match
+      Hft_robust.Supervisor.protect ~site:Hft_robust.Chaos.Fsim (fun () ->
+          Fsim.coverage_curve nl ~checkpoints ~next_pattern faults)
+    with
+    | Ok curve -> curve
+    | Error _ ->
+      (* Keep the block in the report (its faults still weigh the
+         total) but with zero measured coverage. *)
+      Hft_obs.Journal.record
+        (Hft_obs.Journal.Degraded
+           { site = "fsim"; action = "bist-block-zeroed" });
+      Hft_obs.Registry.incr "hft.robust.degraded";
+      List.map (fun n -> (n, 0.0)) checkpoints
+  in
   (* Signature: absorb the PO words of a fresh deterministic run. *)
   let next_pattern2 = make_source source ~seed ~n_pi in
   let sigwidth = max 2 (min 24 width) in

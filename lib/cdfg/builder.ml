@@ -47,8 +47,14 @@ let move b ?name a =
 let mark_output b v =
   let pv = List.nth b.vars (b.n_vars - 1 - v) in
   (match pv.kind with
-   | Graph.V_input -> invalid_arg "Builder.mark_output: variable is an input"
-   | Graph.V_const _ -> invalid_arg "Builder.mark_output: variable is a constant"
+   | Graph.V_input ->
+     Hft_robust.Validation.fail ~site:"builder.mark_output"
+       ~hint:"route the input through an op (e.g. a move) first"
+       (Printf.sprintf "variable %d (%s) is an input" v pv.name)
+   | Graph.V_const _ ->
+     Hft_robust.Validation.fail ~site:"builder.mark_output"
+       ~hint:"constants cannot be outputs; bind through an op"
+       (Printf.sprintf "variable %d (%s) is a constant" v pv.name)
    | Graph.V_intermediate | Graph.V_output -> pv.kind <- Graph.V_output)
 
 let feedback b ~src ~dst = b.fb <- (src, dst) :: b.fb

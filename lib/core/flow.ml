@@ -220,13 +220,25 @@ type campaign = {
   c_atpg : Hft_gate.Seq_atpg.stats;
   c_fsim : Hft_gate.Fsim.comb_result;
   c_patterns_stored : int;
+  c_resumed_classes : int;
+  c_resumed_tests : int;
   c_t_atpg : float;
   c_t_fsim : float;
 }
 
 let test_campaign ?(strategy = Fast) ?(backtrack_limit = 20) ?(max_frames = 2)
-    ?(sample = 20) ?(seed = 2024) ?(n_patterns = 64) r =
+    ?(sample = 20) ?(seed = 2024) ?(n_patterns = 64)
+    ?(supervisor = Some Hft_robust.Supervisor.default) ?checkpoint
+    ?(resume = false) r =
   span "test-campaign" @@ fun () ->
+  if checkpoint <> None && not !Hft_obs.Config.enabled then
+    Hft_robust.Validation.fail ~site:"flow.test_campaign"
+      ~hint:"enable observability (the CLI does this for --checkpoint)"
+      "checkpointing needs the fault ledger";
+  if checkpoint <> None && strategy = Naive then
+    Hft_robust.Validation.fail ~site:"flow.test_campaign"
+      ~hint:"drop --naive or drop --checkpoint"
+      "checkpointing needs the fast strategy";
   let ex = Hft_gate.Expand.of_datapath r.datapath in
   let nl = ex.Hft_gate.Expand.netlist in
   let rng = Hft_util.Rng.create seed in
@@ -243,9 +255,95 @@ let test_campaign ?(strategy = Fast) ?(backtrack_limit = 20) ?(max_frames = 2)
   in
   let n_pi = List.length (Hft_gate.Netlist.pis nl) in
   let n_scan = List.length scanned in
+  (* Checkpoint fingerprint: everything that shapes the fault sample,
+     the search and the pattern layout.  A resume against a checkpoint
+     written under different knobs would silently diverge, so any
+     mismatch is an input error. *)
+  let netlist_hash =
+    (* Structural identity: two circuits with the same shape knobs and
+       fault count (e.g. a design and its one-gate-off revision) must
+       still refuse to resume each other's checkpoints. *)
+    let h = ref 0 in
+    let mix v = h := ((!h * 1000003) lxor v) land max_int in
+    for v = 0 to Hft_gate.Netlist.n_nodes nl - 1 do
+      mix (Hashtbl.hash (Hft_gate.Netlist.kind nl v));
+      Array.iter mix (Hft_gate.Netlist.fanin nl v)
+    done;
+    !h land 0x3FFFFFFF
+  in
+  let meta =
+    let open Hft_util.Json in
+    [ ("flow", String r.report.flow);
+      ("netlist", Int netlist_hash);
+      ("strategy",
+       String (match strategy with Fast -> "fast" | Naive -> "naive"));
+      ("backtrack_limit", Int backtrack_limit);
+      ("max_frames", Int max_frames);
+      ("sample", Int sample);
+      ("seed", Int seed);
+      ("n_patterns", Int n_patterns);
+      ("n_faults", Int (List.length faults));
+      ("n_pi", Int n_pi);
+      ("n_scan", Int n_scan) ]
+  in
+  let restored =
+    match checkpoint with
+    | Some path when resume && Sys.file_exists path ->
+      (match Hft_robust.Checkpoint.load ~path with
+       | Error msg ->
+         Hft_robust.Validation.fail ~site:"flow.checkpoint"
+           ~hint:"delete the file to start a fresh campaign"
+           (Printf.sprintf "cannot load %s: %s" path msg)
+       | Ok ck ->
+         List.iter
+           (fun (k, v) ->
+             match List.assoc_opt k ck.Hft_robust.Checkpoint.meta with
+             | Some v' when v' = v -> ()
+             | Some v' ->
+               Hft_robust.Validation.fail ~site:"flow.checkpoint"
+                 ~hint:"rerun with the original options, or delete the file"
+                 (Printf.sprintf "%s fingerprint mismatch: checkpoint %s, run %s"
+                    k
+                    (Hft_util.Json.to_string v')
+                    (Hft_util.Json.to_string v))
+             | None ->
+               Hft_robust.Validation.fail ~site:"flow.checkpoint"
+                 ~hint:"the file predates this campaign's fingerprint"
+                 (Printf.sprintf "checkpoint meta lacks %S" k))
+           meta;
+         Some ck)
+    | _ -> None
+  in
+  let writer =
+    match checkpoint with
+    | None -> None
+    | Some path ->
+      let w = Hft_robust.Checkpoint.create ~path ~meta in
+      (* Resume rewrites the repaired state in place: a torn tail must
+         not survive on disk, or its lines would double once the engine
+         regenerates the rolled-back transaction. *)
+      (match restored with
+       | None -> ()
+       | Some ck ->
+         List.iter
+           (fun t -> Hft_robust.Checkpoint.append_test w t)
+           ck.Hft_robust.Checkpoint.tests;
+         List.iter
+           (fun (c : Hft_robust.Checkpoint.cls) ->
+             Hft_robust.Checkpoint.append_class w ~rep:c.ck_rep
+               c.ck_resolution)
+           ck.Hft_robust.Checkpoint.classes);
+      Some w
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      match writer with
+      | Some w -> Hft_robust.Checkpoint.close w
+      | None -> ())
+  @@ fun () ->
   let store = Pattern_store.create () in
   let seq_tests = ref [] in
-  let on_test (t : Hft_gate.Seq_atpg.test) =
+  let store_test (t : Hft_gate.Seq_atpg.test) =
     (* One store row per time frame, columns = PIs then scan loads.
        Only frame 0 carries a real scan load; later frames' rows are
        still deterministic, fault-targeting stimuli and get a zero scan
@@ -268,15 +366,82 @@ let test_campaign ?(strategy = Fast) ?(backtrack_limit = 20) ?(max_frames = 2)
        (unrolled) replay. *)
     if t.Hft_gate.Seq_atpg.t_frames > 1 then seq_tests := t :: !seq_tests
   in
+  (* The engine appends the test line before any class line resolves to
+     it ({!Hft_robust.Checkpoint} transaction ordering), so on_test
+     serializes first, then feeds the store. *)
+  let on_test (t : Hft_gate.Seq_atpg.test) =
+    (match writer with
+     | None -> ()
+     | Some w ->
+       Hft_robust.Checkpoint.append_test w
+         {
+           Hft_robust.Checkpoint.ck_frames = t.Hft_gate.Seq_atpg.t_frames;
+           ck_vectors = t.Hft_gate.Seq_atpg.t_pi_vectors;
+           ck_scan = t.Hft_gate.Seq_atpg.t_scan_state;
+           ck_detects =
+             List.map
+               (fun (f : Hft_gate.Fault.t) -> (f.node, f.pin, f.stuck))
+               t.Hft_gate.Seq_atpg.t_detects;
+         });
+    store_test t
+  in
+  (* Resume: replay the checkpointed tests through the same store path
+     (ledger test ids realign with checkpoint order) and hand the ATPG a
+     rep -> resolution lookup so restored classes are never re-run. *)
+  let resumed_tests =
+    match restored with
+    | None -> 0
+    | Some ck ->
+      List.iter
+        (fun (t : Hft_robust.Checkpoint.test) ->
+          ignore (Hft_obs.Ledger.register_test ~frames:t.ck_frames : int);
+          store_test
+            {
+              Hft_gate.Seq_atpg.t_frames = t.ck_frames;
+              t_pi_vectors = t.ck_vectors;
+              t_scan_state = t.ck_scan;
+              t_detects =
+                List.map
+                  (fun (node, pin, stuck) ->
+                    { Hft_gate.Fault.node; pin; stuck })
+                  t.ck_detects;
+            })
+        ck.Hft_robust.Checkpoint.tests;
+      List.length ck.Hft_robust.Checkpoint.tests
+  in
+  let resumed_classes = ref 0 in
+  let resolved =
+    match restored with
+    | None -> None
+    | Some ck ->
+      let tbl = Hashtbl.create 64 in
+      List.iter
+        (fun (c : Hft_robust.Checkpoint.cls) ->
+          Hashtbl.replace tbl c.ck_rep c.ck_resolution)
+        ck.Hft_robust.Checkpoint.classes;
+      Some
+        (fun rep ->
+          match Hashtbl.find_opt tbl rep with
+          | Some res ->
+            incr resumed_classes;
+            Some res
+          | None -> None)
+  in
+  let on_resolved =
+    match writer with
+    | None -> None
+    | Some w -> Some (fun ~rep res -> Hft_robust.Checkpoint.append_class w ~rep res)
+  in
   let t0 = Hft_obs.Clock.now () in
   let stats =
     match strategy with
     | Fast ->
       Hft_scan.Partial_scan.atpg ~backtrack_limit ~max_frames
-        ~strategy:Hft_gate.Seq_atpg.Drop ~on_test nl ~faults ~scanned
+        ~strategy:Hft_gate.Seq_atpg.Drop ~on_test ~supervisor ?resolved
+        ?on_resolved nl ~faults ~scanned
     | Naive ->
       Hft_scan.Partial_scan.atpg ~backtrack_limit ~max_frames
-        ~strategy:Hft_gate.Seq_atpg.Naive nl ~faults ~scanned
+        ~strategy:Hft_gate.Seq_atpg.Naive ~supervisor nl ~faults ~scanned
   in
   let t_atpg = Hft_obs.Clock.now () -. t0 in
   (* Final coverage fault simulation.  Fast: replay the ATPG-derived
@@ -286,6 +451,37 @@ let test_campaign ?(strategy = Fast) ?(backtrack_limit = 20) ?(max_frames = 2)
      Naive: the historical pure-random, non-scan simulation (DFF state
      stuck at 0), kept for comparison. *)
   let t1 = Hft_obs.Clock.now () in
+  (* Final-coverage degrade chain (supervised runs only): cone-limited
+     pass, then a naive (full-resimulation) retry, then an empty result
+     — a broken measurement never sinks the campaign.  A failed
+     multi-frame replay keeps the combinational result. *)
+  let degraded action =
+    Hft_obs.Journal.record (Hft_obs.Journal.Degraded { site = "fsim"; action });
+    Hft_obs.Registry.incr "hft.robust.degraded"
+  in
+  let protected_fsim ~primary ~fallback f =
+    match supervisor with
+    | None -> f primary
+    | Some _ ->
+      (match
+         Hft_robust.Supervisor.protect ~site:Hft_robust.Chaos.Fsim (fun () ->
+             f primary)
+       with
+       | Ok fr -> fr
+       | Error _ when primary = Hft_gate.Fsim.Cone ->
+         degraded "final-fsim-naive-retry";
+         (match
+            Hft_robust.Supervisor.protect ~site:Hft_robust.Chaos.Fsim
+              (fun () -> f Hft_gate.Fsim.Naive)
+          with
+          | Ok fr -> fr
+          | Error _ ->
+            degraded "final-fsim-empty";
+            fallback ())
+       | Error _ ->
+         degraded "final-fsim-empty";
+         fallback ())
+  in
   let fr =
     match strategy with
     | Fast ->
@@ -293,23 +489,46 @@ let test_campaign ?(strategy = Fast) ?(backtrack_limit = 20) ?(max_frames = 2)
         Pattern_store.padded store ~rng ~n_min:n_patterns
           ~width:(n_pi + n_scan)
       in
-      let fr = Hft_gate.Fsim.comb_scan nl ~scanned ~patterns faults in
+      let fr =
+        protected_fsim ~primary:Hft_gate.Fsim.Cone
+          ~fallback:(fun () ->
+            { Hft_gate.Fsim.detected = []; undetected = faults;
+              n_patterns = Array.length patterns })
+          (fun strategy ->
+            Hft_gate.Fsim.comb_scan ~strategy nl ~scanned ~patterns faults)
+      in
       (* Faults only the multi-frame tests reach: replay those tests on
          the unrolled circuit against the leftovers and merge. *)
       (match (!seq_tests, fr.Hft_gate.Fsim.undetected) with
        | [], _ | _, [] -> fr
        | tests, leftovers ->
-         let det, undet =
+         let replay_leg () =
            Hft_gate.Seq_atpg.replay nl ~scanned ~tests leftovers
          in
-         {
-           fr with
-           Hft_gate.Fsim.detected = fr.Hft_gate.Fsim.detected @ det;
-           undetected = undet;
-         })
+         let merge (det, undet) =
+           {
+             fr with
+             Hft_gate.Fsim.detected = fr.Hft_gate.Fsim.detected @ det;
+             undetected = undet;
+           }
+         in
+         (match supervisor with
+          | None -> merge (replay_leg ())
+          | Some _ ->
+            (match
+               Hft_robust.Supervisor.protect ~site:Hft_robust.Chaos.Fsim
+                 replay_leg
+             with
+             | Ok r -> merge r
+             | Error _ ->
+               degraded "seq-replay-skipped";
+               fr)))
     | Naive ->
-      Hft_gate.Fsim.comb_random ~strategy:Hft_gate.Fsim.Naive nl ~rng
-        ~n_patterns faults
+      protected_fsim ~primary:Hft_gate.Fsim.Naive
+        ~fallback:(fun () ->
+          { Hft_gate.Fsim.detected = []; undetected = faults; n_patterns })
+        (fun strategy ->
+          Hft_gate.Fsim.comb_random ~strategy nl ~rng ~n_patterns faults)
   in
   let t_fsim = Hft_obs.Clock.now () -. t1 in
   {
@@ -319,6 +538,8 @@ let test_campaign ?(strategy = Fast) ?(backtrack_limit = 20) ?(max_frames = 2)
     c_atpg = stats;
     c_fsim = fr;
     c_patterns_stored = Pattern_store.size store;
+    c_resumed_classes = !resumed_classes;
+    c_resumed_tests = resumed_tests;
     c_t_atpg = t_atpg;
     c_t_fsim = t_fsim;
   }

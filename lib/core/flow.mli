@@ -90,13 +90,32 @@ type campaign = {
   c_atpg : Hft_gate.Seq_atpg.stats;
   c_fsim : Hft_gate.Fsim.comb_result;
   c_patterns_stored : int;            (** ATPG-derived pattern rows *)
+  c_resumed_classes : int;            (** classes restored on resume *)
+  c_resumed_tests : int;              (** tests restored on resume *)
   c_t_atpg : float;                   (** ATPG leg wall seconds *)
   c_t_fsim : float;                   (** fsim leg wall seconds *)
 }
 
 (** [test_campaign r] — [sample] keeps one fault in N ([seed] fixes the
     sample), [backtrack_limit]/[max_frames] bound the PODEM search,
-    [n_patterns] is the minimum final-fsim pattern count. *)
+    [n_patterns] is the minimum final-fsim pattern count.
+
+    [supervisor] (default {!Hft_robust.Supervisor.default}) runs the
+    ATPG and every fault-simulation leg under the typed failure
+    discipline; [~supervisor:None] restores the bare engines.
+
+    [checkpoint] names an {!Hft_robust.Checkpoint} file ([hft-ckpt/1]
+    JSONL): every generated test and class resolution is appended and
+    flushed as the campaign runs.  With [resume] an existing file is
+    loaded first — its fingerprint (flow, strategy, every search knob,
+    fault/PI/scan counts) must match the current run exactly
+    ({!Hft_robust.Validation.Invalid} otherwise) — restored tests are
+    replayed into the pattern store and restored classes are never
+    re-targeted, so an interrupted campaign continues bit-identically
+    to an uninterrupted one.  Checkpointing needs observability enabled
+    and the [Fast] strategy. *)
 val test_campaign :
   ?strategy:atpg_strategy -> ?backtrack_limit:int -> ?max_frames:int ->
-  ?sample:int -> ?seed:int -> ?n_patterns:int -> result -> campaign
+  ?sample:int -> ?seed:int -> ?n_patterns:int ->
+  ?supervisor:Hft_robust.Supervisor.policy option ->
+  ?checkpoint:string -> ?resume:bool -> result -> campaign

@@ -49,9 +49,21 @@ let arity = function
 
 let add nl ?(name = "") kind fanins =
   if Array.length fanins <> arity kind then
-    invalid_arg "Netlist.add: arity mismatch";
+    Hft_robust.Validation.fail ~site:"netlist.add"
+      ~hint:
+        (Printf.sprintf "this gate kind takes %d fanin(s), got %d"
+           (arity kind) (Array.length fanins))
+      (Printf.sprintf "arity mismatch on node %d%s" nl.n
+         (if name = "" then "" else " (" ^ name ^ ")"));
   Array.iter
-    (fun f -> if f < 0 || f >= nl.n then invalid_arg "Netlist.add: dangling fanin")
+    (fun f ->
+      if f < 0 || f >= nl.n then
+        Hft_robust.Validation.fail ~site:"netlist.add"
+          ~hint:"fanins must reference already-created nodes"
+          (Printf.sprintf "dangling fanin %d on node %d%s (only %d nodes exist)"
+             f nl.n
+             (if name = "" then "" else " (" ^ name ^ ")")
+             nl.n))
     fanins;
   if nl.n >= Array.length nl.kinds then begin
     let cap = 2 * Array.length nl.kinds in
@@ -108,7 +120,11 @@ let set_fanin nl node pin new_src =
   check nl node;
   check nl new_src;
   let fi = nl.fanins.(node) in
-  if pin < 0 || pin >= Array.length fi then invalid_arg "Netlist.set_fanin";
+  if pin < 0 || pin >= Array.length fi then
+    Hft_robust.Validation.fail ~site:"netlist.set_fanin"
+      ~hint:"pin index must be within the node's fanin arity"
+      (Printf.sprintf "pin %d out of range on node %d (arity %d)" pin node
+         (Array.length fi));
   fi.(pin) <- new_src;
   nl.fanouts <- None;
   nl.order <- None;
@@ -176,7 +192,12 @@ let comb_order_uncached nl =
     | Pi | Const0 | Const1 | Po | Buf | Not | And | Or | Nand | Nor | Xor
     | Xnor | Mux2 -> incr total
   done;
-  if !seen <> !total then invalid_arg "Netlist.comb_order: combinational cycle";
+  if !seen <> !total then
+    Hft_robust.Validation.fail ~site:"netlist.comb_order"
+      ~hint:"break the loop with a Dff, or fix the fanin wiring"
+      (Printf.sprintf
+         "combinational cycle: %d of %d nodes unreachable from sources"
+         (!total - !seen) !total);
   List.rev !order
 
 let comb_order nl =
@@ -329,7 +350,9 @@ let validate nl =
     Array.iter
       (fun f ->
         if nl.kinds.(f) = Po then
-          invalid_arg "Netlist.validate: Po used as fanin")
+          Hft_robust.Validation.fail ~site:"netlist.validate"
+            ~hint:"drive the consumer from the Po's fanin instead"
+            (Printf.sprintf "Po node %d used as fanin of node %d" f v))
       nl.fanins.(v)
   done
 

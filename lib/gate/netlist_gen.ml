@@ -1,0 +1,46 @@
+let gate_kinds =
+  [| Netlist.And; Netlist.Or; Netlist.Nand; Netlist.Nor; Netlist.Xor;
+     Netlist.Xnor; Netlist.Not; Netlist.Buf; Netlist.Mux2 |]
+
+let sequential ~seed ~n_pi ~n_dff ~n_gates =
+  let rng = Hft_util.Rng.create seed in
+  let nl = Netlist.create ~name:(Printf.sprintf "fuzz%d" seed) () in
+  let pool = ref [] in
+  for i = 0 to n_pi - 1 do
+    pool :=
+      Netlist.add nl ~name:(Printf.sprintf "i%d" i) Netlist.Pi [||] :: !pool
+  done;
+  (* DFFs start on a Const0 placeholder and are rewired once the
+     combinational body exists, so their D inputs can reach forward —
+     that is what creates state loops. *)
+  let zero = Netlist.add nl Netlist.Const0 [||] in
+  let dffs =
+    Array.init n_dff (fun i ->
+        let d =
+          Netlist.add nl ~name:(Printf.sprintf "r%d" i) Netlist.Dff [| zero |]
+        in
+        pool := d :: !pool;
+        d)
+  in
+  let pick () =
+    let arr = Array.of_list !pool in
+    arr.(Hft_util.Rng.int rng (Array.length arr))
+  in
+  let last = ref (pick ()) in
+  for _ = 1 to n_gates do
+    let k = gate_kinds.(Hft_util.Rng.int rng (Array.length gate_kinds)) in
+    let fanins =
+      match k with
+      | Netlist.Not | Netlist.Buf -> [| pick () |]
+      | Netlist.Mux2 -> [| pick (); pick (); pick () |]
+      | _ -> [| pick (); pick () |]
+    in
+    let id = Netlist.add nl k fanins in
+    pool := id :: !pool;
+    last := id
+  done;
+  Array.iter (fun d -> Netlist.set_fanin nl d 0 (pick ())) dffs;
+  let _ = Netlist.add nl ~name:"y0" Netlist.Po [| !last |] in
+  let _ = Netlist.add nl ~name:"y1" Netlist.Po [| pick () |] in
+  Netlist.validate nl;
+  nl

@@ -1,0 +1,12 @@
+(** Seeded random netlist generation for fuzzing.
+
+    The circuits are small sequential blocks: [n_pi] primary inputs,
+    [n_dff] flip-flops (D inputs wired to random nodes after the
+    combinational body exists, so state loops — including self-loops —
+    occur naturally), [n_gates] random gates whose fanins reference
+    earlier nodes only (combinationally acyclic by construction), and
+    two primary outputs.  The same [seed] always yields the same
+    circuit, so a fuzz failure is reproducible from its seed alone. *)
+
+val sequential :
+  seed:int -> n_pi:int -> n_dff:int -> n_gates:int -> Netlist.t

@@ -69,7 +69,7 @@ let baseline nl =
     baseline_cache := (nl, ver, b) :: keep;
     b
 
-let generate ?(backtrack_limit = 500) nl ~faults ~assignable ~observe =
+let generate ?(backtrack_limit = 500) ?check nl ~faults ~assignable ~observe =
   let t_start = if !Hft_obs.Config.enabled then Hft_obs.Clock.now () else 0.0 in
   let n = Netlist.n_nodes nl in
   let effort = { decisions = 0; backtracks = 0; implications = 0 } in
@@ -424,14 +424,27 @@ let generate ?(backtrack_limit = 500) nl ~faults ~assignable ~observe =
   let result = ref None in
   (try
      while !result = None do
+       (* Cooperative deadline hook: one call per search iteration; may
+          raise to abandon the attempt (the supervisor catches it). *)
+       (match check with Some c -> c () | None -> ());
        imply ();
        if detected () then result := Some (`Found)
        else if effort.backtracks > backtrack_limit then result := Some `Aborted
        else begin
          let objectives =
            if not (activated ()) then activation_objectives ()
-           else if not (xpath_ok ()) then []
-           else propagation_objectives ()
+           else
+             (* For multi-site faults (one fault replicated across time
+                frames) activation at one site must not stop the search
+                from activating another: the detecting test may need a
+                different site's effect.  So the X-path check only
+                gates propagation, and the remaining activation
+                objectives always stay live.  Single-site behaviour is
+                unchanged: an activated lone site has a concrete good
+                value, so [acts] is empty and this reduces to the
+                classic activate / x-path / propagate ladder. *)
+             let acts = activation_objectives () in
+             if xpath_ok () then propagation_objectives () @ acts else acts
          in
          (* Try each candidate objective until one backtraces to a free
             assignable PI. *)

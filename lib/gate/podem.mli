@@ -21,9 +21,12 @@ type result =
 
 (** [generate nl ~faults ~assignable ~observe ~backtrack_limit] —
     [faults] lists the injection sites of one logical fault (several
-    sites for a fault replicated across time frames). *)
+    sites for a fault replicated across time frames).  [check] is
+    called once per search iteration; it may raise (e.g. a cooperative
+    {!Hft_robust.Deadline}) to abandon the attempt — the exception
+    propagates to the caller unchanged. *)
 val generate :
-  ?backtrack_limit:int ->
+  ?backtrack_limit:int -> ?check:(unit -> unit) ->
   Netlist.t -> faults:Fault.t list -> assignable:int list ->
   observe:int list -> result * effort
 

@@ -266,7 +266,9 @@ let replay ?assignable_pis ?strapped nl ~scanned ~tests faults =
   (List.rev !detected, !pending)
 
 let run ?(backtrack_limit = 200) ?(min_frames = 1) ?(max_frames = 6)
-    ?assignable_pis ?strapped ?(strategy = Drop) ?on_test nl ~faults ~scanned =
+    ?assignable_pis ?strapped ?(strategy = Drop) ?on_test
+    ?(supervisor = Some Hft_robust.Supervisor.default) ?resolved ?on_resolved
+    nl ~faults ~scanned =
   Hft_obs.Span.with_ "seq-atpg"
     ~attrs:
       [ ("circuit", Netlist.circuit_name nl);
@@ -285,12 +287,33 @@ let run ?(backtrack_limit = 200) ?(min_frames = 1) ?(max_frames = 6)
   (* Work on one representative per structural equivalence class; every
      class member shares the representative's outcome exactly (identical
      faulty functions). *)
+  let naive_groups () = List.map (fun f -> (f, [ f ])) faults in
   let groups =
     match strategy with
-    | Naive -> List.map (fun f -> (f, [ f ])) faults
+    | Naive -> naive_groups ()
     | Drop ->
-      let fc = Fault_collapse.compute nl in
-      let p = Fault_collapse.partition fc faults in
+      let collapse () =
+        let fc = Fault_collapse.compute nl in
+        Fault_collapse.partition fc faults
+      in
+      let p =
+        match supervisor with
+        | None -> collapse ()
+        | Some _ ->
+          (match
+             Hft_robust.Supervisor.protect ~site:Hft_robust.Chaos.Collapse
+               collapse
+           with
+           | Ok p -> p
+           | Error _ ->
+             (* Degrade to one class per fault: more PODEM calls, but the
+                campaign keeps going. *)
+             Hft_obs.Journal.record
+               (Hft_obs.Journal.Degraded
+                  { site = "collapse"; action = "uncollapsed" });
+             Hft_obs.Registry.incr "hft.robust.degraded";
+             naive_groups ())
+      in
       Hft_obs.Registry.incr "hft.seq_atpg.classes" ~by:(List.length p);
       p
   in
@@ -312,19 +335,56 @@ let run ?(backtrack_limit = 200) ?(min_frames = 1) ?(max_frames = 6)
             ~members:(List.map (Fault.to_string nl) members.(gi)))
     else Array.make n_groups (-1)
   in
+  let rep_of gi = Fault.to_string nl leaders.(gi) in
+  (* Route every class resolution through one helper so the checkpoint
+     hook ([on_resolved]) sees exactly what the ledger records. *)
+  let resolve_class gi res =
+    Hft_obs.Ledger.resolve lh.(gi) res;
+    match on_resolved with None -> () | Some k -> k ~rep:(rep_of gi) res
+  in
+  (* Checkpoint restore: classes the interrupted run already resolved
+     keep their exact recorded resolution and are never re-targeted, so
+     a resumed campaign continues bit-identically.  Restored rows go to
+     the ledger directly, not through [on_resolved] — they are already
+     in the checkpoint. *)
+  let restored = ref 0 in
+  (match resolved with
+   | None -> ()
+   | Some lookup ->
+     Array.iteri
+       (fun gi _ ->
+         match lookup (rep_of gi) with
+         | None -> ()
+         | Some res ->
+           (match res with
+            | Hft_obs.Ledger.Drop_detected _ | Hft_obs.Ledger.Podem_detected _
+            | Hft_obs.Ledger.Salvaged _ -> status.(gi) <- `Detected
+            | Hft_obs.Ledger.Proved_untestable _ -> status.(gi) <- `Untestable
+            | Hft_obs.Ledger.Aborted _ -> status.(gi) <- `Aborted
+            | Hft_obs.Ledger.Never_targeted -> ());
+           if status.(gi) <> `Pending then begin
+             Hft_obs.Ledger.resolve lh.(gi) res;
+             incr restored
+           end)
+       leaders);
+  if !restored > 0 then
+    Hft_obs.Registry.incr "hft.seq_atpg.restored" ~by:!restored;
   (* Fault dropping: fault-simulate each fresh test against every
      pending class, three-valued ([Fsim.detect_groups_tri], cone
      limited) with unassigned sources at X — a sequential circuit's
      initial state is unknown, and the X-sound check guarantees the
      dropped fault is detected for any initial state, exactly PODEM's
-     own criterion. *)
+     own criterion.  Returns the dropped members plus the deferred
+     class resolutions: the caller forwards those to [on_resolved] only
+     after the test itself is serialized, so a checkpoint transaction is
+     always test line first, resolution lines last. *)
   let drop_pass u assignment self tid =
     let pending = ref [] in
     for gj = n_groups - 1 downto 0 do
       if gj <> self && status.(gj) = `Pending then pending := gj :: !pending
     done;
     match !pending with
-    | [] -> []
+    | [] -> ([], [])
     | pending ->
       let parr = Array.of_list pending in
       let flags =
@@ -334,21 +394,131 @@ let run ?(backtrack_limit = 200) ?(min_frames = 1) ?(max_frames = 6)
           ~assignment ~observe:u.u_observe
           (List.map (fun gj -> u.u_map_fault leaders.(gj)) pending)
       in
-      let drops = ref [] in
+      let drops = ref [] and resolutions = ref [] in
       List.iteri
         (fun k gj ->
           if flags.(k) then begin
             status.(gj) <- `Detected;
             dropped := !dropped + sizes.(gj);
-            Hft_obs.Ledger.resolve lh.(gj)
-              (Hft_obs.Ledger.Drop_detected { test = tid });
+            let res = Hft_obs.Ledger.Drop_detected { test = tid } in
+            Hft_obs.Ledger.resolve lh.(gj) res;
+            resolutions := (gj, res) :: !resolutions;
             if obs then
               Hft_obs.Journal.record
                 (Hft_obs.Journal.Fault_dropped { cls = lh.(gj); test = tid });
             drops := members.(gj) @ !drops
           end)
         pending;
-      !drops
+      (!drops, List.rev !resolutions)
+  in
+  let safe_drop_pass u assignment self tid =
+    match supervisor with
+    | None -> drop_pass u assignment self tid
+    | Some _ ->
+      (match
+         Hft_robust.Supervisor.protect ~site:Hft_robust.Chaos.Fsim (fun () ->
+             drop_pass u assignment self tid)
+       with
+       | Ok r -> r
+       | Error _ ->
+         (* Lose the sweep, keep the test: pending classes get their own
+            PODEM attempt later. *)
+         Hft_obs.Journal.record
+           (Hft_obs.Journal.Degraded
+              { site = "fsim"; action = "drop-pass-skipped" });
+         Hft_obs.Registry.incr "hft.robust.degraded";
+         ([], []))
+  in
+  let emit_resolutions rs =
+    match on_resolved with
+    | None -> ()
+    | Some k -> List.iter (fun (gj, res) -> k ~rep:(rep_of gj) res) rs
+  in
+  (* One PODEM invocation under the supervisor's retry ladder (budget
+     escalation + per-attempt deadlines); unsupervised calls keep the
+     historical direct path, bit for bit. *)
+  let podem_call u f =
+    let faults = u.u_map_fault f in
+    match supervisor with
+    | None ->
+      Ok
+        (Podem.generate ~backtrack_limit u.u_net ~faults
+           ~assignable:u.u_assignable ~observe:u.u_observe)
+    | Some policy ->
+      Hft_robust.Supervisor.ladder policy ~site:Hft_robust.Chaos.Podem
+        ~budget:backtrack_limit (fun ~budget ~check ->
+          Podem.generate ~backtrack_limit:budget ?check u.u_net ~faults
+            ~assignable:u.u_assignable ~observe:u.u_observe)
+  in
+  (* Graceful degradation once the PODEM ladder is exhausted: a
+     deterministic burst of random patterns over the unrolled inputs,
+     checked three-valued (X-sound — a salvaged detection is as real as
+     a PODEM one).  The salvage seed depends only on the class index and
+     frame count, so an interrupted-and-resumed campaign salvages
+     identically.  Misses resolve the class aborted-with-reason; the
+     campaign never crashes. *)
+  let salvage policy u gi fail =
+    let try_salvage () =
+      let rng = Hft_util.Rng.create (0x5a17a6e + (7919 * gi) + u.u_frames) in
+      let found = ref None in
+      let tries = ref 0 in
+      while
+        !found = None
+        && !tries < policy.Hft_robust.Supervisor.salvage_patterns
+      do
+        incr tries;
+        let assignment =
+          List.map (fun pi -> (pi, Hft_util.Rng.bool rng)) u.u_assignable
+        in
+        let flags =
+          Fsim.detect_groups_tri u.u_net ~assignment ~observe:u.u_observe
+            [ u.u_map_fault leaders.(gi) ]
+        in
+        if flags.(0) then found := Some (assignment, !tries)
+      done;
+      !found
+    in
+    let found =
+      if policy.Hft_robust.Supervisor.salvage_patterns <= 0 then None
+      else
+        match
+          Hft_robust.Supervisor.protect ~site:Hft_robust.Chaos.Fsim
+            try_salvage
+        with
+        | Ok r -> r
+        | Error _ -> None
+    in
+    match found with
+    | Some (assignment, patterns) ->
+      let tid = Hft_obs.Ledger.register_test ~frames:u.u_frames in
+      let drops, resolutions = safe_drop_pass u assignment gi tid in
+      if obs then
+        Hft_obs.Journal.record
+          (Hft_obs.Journal.Test_generated { test = tid; frames = u.u_frames });
+      Hft_obs.Journal.record
+        (Hft_obs.Journal.Degraded { site = "podem"; action = "salvage" });
+      Hft_obs.Registry.incr "hft.robust.salvaged";
+      (match on_test with
+       | Some k ->
+         k
+           (reconstruct_test nl ~scanned u assignment
+              ~detects:(members.(gi) @ drops))
+       | None -> ());
+      emit_resolutions resolutions;
+      resolve_class gi (Hft_obs.Ledger.Salvaged { test = tid; patterns });
+      `Detected
+    | None ->
+      let budget =
+        Hft_robust.Supervisor.final_budget policy ~budget:backtrack_limit
+      in
+      Hft_obs.Journal.record
+        (Hft_obs.Journal.Degraded { site = "podem"; action = "abort" });
+      Hft_obs.Registry.incr "hft.robust.degraded";
+      resolve_class gi
+        (Hft_obs.Ledger.Aborted
+           { budget; frames = u.u_frames;
+             reason = Some (Hft_robust.Failure.to_string fail) });
+      `Aborted
   in
   Array.iteri
     (fun gi f ->
@@ -358,12 +528,13 @@ let run ?(backtrack_limit = 200) ?(min_frames = 1) ?(max_frames = 6)
           if frames > max_frames then begin
             (match last with
              | `Untestable ->
-               Hft_obs.Ledger.resolve lh.(gi)
+               resolve_class gi
                  (Hft_obs.Ledger.Proved_untestable { frames = max_frames })
              | `Aborted ->
-               Hft_obs.Ledger.resolve lh.(gi)
+               resolve_class gi
                  (Hft_obs.Ledger.Aborted
-                    { budget = backtrack_limit; frames = max_frames })
+                    { budget = backtrack_limit; frames = max_frames;
+                      reason = None })
              | _ -> ());
             last
           end
@@ -373,53 +544,60 @@ let run ?(backtrack_limit = 200) ?(min_frames = 1) ?(max_frames = 6)
               Hft_obs.Journal.record
                 (Hft_obs.Journal.Atpg_target
                    { cls = lh.(gi); rep = Fault.to_string nl f; frames });
-            let result, effort =
-              Podem.generate ~backtrack_limit u.u_net ~faults:(u.u_map_fault f)
-                ~assignable:u.u_assignable ~observe:u.u_observe
-            in
-            decisions := !decisions + effort.Podem.decisions;
-            backtracks := !backtracks + effort.Podem.backtracks;
-            implications := !implications + effort.Podem.implications;
-            cls_backtracks := !cls_backtracks + effort.Podem.backtracks;
-            Hft_obs.Ledger.charge lh.(gi)
-              ~implications:effort.Podem.implications
-              ~backtracks:effort.Podem.backtracks;
-            if obs then
-              Hft_obs.Journal.record
-                (Hft_obs.Journal.Podem_result
-                   { cls = lh.(gi);
-                     outcome =
-                       (match result with
-                        | Podem.Test _ -> "test"
-                        | Podem.Untestable -> "untestable"
-                        | Podem.Aborted -> "aborted");
-                     frames;
-                     backtracks = effort.Podem.backtracks });
-            if frames > !frames_used then frames_used := frames;
-            match result with
-            | Podem.Test assignment ->
-              let tid = Hft_obs.Ledger.register_test ~frames in
-              (* Drop first: the test's recorded detections then cover
-                 both the targeted class and every class it swept. *)
-              let drops =
-                if strategy = Drop then drop_pass u assignment gi tid else []
-              in
+            match podem_call u f with
+            | Error fail ->
+              (* Ladder exhausted at this frame count: the failure is
+                 not frame-related (timeout / injection / exception), so
+                 degrade right here instead of burning more frames. *)
+              (match supervisor with
+               | Some policy -> salvage policy u gi fail
+               | None -> assert false)
+            | Ok (result, effort) ->
+              decisions := !decisions + effort.Podem.decisions;
+              backtracks := !backtracks + effort.Podem.backtracks;
+              implications := !implications + effort.Podem.implications;
+              cls_backtracks := !cls_backtracks + effort.Podem.backtracks;
+              Hft_obs.Ledger.charge lh.(gi)
+                ~implications:effort.Podem.implications
+                ~backtracks:effort.Podem.backtracks;
               if obs then
                 Hft_obs.Journal.record
-                  (Hft_obs.Journal.Test_generated { test = tid; frames });
-              (match on_test with
-               | Some k ->
-                 k (reconstruct_test nl ~scanned u assignment
-                      ~detects:(members.(gi) @ drops))
-               | None -> ());
-              Hft_obs.Ledger.resolve lh.(gi)
-                (Hft_obs.Ledger.Podem_detected
-                   { test = tid; backtracks = !cls_backtracks; frames });
-              `Detected
-            | Podem.Untestable ->
-              (* May become testable with more frames. *)
-              attempt (frames + 1) `Untestable
-            | Podem.Aborted -> attempt (frames + 1) `Aborted
+                  (Hft_obs.Journal.Podem_result
+                     { cls = lh.(gi);
+                       outcome =
+                         (match result with
+                          | Podem.Test _ -> "test"
+                          | Podem.Untestable -> "untestable"
+                          | Podem.Aborted -> "aborted");
+                       frames;
+                       backtracks = effort.Podem.backtracks });
+              if frames > !frames_used then frames_used := frames;
+              match result with
+              | Podem.Test assignment ->
+                let tid = Hft_obs.Ledger.register_test ~frames in
+                (* Drop first: the test's recorded detections then cover
+                   both the targeted class and every class it swept. *)
+                let drops, resolutions =
+                  if strategy = Drop then safe_drop_pass u assignment gi tid
+                  else ([], [])
+                in
+                if obs then
+                  Hft_obs.Journal.record
+                    (Hft_obs.Journal.Test_generated { test = tid; frames });
+                (match on_test with
+                 | Some k ->
+                   k (reconstruct_test nl ~scanned u assignment
+                        ~detects:(members.(gi) @ drops))
+                 | None -> ());
+                emit_resolutions resolutions;
+                resolve_class gi
+                  (Hft_obs.Ledger.Podem_detected
+                     { test = tid; backtracks = !cls_backtracks; frames });
+                `Detected
+              | Podem.Untestable ->
+                (* May become testable with more frames. *)
+                attempt (frames + 1) `Untestable
+              | Podem.Aborted -> attempt (frames + 1) `Aborted
           end
         in
         status.(gi) <- attempt (min min_frames max_frames) `Untestable

@@ -63,11 +63,30 @@ val fault_coverage : stats -> float
     one decision instead of one per frame keeps the search tractable).
     [on_test] is called once per PODEM-generated test, e.g. to feed a
     pattern store.  Outcomes are reported over the full fault list: a
-    class outcome applies to each of its sampled members. *)
+    class outcome applies to each of its sampled members.
+
+    [supervisor] (default {!Hft_robust.Supervisor.default}) runs every
+    engine invocation — collapse, PODEM, drop passes — under the typed
+    failure discipline: PODEM failures climb the retry ladder, then
+    degrade to a random-pattern salvage, then resolve the class
+    aborted-with-reason; fsim/collapse failures skip the optimisation
+    and continue.  Pass [~supervisor:None] for the bare engines
+    (failures propagate as exceptions).  With chaos off and no
+    deadlines the supervised run is bit-identical to the unsupervised
+    one.
+
+    [resolved] (checkpoint restore) maps a class representative's
+    display string to a prior resolution: matching classes keep it and
+    are never re-targeted.  [on_resolved] fires once per {e fresh}
+    resolution, in engine order — the flow appends them to the
+    checkpoint. *)
 val run :
   ?backtrack_limit:int -> ?min_frames:int -> ?max_frames:int ->
   ?assignable_pis:int list -> ?strapped:int list ->
   ?strategy:strategy -> ?on_test:(test -> unit) ->
+  ?supervisor:Hft_robust.Supervisor.policy option ->
+  ?resolved:(string -> Hft_obs.Ledger.resolution option) ->
+  ?on_resolved:(rep:string -> Hft_obs.Ledger.resolution -> unit) ->
   Netlist.t -> faults:Fault.t list -> scanned:int list -> stats
 
 (** [replay nl ~scanned ~tests faults] — which of [faults] the

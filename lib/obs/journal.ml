@@ -19,6 +19,9 @@ type event =
   | Test_generated of { test : int; frames : int }
   | Fault_dropped of { cls : int; test : int }
   | Fsim_run of { faults : int; detected : int; patterns : int; events : int }
+  | Retry of { site : string; attempt : int; budget : int }
+  | Degraded of { site : string; action : string }
+  | Checkpoint of { classes : int; tests : int }
   | Note of { key : string; value : string }
 
 type entry = { e_seq : int; e_time : float; e_event : event }
@@ -68,6 +71,9 @@ let event_type = function
   | Test_generated _ -> "test_generated"
   | Fault_dropped _ -> "fault_dropped"
   | Fsim_run _ -> "fsim_run"
+  | Retry _ -> "retry"
+  | Degraded _ -> "degraded"
+  | Checkpoint _ -> "checkpoint"
   | Note _ -> "note"
 
 let event_fields ev =
@@ -92,6 +98,13 @@ let event_fields ev =
   | Fsim_run { faults; detected; patterns; events } ->
     [ ("faults", Int faults); ("detected", Int detected);
       ("patterns", Int patterns); ("events", Int events) ]
+  | Retry { site; attempt; budget } ->
+    [ ("site", String site); ("attempt", Int attempt);
+      ("budget", Int budget) ]
+  | Degraded { site; action } ->
+    [ ("site", String site); ("action", String action) ]
+  | Checkpoint { classes; tests } ->
+    [ ("classes", Int classes); ("tests", Int tests) ]
   | Note { key; value } -> [ ("key", String key); ("value", String value) ]
 
 let entry_to_json e =

@@ -26,6 +26,14 @@ type event =
       (** Ledger class [cls] detected by fault-simulating test [test]. *)
   | Fsim_run of { faults : int; detected : int; patterns : int; events : int }
       (** One fault-simulation call's totals. *)
+  | Retry of { site : string; attempt : int; budget : int }
+      (** The supervisor's retry ladder re-ran a failed engine call with
+          an escalated [budget]. *)
+  | Degraded of { site : string; action : string }
+      (** The ladder was exhausted and the caller fell back ([action]:
+          salvage / drop-pass-skipped / uncollapsed / ...). *)
+  | Checkpoint of { classes : int; tests : int }
+      (** A campaign checkpoint record was appended; running totals. *)
   | Note of { key : string; value : string }  (** Free-form breadcrumb. *)
 
 type entry = { e_seq : int; e_time : float; e_event : event }

@@ -14,8 +14,9 @@
 type resolution =
   | Drop_detected of { test : int }
   | Podem_detected of { test : int; backtracks : int; frames : int }
+  | Salvaged of { test : int; patterns : int }
   | Proved_untestable of { frames : int }
-  | Aborted of { budget : int; frames : int }
+  | Aborted of { budget : int; frames : int; reason : string option }
   | Never_targeted
 
 type row = {
@@ -123,6 +124,7 @@ let cost r = r.lr_fsim_events + r.lr_implications + r.lr_backtracks
 let resolution_key = function
   | Drop_detected _ -> "drop_detected"
   | Podem_detected _ -> "podem_detected"
+  | Salvaged _ -> "salvaged"
   | Proved_untestable _ -> "untestable"
   | Aborted _ -> "aborted"
   | Never_targeted -> "never_targeted"
@@ -132,15 +134,18 @@ let resolution_to_string = function
   | Podem_detected { test; backtracks; frames } ->
     Printf.sprintf "podem-detected (test %d, %d btk, %d frames)" test
       backtracks frames
+  | Salvaged { test; patterns } ->
+    Printf.sprintf "salvaged (test %d, %d random patterns)" test patterns
   | Proved_untestable { frames } ->
     Printf.sprintf "untestable (%d frames)" frames
-  | Aborted { budget; frames } ->
-    Printf.sprintf "aborted (budget %d, %d frames)" budget frames
+  | Aborted { budget; frames; reason } ->
+    Printf.sprintf "aborted (budget %d, %d frames%s)" budget frames
+      (match reason with None -> "" | Some r -> ", " ^ r)
   | Never_targeted -> "never-targeted"
 
 (* The waterfall columns in their reporting order. *)
 let outcome_keys =
-  [ "drop_detected"; "podem_detected"; "aborted"; "untestable";
+  [ "drop_detected"; "podem_detected"; "salvaged"; "aborted"; "untestable";
     "never_targeted" ]
 
 let waterfall () =
@@ -178,12 +183,50 @@ let resolution_to_json res =
     | Podem_detected { test; backtracks; frames } ->
       [ ("test", Int test); ("backtracks", Int backtracks);
         ("frames", Int frames) ]
+    | Salvaged { test; patterns } ->
+      [ ("test", Int test); ("patterns", Int patterns) ]
     | Proved_untestable { frames } -> [ ("frames", Int frames) ]
-    | Aborted { budget; frames } ->
-      [ ("budget", Int budget); ("frames", Int frames) ]
+    | Aborted { budget; frames; reason } ->
+      ("budget", Int budget) :: ("frames", Int frames)
+      :: (match reason with None -> [] | Some r -> [ ("reason", String r) ])
     | Never_targeted -> []
   in
   Obj (("outcome", String (resolution_key res)) :: fields)
+
+(* Inverse of {!resolution_to_json}, for checkpoint restore. *)
+let resolution_of_json j =
+  let open Hft_util.Json in
+  let int k = match member k j with Some (Int i) -> Some i | _ -> None in
+  let str k = match member k j with Some (String s) -> Some s | _ -> None in
+  match member "outcome" j with
+  | Some (String "drop_detected") ->
+    Option.map (fun test -> Drop_detected { test }) (int "test")
+  | Some (String "podem_detected") ->
+    (match (int "test", int "backtracks", int "frames") with
+     | Some test, Some backtracks, Some frames ->
+       Some (Podem_detected { test; backtracks; frames })
+     | _ -> None)
+  | Some (String "salvaged") ->
+    (match (int "test", int "patterns") with
+     | Some test, Some patterns -> Some (Salvaged { test; patterns })
+     | _ -> None)
+  | Some (String "untestable") ->
+    Option.map (fun frames -> Proved_untestable { frames }) (int "frames")
+  | Some (String "aborted") ->
+    (match (int "budget", int "frames") with
+     | Some budget, Some frames ->
+       Some (Aborted { budget; frames; reason = str "reason" })
+     | _ -> None)
+  | Some (String "never_targeted") -> Some Never_targeted
+  | _ -> None
+
+(* The ledger-test id a detection-carrying resolution points at, if
+   any — checkpoint loading uses it to discard records from a torn
+   final transaction. *)
+let resolution_test = function
+  | Drop_detected { test } | Podem_detected { test; _ } | Salvaged { test; _ }
+    -> Some test
+  | Proved_untestable _ | Aborted _ | Never_targeted -> None
 
 let row_to_json r =
   let open Hft_util.Json in

@@ -19,11 +19,17 @@ type resolution =
   | Podem_detected of { test : int; backtracks : int; frames : int }
       (** PODEM produced [test] for this class after [backtracks] total
           backtracks across its attempts, at [frames] time frames. *)
+  | Salvaged of { test : int; patterns : int }
+      (** Targeted PODEM failed (supervisor ladder exhausted), but one
+          of [patterns] random patterns detected the class — the
+          graceful-degradation outcome. *)
   | Proved_untestable of { frames : int }
       (** Search space exhausted at every frame count up to [frames]. *)
-  | Aborted of { budget : int; frames : int }
+  | Aborted of { budget : int; frames : int; reason : string option }
       (** The backtrack budget [budget] tripped at every frame count up
-          to [frames]. *)
+          to [frames]; [reason] carries the supervisor's failure
+          evidence ({!Hft_robust} taxonomy) when the abort came from a
+          supervised failure rather than plain budget exhaustion. *)
   | Never_targeted  (** Campaign ended before this class was processed. *)
 
 type row = {
@@ -73,7 +79,8 @@ val tests : unit -> test list
 val cost : row -> int
 
 (** Waterfall outcome keys in reporting order: [drop_detected],
-    [podem_detected], [aborted], [untestable], [never_targeted]. *)
+    [podem_detected], [salvaged], [aborted], [untestable],
+    [never_targeted]. *)
 val outcome_keys : string list
 
 (** Per-outcome [(classes, faults)] tallies, in {!outcome_keys} order;
@@ -86,6 +93,13 @@ val total_faults : unit -> int
 val resolution_key : resolution -> string
 val resolution_to_string : resolution -> string
 val resolution_to_json : resolution -> Hft_util.Json.t
+
+(** Inverse of {!resolution_to_json} ([None] on malformed input) —
+    checkpoint restore. *)
+val resolution_of_json : Hft_util.Json.t -> resolution option
+
+(** The ledger-test id a detection-carrying resolution references. *)
+val resolution_test : resolution -> int option
 val waterfall_json : unit -> Hft_util.Json.t
 val row_to_json : row -> Hft_util.Json.t
 val to_json : unit -> Hft_util.Json.t

@@ -1,0 +1,88 @@
+type site = Podem | Fsim | Collapse | Serialize
+
+exception Injection of { site : string; seq : int }
+
+type config = { seed : int; prob : float; sites : site list; arm_after : int }
+
+let all_sites = [ Podem; Fsim; Collapse; Serialize ]
+
+let site_name = function
+  | Podem -> "podem"
+  | Fsim -> "fsim"
+  | Collapse -> "collapse"
+  | Serialize -> "serialize"
+
+let site_of_string s =
+  List.find_opt (fun site -> site_name site = s) all_sites
+
+(* One counter per site so [arm_after] places the trip at the Nth use of
+   a specific site, independent of how often the others fire. *)
+type state = {
+  cfg : config;
+  rng : Hft_util.Rng.t;
+  counts : (site * int ref) list;
+  mutable injected : int;
+}
+
+let state : state option ref = ref None
+
+let configure cfg =
+  state :=
+    Some
+      {
+        cfg;
+        rng = Hft_util.Rng.create cfg.seed;
+        counts = List.map (fun s -> (s, ref 0)) all_sites;
+        injected = 0;
+      }
+
+let disable () = state := None
+let enabled () = !state <> None
+let injections () = match !state with None -> 0 | Some st -> st.injected
+
+let check site =
+  match !state with
+  | None -> ()
+  | Some st ->
+    if List.mem site st.cfg.sites then begin
+      let c = List.assoc site st.counts in
+      incr c;
+      if !c > st.cfg.arm_after
+         && Hft_util.Rng.float st.rng < st.cfg.prob
+      then begin
+        st.injected <- st.injected + 1;
+        Hft_obs.Registry.incr "hft.chaos.injections";
+        raise (Injection { site = site_name site; seq = st.injected })
+      end
+    end
+
+let of_env () =
+  match Sys.getenv_opt "HFT_CHAOS_SEED" with
+  | None -> ()
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | None -> ()
+     | Some seed ->
+       let prob =
+         match Sys.getenv_opt "HFT_CHAOS_PROB" with
+         | Some p -> (try float_of_string (String.trim p) with _ -> 0.05)
+         | None -> 0.05
+       in
+       let sites =
+         match Sys.getenv_opt "HFT_CHAOS_SITES" with
+         | None -> all_sites
+         | Some spec ->
+           String.split_on_char ',' spec
+           |> List.filter_map (fun tok -> site_of_string (String.trim tok))
+       in
+       let arm_after =
+         match Sys.getenv_opt "HFT_CHAOS_ARM" with
+         | Some a -> (try int_of_string (String.trim a) with _ -> 0)
+         | None -> 0
+       in
+       configure { seed; prob; sites = (if sites = [] then all_sites else sites); arm_after })
+
+let with_config cfg f =
+  let saved = !state in
+  configure cfg;
+  Fun.protect ~finally:(fun () -> state := saved) f

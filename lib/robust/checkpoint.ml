@@ -1,0 +1,212 @@
+type meta = (string * Hft_util.Json.t) list
+
+type cls = { ck_rep : string; ck_resolution : Hft_obs.Ledger.resolution }
+
+type test = {
+  ck_frames : int;
+  ck_vectors : bool array array;
+  ck_scan : bool array;
+  ck_detects : (int * int option * bool) list;
+}
+
+type t = { meta : meta; classes : cls list; tests : test list }
+
+let schema = "hft-ckpt/1"
+
+type writer = {
+  w_oc : out_channel;
+  mutable w_classes : int;
+  mutable w_tests : int;
+}
+
+let emit w json =
+  output_string w.w_oc (Hft_util.Json.to_string json);
+  output_char w.w_oc '\n';
+  flush w.w_oc
+
+let create ~path ~meta =
+  let oc = open_out path in
+  let w = { w_oc = oc; w_classes = 0; w_tests = 0 } in
+  emit w
+    (Hft_util.Json.Obj
+       [ ("schema", Hft_util.Json.String schema);
+         ("meta", Hft_util.Json.Obj meta) ]);
+  w
+
+let reopen ~path =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  { w_oc = oc; w_classes = 0; w_tests = 0 }
+
+let bits_to_string bits =
+  String.init (Array.length bits) (fun i -> if bits.(i) then '1' else '0')
+
+let bits_of_string s = Array.init (String.length s) (fun i -> s.[i] = '1')
+
+let append_class w ~rep res =
+  Chaos.check Chaos.Serialize;
+  emit w
+    (Hft_util.Json.Obj
+       [ ("kind", Hft_util.Json.String "class");
+         ("rep", Hft_util.Json.String rep);
+         ("resolution", Hft_obs.Ledger.resolution_to_json res) ]);
+  w.w_classes <- w.w_classes + 1
+
+let append_test w t =
+  Chaos.check Chaos.Serialize;
+  let open Hft_util.Json in
+  emit w
+    (Obj
+       [ ("kind", String "test");
+         ("frames", Int t.ck_frames);
+         ("vectors",
+          List
+            (Array.to_list t.ck_vectors
+             |> List.map (fun v -> String (bits_to_string v))));
+         ("scan", String (bits_to_string t.ck_scan));
+         ("detects",
+          List
+            (List.map
+               (fun (node, pin, stuck) ->
+                 List
+                   [ Int node;
+                     (match pin with None -> Null | Some p -> Int p);
+                     Bool stuck ])
+               t.ck_detects)) ]);
+  w.w_tests <- w.w_tests + 1;
+  Hft_obs.Journal.record
+    (Hft_obs.Journal.Checkpoint { classes = w.w_classes; tests = w.w_tests })
+
+let close w = close_out w.w_oc
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let parse_test j =
+  let open Hft_util.Json in
+  match (member "frames" j, member "vectors" j, member "scan" j,
+         member "detects" j)
+  with
+  | Some (Int frames), Some (List vecs), Some (String scan), Some (List dets)
+    ->
+    let vectors =
+      List.map
+        (function String s -> bits_of_string s | _ -> raise Exit)
+        vecs
+      |> Array.of_list
+    in
+    let detects =
+      List.map
+        (function
+          | List [ Int node; Null; Bool stuck ] -> (node, None, stuck)
+          | List [ Int node; Int pin; Bool stuck ] -> (node, Some pin, stuck)
+          | _ -> raise Exit)
+        dets
+    in
+    Some { ck_frames = frames; ck_vectors = vectors;
+           ck_scan = bits_of_string scan; ck_detects = detects }
+  | _ -> None
+
+(* Roll back the final test transaction unless it committed: the engine
+   appends the generating class's podem_detected/salvaged line last, so
+   a final test with no such line is a torn write — discard it together
+   with every class record referencing it, and the resumed engine will
+   regenerate the whole transaction with the same test id. *)
+let repair_tail classes tests =
+  let n_tests = List.length tests in
+  let references t c = Hft_obs.Ledger.resolution_test c.ck_resolution = Some t in
+  let commits t c =
+    match c.ck_resolution with
+    | Hft_obs.Ledger.Podem_detected { test; _ }
+    | Hft_obs.Ledger.Salvaged { test; _ } -> test = t
+    | _ -> false
+  in
+  let classes, tests =
+    if n_tests > 0 && not (List.exists (commits (n_tests - 1)) classes) then
+      ( List.filter (fun c -> not (references (n_tests - 1) c)) classes,
+        List.filteri (fun i _ -> i < n_tests - 1) tests )
+    else (classes, tests)
+  in
+  (* Paranoia: any record referencing a test beyond the file is torn. *)
+  let n_tests = List.length tests in
+  ( List.filter
+      (fun c ->
+        match Hft_obs.Ledger.resolution_test c.ck_resolution with
+        | Some t -> t < n_tests
+        | None -> true)
+      classes,
+    tests )
+
+let load ~path =
+  match read_lines path with
+  | exception Sys_error msg -> Error msg
+  | [] -> Error "empty checkpoint"
+  | header :: body ->
+    (match Hft_util.Json.parse header with
+     | Error msg -> Error ("bad checkpoint header: " ^ msg)
+     | Ok h ->
+       (match Hft_util.Json.member "schema" h with
+        | Some (Hft_util.Json.String s) when s = schema ->
+          let meta =
+            match Hft_util.Json.member "meta" h with
+            | Some (Hft_util.Json.Obj kvs) -> kvs
+            | _ -> []
+          in
+          let n_body = List.length body in
+          let classes = ref [] and tests = ref [] in
+          let err = ref None in
+          List.iteri
+            (fun i line ->
+              if !err = None then
+                match Hft_util.Json.parse line with
+                | Error msg ->
+                  (* A torn final line is the expected crash artifact;
+                     damage anywhere else is corruption. *)
+                  if i < n_body - 1 then
+                    err := Some (Printf.sprintf "corrupt record %d: %s" (i + 2) msg)
+                | Ok j ->
+                  (match Hft_util.Json.member "kind" j with
+                   | Some (Hft_util.Json.String "class") ->
+                     (match
+                        ( Hft_util.Json.member "rep" j,
+                          Hft_util.Json.member "resolution" j )
+                      with
+                      | Some (Hft_util.Json.String rep), Some rj ->
+                        (match Hft_obs.Ledger.resolution_of_json rj with
+                         | Some res ->
+                           classes :=
+                             { ck_rep = rep; ck_resolution = res } :: !classes
+                         | None ->
+                           err :=
+                             Some
+                               (Printf.sprintf "bad resolution at record %d"
+                                  (i + 2)))
+                      | _ ->
+                        err :=
+                          Some (Printf.sprintf "bad class record %d" (i + 2)))
+                   | Some (Hft_util.Json.String "test") ->
+                     (match try parse_test j with Exit -> None with
+                      | Some t -> tests := t :: !tests
+                      | None ->
+                        err :=
+                          Some (Printf.sprintf "bad test record %d" (i + 2)))
+                   | _ ->
+                     err :=
+                       Some (Printf.sprintf "unknown record kind at %d" (i + 2))))
+            body;
+          (match !err with
+           | Some msg -> Error msg
+           | None ->
+             let classes, tests =
+               repair_tail (List.rev !classes) (List.rev !tests)
+             in
+             Ok { meta; classes; tests })
+        | _ -> Error "not an hft-ckpt/1 checkpoint"))

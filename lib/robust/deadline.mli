@@ -1,0 +1,27 @@
+(** Cooperative per-attempt deadlines: no signals, no threads.
+
+    A deadline is a tick counter the engine's inner loop advances
+    through the hook it already exposes ({!Hft_gate.Podem.generate}'s
+    [?check]); {!tick} raises {!Expired} when the step budget runs out,
+    and re-reads the wall clock every 64 ticks to bound the syscall
+    cost.  Step deadlines are fully deterministic; wall-clock deadlines
+    are for production runs where a pathological cone must not stall the
+    campaign. *)
+
+type cause =
+  | Wall of { elapsed : float; limit : float }
+  | Steps of { steps : int; limit : int }
+
+exception Expired of cause
+
+type t
+
+(** [make ?wall ?steps ()] — [wall] in seconds from now, [steps] in
+    ticks; omitted bounds never expire. *)
+val make : ?wall:float -> ?steps:int -> unit -> t
+
+(** Advance one tick; raises {!Expired} past either bound. *)
+val tick : t -> unit
+
+(** [checker t] is [fun () -> tick t] — the shape engine hooks expect. *)
+val checker : t -> unit -> unit

@@ -1,0 +1,25 @@
+type diag = { site : string; message : string; hint : string option }
+
+exception Invalid of diag
+
+let fail ~site ?hint message = raise (Invalid { site; message; hint })
+
+let to_string d =
+  match d.hint with
+  | None -> Printf.sprintf "%s: %s" d.site d.message
+  | Some h -> Printf.sprintf "%s: %s (hint: %s)" d.site d.message h
+
+let to_json d =
+  let open Hft_util.Json in
+  Obj
+    (("site", String d.site)
+     :: ("message", String d.message)
+     ::
+     (match d.hint with None -> [] | Some h -> [ ("hint", String h) ]))
+
+(* Render [Invalid] through [Printexc] as the structured line, not the
+   constructor dump, so an unexpected escape is still readable. *)
+let () =
+  Printexc.register_printer (function
+    | Invalid d -> Some ("invalid input — " ^ to_string d)
+    | _ -> None)

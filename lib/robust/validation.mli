@@ -1,0 +1,23 @@
+(** Typed input-validation diagnostics.
+
+    Construction-time checks (netlist arity, dangling fanins,
+    combinational cycles, CDFG output marks) raise {!Invalid} with a
+    structured diagnostic instead of a bare [Invalid_argument], so the
+    CLI can report the site and a fix-it hint and exit 2 — bad input,
+    as opposed to exit 1 for an engine failure — without a backtrace. *)
+
+type diag = {
+  site : string;  (** e.g. ["netlist.add"] *)
+  message : string;
+  hint : string option;
+}
+
+exception Invalid of diag
+
+(** [fail ~site ?hint msg] raises {!Invalid}. *)
+val fail : site:string -> ?hint:string -> string -> 'a
+
+(** ["site: message (hint: ...)"] *)
+val to_string : diag -> string
+
+val to_json : diag -> Hft_util.Json.t

@@ -12,7 +12,8 @@ type result = {
    assigned (PODEM's X positions filled with 0), a two-valued detection
    check is exact — no three-valued confirmation needed, unlike the
    sequential case in {!Hft_gate.Seq_atpg}. *)
-let atpg ?(backtrack_limit = 500) ?(strategy = Seq_atpg.Drop) nl ~faults =
+let atpg ?(backtrack_limit = 500) ?(strategy = Seq_atpg.Drop)
+    ?(supervisor = Some Hft_robust.Supervisor.default) nl ~faults =
   Hft_obs.Span.with_ "full-scan-atpg"
     ~attrs:[ ("faults", string_of_int (List.length faults)) ]
   @@ fun () ->
@@ -21,12 +22,29 @@ let atpg ?(backtrack_limit = 500) ?(strategy = Seq_atpg.Drop) nl ~faults =
   let observe =
     Netlist.pos nl @ List.map (fun d -> (Netlist.fanin nl d).(0)) dffs
   in
+  let naive_groups () = List.map (fun f -> (f, [ f ])) faults in
   let groups =
     match strategy with
-    | Seq_atpg.Naive -> List.map (fun f -> (f, [ f ])) faults
+    | Seq_atpg.Naive -> naive_groups ()
     | Seq_atpg.Drop ->
-      let fc = Fault_collapse.compute nl in
-      Fault_collapse.partition fc faults
+      let collapse () =
+        let fc = Fault_collapse.compute nl in
+        Fault_collapse.partition fc faults
+      in
+      (match supervisor with
+       | None -> collapse ()
+       | Some _ ->
+         (match
+            Hft_robust.Supervisor.protect ~site:Hft_robust.Chaos.Collapse
+              collapse
+          with
+          | Ok p -> p
+          | Error _ ->
+            Hft_obs.Journal.record
+              (Hft_obs.Journal.Degraded
+                 { site = "collapse"; action = "uncollapsed" });
+            Hft_obs.Registry.incr "hft.robust.degraded";
+            naive_groups ()))
   in
   let leaders = Array.of_list (List.map fst groups) in
   let members = Array.of_list (List.map snd groups) in
@@ -55,8 +73,38 @@ let atpg ?(backtrack_limit = 500) ?(strategy = Seq_atpg.Drop) nl ~faults =
           Hft_obs.Journal.record
             (Hft_obs.Journal.Atpg_target
                { cls = lh.(gi); rep = Fault.to_string nl f; frames = 1 });
-        let r, e =
-          Podem.generate ~backtrack_limit nl ~faults:[ f ] ~assignable ~observe
+        let supervised =
+          match supervisor with
+          | None ->
+            Ok
+              (Podem.generate ~backtrack_limit nl ~faults:[ f ] ~assignable
+                 ~observe)
+          | Some policy ->
+            Hft_robust.Supervisor.ladder policy ~site:Hft_robust.Chaos.Podem
+              ~budget:backtrack_limit (fun ~budget ~check ->
+                Podem.generate ~backtrack_limit:budget ?check nl
+                  ~faults:[ f ] ~assignable ~observe)
+        in
+        let r, e, abort_evidence =
+          match supervised with
+          | Ok (r, e) -> (r, e, (backtrack_limit, None))
+          | Error fail ->
+            (* Ladder exhausted: count the class as a plain PODEM abort
+               (zero effort — the attempts died before reporting), with
+               the failure as ledger evidence. *)
+            let budget =
+              match supervisor with
+              | Some policy ->
+                Hft_robust.Supervisor.final_budget policy
+                  ~budget:backtrack_limit
+              | None -> backtrack_limit
+            in
+            Hft_obs.Journal.record
+              (Hft_obs.Journal.Degraded { site = "podem"; action = "abort" });
+            Hft_obs.Registry.incr "hft.robust.degraded";
+            ( Podem.Aborted,
+              { Podem.decisions = 0; backtracks = 0; implications = 0 },
+              (budget, Some (Hft_robust.Failure.to_string fail)) )
         in
         stats := Atpg_stats.add_outcome ~n:sizes.(gi) !stats r e;
         Hft_obs.Ledger.charge lh.(gi) ~implications:e.Podem.implications
@@ -91,12 +139,29 @@ let atpg ?(backtrack_limit = 500) ?(strategy = Seq_atpg.Drop) nl ~faults =
             | [] -> ()
             | pending ->
               let parr = Array.of_list pending in
-              let flags =
+              let run_drop () =
                 Fsim.detect_groups nl
                   ~on_group_events:(fun k ev ->
                     Hft_obs.Ledger.charge lh.(parr.(k)) ~fsim_events:ev)
                   ~assignment ~observe
                   (List.map (fun gj -> [ leaders.(gj) ]) pending)
+              in
+              let flags =
+                match supervisor with
+                | None -> run_drop ()
+                | Some _ ->
+                  (match
+                     Hft_robust.Supervisor.protect ~site:Hft_robust.Chaos.Fsim
+                       run_drop
+                   with
+                   | Ok flags -> flags
+                   | Error _ ->
+                     (* Lose the sweep, keep the test. *)
+                     Hft_obs.Journal.record
+                       (Hft_obs.Journal.Degraded
+                          { site = "fsim"; action = "drop-pass-skipped" });
+                     Hft_obs.Registry.incr "hft.robust.degraded";
+                     Array.make (List.length pending) false)
               in
               List.iteri
                 (fun k gj ->
@@ -120,8 +185,9 @@ let atpg ?(backtrack_limit = 500) ?(strategy = Seq_atpg.Drop) nl ~faults =
           Hft_obs.Ledger.resolve lh.(gi)
             (Hft_obs.Ledger.Proved_untestable { frames = 1 })
         | Podem.Aborted ->
+          let budget, reason = abort_evidence in
           Hft_obs.Ledger.resolve lh.(gi)
-            (Hft_obs.Ledger.Aborted { budget = backtrack_limit; frames = 1 })
+            (Hft_obs.Ledger.Aborted { budget; frames = 1; reason })
       end)
     leaders;
   let chain = Chain.insert nl dffs in

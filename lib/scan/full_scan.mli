@@ -18,9 +18,17 @@ type result = {
     equivalence classes and fault-simulates every generated test against
     the pending classes (two-valued, exact here because all sources are
     concretely assigned), dropping detections before the next PODEM
-    call; [Naive] is the historical one-PODEM-call-per-fault loop. *)
+    call; [Naive] is the historical one-PODEM-call-per-fault loop.
+
+    [supervisor] (default {!Hft_robust.Supervisor.default}) runs
+    collapse, PODEM and the drop passes under the typed failure
+    discipline: exhausted PODEM ladders count as aborts with the
+    failure recorded as ledger evidence, failed collapse/drop passes
+    skip the optimisation.  [~supervisor:None] restores the bare
+    engines. *)
 val atpg :
-  ?backtrack_limit:int -> ?strategy:Seq_atpg.strategy -> Netlist.t ->
+  ?backtrack_limit:int -> ?strategy:Seq_atpg.strategy ->
+  ?supervisor:Hft_robust.Supervisor.policy option -> Netlist.t ->
   faults:Fault.t list -> result
 
 (** Structural insertion of the full chain ([Chain.insert] on all

@@ -34,7 +34,8 @@ let test_netlist_arity_checked () =
   check "arity mismatch rejected" true
     (match Netlist.add nl Netlist.And [| a |] with
      | _ -> false
-     | exception Invalid_argument _ -> true)
+     | exception Hft_robust.Validation.Invalid { site = "netlist.add"; _ } ->
+       true)
 
 let test_comb_cycle_detected () =
   let nl = Netlist.create () in
@@ -45,7 +46,8 @@ let test_comb_cycle_detected () =
   check "cycle detected" true
     (match Netlist.comb_order nl with
      | _ -> false
-     | exception Invalid_argument _ -> true)
+     | exception Hft_robust.Validation.Invalid { site = "netlist.comb_order"; _ }
+       -> true)
 
 let test_sequential_sim () =
   let nl, _, _, _, _, _, _ = mini_netlist () in
