@@ -209,16 +209,22 @@ let atpg_cmd =
          & info [ "json" ]
              ~doc:"Campaign mode (--checkpoint): print the summary as JSON.")
   in
+  let no_guided_arg =
+    Arg.(value & flag
+         & info [ "no-guided" ]
+             ~doc:"Disable static-analysis ATPG guidance (restores the \
+                   historical search bit for bit).")
+  in
   (* Campaign mode: one supervised, checkpointed partial-scan campaign
      (the resumable path the robustness tests and CI exercise). *)
-  let run_campaign bench width sample checkpoint resume json =
+  let run_campaign bench width sample checkpoint resume json guided =
     Hft_obs.enabled := true;
     Hft_obs.reset ();
     let g = bench_graph ~extra:(fig1_extra ()) bench in
     let r = Flow.synthesize_for_partial_scan ~width g in
     let c =
       Flow.test_campaign ~backtrack_limit:50 ~max_frames:3 ~sample ~seed:2024
-        ~n_patterns:64 ~checkpoint ~resume r
+        ~n_patterns:64 ~checkpoint ~resume ~guided r
     in
     let atpg_cov = Hft_gate.Seq_atpg.fault_coverage c.Flow.c_atpg in
     let fsim_cov = Hft_gate.Fsim.coverage c.Flow.c_fsim in
@@ -256,11 +262,11 @@ let atpg_cmd =
           c.Flow.c_resumed_classes c.Flow.c_resumed_tests checkpoint
     end
   in
-  let run bench width sample checkpoint resume json obs =
+  let run bench width sample checkpoint resume json no_guided obs =
     match checkpoint with
     | Some file ->
       with_obs ~cmd:"atpg" obs @@ fun () ->
-      run_campaign bench width sample file resume json
+      run_campaign bench width sample file resume json (not no_guided)
     | None ->
     with_obs ~cmd:"atpg" obs @@ fun () ->
     let g = bench_graph ~extra:(fig1_extra ()) bench in
@@ -281,9 +287,12 @@ let atpg_cmd =
                  Array.to_list ex.Hft_gate.Expand.reg_q.(reg.Hft_rtl.Datapath.r_id)
                else [])
       in
+      let guidance =
+        if no_guided then None else Some Hft_analysis.Guidance.provide
+      in
       let stats =
-        Hft_scan.Partial_scan.atpg ~backtrack_limit:50 ~max_frames:3 nl
-          ~faults ~scanned
+        Hft_scan.Partial_scan.atpg ~backtrack_limit:50 ~max_frames:3
+          ?guidance nl ~faults ~scanned
       in
       Printf.printf "%-14s %4d faults  coverage %6s  backtracks %7d  scan cells %d\n"
         tag (List.length faults)
@@ -299,7 +308,7 @@ let atpg_cmd =
          "Gate-level sequential ATPG comparison; with --checkpoint, a \
           resumable supervised test campaign")
     Term.(const run $ bench_arg $ width_arg $ sample_arg $ checkpoint_arg
-          $ resume_arg $ json_arg $ obs_term)
+          $ resume_arg $ json_arg $ no_guided_arg $ obs_term)
 
 let bist_cmd =
   let patterns_arg =
@@ -424,6 +433,22 @@ let bench_cmd =
          & info [ "w"; "width" ] ~docv:"BITS"
              ~doc:"Data-path width (4 keeps the gate-level legs fast).")
   in
+  (* Per-member outcome kinds from the current ledger, for the
+     guided/unguided verdict-flip gate. *)
+  let outcome_map () =
+    let tbl = Hashtbl.create 64 in
+    List.iter
+      (fun (row : Hft_obs.Ledger.row) ->
+        let kind = Hft_obs.Ledger.resolution_key row.Hft_obs.Ledger.lr_resolution in
+        List.iter
+          (fun m -> Hashtbl.replace tbl m kind)
+          row.Hft_obs.Ledger.lr_members)
+      (Hft_obs.Ledger.rows ());
+    tbl
+  in
+  let is_detected k =
+    List.mem k [ "drop_detected"; "podem_detected"; "salvaged" ]
+  in
   let measure_cell ~width ~sample ~naive bench_name flow_kind g =
     (* Fresh registry/trace per cell so counters are attributable to
        one (bench, flow) pair. *)
@@ -434,21 +459,71 @@ let bench_cmd =
     let t_synth = now () -. t0 in
     (* Gate-level legs: a sampled sequential-ATPG run (PODEM effort)
        and a coverage fault-simulation run (event throughput), shared
-       with the library as [Flow.test_campaign]. *)
+       with the library as [Flow.test_campaign].  The primary run is
+       unguided, so every legacy field stays comparable (bit-identical
+       engine counters) across the guidance change; a second, guided
+       run fills the "guided" sub-object. *)
     let strategy = if naive then Flow.Naive else Flow.Fast in
     let c =
       Flow.test_campaign ~strategy ~backtrack_limit:20 ~max_frames:2 ~sample
-        ~seed:2024 ~n_patterns:64 r
+        ~seed:2024 ~n_patterns:64 ~guided:false r
     in
     let faults = c.Flow.c_faults in
     let stats = c.Flow.c_atpg and fr = c.Flow.c_fsim in
     let t_atpg = c.Flow.c_t_atpg and t_fsim = c.Flow.c_t_fsim in
     let snapshot = Hft_obs.Registry.snapshot () in
+    let unguided_outcomes = outcome_map () in
+    let unguided_waterfall = Hft_obs.Ledger.waterfall_json () in
+    let unguided_backtracks = Hft_obs.Registry.count "hft.podem.backtracks" in
+    let unguided_fsim_events = Hft_obs.Registry.count "hft.fsim.events" in
+    (* Guided re-run (fast strategy only: naive ignores guidance). *)
+    let guided_cell =
+      if naive then []
+      else begin
+        Hft_obs.reset ();
+        let cg =
+          Flow.test_campaign ~strategy ~backtrack_limit:20 ~max_frames:2
+            ~sample ~seed:2024 ~n_patterns:64 ~guided:true r
+        in
+        let guided_outcomes = outcome_map () in
+        let flips = ref 0 in
+        Hashtbl.iter
+          (fun f k1 ->
+            match Hashtbl.find_opt guided_outcomes f with
+            | Some k2
+              when (is_detected k1 && k2 = "untestable")
+                   || (k1 = "untestable" && is_detected k2) ->
+              incr flips
+            | _ -> ())
+          unguided_outcomes;
+        [ ("guided",
+           Hft_util.Json.Obj
+             [ ("wall_ms_atpg",
+                Hft_util.Json.Float
+                  (Float.round (1e5 *. cg.Flow.c_t_atpg) /. 100.0));
+               ("podem_backtracks",
+                Hft_util.Json.Int
+                  (Hft_obs.Registry.count "hft.podem.backtracks"));
+               ("atpg_coverage",
+                Hft_util.Json.Float
+                  (Hft_gate.Seq_atpg.fault_coverage cg.Flow.c_atpg));
+               ("fsim_coverage",
+                Hft_util.Json.Float (Hft_gate.Fsim.coverage cg.Flow.c_fsim));
+               ("static_untestable",
+                Hft_util.Json.Int
+                  (Hft_obs.Registry.count "hft.podem.static_untestable"));
+               ("guided_cuts",
+                Hft_util.Json.Int
+                  (Hft_obs.Registry.count "hft.podem.guided_cuts"));
+               ("verdict_flips", Hft_util.Json.Int !flips);
+               ("waterfall", Hft_obs.Ledger.waterfall_json ()) ]) ]
+      end
+    in
     let flow_name = Flow.flow_kind_to_string flow_kind in
     let ms x = Float.round (1e5 *. x) /. 100.0 in
     let cell =
       Hft_util.Json.Obj
-        [ ("bench", Hft_util.Json.String bench_name);
+        ([ ("bench", Hft_util.Json.String bench_name);
           ("flow", Hft_util.Json.String flow_name);
           ("wall_ms",
            Hft_util.Json.Obj
@@ -458,15 +533,13 @@ let bench_cmd =
                ("total", Hft_util.Json.Float (ms (t_synth +. t_atpg +. t_fsim)))
              ]);
           ("faults", Hft_util.Json.Int (List.length faults));
-          ("podem_backtracks",
-           Hft_util.Json.Int (Hft_obs.Registry.count "hft.podem.backtracks"));
-          ("fsim_events",
-           Hft_util.Json.Int (Hft_obs.Registry.count "hft.fsim.events"));
+          ("podem_backtracks", Hft_util.Json.Int unguided_backtracks);
+          ("fsim_events", Hft_util.Json.Int unguided_fsim_events);
           ("atpg_coverage",
            Hft_util.Json.Float (Hft_gate.Seq_atpg.fault_coverage stats));
           ("fsim_coverage", Hft_util.Json.Float (Hft_gate.Fsim.coverage fr));
           ("patterns_stored", Hft_util.Json.Int c.Flow.c_patterns_stored);
-          ("waterfall", Hft_obs.Ledger.waterfall_json ());
+          ("waterfall", unguided_waterfall);
           ("strategy",
            Hft_util.Json.String (if naive then "naive" else "fast"));
           ("report",
@@ -482,14 +555,15 @@ let bench_cmd =
                ("sessions", Hft_util.Json.Int r.Flow.report.Flow.test_sessions)
              ]);
           ("counters", Hft_obs.Export.metrics_json ~snapshot ()) ]
+         @ guided_cell)
     in
     let row =
       [ bench_name; flow_name;
         Printf.sprintf "%.2f" (1e3 *. t_synth);
         Printf.sprintf "%.2f" (1e3 *. t_atpg);
         Printf.sprintf "%.2f" (1e3 *. t_fsim);
-        string_of_int (Hft_obs.Registry.count "hft.podem.backtracks");
-        string_of_int (Hft_obs.Registry.count "hft.fsim.events") ]
+        string_of_int unguided_backtracks;
+        string_of_int unguided_fsim_events ]
     in
     (cell, row)
   in
@@ -567,7 +641,13 @@ let report_cmd =
     Arg.(value & opt int 1
          & info [ "sample" ] ~docv:"N" ~doc:"Keep one fault in N.")
   in
-  let run bench flow width sample top json obs =
+  let no_guided_arg =
+    Arg.(value & flag
+         & info [ "no-guided" ]
+             ~doc:"Disable static-analysis ATPG guidance (restores the \
+                   historical search bit for bit).")
+  in
+  let run bench flow width sample top json no_guided obs =
     with_obs ~cmd:"report" obs @@ fun () ->
     Hft_obs.enabled := true;
     Hft_obs.reset ();
@@ -575,7 +655,7 @@ let report_cmd =
     let r = Flow.synthesize ~width flow g in
     let c =
       Flow.test_campaign ~backtrack_limit:50 ~max_frames:3 ~sample ~seed:2024
-        ~n_patterns:64 r
+        ~n_patterns:64 ~guided:(not no_guided) r
     in
     let flow_name = Flow.flow_kind_to_string flow in
     let n_faults = List.length c.Flow.c_faults in
@@ -601,6 +681,19 @@ let report_cmd =
                 ("tests", Hft_util.Json.Int (Hft_obs.Ledger.n_tests ()));
                 ("patterns_stored",
                  Hft_util.Json.Int c.Flow.c_patterns_stored);
+                ("guided", Hft_util.Json.Bool (not no_guided));
+                ("guidance",
+                 Hft_util.Json.Obj
+                   [ ("static_untestable",
+                      Hft_util.Json.Int
+                        (Hft_obs.Registry.count "hft.podem.static_untestable"));
+                     ("guided_cuts",
+                      Hft_util.Json.Int
+                        (Hft_obs.Registry.count "hft.podem.guided_cuts"));
+                     ("guided_decisions",
+                      Hft_util.Json.Int
+                        (Hft_obs.Registry.count "hft.podem.guided_decisions"))
+                   ]);
                 ("expensive",
                  Hft_util.Json.List
                    (List.map Hft_obs.Ledger.row_to_json expensive)) ]))
@@ -622,6 +715,13 @@ let report_cmd =
         c.Flow.c_patterns_stored
         (Hft_util.Pretty.pct (Hft_gate.Seq_atpg.fault_coverage c.Flow.c_atpg))
         (Hft_util.Pretty.pct (Hft_gate.Fsim.coverage c.Flow.c_fsim));
+      if not no_guided then
+        Printf.printf
+          "guidance: %d class(es) proven untestable statically, %d guided \
+           cut(s), %d guided decision(s)\n"
+          (Hft_obs.Registry.count "hft.podem.static_untestable")
+          (Hft_obs.Registry.count "hft.podem.guided_cuts")
+          (Hft_obs.Registry.count "hft.podem.guided_decisions");
       if expensive <> [] then begin
         Printf.printf "\nmost expensive fault classes (top %d):\n"
           (List.length expensive);
@@ -651,7 +751,7 @@ let report_cmd =
           PODEM-detected, aborted, untestable) and the most expensive fault \
           classes (benches include fig1b/fig1c)")
     Term.(const run $ bench_arg $ flow_arg $ width_arg $ sample_arg $ top_arg
-          $ json_arg $ obs_term)
+          $ json_arg $ no_guided_arg $ obs_term)
 
 let list_cmd =
   let run () =

@@ -1,0 +1,28 @@
+(** Post-dominators of the fault-propagation graph.
+
+    The propagation graph has an edge [v -> u] for every combinational
+    consumer [u] of [v] ([Dff] consumers excluded — a difference
+    entering a flip-flop is not observed within the frame) and an edge
+    [o -> sink] for every observe node.  A node's post-dominators lie
+    on {e every} path its fault effect can take to an observe node, so
+    their side inputs must carry non-controlling values in any
+    detecting test (SOCRATES-style mandatory assignments), and a node
+    that cannot reach the sink at all is statically unobservable.
+
+    Computed by the Cooper–Harvey–Kennedy dominator iteration on the
+    reversed graph rooted at the sink: O(E · height) worst case, near
+    linear on netlist-shaped graphs. *)
+
+type t
+
+(** [compute nl ~observe] builds the post-dominator tree with respect
+    to the given observe set (typically POs plus scan-capture points). *)
+val compute : Hft_gate.Netlist.t -> observe:int list -> t
+
+(** Can a fault effect at [v] structurally reach any observe node?
+    [false] is a proof of unobservability. *)
+val reaches : t -> int -> bool
+
+(** Proper post-dominators of [v], nearest first, sink excluded.
+    Empty when [v] cannot reach the sink. *)
+val chain : t -> int -> int list

@@ -1,0 +1,26 @@
+(** Static ATPG guidance: combines {!Scoap}, {!Dominators} and
+    {!Implications} into a {!Hft_gate.Podem.guidance} record, per
+    fault.
+
+    [provide] is a {!Hft_gate.Podem.provider}: pass it as [?guidance]
+    to [Seq_atpg.run], [Full_scan.atpg] or [Flow.test_campaign].  The
+    per-(netlist, observe) analyses are cached (keyed on physical
+    identity, {!Hft_gate.Netlist.version} and the observe list), so a
+    campaign that targets many faults on the same unrolled netlist pays
+    for the analyses once.
+
+    Soundness contract (what keeps guided verdicts trustworthy):
+    requirement sets only contain literals true in every detecting
+    test through the corresponding fault site — activation value,
+    consumer side inputs at non-controlling values, post-dominator side
+    inputs outside the fault cones at non-controlling values, plus
+    their implication closure.  A fault is declared statically
+    untestable only when every analyzable site is provably dead
+    (unreachable from the observe set, or a contradictory closure);
+    sites the analysis cannot model degrade to ordering-only
+    guidance. *)
+
+val provide : Hft_gate.Podem.provider
+
+(** Drop all cached analyses (tests and long-lived sessions). *)
+val reset_cache : unit -> unit

@@ -1,0 +1,51 @@
+(** SCOAP testability metrics over a gate netlist (Goldstein's
+    controllability/observability analysis; survey §3.1's gate-level
+    cost model and the OpenTestability exemplar).
+
+    Combinational measures count gates on the cheapest
+    justification/propagation path; sequential measures count the
+    flip-flops that must be clocked.  Exact rules (clocks assumed free,
+    as in the textbook simplification):
+
+    - [Pi]: CC0 = CC1 = 1, SC0 = SC1 = 0.
+    - [Const0]: CC0 = 0, CC1 = infinite (dually [Const1]).
+    - [Buf]/[Not]: input measure (+1 combinational, +0 sequential).
+    - [And]: CC1 = sum of input CC1s + 1, CC0 = min input CC0 + 1
+      ([Or], [Nand], [Nor] by duality/inversion).
+    - [Xor]: CC1 = min(CC1a+CC0b, CC0a+CC1b) + 1,
+      CC0 = min(CC0a+CC0b, CC1a+CC1b) + 1 ([Xnor] swapped).
+    - [Mux2] [sel; a; b] with [sel = 1] choosing [b]:
+      CC1 = min(CC0sel+CC1a, CC1sel+CC1b) + 1 (CC0 alike).
+    - [Dff]: CC(Q) = CC(D) + 1 and SC(Q) = SC(D) + 1.
+    - CO at a [Po] fan-in is 0; through a gate it adds the cost of
+      holding the side inputs non-controlling (+1 combinational);
+      through a [Dff] it adds 1 to both CO and SO.  A net's CO/SO is
+      the minimum over its fanout branches; a net with no fanout is
+      unobservable ([infinite]).
+
+    Values are computed by monotone fixpoint iteration, so cyclic
+    netlists (combinational loops, DFF feedback) are handled: nets
+    controllable or observable only through a loop saturate at
+    [infinite]. *)
+
+type t = {
+  cc0 : int array;  (** combinational 0-controllability, per node *)
+  cc1 : int array;  (** combinational 1-controllability *)
+  co : int array;   (** combinational observability *)
+  sc0 : int array;  (** sequential 0-controllability *)
+  sc1 : int array;  (** sequential 1-controllability *)
+  so : int array;   (** sequential observability *)
+}
+
+(** Saturation value: any measure [>= infinite] means unattainable. *)
+val infinite : int
+
+val is_inf : int -> bool
+
+val analyze : Hft_gate.Netlist.t -> t
+
+(** [max(cc0, cc1)] — the usual "hard to control" scalar. *)
+val worst_cc : t -> int -> int
+
+(** One-line rendering of a node's six measures (for reports). *)
+val pp_node : t -> int -> string

@@ -229,7 +229,7 @@ type campaign = {
 let test_campaign ?(strategy = Fast) ?(backtrack_limit = 20) ?(max_frames = 2)
     ?(sample = 20) ?(seed = 2024) ?(n_patterns = 64)
     ?(supervisor = Some Hft_robust.Supervisor.default) ?checkpoint
-    ?(resume = false) r =
+    ?(resume = false) ?(guided = true) r =
   span "test-campaign" @@ fun () ->
   if checkpoint <> None && not !Hft_obs.Config.enabled then
     Hft_robust.Validation.fail ~site:"flow.test_campaign"
@@ -284,7 +284,8 @@ let test_campaign ?(strategy = Fast) ?(backtrack_limit = 20) ?(max_frames = 2)
       ("n_patterns", Int n_patterns);
       ("n_faults", Int (List.length faults));
       ("n_pi", Int n_pi);
-      ("n_scan", Int n_scan) ]
+      ("n_scan", Int n_scan);
+      ("guided", Bool (guided && strategy = Fast)) ]
   in
   let restored =
     match checkpoint with
@@ -436,9 +437,15 @@ let test_campaign ?(strategy = Fast) ?(backtrack_limit = 20) ?(max_frames = 2)
   let stats =
     match strategy with
     | Fast ->
+      (* Static-analysis guidance rides only the fast strategy: the
+         naive flow is the historical baseline and stays bit-identical
+         regardless of [guided]. *)
+      let guidance =
+        if guided then Some Hft_analysis.Guidance.provide else None
+      in
       Hft_scan.Partial_scan.atpg ~backtrack_limit ~max_frames
         ~strategy:Hft_gate.Seq_atpg.Drop ~on_test ~supervisor ?resolved
-        ?on_resolved nl ~faults ~scanned
+        ?on_resolved ?guidance nl ~faults ~scanned
     | Naive ->
       Hft_scan.Partial_scan.atpg ~backtrack_limit ~max_frames
         ~strategy:Hft_gate.Seq_atpg.Naive ~supervisor nl ~faults ~scanned

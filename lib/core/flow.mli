@@ -113,9 +113,17 @@ type campaign = {
     replayed into the pattern store and restored classes are never
     re-targeted, so an interrupted campaign continues bit-identically
     to an uninterrupted one.  Checkpointing needs observability enabled
-    and the [Fast] strategy. *)
+    and the [Fast] strategy.
+
+    [guided] (default [true], [Fast] strategy only) threads
+    {!Hft_analysis.Guidance} into every PODEM call: static untestability
+    proofs, mandatory-assignment seeding and SCOAP-ordered search.
+    Per-fault verdicts are provably no worse than unguided (a guided
+    abort falls back to the unguided search); [~guided:false] restores
+    the historical search bit for bit.  The flag is part of the
+    checkpoint fingerprint. *)
 val test_campaign :
   ?strategy:atpg_strategy -> ?backtrack_limit:int -> ?max_frames:int ->
   ?sample:int -> ?seed:int -> ?n_patterns:int ->
   ?supervisor:Hft_robust.Supervisor.policy option ->
-  ?checkpoint:string -> ?resume:bool -> result -> campaign
+  ?checkpoint:string -> ?resume:bool -> ?guided:bool -> result -> campaign

@@ -2,9 +2,31 @@ type effort = {
   mutable decisions : int;
   mutable backtracks : int;
   mutable implications : int;
+  mutable guided_cuts : int;
+  mutable static_proof : bool;
 }
 
 type result = Test of (int * bool) list | Untestable | Aborted
+
+(* Static-analysis guidance (built by [Hft_analysis.Guidance]; plain
+   data here so the analysis library can sit above this one).  All node
+   ids refer to the netlist the search runs on.  [g_common_required]
+   are literals every detecting test must satisfy (mandatory
+   assignments); [g_site_required] holds one requirement set per fault
+   site — when every site's set is contradicted by the current cube, no
+   completion detects and the search can cut.  The CC/CO arrays are
+   SCOAP measures used purely for candidate ordering. *)
+type guidance = {
+  g_static_untestable : bool;
+  g_common_required : (int * int) array;
+  g_site_required : (int * int) array array;
+  g_cc0 : int array;
+  g_cc1 : int array;
+  g_co : int array;
+}
+
+type provider =
+  Netlist.t -> observe:int list -> faults:Fault.t list -> guidance
 
 let x = 2
 
@@ -25,12 +47,19 @@ let inverts = function
 (* Effort counters are accumulated locally during the search and
    flushed to the registry once per call, so the hot loop never touches
    the metric table. *)
-let flush_effort effort result =
+let flush_effort ?(guided = false) effort result =
   if !Hft_obs.Config.enabled then begin
     Hft_obs.Registry.incr "hft.podem.runs";
     Hft_obs.Registry.incr "hft.podem.decisions" ~by:effort.decisions;
     Hft_obs.Registry.incr "hft.podem.backtracks" ~by:effort.backtracks;
     Hft_obs.Registry.incr "hft.podem.implications" ~by:effort.implications;
+    if guided then begin
+      Hft_obs.Registry.incr "hft.podem.guided_runs";
+      Hft_obs.Registry.incr "hft.podem.guided_decisions" ~by:effort.decisions;
+      Hft_obs.Registry.incr "hft.podem.guided_cuts" ~by:effort.guided_cuts;
+      if effort.static_proof then
+        Hft_obs.Registry.incr "hft.podem.static_untestable"
+    end;
     Hft_obs.Registry.incr
       (match result with
        | Test _ -> "hft.podem.tests"
@@ -69,10 +98,31 @@ let baseline nl =
     baseline_cache := (nl, ver, b) :: keep;
     b
 
-let generate ?(backtrack_limit = 500) ?check nl ~faults ~assignable ~observe =
+let rec generate ?(backtrack_limit = 500) ?check ?guidance nl ~faults
+    ~assignable ~observe =
   let t_start = if !Hft_obs.Config.enabled then Hft_obs.Clock.now () else 0.0 in
   let n = Netlist.n_nodes nl in
-  let effort = { decisions = 0; backtracks = 0; implications = 0 } in
+  let effort =
+    { decisions = 0; backtracks = 0; implications = 0; guided_cuts = 0;
+      static_proof = false }
+  in
+  match guidance with
+  | Some g when g.g_static_untestable ->
+    (* The analysis proved no source assignment can both activate the
+       fault and propagate its effect to an observe node — Untestable
+       without touching the search state. *)
+    effort.static_proof <- true;
+    if !Hft_obs.Config.enabled then
+      Hft_obs.Registry.observe "hft.podem.time"
+        (Hft_obs.Clock.now () -. t_start);
+    flush_effort ~guided:true effort Untestable;
+    (Untestable, effort)
+  | _ ->
+  let gcost v want =
+    match guidance with
+    | Some g -> if want = 1 then g.g_cc1.(v) else g.g_cc0.(v)
+    | None -> 0
+  in
   let pi_val = Hashtbl.create 16 in
   let is_assignable = Array.make n false in
   List.iter (fun p -> is_assignable.(p) <- true) assignable;
@@ -110,6 +160,20 @@ let generate ?(backtrack_limit = 500) ?check nl ~faults ~assignable ~observe =
     Hashtbl.remove pi_val p;
     dirty := p :: !dirty
   in
+  (* Mandatory assignments: literals every detecting test must satisfy
+     (dominator side inputs at non-controlling values, SOCRATES style).
+     They are seeded outside the decision stack, so exhausting the
+     remaining decisions still proves untestability — no detecting test
+     violates a mandatory literal. *)
+  (match guidance with
+   | None -> ()
+   | Some g ->
+     Array.iter
+       (fun (w, v) ->
+         if w >= 0 && w < n && is_assignable.(w)
+            && not (Hashtbl.mem pi_val w)
+         then set_pi w v)
+       g.g_common_required);
   (* Event-driven implication over a topo-ordered heap.  The
      combinational fixpoint is a pure function of the sources, so after
      a decision or backtrack only nodes downstream of an actual value
@@ -241,6 +305,24 @@ let generate ?(backtrack_limit = 500) ?check nl ~faults ~assignable ~observe =
   let detected () =
     List.exists (fun v -> observe_set.(v)) !d_list
   in
+  (* Guided cut: a concrete good-machine value contradicting a
+     mandatory literal — or, for multi-site faults, contradicting every
+     site's activation closure — means no completion of the current
+     cube detects the fault, so the branch can be pruned without
+     waiting for the D-frontier to die.  Sound: the closures only hold
+     literals true in every detecting completion (per site), so the cut
+     never removes a test. *)
+  let guided_conflict () =
+    match guidance with
+    | None -> false
+    | Some g ->
+      let violated (w, v) = w >= 0 && w < n && gv.(w) <> x && gv.(w) <> v in
+      Array.exists violated g.g_common_required
+      || (Array.length g.g_site_required > 0
+          && Array.for_all
+               (fun site -> Array.exists violated site)
+               g.g_site_required)
+  in
   (* X-path: from any D-carrying node, can a difference still reach an
      observe node through not-yet-blocked nodes?  Pure reachability, so
      visit order is irrelevant and the first observe hit ends the walk;
@@ -290,16 +372,26 @@ let generate ?(backtrack_limit = 500) ?check nl ~faults ~assignable ~observe =
      still X (several sites exist when a fault is replicated across
      time frames — any of them may be the one that can be justified). *)
   let activation_objectives () =
-    List.filter_map
-      (fun f ->
-        let want = if f.Fault.stuck then 0 else 1 in
-        let site_node =
-          match f.Fault.pin with
-          | None -> f.Fault.node
-          | Some p -> (Netlist.fanin nl f.Fault.node).(p)
-        in
-        if gv.(site_node) = x then Some (site_node, want) else None)
-      faults
+    let objs =
+      List.filter_map
+        (fun f ->
+          let want = if f.Fault.stuck then 0 else 1 in
+          let site_node =
+            match f.Fault.pin with
+            | None -> f.Fault.node
+            | Some p -> (Netlist.fanin nl f.Fault.node).(p)
+          in
+          if gv.(site_node) = x then Some (site_node, want) else None)
+        faults
+    in
+    match guidance with
+    | None -> objs
+    | Some _ ->
+      (* Cheapest-to-justify site first (SCOAP CC): the search commits
+         its budget to the easy activations before the hopeless ones. *)
+      List.stable_sort
+        (fun (a, wa) (b, wb) -> compare (gcost a wa, a) (gcost b wb, b))
+        objs
   in
   let activated () =
     List.exists
@@ -347,15 +439,29 @@ let generate ?(backtrack_limit = 500) ?check nl ~faults ~assignable ~observe =
             (* Set an X input to the non-controlling value (or, for
                kinds without one, a heuristic value — implication sorts
                it out). *)
-            match
-              Array.to_list (Netlist.fanin nl v)
-              |> List.find_opt (fun i -> gv.(i) = x || fv.(i) = x)
-            with
-            | Some i ->
-              let v_obj =
-                match controlling k with Some c -> 1 - c | None -> 1
-              in
-              acc := (v, (i, v_obj)) :: !acc
+            let v_obj =
+              match controlling k with Some c -> 1 - c | None -> 1
+            in
+            let inputs = Netlist.fanin nl v in
+            let pick =
+              match guidance with
+              | None ->
+                Array.to_list inputs
+                |> List.find_opt (fun i -> gv.(i) = x || fv.(i) = x)
+              | Some _ ->
+                (* Cheapest X side input first: justifying the
+                   non-controlling value there costs the least. *)
+                Array.fold_left
+                  (fun best i ->
+                    if gv.(i) = x || fv.(i) = x then
+                      match best with
+                      | Some j when gcost j v_obj <= gcost i v_obj -> best
+                      | _ -> Some i
+                    else best)
+                  None inputs
+            in
+            match pick with
+            | Some i -> acc := (v, (i, v_obj)) :: !acc
             | None -> ()
           end
       end
@@ -366,7 +472,16 @@ let generate ?(backtrack_limit = 500) ?check nl ~faults ~assignable ~observe =
         if f.Fault.pin <> None && pin_fault_active f.Fault.node then
           consider f.Fault.node)
       faults;
-    List.sort (fun (a, _) (b, _) -> compare a b) !acc |> List.map snd
+    (match guidance with
+     | None -> List.sort (fun (a, _) (b, _) -> compare a b) !acc
+     | Some g ->
+       (* Best-observability frontier gate first (SCOAP CO): drive the
+          difference down the path most likely to reach an observe
+          node. *)
+       List.sort
+         (fun (a, _) (b, _) -> compare (g.g_co.(a), a) (g.g_co.(b), b))
+         !acc)
+    |> List.map snd
   in
   (* Backtrace an objective to an assignable PI with X value.  Failed
      (node, want) pairs are memoised per call: without this the search
@@ -390,16 +505,29 @@ let generate ?(backtrack_limit = 500) ?check nl ~faults ~assignable ~observe =
             let fi = Netlist.fanin nl node in
             let want' = if inverts k then 1 - want else want in
             (* Choose an X input; try them in order until one
-               backtraces. *)
-            let rec try_inputs idx =
-              if idx >= Array.length fi then None
-              else if gv.(fi.(idx)) = x then
-                match go fi.(idx) want' with
-                | Some r -> Some r
-                | None -> try_inputs (idx + 1)
-              else try_inputs (idx + 1)
+               backtraces.  Under guidance the order is easiest-to-set
+               first (SCOAP CC for the wanted value), otherwise the
+               historical pin order. *)
+            let order =
+              let idxs = List.init (Array.length fi) Fun.id in
+              match guidance with
+              | None -> idxs
+              | Some _ ->
+                List.stable_sort
+                  (fun i j ->
+                    compare (gcost fi.(i) want') (gcost fi.(j) want'))
+                  idxs
             in
-            try_inputs 0
+            let rec try_inputs = function
+              | [] -> None
+              | idx :: rest ->
+                if gv.(fi.(idx)) = x then
+                  match go fi.(idx) want' with
+                  | Some r -> Some r
+                  | None -> try_inputs rest
+                else try_inputs rest
+            in
+            try_inputs order
         in
         if result = None then Hashtbl.replace dead (node, want) ();
         result
@@ -430,6 +558,12 @@ let generate ?(backtrack_limit = 500) ?check nl ~faults ~assignable ~observe =
        imply ();
        if detected () then result := Some (`Found)
        else if effort.backtracks > backtrack_limit then result := Some `Aborted
+       else if guided_conflict () then begin
+         effort.guided_cuts <- effort.guided_cuts + 1;
+         match backtrack () with
+         | `Exhausted -> result := Some `Untestable
+         | `Continue -> ()
+       end
        else begin
          let objectives =
            if not (activated ()) then activation_objectives ()
@@ -480,8 +614,24 @@ let generate ?(backtrack_limit = 500) ?check nl ~faults ~assignable ~observe =
   if !Hft_obs.Config.enabled then
     Hft_obs.Registry.observe "hft.podem.time"
       (Hft_obs.Clock.now () -. t_start);
-  flush_effort effort outcome;
-  (outcome, effort)
+  flush_effort ~guided:(guidance <> None) effort outcome;
+  match outcome, guidance with
+  | Aborted, Some _ ->
+    (* Guided ordering reshapes the budget-limited search, so a guided
+       abort could hide a verdict the classic order would have reached.
+       Falling back to an unguided run makes the guided per-fault
+       verdict provably no worse than the unguided one: Test and
+       Untestable are sound proofs wherever they come from, and a
+       guided Aborted resolves to exactly the unguided outcome. *)
+    let r2, e2 = generate ~backtrack_limit ?check nl ~faults ~assignable
+        ~observe
+    in
+    e2.decisions <- e2.decisions + effort.decisions;
+    e2.backtracks <- e2.backtracks + effort.backtracks;
+    e2.implications <- e2.implications + effort.implications;
+    e2.guided_cuts <- effort.guided_cuts;
+    (r2, e2)
+  | _ -> (outcome, effort)
 
 let generate_comb ?backtrack_limit nl ~fault =
   generate ?backtrack_limit nl ~faults:[ fault ] ~assignable:(Netlist.pis nl)

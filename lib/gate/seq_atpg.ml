@@ -268,7 +268,7 @@ let replay ?assignable_pis ?strapped nl ~scanned ~tests faults =
 let run ?(backtrack_limit = 200) ?(min_frames = 1) ?(max_frames = 6)
     ?assignable_pis ?strapped ?(strategy = Drop) ?on_test
     ?(supervisor = Some Hft_robust.Supervisor.default) ?resolved ?on_resolved
-    nl ~faults ~scanned =
+    ?guidance nl ~faults ~scanned =
   Hft_obs.Span.with_ "seq-atpg"
     ~attrs:
       [ ("circuit", Netlist.circuit_name nl);
@@ -439,16 +439,20 @@ let run ?(backtrack_limit = 200) ?(min_frames = 1) ?(max_frames = 6)
      historical direct path, bit for bit. *)
   let podem_call u f =
     let faults = u.u_map_fault f in
+    let gd =
+      Option.map (fun provide -> provide u.u_net ~observe:u.u_observe ~faults)
+        guidance
+    in
     match supervisor with
     | None ->
       Ok
-        (Podem.generate ~backtrack_limit u.u_net ~faults
+        (Podem.generate ~backtrack_limit ?guidance:gd u.u_net ~faults
            ~assignable:u.u_assignable ~observe:u.u_observe)
     | Some policy ->
       Hft_robust.Supervisor.ladder policy ~site:Hft_robust.Chaos.Podem
         ~budget:backtrack_limit (fun ~budget ~check ->
-          Podem.generate ~backtrack_limit:budget ?check u.u_net ~faults
-            ~assignable:u.u_assignable ~observe:u.u_observe)
+          Podem.generate ~backtrack_limit:budget ?check ?guidance:gd u.u_net
+            ~faults ~assignable:u.u_assignable ~observe:u.u_observe)
   in
   (* Graceful degradation once the PODEM ladder is exhausted: a
      deterministic burst of random patterns over the unrolled inputs,
@@ -559,7 +563,12 @@ let run ?(backtrack_limit = 200) ?(min_frames = 1) ?(max_frames = 6)
               cls_backtracks := !cls_backtracks + effort.Podem.backtracks;
               Hft_obs.Ledger.charge lh.(gi)
                 ~implications:effort.Podem.implications
-                ~backtracks:effort.Podem.backtracks;
+                ~backtracks:effort.Podem.backtracks
+                ~guided_cuts:effort.Podem.guided_cuts;
+              if obs && effort.Podem.static_proof then
+                Hft_obs.Journal.record
+                  (Hft_obs.Journal.Static_untestable
+                     { cls = lh.(gi); frames });
               if obs then
                 Hft_obs.Journal.record
                   (Hft_obs.Journal.Podem_result

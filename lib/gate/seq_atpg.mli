@@ -79,7 +79,14 @@ val fault_coverage : stats -> float
     display string to a prior resolution: matching classes keep it and
     are never re-targeted.  [on_resolved] fires once per {e fresh}
     resolution, in engine order — the flow appends them to the
-    checkpoint. *)
+    checkpoint.
+
+    [guidance] (a {!Podem.provider}, typically
+    [Hft_analysis.Guidance.provide]) is invoked per (unrolled netlist,
+    fault) and threads static-analysis guidance into every PODEM call:
+    per-fault verdicts are provably no worse than unguided (see
+    {!Podem.generate}); omitting it keeps the historical search bit for
+    bit. *)
 val run :
   ?backtrack_limit:int -> ?min_frames:int -> ?max_frames:int ->
   ?assignable_pis:int list -> ?strapped:int list ->
@@ -87,6 +94,7 @@ val run :
   ?supervisor:Hft_robust.Supervisor.policy option ->
   ?resolved:(string -> Hft_obs.Ledger.resolution option) ->
   ?on_resolved:(rep:string -> Hft_obs.Ledger.resolution -> unit) ->
+  ?guidance:Podem.provider ->
   Netlist.t -> faults:Fault.t list -> scanned:int list -> stats
 
 (** [replay nl ~scanned ~tests faults] — which of [faults] the

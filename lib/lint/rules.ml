@@ -348,6 +348,72 @@ let l008_hard_observe cfg ctx =
   !acc
 
 (* ------------------------------------------------------------------ *)
+(* HFT-L009 / L010: statically unattainable measures                   *)
+(*                                                                     *)
+(* A saturated SCOAP measure is qualitatively different from a large   *)
+(* one: [infinite] means the fixpoint found NO input assignment that   *)
+(* sets the value (controllability) or NO sensitized path to an        *)
+(* output (observability) in the pure combinational view — every       *)
+(* stuck-at fault on such a net is dead weight for a combinational     *)
+(* tester.  These come from the shared {!Hft_analysis.Scoap} engine,   *)
+(* the same measures the guided-ATPG layer orders its search by.       *)
+(* ------------------------------------------------------------------ *)
+
+let uncontrollable_nets nl m =
+  let acc = ref [] in
+  for v = Netlist.n_nodes nl - 1 downto 0 do
+    if
+      is_logic nl v
+      && (Scoap.is_inf m.Scoap.cc0.(v) || Scoap.is_inf m.Scoap.cc1.(v))
+    then acc := v :: !acc
+  done;
+  !acc
+
+let unobservable_nets nl m =
+  let acc = ref [] in
+  for v = Netlist.n_nodes nl - 1 downto 0 do
+    (* Dangling nets are already HFT-L004; only flag driven logic whose
+       every path to an output is blocked. *)
+    if is_logic nl v && Netlist.fanout nl v <> [] && Scoap.is_inf m.Scoap.co.(v)
+    then acc := v :: !acc
+  done;
+  !acc
+
+let l009_uncontrollable _cfg ctx =
+  let nl = (Lazy.force ctx.expand).Expand.netlist in
+  let m = Lazy.force ctx.scoap in
+  List.map
+    (fun v ->
+      let which =
+        match
+          (Scoap.is_inf m.Scoap.cc0.(v), Scoap.is_inf m.Scoap.cc1.(v))
+        with
+        | true, true -> "either value"
+        | true, false -> "0"
+        | _ -> "1"
+      in
+      Diagnostic.make ~code:"HFT-L009" ~severity:Diagnostic.Warning
+        ~loc:(Diagnostic.Net v)
+        (Printf.sprintf
+           "net %s cannot be set to %s from the inputs (SCOAP CC infinite); \
+            stuck-at faults needing that value are combinationally untestable"
+           (Netlist.node_name nl v) which))
+    (uncontrollable_nets nl m)
+
+let l010_unobservable _cfg ctx =
+  let nl = (Lazy.force ctx.expand).Expand.netlist in
+  let m = Lazy.force ctx.scoap in
+  List.map
+    (fun v ->
+      Diagnostic.make ~code:"HFT-L010" ~severity:Diagnostic.Warning
+        ~loc:(Diagnostic.Net v)
+        (Printf.sprintf
+           "net %s has no sensitizable path to any output (SCOAP CO \
+            infinite); every fault on it is combinationally unobservable"
+           (Netlist.node_name nl v)))
+    (unobservable_nets nl m)
+
+(* ------------------------------------------------------------------ *)
 
 let cap cfg code ds =
   let n = List.length ds in
@@ -370,4 +436,6 @@ let all cfg ctx =
       cap cfg "HFT-L006" (l006_bist_roles cfg ctx);
       cap cfg "HFT-L007" (l007_hard_control cfg ctx);
       cap cfg "HFT-L008" (l008_hard_observe cfg ctx);
+      cap cfg "HFT-L009" (l009_uncontrollable cfg ctx);
+      cap cfg "HFT-L010" (l010_unobservable cfg ctx);
     ]

@@ -21,6 +21,13 @@
       threshold.
     - [HFT-L008] (warning): net harder to observe than the SCOAP
       threshold.
+    - [HFT-L009] (warning): statically uncontrollable net — the SCOAP
+      fixpoint saturates (CC0 or CC1 infinite), so no input assignment
+      produces that value; stuck-at faults needing it are
+      combinationally untestable.
+    - [HFT-L010] (warning): statically unobservable net — CO saturates,
+      so no sensitizable path reaches an output; every fault on the net
+      is combinationally unobservable.  (Dangling nets stay HFT-L004.)
 
     Rules are individually callable (the tests do) and composed by
     {!all}; expensive inputs (gate expansion, SCOAP, S-graph) are
@@ -59,6 +66,12 @@ val comb_cycles : Hft_gate.Netlist.t -> int list list
 (** Nets driving nothing (non-[Po], non-constant); core of [HFT-L004]. *)
 val dangling_nets : Hft_gate.Netlist.t -> int list
 
+(** Logic nets with a saturated CC0 or CC1; core of [HFT-L009]. *)
+val uncontrollable_nets : Hft_gate.Netlist.t -> Scoap.t -> int list
+
+(** Driven logic nets with a saturated CO; core of [HFT-L010]. *)
+val unobservable_nets : Hft_gate.Netlist.t -> Scoap.t -> int list
+
 val l001_assignment_loops : config -> ctx -> Diagnostic.t list
 val l002_rtl_ranges : config -> ctx -> Diagnostic.t list
 val l003_comb_cycles : config -> ctx -> Diagnostic.t list
@@ -67,6 +80,8 @@ val l005_scan_chain : config -> ctx -> Diagnostic.t list
 val l006_bist_roles : config -> ctx -> Diagnostic.t list
 val l007_hard_control : config -> ctx -> Diagnostic.t list
 val l008_hard_observe : config -> ctx -> Diagnostic.t list
+val l009_uncontrollable : config -> ctx -> Diagnostic.t list
+val l010_unobservable : config -> ctx -> Diagnostic.t list
 
 (** Every rule, with the per-rule cap applied; unsorted. *)
 val all : config -> ctx -> Diagnostic.t list

@@ -15,6 +15,7 @@ type event =
   | Atpg_target of { cls : int; rep : string; frames : int }
   | Podem_result of { cls : int; outcome : string; frames : int;
                       backtracks : int }
+  | Static_untestable of { cls : int; frames : int }
   | Backtrack of { backtracks : int; decisions : int; implications : int }
   | Test_generated of { test : int; frames : int }
   | Fault_dropped of { cls : int; test : int }
@@ -67,6 +68,7 @@ let event_type = function
   | Collapse _ -> "collapse"
   | Atpg_target _ -> "atpg_target"
   | Podem_result _ -> "podem_result"
+  | Static_untestable _ -> "static_untestable"
   | Backtrack _ -> "backtrack"
   | Test_generated _ -> "test_generated"
   | Fault_dropped _ -> "fault_dropped"
@@ -89,6 +91,8 @@ let event_fields ev =
   | Podem_result { cls; outcome; frames; backtracks } ->
     [ ("class", Int cls); ("outcome", String outcome);
       ("frames", Int frames); ("backtracks", Int backtracks) ]
+  | Static_untestable { cls; frames } ->
+    [ ("class", Int cls); ("frames", Int frames) ]
   | Backtrack { backtracks; decisions; implications } ->
     [ ("backtracks", Int backtracks); ("decisions", Int decisions);
       ("implications", Int implications) ]

@@ -18,6 +18,9 @@ type event =
   | Podem_result of { cls : int; outcome : string; frames : int;
                       backtracks : int }
       (** One PODEM attempt finished ([outcome]: test/untestable/aborted). *)
+  | Static_untestable of { cls : int; frames : int }
+      (** The static analysis proved class [cls] untestable — no search
+          ran for it at [frames] time frames. *)
   | Backtrack of { backtracks : int; decisions : int; implications : int }
       (** Per-PODEM-call effort summary (emitted when backtracks > 0). *)
   | Test_generated of { test : int; frames : int }

@@ -27,6 +27,7 @@ type row = {
   lr_fsim_events : int;
   lr_implications : int;
   lr_backtracks : int;
+  lr_guided_cuts : int;
 }
 
 type test = { lt_id : int; lt_frames : int; lt_rows : (int * int) option }
@@ -40,6 +41,7 @@ type mrow = {
   mutable m_fsim : int;
   mutable m_impl : int;
   mutable m_btk : int;
+  mutable m_gcuts : int;
 }
 
 type mtest = { mt_frames : int; mutable mt_rows : (int * int) option }
@@ -74,7 +76,7 @@ let push buf n dummy v =
 
 let dummy_row =
   { m_rep = ""; m_members = []; m_res = Never_targeted; m_fsim = 0;
-    m_impl = 0; m_btk = 0 }
+    m_impl = 0; m_btk = 0; m_gcuts = 0 }
 
 let dummy_test = { mt_frames = 0; mt_rows = None }
 
@@ -83,16 +85,18 @@ let register_class ~rep ~members =
   else
     push rows_buf n_rows_ dummy_row
       { m_rep = rep; m_members = members; m_res = Never_targeted; m_fsim = 0;
-        m_impl = 0; m_btk = 0 }
+        m_impl = 0; m_btk = 0; m_gcuts = 0 }
 
 let resolve h res = if h >= 0 && h < !n_rows_ then !rows_buf.(h).m_res <- res
 
-let charge ?(fsim_events = 0) ?(implications = 0) ?(backtracks = 0) h =
+let charge ?(fsim_events = 0) ?(implications = 0) ?(backtracks = 0)
+    ?(guided_cuts = 0) h =
   if h >= 0 && h < !n_rows_ then begin
     let r = !rows_buf.(h) in
     r.m_fsim <- r.m_fsim + fsim_events;
     r.m_impl <- r.m_impl + implications;
-    r.m_btk <- r.m_btk + backtracks
+    r.m_btk <- r.m_btk + backtracks;
+    r.m_gcuts <- r.m_gcuts + guided_cuts
   end
 
 let register_test ~frames =
@@ -110,7 +114,8 @@ let row_of i =
   let m = !rows_buf.(i) in
   { lr_class = i; lr_rep = m.m_rep; lr_members = m.m_members;
     lr_resolution = m.m_res; lr_fsim_events = m.m_fsim;
-    lr_implications = m.m_impl; lr_backtracks = m.m_btk }
+    lr_implications = m.m_impl; lr_backtracks = m.m_btk;
+    lr_guided_cuts = m.m_gcuts }
 
 let rows () = List.init !n_rows_ row_of
 
@@ -238,6 +243,7 @@ let row_to_json r =
       ("fsim_events", Int r.lr_fsim_events);
       ("implications", Int r.lr_implications);
       ("backtracks", Int r.lr_backtracks);
+      ("guided_cuts", Int r.lr_guided_cuts);
       ("cost", Int (cost r)) ]
 
 let to_json () =

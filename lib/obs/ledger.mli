@@ -40,6 +40,7 @@ type row = {
   lr_fsim_events : int;  (** fault-simulation node events in its cones *)
   lr_implications : int;  (** PODEM implication passes spent on it *)
   lr_backtracks : int;  (** PODEM backtracks spent on it *)
+  lr_guided_cuts : int;  (** branches pruned by static-analysis guidance *)
 }
 
 type test = {
@@ -58,7 +59,8 @@ val resolve : int -> resolution -> unit
 
 (** Accumulate cost counters onto a class; all default to 0. *)
 val charge :
-  ?fsim_events:int -> ?implications:int -> ?backtracks:int -> int -> unit
+  ?fsim_events:int -> ?implications:int -> ?backtracks:int ->
+  ?guided_cuts:int -> int -> unit
 
 (** Append a test to the campaign's test table, returning its id
     ([-1] when disabled). *)

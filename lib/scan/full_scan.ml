@@ -13,7 +13,7 @@ type result = {
    check is exact — no three-valued confirmation needed, unlike the
    sequential case in {!Hft_gate.Seq_atpg}. *)
 let atpg ?(backtrack_limit = 500) ?(strategy = Seq_atpg.Drop)
-    ?(supervisor = Some Hft_robust.Supervisor.default) nl ~faults =
+    ?(supervisor = Some Hft_robust.Supervisor.default) ?guidance nl ~faults =
   Hft_obs.Span.with_ "full-scan-atpg"
     ~attrs:[ ("faults", string_of_int (List.length faults)) ]
   @@ fun () ->
@@ -73,16 +73,20 @@ let atpg ?(backtrack_limit = 500) ?(strategy = Seq_atpg.Drop)
           Hft_obs.Journal.record
             (Hft_obs.Journal.Atpg_target
                { cls = lh.(gi); rep = Fault.to_string nl f; frames = 1 });
+        let gd =
+          Option.map (fun provide -> provide nl ~observe ~faults:[ f ])
+            guidance
+        in
         let supervised =
           match supervisor with
           | None ->
             Ok
-              (Podem.generate ~backtrack_limit nl ~faults:[ f ] ~assignable
-                 ~observe)
+              (Podem.generate ~backtrack_limit ?guidance:gd nl ~faults:[ f ]
+                 ~assignable ~observe)
           | Some policy ->
             Hft_robust.Supervisor.ladder policy ~site:Hft_robust.Chaos.Podem
               ~budget:backtrack_limit (fun ~budget ~check ->
-                Podem.generate ~backtrack_limit:budget ?check nl
+                Podem.generate ~backtrack_limit:budget ?check ?guidance:gd nl
                   ~faults:[ f ] ~assignable ~observe)
         in
         let r, e, abort_evidence =
@@ -103,12 +107,16 @@ let atpg ?(backtrack_limit = 500) ?(strategy = Seq_atpg.Drop)
               (Hft_obs.Journal.Degraded { site = "podem"; action = "abort" });
             Hft_obs.Registry.incr "hft.robust.degraded";
             ( Podem.Aborted,
-              { Podem.decisions = 0; backtracks = 0; implications = 0 },
+              { Podem.decisions = 0; backtracks = 0; implications = 0;
+                guided_cuts = 0; static_proof = false },
               (budget, Some (Hft_robust.Failure.to_string fail)) )
         in
         stats := Atpg_stats.add_outcome ~n:sizes.(gi) !stats r e;
         Hft_obs.Ledger.charge lh.(gi) ~implications:e.Podem.implications
-          ~backtracks:e.Podem.backtracks;
+          ~backtracks:e.Podem.backtracks ~guided_cuts:e.Podem.guided_cuts;
+        if obs && e.Podem.static_proof then
+          Hft_obs.Journal.record
+            (Hft_obs.Journal.Static_untestable { cls = lh.(gi); frames = 1 });
         if obs then
           Hft_obs.Journal.record
             (Hft_obs.Journal.Podem_result

@@ -25,10 +25,15 @@ type result = {
     discipline: exhausted PODEM ladders count as aborts with the
     failure recorded as ledger evidence, failed collapse/drop passes
     skip the optimisation.  [~supervisor:None] restores the bare
-    engines. *)
+    engines.
+
+    [guidance] (a {!Hft_gate.Podem.provider}) threads static-analysis
+    guidance into every PODEM call; omitting it keeps the historical
+    search bit for bit. *)
 val atpg :
   ?backtrack_limit:int -> ?strategy:Seq_atpg.strategy ->
-  ?supervisor:Hft_robust.Supervisor.policy option -> Netlist.t ->
+  ?supervisor:Hft_robust.Supervisor.policy option ->
+  ?guidance:Podem.provider -> Netlist.t ->
   faults:Fault.t list -> result
 
 (** Structural insertion of the full chain ([Chain.insert] on all

@@ -25,11 +25,13 @@ val annotate_rtl : Hft_rtl.Datapath.t -> int list -> unit
 (** Sequential ATPG with the given scan set ({!Seq_atpg.run}
     pass-through: collapsing + fault dropping by default, [on_test]
     observes every generated test, [supervisor]/[resolved]/[on_resolved]
-    forward the campaign-supervision and checkpoint hooks). *)
+    forward the campaign-supervision and checkpoint hooks, [guidance]
+    forwards static-analysis ATPG guidance). *)
 val atpg :
   ?backtrack_limit:int -> ?max_frames:int ->
   ?strategy:Seq_atpg.strategy -> ?on_test:(Seq_atpg.test -> unit) ->
   ?supervisor:Hft_robust.Supervisor.policy option ->
   ?resolved:(string -> Hft_obs.Ledger.resolution option) ->
   ?on_resolved:(rep:string -> Hft_obs.Ledger.resolution -> unit) ->
+  ?guidance:Podem.provider ->
   Netlist.t -> faults:Fault.t list -> scanned:int list -> Seq_atpg.stats

@@ -16,6 +16,14 @@ BENCH_hft.json baseline, row by (bench, flow) row:
   hard failure — a fault silently moved between drop-detected /
   PODEM-detected / aborted / untestable.  Rows whose baseline predates
   the field are skipped.
+- `guided` (the static-analysis-guided re-run) is gated on its
+  soundness contract: `verdict_flips` must be 0 (a Test<->Untestable
+  disagreement between the guided and unguided runs is a guidance
+  soundness bug), the guided aborted-class count must not exceed the
+  unguided run's (guidance may only move classes OUT of the aborted
+  bucket), and it must not regress against the baseline's guided
+  aborted-class count.  Rows whose baseline predates the field only
+  check the first two.
 
 Exit status 0 = pass, 1 = regression, 2 = usage/schema problem.
 """
@@ -78,6 +86,25 @@ def main():
             verdicts.append(
                 f"waterfall drift {b['waterfall']} -> {f.get('waterfall')}"
             )
+        fg = f.get("guided")
+        if "guided" in b and fg is None:
+            verdicts.append("guided sub-object missing from fresh run")
+        if fg is not None:
+            flips = fg.get("verdict_flips", 0)
+            if flips:
+                verdicts.append(f"{flips} guided verdict flip(s)")
+            g_aborted = fg["waterfall"]["aborted"]["classes"]
+            u_aborted = f["waterfall"]["aborted"]["classes"]
+            if g_aborted > u_aborted:
+                verdicts.append(
+                    f"guided aborted classes {g_aborted} exceed unguided {u_aborted}"
+                )
+            if "guided" in b:
+                b_aborted = b["guided"]["waterfall"]["aborted"]["classes"]
+                if g_aborted > b_aborted:
+                    verdicts.append(
+                        f"guided aborted classes {b_aborted} -> {g_aborted}"
+                    )
         status = "ok" if not verdicts else "FAIL " + "; ".join(verdicts)
         print(
             f"{key[0]:8} {key[1]:14} {b_ms:7.2f}->{f_ms:6.2f} "

@@ -10,7 +10,14 @@
       independent replay;
    4. with chaos injections armed at every engine site, the supervised
       campaign must still terminate, conserve outcomes and make only
-      sound detection claims.
+      sound detection claims;
+   5. guided-vs-unguided PODEM differential — under static-analysis
+      guidance (Hft_analysis.Guidance) a per-fault verdict may only
+      improve (Aborted -> Test/Untestable).  A Test<->Untestable
+      disagreement, a guided abort where the unguided search concluded,
+      or a guided test the fault simulator rejects is a soundness bug
+      in the guidance layer; the offending fault is printed as the
+      minimized reproducer.
 
    Usage: fuzz_smoke [N_CIRCUITS] [BASE_SEED].  Exit 1 on any failure,
    with the offending seed on stderr (the generator is seed-determined,
@@ -112,7 +119,54 @@ let check_circuit seed =
    with
    | s -> conservation "chaos" s
    | exception e -> fail seed "chaos run escaped with %s" (Printexc.to_string e));
-  confirm "chaos-on" !chaos_tests
+  confirm "chaos-on" !chaos_tests;
+  (* 5. Guided differential, per fault on the full-scan view (every DFF
+     a pseudo-PI, its D input a pseudo-PO) so each PODEM call is purely
+     combinational and the oracle is exact. *)
+  let dffs = Netlist.dffs nl in
+  let assignable = Netlist.pis nl @ dffs in
+  let observe =
+    Netlist.pos nl @ List.map (fun d -> (Netlist.fanin nl d).(0)) dffs
+  in
+  let verdict = function
+    | Podem.Test _ -> "test"
+    | Podem.Untestable -> "untestable"
+    | Podem.Aborted -> "aborted"
+  in
+  List.iter
+    (fun f ->
+      let unguided, _ =
+        Podem.generate ~backtrack_limit:30 nl ~faults:[ f ] ~assignable
+          ~observe
+      in
+      let guided, _ =
+        Podem.generate ~backtrack_limit:30
+          ~guidance:(Hft_analysis.Guidance.provide nl ~observe ~faults:[ f ])
+          nl ~faults:[ f ] ~assignable ~observe
+      in
+      let ku = verdict unguided and kg = verdict guided in
+      let repro () = Fault.to_string nl f in
+      (match (unguided, guided) with
+       | Podem.Test _, Podem.Untestable | Podem.Untestable, Podem.Test _ ->
+         fail seed "guided differential: fault %s unguided=%s guided=%s"
+           (repro ()) ku kg
+       | _, Podem.Aborted when unguided <> Podem.Aborted ->
+         fail seed
+           "guided differential: fault %s regressed to aborted (unguided=%s)"
+           (repro ()) ku
+       | _ -> ());
+      (* A guided test must actually detect the fault it targets
+         (two-valued check is exact here: every source is assignable
+         and unlisted sources default to 0, PODEM's X fill). *)
+      match guided with
+      | Podem.Test assign ->
+        let det =
+          Fsim.detect_groups nl ~assignment:assign ~observe [ [ f ] ]
+        in
+        if not det.(0) then
+          fail seed "guided differential: test for %s fails replay" (repro ())
+      | _ -> ())
+    faults
 
 let () =
   let n =
