@@ -7,13 +7,17 @@
      hft lint    --bench fig1b [--flow partial-scan] [--json]
      hft bench   [--quick] [--json] [--out BENCH_hft.json]
      hft report  --bench fig1b [--flow partial-scan] [--top 10] [--json]
+     hft report  --journal-in journal.jsonl [--json]
+     hft watch   progress.jsonl [--no-follow]
      hft list
 
    Every subcommand accepts --trace / --metrics / --metrics-json
    (observability report after the run) plus --trace-out FILE (Chrome
-   trace-event JSON) and --journal-out FILE (event journal as JSONL);
-   timing diagnostics go to stderr so piped --json output stays
-   parseable. *)
+   trace-event JSON), --journal-out / --ledger-out FILE (event journal
+   and fault ledger as JSONL), --metrics-out FILE (OpenMetrics text
+   exposition) and --progress-out SINK (hft-progress/1 live telemetry,
+   tailed by `hft watch`); timing diagnostics go to stderr so piped
+   --json output stays parseable. *)
 
 open Cmdliner
 open Hft_cdfg
@@ -61,6 +65,12 @@ type obs_opts = {
   metrics_json : bool;
   trace_out : string option;
   journal_out : string option;
+  ledger_out : string option;
+  metrics_out : string option;
+  progress_out : string option;
+  progress_every : int;
+  progress_interval : float;
+  gc_stats : bool;
 }
 
 let obs_term =
@@ -91,9 +101,56 @@ let obs_term =
              ~doc:"Write the structured event journal as JSONL (one typed \
                    event object per line).")
   in
-  Term.(const (fun trace metrics metrics_json trace_out journal_out ->
-            { trace; metrics; metrics_json; trace_out; journal_out })
-        $ trace $ metrics $ metrics_json $ trace_out $ journal_out)
+  let ledger_out =
+    Arg.(value & opt (some string) None
+         & info [ "ledger-out" ] ~docv:"FILE"
+             ~doc:"Write the fault-class ledger as JSONL (class rows then \
+                   tests; readable back via report --journal-in).")
+  in
+  let metrics_out =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-out" ] ~docv:"FILE"
+             ~doc:"Write the metric registry in OpenMetrics/Prometheus text \
+                   exposition; with --progress-out the file is also \
+                   rewritten at every snapshot, so a scraper sees the \
+                   campaign live.")
+  in
+  let progress_out =
+    Arg.(value & opt (some string) None
+         & info [ "progress-out" ] ~docv:"SINK"
+             ~doc:"Stream hft-progress/1 telemetry (campaign start, phase \
+                   begin/end, cadenced coverage snapshots with rates and \
+                   ETA, a final snapshot matching the report waterfall) as \
+                   JSONL to SINK: a file path, 'stderr', or 'fd:N'.  Tail \
+                   it with `hft watch`.")
+  in
+  let progress_every =
+    Arg.(value & opt int 8
+         & info [ "progress-every" ] ~docv:"N"
+             ~doc:"Snapshot cadence: at most one snapshot per N fault-class \
+                   resolutions.")
+  in
+  let progress_interval =
+    Arg.(value & opt float 0.0
+         & info [ "progress-interval" ] ~docv:"SECS"
+             ~doc:"Minimum seconds between snapshots (rate limit on top of \
+                   --progress-every).")
+  in
+  let gc_stats =
+    Arg.(value & flag
+         & info [ "gc-stats" ]
+             ~doc:"Fold per-phase GC/allocation deltas (minor/major words, \
+                   compactions) into span attributes.")
+  in
+  Term.(const (fun trace metrics metrics_json trace_out journal_out
+                   ledger_out metrics_out progress_out progress_every
+                   progress_interval gc_stats ->
+            { trace; metrics; metrics_json; trace_out; journal_out;
+              ledger_out; metrics_out; progress_out; progress_every;
+              progress_interval; gc_stats })
+        $ trace $ metrics $ metrics_json $ trace_out $ journal_out
+        $ ledger_out $ metrics_out $ progress_out $ progress_every
+        $ progress_interval $ gc_stats)
 
 (* Run a subcommand body under the observability sink.  Tracing turns
    on when any obs flag is given; the trace/metrics report prints to
@@ -103,10 +160,26 @@ let obs_term =
    *after* the reports are flushed. *)
 let with_obs ~cmd obs f =
   if obs.trace || obs.metrics || obs.metrics_json || obs.trace_out <> None
-     || obs.journal_out <> None
+     || obs.journal_out <> None || obs.ledger_out <> None
+     || obs.metrics_out <> None || obs.progress_out <> None
   then Hft_obs.enabled := true;
+  if obs.gc_stats then Hft_obs.Config.gc_stats := true;
+  (match obs.progress_out with
+   | Some spec ->
+     (match Hft_obs.Progress.sink_of_spec spec with
+      | Ok sink ->
+        let config =
+          { Hft_obs.Progress.default_config with
+            Hft_obs.Progress.every_classes = max 1 obs.progress_every;
+            min_interval_s = obs.progress_interval }
+        in
+        Hft_obs.Progress.start ~config ?metrics_out:obs.metrics_out sink
+      | Error msg ->
+        Printf.eprintf "hft %s: --progress-out %s: %s\n%!" cmd spec msg;
+        exit 2)
+   | None -> ());
   let t0 = Unix.gettimeofday () in
-  let r = f () in
+  let r = Fun.protect ~finally:Hft_obs.Progress.stop f in
   if obs.trace then print_string (Hft_obs.Span.render ());
   if obs.metrics then print_string (Hft_obs.Export.metrics_table ());
   if obs.metrics_json then
@@ -128,6 +201,14 @@ let with_obs ~cmd obs f =
   (match obs.journal_out with
    | Some file ->
      write_file file (Hft_obs.Journal.to_jsonl ()) "event journal"
+   | None -> ());
+  (match obs.ledger_out with
+   | Some file ->
+     write_file file (Hft_obs.Ledger.to_jsonl ()) "fault ledger"
+   | None -> ());
+  (match obs.metrics_out with
+   | Some file ->
+     write_file file (Hft_obs.Export.openmetrics ()) "OpenMetrics exposition"
    | None -> ());
   Printf.eprintf "hft %s: %.1f ms\n%!" cmd
     (1e3 *. (Unix.gettimeofday () -. t0));
@@ -224,7 +305,8 @@ let atpg_cmd =
     let r = Flow.synthesize_for_partial_scan ~width g in
     let c =
       Flow.test_campaign ~backtrack_limit:50 ~max_frames:3 ~sample ~seed:2024
-        ~n_patterns:64 ~checkpoint ~resume ~guided r
+        ~n_patterns:64 ~checkpoint ~resume ~guided
+        ~campaign:(bench ^ "/partial-scan/campaign") r
     in
     let atpg_cov = Hft_gate.Seq_atpg.fault_coverage c.Flow.c_atpg in
     let fsim_cov = Hft_gate.Fsim.coverage c.Flow.c_fsim in
@@ -451,8 +533,10 @@ let bench_cmd =
   in
   let measure_cell ~width ~sample ~naive bench_name flow_kind g =
     (* Fresh registry/trace per cell so counters are attributable to
-       one (bench, flow) pair. *)
+       one (bench, flow) pair.  (The progress stream, if any, spans the
+       whole matrix: reset leaves it running.) *)
     Hft_obs.reset ();
+    let flow_name = Flow.flow_kind_to_string flow_kind in
     let now = Unix.gettimeofday in
     let t0 = now () in
     let r = Flow.synthesize ~width flow_kind g in
@@ -466,7 +550,8 @@ let bench_cmd =
     let strategy = if naive then Flow.Naive else Flow.Fast in
     let c =
       Flow.test_campaign ~strategy ~backtrack_limit:20 ~max_frames:2 ~sample
-        ~seed:2024 ~n_patterns:64 ~guided:false r
+        ~seed:2024 ~n_patterns:64 ~guided:false
+        ~campaign:(bench_name ^ "/" ^ flow_name ^ "/unguided") r
     in
     let faults = c.Flow.c_faults in
     let stats = c.Flow.c_atpg and fr = c.Flow.c_fsim in
@@ -483,7 +568,8 @@ let bench_cmd =
         Hft_obs.reset ();
         let cg =
           Flow.test_campaign ~strategy ~backtrack_limit:20 ~max_frames:2
-            ~sample ~seed:2024 ~n_patterns:64 ~guided:true r
+            ~sample ~seed:2024 ~n_patterns:64 ~guided:true
+            ~campaign:(bench_name ^ "/" ^ flow_name ^ "/guided") r
         in
         let guided_outcomes = outcome_map () in
         let flips = ref 0 in
@@ -519,7 +605,6 @@ let bench_cmd =
                ("waterfall", Hft_obs.Ledger.waterfall_json ()) ]) ]
       end
     in
-    let flow_name = Flow.flow_kind_to_string flow_kind in
     let ms x = Float.round (1e5 *. x) /. 100.0 in
     let cell =
       Hft_util.Json.Obj
@@ -628,6 +713,15 @@ let bench_cmd =
 (* collapsed fault class ended up) and the most expensive faults.     *)
 
 let report_cmd =
+  let report_bench_arg =
+    let doc =
+      Printf.sprintf
+        "Benchmark behaviour (%s).  Required unless --journal-in is given."
+        (String.concat ", " bench_names)
+    in
+    Arg.(value & opt (some string) None
+         & info [ "b"; "bench" ] ~docv:"NAME" ~doc)
+  in
   let json_arg =
     Arg.(value & flag
          & info [ "json" ] ~doc:"Emit the report as machine-readable JSON.")
@@ -647,7 +741,100 @@ let report_cmd =
              ~doc:"Disable static-analysis ATPG guidance (restores the \
                    historical search bit for bit).")
   in
-  let run bench flow width sample top json no_guided obs =
+  let journal_in_arg =
+    Arg.(value & opt (some string) None
+         & info [ "journal-in" ] ~docv:"FILE"
+             ~doc:"Offline mode: rebuild the coverage waterfall from an \
+                   exported tape (--journal-out event JSONL or --ledger-out \
+                   class JSONL) instead of running a campaign.  --bench is \
+                   not needed.  Ledger tapes are exact; journal tapes cover \
+                   whatever the bounded event ring still held at export.")
+  in
+  (* Offline mode: no engines run, the waterfall is rebuilt from the
+     tape alone — so a forensics report survives the run that made it. *)
+  let run_offline file top json =
+    let lines =
+      match open_in file with
+      | exception Sys_error msg ->
+        Printf.eprintf "hft report: %s\n%!" msg;
+        exit 2
+      | ic ->
+        let rec go acc =
+          match input_line ic with
+          | l -> go (l :: acc)
+          | exception End_of_file -> close_in ic; List.rev acc
+        in
+        go []
+    in
+    match Hft_obs.Progress.offline_of_lines lines with
+    | Error msg ->
+      Printf.eprintf "hft report: %s: %s\n%!" file msg;
+      exit 2
+    | Ok off ->
+      let expensive =
+        List.filteri (fun i _ -> i < top)
+          off.Hft_obs.Progress.off_expensive
+      in
+      if json then
+        print_endline
+          (Hft_util.Json.to_string
+             (Hft_util.Json.Obj
+                [ ("schema", Hft_util.Json.String "hft-report/1");
+                  ("source", Hft_util.Json.String
+                               off.Hft_obs.Progress.off_source);
+                  ("file", Hft_util.Json.String file);
+                  ("classes", Hft_util.Json.Int
+                                off.Hft_obs.Progress.off_classes);
+                  ("faults", Hft_util.Json.Int
+                               off.Hft_obs.Progress.off_faults);
+                  ("waterfall",
+                   Hft_obs.Progress.offline_waterfall_json off);
+                  ("tests", Hft_util.Json.Int
+                              off.Hft_obs.Progress.off_tests);
+                  ("expensive",
+                   Hft_util.Json.List
+                     (List.map
+                        (fun (rep, outcome, cost) ->
+                          Hft_util.Json.Obj
+                            [ ("rep", Hft_util.Json.String rep);
+                              ("resolution", Hft_util.Json.String outcome);
+                              ("cost", Hft_util.Json.Int cost) ])
+                        expensive)) ]))
+      else begin
+        Printf.printf "coverage waterfall (offline, %s tape %s):\n"
+          off.Hft_obs.Progress.off_source file;
+        Hft_util.Pretty.print ~header:[ "stage"; "classes"; "faults" ]
+          ([ [ "collapsed";
+               string_of_int off.Hft_obs.Progress.off_classes;
+               string_of_int off.Hft_obs.Progress.off_faults ] ]
+           @ List.map
+               (fun (key, (classes, faults)) ->
+                 [ key; string_of_int classes; string_of_int faults ])
+               off.Hft_obs.Progress.off_waterfall);
+        Printf.printf "%d tests on tape\n" off.Hft_obs.Progress.off_tests;
+        if expensive <> [] then begin
+          Printf.printf "\nmost expensive fault classes (top %d):\n"
+            (List.length expensive);
+          Hft_util.Pretty.print ~header:[ "fault"; "resolution"; "cost" ]
+            (List.map
+               (fun (rep, outcome, cost) ->
+                 [ rep; outcome; string_of_int cost ])
+               expensive)
+        end
+      end
+  in
+  let run bench flow width sample top json no_guided journal_in obs =
+    match journal_in with
+    | Some file -> run_offline file top json
+    | None ->
+    let bench =
+      match bench with
+      | Some b -> b
+      | None ->
+        Printf.eprintf
+          "hft report: --bench is required (or use --journal-in FILE)\n%!";
+        exit 2
+    in
     with_obs ~cmd:"report" obs @@ fun () ->
     Hft_obs.enabled := true;
     Hft_obs.reset ();
@@ -655,7 +842,8 @@ let report_cmd =
     let r = Flow.synthesize ~width flow g in
     let c =
       Flow.test_campaign ~backtrack_limit:50 ~max_frames:3 ~sample ~seed:2024
-        ~n_patterns:64 ~guided:(not no_guided) r
+        ~n_patterns:64 ~guided:(not no_guided)
+        ~campaign:(bench ^ "/" ^ Flow.flow_kind_to_string flow) r
     in
     let flow_name = Flow.flow_kind_to_string flow in
     let n_faults = List.length c.Flow.c_faults in
@@ -749,9 +937,125 @@ let report_cmd =
          "Run a test campaign with the flight recorder on and report the \
           fault forensics: coverage waterfall (total, collapsed, dropped, \
           PODEM-detected, aborted, untestable) and the most expensive fault \
-          classes (benches include fig1b/fig1c)")
-    Term.(const run $ bench_arg $ flow_arg $ width_arg $ sample_arg $ top_arg
-          $ json_arg $ no_guided_arg $ obs_term)
+          classes (benches include fig1b/fig1c); with --journal-in, rebuild \
+          the waterfall offline from an exported tape")
+    Term.(const run $ report_bench_arg $ flow_arg $ width_arg $ sample_arg
+          $ top_arg $ json_arg $ no_guided_arg $ journal_in_arg $ obs_term)
+
+(* ------------------------------------------------------------------ *)
+(* hft watch: tail an hft-progress/1 stream as a terminal dashboard.  *)
+
+let watch_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"STREAM"
+             ~doc:"hft-progress/1 JSONL file (a --progress-out path), live \
+                   or completed.")
+  in
+  let no_follow_arg =
+    Arg.(value & flag
+         & info [ "no-follow" ]
+             ~doc:"Render the stream's current state once and exit instead \
+                   of tailing until the final snapshot.")
+  in
+  let interval_arg =
+    Arg.(value & opt float 0.5
+         & info [ "interval" ] ~docv:"SECS"
+             ~doc:"Poll interval while tailing.")
+  in
+  let run file no_follow interval =
+    let interval = Float.max 0.05 interval in
+    let tty = Unix.isatty Unix.stdout in
+    (* A watch is often started before the campaign: wait for the file
+       to appear (bounded, so a typo doesn't hang forever), unless we
+       were asked for a one-shot render. *)
+    let rec open_stream tries =
+      match open_in_bin file with
+      | ic -> ic
+      | exception Sys_error msg ->
+        if no_follow || tries >= 600 then begin
+          Printf.eprintf "hft watch: %s\n%!" msg;
+          exit 2
+        end
+        else begin
+          Unix.sleepf interval;
+          open_stream (tries + 1)
+        end
+    in
+    let ic = open_stream 0 in
+    let carry = Buffer.create 256 in
+    let chunk = Bytes.create 65536 in
+    let view = ref Hft_obs.Progress.empty_view in
+    let feed_line line =
+      view := Hft_obs.Progress.view_line !view line;
+      (* Non-TTY live tail: one brief line per snapshot keeps logs
+         readable; the full dashboard prints once at the end. *)
+      if (not tty) && not no_follow then
+        match Hft_util.Json.parse line with
+        | Ok j
+          when Hft_util.Json.member "type" j
+               = Some (Hft_util.Json.String "snapshot") ->
+          print_endline (Hft_obs.Progress.snapshot_brief j)
+        | _ -> ()
+    in
+    (* Read whatever the writer has flushed; only complete lines are
+       folded, a torn tail stays in [carry] for the next poll. *)
+    let drain () =
+      let fresh = ref 0 in
+      let rec slurp () =
+        let n = input ic chunk 0 (Bytes.length chunk) in
+        if n > 0 then begin
+          Buffer.add_subbytes carry chunk 0 n;
+          slurp ()
+        end
+      in
+      (try slurp () with End_of_file -> ());
+      let s = Buffer.contents carry in
+      Buffer.clear carry;
+      let rec lines from =
+        match String.index_from_opt s from '\n' with
+        | Some i ->
+          feed_line (String.sub s from (i - from));
+          incr fresh;
+          lines (i + 1)
+        | None ->
+          Buffer.add_string carry
+            (String.sub s from (String.length s - from))
+      in
+      lines 0;
+      !fresh
+    in
+    let redraw () =
+      if tty then begin
+        (* Home the cursor and erase below: in-place update without
+           scrollback spam. *)
+        print_string "\027[H\027[J";
+        print_string (Hft_obs.Progress.render_view !view);
+        flush stdout
+      end
+    in
+    let rec loop () =
+      let fresh = drain () in
+      if fresh > 0 then redraw ();
+      if no_follow || (!view).Hft_obs.Progress.v_finished then ()
+      else begin
+        Unix.sleepf interval;
+        loop ()
+      end
+    in
+    if tty then print_string "\027[2J";
+    loop ();
+    close_in ic;
+    if not tty then print_string (Hft_obs.Progress.render_view !view)
+  in
+  Cmd.v
+    (Cmd.info "watch"
+       ~doc:
+         "Tail an hft-progress/1 telemetry stream (--progress-out) as a \
+          live terminal dashboard: coverage bar, phase, rates, ETA, top \
+          expensive classes.  Exits when the stream's final snapshot \
+          arrives; --no-follow renders the current state once.")
+    Term.(const run $ file_arg $ no_follow_arg $ interval_arg)
 
 let list_cmd =
   let run () =
@@ -783,7 +1087,7 @@ let () =
   let group =
     Cmd.group info
       [ synth_cmd; analyze_cmd; atpg_cmd; bist_cmd; lint_cmd; bench_cmd;
-        report_cmd; list_cmd ]
+        report_cmd; watch_cmd; list_cmd ]
   in
   let error_json fields =
     Printf.eprintf "%s\n%!"

@@ -229,7 +229,7 @@ type campaign = {
 let test_campaign ?(strategy = Fast) ?(backtrack_limit = 20) ?(max_frames = 2)
     ?(sample = 20) ?(seed = 2024) ?(n_patterns = 64)
     ?(supervisor = Some Hft_robust.Supervisor.default) ?checkpoint
-    ?(resume = false) ?(guided = true) r =
+    ?(resume = false) ?(guided = true) ?campaign r =
   span "test-campaign" @@ fun () ->
   if checkpoint <> None && not !Hft_obs.Config.enabled then
     Hft_robust.Validation.fail ~site:"flow.test_campaign"
@@ -255,6 +255,12 @@ let test_campaign ?(strategy = Fast) ?(backtrack_limit = 20) ?(max_frames = 2)
   in
   let n_pi = List.length (Hft_gate.Netlist.pis nl) in
   let n_scan = List.length scanned in
+  (* Live telemetry bracket: a campaign_started event now, the final
+     snapshot just before we return.  No-ops unless the CLI started a
+     progress stream (--progress-out). *)
+  Hft_obs.Progress.campaign_begin
+    ~label:(match campaign with Some c -> c | None -> r.report.flow)
+    ~faults:(List.length faults);
   (* Checkpoint fingerprint: everything that shapes the fault sample,
      the search and the pattern layout.  A resume against a checkpoint
      written under different knobs would silently diverge, so any
@@ -538,6 +544,7 @@ let test_campaign ?(strategy = Fast) ?(backtrack_limit = 20) ?(max_frames = 2)
           Hft_gate.Fsim.comb_random ~strategy nl ~rng ~n_patterns faults)
   in
   let t_fsim = Hft_obs.Clock.now () -. t1 in
+  Hft_obs.Progress.campaign_end ();
   {
     c_netlist = nl;
     c_faults = faults;

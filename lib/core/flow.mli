@@ -121,9 +121,15 @@ type campaign = {
     Per-fault verdicts are provably no worse than unguided (a guided
     abort falls back to the unguided search); [~guided:false] restores
     the historical search bit for bit.  The flag is part of the
-    checkpoint fingerprint. *)
+    checkpoint fingerprint.
+
+    [campaign] labels this run in the [hft-progress/1] live-telemetry
+    stream (default: the flow name).  When {!Hft_obs.Progress} is
+    started the campaign is bracketed by a [campaign_started] event and
+    a final snapshot; otherwise the bracket is a no-op. *)
 val test_campaign :
   ?strategy:atpg_strategy -> ?backtrack_limit:int -> ?max_frames:int ->
   ?sample:int -> ?seed:int -> ?n_patterns:int ->
   ?supervisor:Hft_robust.Supervisor.policy option ->
-  ?checkpoint:string -> ?resume:bool -> ?guided:bool -> result -> campaign
+  ?checkpoint:string -> ?resume:bool -> ?guided:bool -> ?campaign:string ->
+  result -> campaign

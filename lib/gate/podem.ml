@@ -483,6 +483,45 @@ let rec generate ?(backtrack_limit = 500) ?check ?guidance nl ~faults
          !acc)
     |> List.map snd
   in
+  (* Completeness fallback for the frontier: the primary objective list
+     offers one X input per frontier gate (and one heuristic polarity
+     for kinds without a controlling value).  When every primary
+     candidate fails to backtrace, the cube is not necessarily dead —
+     another X input of the same gate may reach a free PI, and an
+     XOR/MUX side input may propagate at the other polarity.  These
+     fallbacks are only consulted after the primary list fails, so a
+     search that never hits the old premature dead end is bit-identical
+     to the historical one. *)
+  let propagation_fallbacks () =
+    incr pstamp;
+    let s = !pstamp in
+    let acc = ref [] in
+    let consider v =
+      if pseen.(v) <> s then begin
+        pseen.(v) <- s;
+        match Netlist.kind nl v with
+        | Netlist.Pi | Netlist.Dff | Netlist.Const0 | Netlist.Const1 -> ()
+        | k ->
+          if gv.(v) = x || fv.(v) = x then
+            Array.iter
+              (fun i ->
+                if gv.(i) = x || fv.(i) = x then
+                  match controlling k with
+                  | Some c -> acc := (i, 1 - c) :: !acc
+                  | None ->
+                    acc := (i, 1) :: !acc;
+                    acc := (i, 0) :: !acc)
+              (Netlist.fanin nl v)
+      end
+    in
+    List.iter (fun d -> List.iter consider (Netlist.fanout nl d)) !d_list;
+    List.iter
+      (fun f ->
+        if f.Fault.pin <> None && pin_fault_active f.Fault.node then
+          consider f.Fault.node)
+      faults;
+    List.rev !acc
+  in
   (* Backtrace an objective to an assignable PI with X value.  Failed
      (node, want) pairs are memoised per call: without this the search
      is exponential on reconvergent all-X regions (multiplier arrays
@@ -593,7 +632,11 @@ let rec generate ?(backtrack_limit = 500) ?check ?guidance nl ~faults
                 stack := (pi, v, false) :: !stack;
                 false)
          in
-         if decide objectives then
+         if
+           decide objectives
+           && (not (activated ()) || not (xpath_ok ())
+               || decide (propagation_fallbacks ()))
+         then
            match backtrack () with
            | `Exhausted -> result := Some `Untestable
            | `Continue -> ()

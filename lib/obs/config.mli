@@ -6,6 +6,12 @@
 
 val enabled : bool ref
 
+(** Per-phase GC/allocation profiling (default [false]).  With both
+    this and {!enabled} on, every {!Span.with_} folds the phase's
+    [Gc.quick_stat] deltas — minor words, major words, compactions —
+    into the span's attributes ([gc_minor_w]/[gc_major_w]/[gc_compact]). *)
+val gc_stats : bool ref
+
 (** [with_enabled v f] runs [f] with the switch set to [v], restoring
     the previous value afterwards (also on exceptions). *)
 val with_enabled : bool -> (unit -> 'a) -> 'a

@@ -11,10 +11,14 @@ module Journal = Journal
 module Ledger = Ledger
 module Export = Export
 module Table = Table
+module Progress = Progress
 
 let enabled = Config.enabled
 let with_enabled = Config.with_enabled
 
+(* Deliberately leaves [Progress] alone: `hft bench` resets the
+   recorder between cells while one progress stream spans the whole
+   matrix (its seq numbers must stay strictly monotone). *)
 let reset () =
   Registry.reset ();
   Span.reset ();

@@ -23,6 +23,7 @@ module Journal = Journal
 module Ledger = Ledger
 module Export = Export
 module Table = Table
+module Progress = Progress
 
 (** Alias of [Config.enabled]. *)
 val enabled : bool ref
@@ -30,5 +31,6 @@ val enabled : bool ref
 val with_enabled : bool -> (unit -> 'a) -> 'a
 
 (** Clear the metric registry, the span trace, the event journal and
-    the fault ledger. *)
+    the fault ledger.  Does {e not} stop {!Progress}: one stream spans
+    a whole bench matrix across per-cell resets. *)
 val reset : unit -> unit

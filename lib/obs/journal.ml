@@ -19,6 +19,7 @@ type event =
   | Backtrack of { backtracks : int; decisions : int; implications : int }
   | Test_generated of { test : int; frames : int }
   | Fault_dropped of { cls : int; test : int }
+  | Class_resolved of { cls : int; outcome : string; faults : int }
   | Fsim_run of { faults : int; detected : int; patterns : int; events : int }
   | Retry of { site : string; attempt : int; budget : int }
   | Degraded of { site : string; action : string }
@@ -47,11 +48,18 @@ let set_capacity n =
 let recorded () = !total
 let dropped () = max 0 (!total - !cap)
 
+(* Tap for live consumers (the progress streamer): called synchronously
+   after the ring store, only when enabled.  The default is a no-op, so
+   the tap costs one closure call per recorded event and nothing when
+   observability is off. *)
+let on_record : (entry -> unit) ref = ref (fun _ -> ())
+
 let record ev =
   if !Config.enabled then begin
     let e = { e_seq = !total; e_time = Clock.now (); e_event = ev } in
     !buf.(!total mod !cap) <- Some e;
-    incr total
+    incr total;
+    !on_record e
   end
 
 let entries () =
@@ -72,6 +80,7 @@ let event_type = function
   | Backtrack _ -> "backtrack"
   | Test_generated _ -> "test_generated"
   | Fault_dropped _ -> "fault_dropped"
+  | Class_resolved _ -> "class_resolved"
   | Fsim_run _ -> "fsim_run"
   | Retry _ -> "retry"
   | Degraded _ -> "degraded"
@@ -99,6 +108,9 @@ let event_fields ev =
   | Test_generated { test; frames } ->
     [ ("test", Int test); ("frames", Int frames) ]
   | Fault_dropped { cls; test } -> [ ("class", Int cls); ("test", Int test) ]
+  | Class_resolved { cls; outcome; faults } ->
+    [ ("class", Int cls); ("outcome", String outcome);
+      ("faults", Int faults) ]
   | Fsim_run { faults; detected; patterns; events } ->
     [ ("faults", Int faults); ("detected", Int detected);
       ("patterns", Int patterns); ("events", Int events) ]

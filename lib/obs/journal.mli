@@ -27,6 +27,13 @@ type event =
       (** A test entered the ledger's test table under id [test]. *)
   | Fault_dropped of { cls : int; test : int }
       (** Ledger class [cls] detected by fault-simulating test [test]. *)
+  | Class_resolved of { cls : int; outcome : string; faults : int }
+      (** Ledger class [cls] reached a final {!Hft_obs.Ledger.resolution}
+          ([outcome] is its {!Hft_obs.Ledger.resolution_key}; [faults]
+          counts the class members).  Emitted by [Ledger.resolve], so an
+          exported journal replays the coverage waterfall offline; a
+          class resolved twice (checkpoint resume rewrites) appears
+          twice and the last event wins. *)
   | Fsim_run of { faults : int; detected : int; patterns : int; events : int }
       (** One fault-simulation call's totals. *)
   | Retry of { site : string; attempt : int; budget : int }
@@ -42,6 +49,13 @@ type event =
 type entry = { e_seq : int; e_time : float; e_event : event }
 
 val record : event -> unit
+
+(** Synchronous tap called after every recorded entry (only while
+    enabled).  Consumers ({!Hft_obs.Progress}) install themselves here;
+    the default is a no-op.  Replace, don't chain — there is one live
+    consumer at a time and {!Hft_obs.Progress.stop} restores the
+    no-op. *)
+val on_record : (entry -> unit) ref
 
 (** Entries still in the ring, oldest first. *)
 val entries : unit -> entry list

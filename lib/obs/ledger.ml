@@ -87,7 +87,26 @@ let register_class ~rep ~members =
       { m_rep = rep; m_members = members; m_res = Never_targeted; m_fsim = 0;
         m_impl = 0; m_btk = 0; m_gcuts = 0 }
 
-let resolve h res = if h >= 0 && h < !n_rows_ then !rows_buf.(h).m_res <- res
+let resolution_key = function
+  | Drop_detected _ -> "drop_detected"
+  | Podem_detected _ -> "podem_detected"
+  | Salvaged _ -> "salvaged"
+  | Proved_untestable _ -> "untestable"
+  | Aborted _ -> "aborted"
+  | Never_targeted -> "never_targeted"
+
+let resolve h res =
+  if h >= 0 && h < !n_rows_ then begin
+    let r = !rows_buf.(h) in
+    r.m_res <- res;
+    (* Journaled so an exported tape replays the waterfall offline and
+       the progress streamer sees resolution velocity without a second
+       hook. *)
+    Journal.record
+      (Journal.Class_resolved
+         { cls = h; outcome = resolution_key res;
+           faults = List.length r.m_members })
+  end
 
 let charge ?(fsim_events = 0) ?(implications = 0) ?(backtracks = 0)
     ?(guided_cuts = 0) h =
@@ -125,14 +144,6 @@ let tests () =
       { lt_id = i; lt_frames = t.mt_frames; lt_rows = t.mt_rows })
 
 let cost r = r.lr_fsim_events + r.lr_implications + r.lr_backtracks
-
-let resolution_key = function
-  | Drop_detected _ -> "drop_detected"
-  | Podem_detected _ -> "podem_detected"
-  | Salvaged _ -> "salvaged"
-  | Proved_untestable _ -> "untestable"
-  | Aborted _ -> "aborted"
-  | Never_targeted -> "never_targeted"
 
 let resolution_to_string = function
   | Drop_detected { test } -> Printf.sprintf "drop-detected (test %d)" test
@@ -264,6 +275,33 @@ let to_json () =
                     [ ("first_row", Hft_util.Json.Int first);
                       ("n_rows", Hft_util.Json.Int n) ])))
             (tests ()))) ]
+
+(* Line-oriented export for offline reporting: every class row, then
+   every test, one JSON object per line.  Rows are recognisable by their
+   "class" key and tests by their "test" key, so `hft report
+   --journal-in` can tell a ledger tape from a journal tape without a
+   header line. *)
+let to_jsonl () =
+  let b = Buffer.create 4096 in
+  let line j =
+    Buffer.add_string b (Hft_util.Json.to_string j);
+    Buffer.add_char b '\n'
+  in
+  List.iter (fun r -> line (row_to_json r)) (rows ());
+  List.iter
+    (fun t ->
+      line
+        (Hft_util.Json.Obj
+           (("test", Hft_util.Json.Int t.lt_id)
+            :: ("frames", Hft_util.Json.Int t.lt_frames)
+            ::
+            (match t.lt_rows with
+             | None -> []
+             | Some (first, n) ->
+               [ ("first_row", Hft_util.Json.Int first);
+                 ("n_rows", Hft_util.Json.Int n) ]))))
+    (tests ());
+  Buffer.contents b
 
 (* Most expensive first; class id breaks ties so the order is total. *)
 let top_expensive ~k =

@@ -54,7 +54,10 @@ type test = {
 (** Returns the class handle, or [-1] when observability is disabled. *)
 val register_class : rep:string -> members:string list -> int
 
-(** Record the class outcome (last write wins; engines resolve once). *)
+(** Record the class outcome (last write wins; engines resolve once).
+    Also journals a {!Hft_obs.Journal.event.Class_resolved} event, so
+    exported tapes carry the waterfall and live consumers see
+    resolution velocity. *)
 val resolve : int -> resolution -> unit
 
 (** Accumulate cost counters onto a class; all default to 0. *)
@@ -105,6 +108,11 @@ val resolution_test : resolution -> int option
 val waterfall_json : unit -> Hft_util.Json.t
 val row_to_json : row -> Hft_util.Json.t
 val to_json : unit -> Hft_util.Json.t
+
+(** One JSON object per line: every class row (keyed ["class"]) then
+    every test (keyed ["test"]); [""] when empty.  The offline-report
+    input format ([hft report --journal-in]). *)
+val to_jsonl : unit -> string
 
 (** The [k] most expensive rows, descending cost (class id tiebreak). *)
 val top_expensive : k:int -> row list

@@ -54,10 +54,30 @@ let with_ ?(attrs = []) name f =
       { sp_name = name; sp_attrs = List.rev attrs; sp_start = Clock.now ();
         sp_elapsed = 0.0; sp_children = [] }
     in
+    (* Allocation profile of the phase, when asked for: quick_stat is a
+       handful of loads (no heap walk; [Gc.minor_words] separately
+       because quick_stat's minor figure excludes the live minor heap),
+       and the deltas land as ordinary attributes so every exporter
+       (render, Chrome trace, progress stream) carries them for free. *)
+    let gc0 =
+      if !Config.gc_stats then Some (Gc.quick_stat (), Gc.minor_words ())
+      else None
+    in
     stack := sp :: !stack;
     Journal.record (Journal.Phase_begin { name });
     let finish () =
       sp.sp_elapsed <- Clock.now () -. sp.sp_start;
+      (match gc0 with
+       | None -> ()
+       | Some (g0, m0) ->
+         let g1 = Gc.quick_stat () in
+         let words f = Printf.sprintf "%.0f" f in
+         sp.sp_attrs <-
+           ("gc_compact",
+            string_of_int (g1.Gc.compactions - g0.Gc.compactions))
+           :: ("gc_major_w", words (g1.Gc.major_words -. g0.Gc.major_words))
+           :: ("gc_minor_w", words (Gc.minor_words () -. m0))
+           :: sp.sp_attrs);
       Journal.record (Journal.Phase_end { name; elapsed = sp.sp_elapsed });
       (match !stack with
        | top :: rest when top == sp -> stack := rest

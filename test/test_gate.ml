@@ -747,6 +747,61 @@ let test_seq_atpg_drop_on_sequential () =
   check "drop effort no worse" true
     (drop.Seq_atpg.implications <= naive.Seq_atpg.implications)
 
+(* Minimized fuzz find (seed 4246): the multi-frame PODEM's propagation
+   objective list once had a gap — when every D-frontier gate's first
+   unassigned input was already implied, no objective backtraced and
+   the search concluded Untestable while a different schedule (the
+   drop engine, warmed by earlier tests) detected the same fault
+   (n12.in0/SA1).  The fallback objectives close the gap; this is the
+   differential regression pinning it. *)
+let test_seq_atpg_seed_4246_sound () =
+  let nl = Netlist_gen.sequential ~seed:4246 ~n_pi:4 ~n_dff:3 ~n_gates:14 in
+  let faults = Fault.collapsed nl in
+  let scanned = List.filteri (fun i _ -> i mod 2 = 0) (Netlist.dffs nl) in
+  let outcomes strategy =
+    Hft_obs.with_enabled true @@ fun () ->
+    Hft_obs.reset ();
+    ignore
+      (Seq_atpg.run ~backtrack_limit:30 ~max_frames:3 ~strategy nl ~faults
+         ~scanned);
+    let tbl = Hashtbl.create 64 in
+    List.iter
+      (fun (row : Hft_obs.Ledger.row) ->
+        let kind = Hft_obs.Ledger.resolution_key row.Hft_obs.Ledger.lr_resolution in
+        List.iter
+          (fun m -> Hashtbl.replace tbl m kind)
+          row.Hft_obs.Ledger.lr_members)
+      (Hft_obs.Ledger.rows ());
+    Hft_obs.reset ();
+    tbl
+  in
+  let o_naive = outcomes Seq_atpg.Naive in
+  let o_drop = outcomes Seq_atpg.Drop in
+  let is_detected k =
+    List.mem k [ "drop_detected"; "podem_detected"; "salvaged" ]
+  in
+  (* The historical failure mode, pinned exactly. *)
+  (match Hashtbl.find_opt o_naive "n12.in0/SA1" with
+   | Some k ->
+     check "naive detects n12.in0/SA1" true (is_detected k)
+   | None -> Alcotest.fail "n12.in0/SA1 missing from naive ledger");
+  (match Hashtbl.find_opt o_drop "n12.in0/SA1" with
+   | Some k -> check "drop detects n12.in0/SA1" true (is_detected k)
+   | None -> Alcotest.fail "n12.in0/SA1 missing from drop ledger");
+  (* ...and the general soundness differential over the whole circuit:
+     detected-by-one, proven-untestable-by-the-other is always a bug. *)
+  Hashtbl.iter
+    (fun f k1 ->
+      match Hashtbl.find_opt o_drop f with
+      | Some k2 ->
+        if
+          (is_detected k1 && k2 = "untestable")
+          || (k1 = "untestable" && is_detected k2)
+        then
+          Alcotest.failf "fault %s: naive says %s, drop says %s" f k1 k2
+      | None -> Alcotest.failf "fault %s missing from drop ledger" f)
+    o_naive
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "hft_gate"
@@ -806,6 +861,8 @@ let () =
           qt prop_seq_atpg_drop_matches_naive;
           Alcotest.test_case "drop on sequential" `Quick
             test_seq_atpg_drop_on_sequential;
+          Alcotest.test_case "seed 4246 reproducer sound" `Quick
+            test_seq_atpg_seed_4246_sound;
         ] );
       ( "ctrl_expand",
         [

@@ -25,6 +25,22 @@ BENCH_hft.json baseline, row by (bench, flow) row:
   aborted-class count.  Rows whose baseline predates the field only
   check the first two.
 
+Live-telemetry gates (the hft-progress/1 stream must be a provable
+no-op on the engines):
+
+- `--progress-fresh FILE` names a second fresh bench run made with
+  --progress-out.  Its legacy counters (`faults`, `podem_backtracks`,
+  `fsim_events`, `waterfall`) must be bit-identical to the plain fresh
+  run's, and its atpg wall time is bounded by --progress-slack times
+  the plain run's (streaming buys observability with bounded
+  overhead, never with different engine work).
+- `--progress-stream FILE` names the JSONL stream that run emitted.
+  Sequence numbers must be strictly monotone, the stream must carry
+  at least --min-snapshots intermediate snapshots and end with a
+  stream_end terminator, and each campaign's final snapshot waterfall
+  must bit-match the matching bench cell (labels
+  `<bench>/<flow>/unguided` and `.../guided`).
+
 Exit status 0 = pass, 1 = regression, 2 = usage/schema problem.
 """
 
@@ -37,6 +53,110 @@ def rows_by_key(doc):
     if doc.get("schema") != "hft-bench/1":
         sys.exit(f"unexpected bench schema: {doc.get('schema')!r}")
     return {(r["bench"], r["flow"]): r for r in doc["results"]}
+
+
+def check_progress_fresh(fresh, path, slack):
+    """The streamed bench run must do bit-identical engine work."""
+    try:
+        with open(path) as f:
+            streamed = rows_by_key(json.load(f))
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"cannot load {path}: {e}")
+    failures = 0
+    missing = sorted(set(fresh) - set(streamed))
+    if missing:
+        print(f"FAIL: rows missing from progress run: {missing}")
+        failures += 1
+    for key in sorted(set(fresh) & set(streamed)):
+        p, f = streamed[key], fresh[key]
+        verdicts = []
+        for field in ("faults", "podem_backtracks", "fsim_events", "waterfall"):
+            if p.get(field) != f.get(field):
+                verdicts.append(
+                    f"{field} {f.get(field)} != {p.get(field)} under streaming"
+                )
+        if "guided" in f and "guided" in p:
+            for field in ("podem_backtracks", "waterfall"):
+                if p["guided"].get(field) != f["guided"].get(field):
+                    verdicts.append(f"guided {field} differs under streaming")
+        f_ms, p_ms = f["wall_ms"]["atpg"], p["wall_ms"]["atpg"]
+        if p_ms > f_ms * slack:
+            verdicts.append(
+                f"streaming overhead unbounded: atpg {f_ms}ms -> {p_ms}ms"
+            )
+        status = "ok" if not verdicts else "FAIL " + "; ".join(verdicts)
+        print(f"progress {key[0]:8} {key[1]:14} {status}")
+        failures += bool(verdicts)
+    return failures
+
+
+def check_progress_stream(path, fresh, min_snapshots):
+    """Lint the hft-progress/1 tape and tie its final snapshots to the
+    bench cells the same process wrote."""
+    try:
+        with open(path) as f:
+            events = [json.loads(l) for l in f if l.strip()]
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"cannot parse progress stream {path}: {e}")
+    failures = 0
+
+    def fail(msg):
+        nonlocal failures
+        print(f"progress stream FAIL: {msg}")
+        failures += 1
+
+    if not events:
+        fail("empty stream")
+        return failures
+    last_seq = -1
+    for ev in events:
+        if ev.get("schema") != "hft-progress/1":
+            fail(f"bad schema on event {ev.get('seq')}: {ev.get('schema')!r}")
+        seq = ev.get("seq", -1)
+        if seq <= last_seq:
+            fail(f"seq not strictly monotone at {seq} (after {last_seq})")
+        last_seq = seq
+    snapshots = [e for e in events if e.get("type") == "snapshot"]
+    intermediate = [e for e in snapshots if not e.get("final")]
+    if len(intermediate) < min_snapshots:
+        fail(
+            f"only {len(intermediate)} intermediate snapshot(s), "
+            f"need {min_snapshots}"
+        )
+    if events[-1].get("type") != "stream_end":
+        fail(f"stream not terminated (last event: {events[-1].get('type')!r})")
+    finals = [e for e in snapshots if e.get("final")]
+    matched = 0
+    for ev in finals:
+        label = ev.get("campaign") or ""
+        parts = label.split("/")
+        if len(parts) != 3:
+            continue
+        bench, flow, leg = parts
+        cell = fresh.get((bench, flow))
+        if cell is None:
+            fail(f"final snapshot for unknown bench cell {label}")
+            continue
+        want = cell.get("waterfall") if leg == "unguided" else cell.get(
+            "guided", {}
+        ).get("waterfall")
+        if want is None:
+            continue
+        if ev.get("waterfall") != want:
+            fail(
+                f"{label}: final snapshot waterfall {ev.get('waterfall')} "
+                f"!= bench cell {want}"
+            )
+        else:
+            matched += 1
+    if finals and not matched and fresh:
+        fail("no final snapshot matched a bench cell label")
+    print(
+        f"progress stream: {len(events)} events, "
+        f"{len(intermediate)} intermediate snapshot(s), "
+        f"{len(finals)} final(s), {matched} matched bench cells"
+    )
+    return failures
 
 
 def main():
@@ -54,6 +174,28 @@ def main():
         type=float,
         default=3.0,
         help="fail when fresh atpg wall time exceeds baseline by this factor",
+    )
+    ap.add_argument(
+        "--progress-fresh",
+        help="bench output from a --progress-out run; its legacy counters "
+        "must be bit-identical to --fresh",
+    )
+    ap.add_argument(
+        "--progress-slack",
+        type=float,
+        default=3.0,
+        help="fail when the --progress-fresh atpg wall time exceeds the "
+        "plain fresh run by this factor",
+    )
+    ap.add_argument(
+        "--progress-stream",
+        help="hft-progress/1 JSONL emitted by the --progress-fresh run",
+    )
+    ap.add_argument(
+        "--min-snapshots",
+        type=int,
+        default=2,
+        help="minimum intermediate snapshots required in --progress-stream",
     )
     args = ap.parse_args()
 
@@ -114,8 +256,17 @@ def main():
         )
         failures += bool(verdicts)
 
+    if args.progress_fresh:
+        failures += check_progress_fresh(
+            fresh, args.progress_fresh, args.progress_slack
+        )
+    if args.progress_stream:
+        failures += check_progress_stream(
+            args.progress_stream, fresh, args.min_snapshots
+        )
+
     if failures:
-        print(f"\n{failures} row(s) regressed")
+        print(f"\n{failures} check(s) regressed")
         return 1
     print("\nall rows within bounds")
     return 0
