@@ -296,16 +296,23 @@ let atpg_cmd =
              ~doc:"Disable static-analysis ATPG guidance (restores the \
                    historical search bit for bit).")
   in
+  let jobs_arg =
+    Arg.(value & opt int 0
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Shard the ATPG fault campaign over N OCaml domains \
+                   (default: \\$(b,HFT_JOBS), else 1).  Coverage, verdicts \
+                   and ledger waterfalls are bit-identical at any N.")
+  in
   (* Campaign mode: one supervised, checkpointed partial-scan campaign
      (the resumable path the robustness tests and CI exercise). *)
-  let run_campaign bench width sample checkpoint resume json guided =
+  let run_campaign bench width sample checkpoint resume json guided jobs =
     Hft_obs.enabled := true;
     Hft_obs.reset ();
     let g = bench_graph ~extra:(fig1_extra ()) bench in
     let r = Flow.synthesize_for_partial_scan ~width g in
     let c =
       Flow.test_campaign ~backtrack_limit:50 ~max_frames:3 ~sample ~seed:2024
-        ~n_patterns:64 ~checkpoint ~resume ~guided
+        ~n_patterns:64 ~checkpoint ~resume ~guided ~jobs
         ~campaign:(bench ^ "/partial-scan/campaign") r
     in
     let atpg_cov = Hft_gate.Seq_atpg.fault_coverage c.Flow.c_atpg in
@@ -344,11 +351,12 @@ let atpg_cmd =
           c.Flow.c_resumed_classes c.Flow.c_resumed_tests checkpoint
     end
   in
-  let run bench width sample checkpoint resume json no_guided obs =
+  let run bench width sample checkpoint resume json no_guided jobs obs =
+    let jobs = if jobs > 0 then jobs else Hft_par.jobs_from_env () in
     match checkpoint with
     | Some file ->
       with_obs ~cmd:"atpg" obs @@ fun () ->
-      run_campaign bench width sample file resume json (not no_guided)
+      run_campaign bench width sample file resume json (not no_guided) jobs
     | None ->
     with_obs ~cmd:"atpg" obs @@ fun () ->
     let g = bench_graph ~extra:(fig1_extra ()) bench in
@@ -374,7 +382,7 @@ let atpg_cmd =
       in
       let stats =
         Hft_scan.Partial_scan.atpg ~backtrack_limit:50 ~max_frames:3
-          ?guidance nl ~faults ~scanned
+          ?guidance ~jobs nl ~faults ~scanned
       in
       Printf.printf "%-14s %4d faults  coverage %6s  backtracks %7d  scan cells %d\n"
         tag (List.length faults)
@@ -390,7 +398,7 @@ let atpg_cmd =
          "Gate-level sequential ATPG comparison; with --checkpoint, a \
           resumable supervised test campaign")
     Term.(const run $ bench_arg $ width_arg $ sample_arg $ checkpoint_arg
-          $ resume_arg $ json_arg $ no_guided_arg $ obs_term)
+          $ resume_arg $ json_arg $ no_guided_arg $ jobs_arg $ obs_term)
 
 let bist_cmd =
   let patterns_arg =
@@ -531,7 +539,7 @@ let bench_cmd =
   let is_detected k =
     List.mem k [ "drop_detected"; "podem_detected"; "salvaged" ]
   in
-  let measure_cell ~width ~sample ~naive bench_name flow_kind g =
+  let measure_cell ~width ~sample ~naive ~jobs_list bench_name flow_kind g =
     (* Fresh registry/trace per cell so counters are attributable to
        one (bench, flow) pair.  (The progress stream, if any, spans the
        whole matrix: reset leaves it running.) *)
@@ -606,6 +614,64 @@ let bench_cmd =
       end
     in
     let ms x = Float.round (1e5 *. x) /. 100.0 in
+    (* Jobs matrix: the unguided leg re-run at each requested domain
+       count.  Everything but the wall time must match the sequential
+       cell bit for bit (bench_check.py gates on it); speedup is the
+       j=1 matrix leg over the largest count, only meaningful when the
+       host actually has that many cores. *)
+    let jobs_cell =
+      if jobs_list = [] then []
+      else begin
+        let legs =
+          List.map
+            (fun j ->
+              Hft_obs.reset ();
+              let cj =
+                Flow.test_campaign ~strategy ~backtrack_limit:20 ~max_frames:2
+                  ~sample ~seed:2024 ~n_patterns:64 ~guided:false ~jobs:j
+                  ~campaign:
+                    (Printf.sprintf "%s/%s/unguided-j%d" bench_name flow_name j)
+                  r
+              in
+              let obj =
+                Hft_util.Json.Obj
+                  [ ("jobs", Hft_util.Json.Int j);
+                    ("wall_ms_atpg", Hft_util.Json.Float (ms cj.Flow.c_t_atpg));
+                    ("faults",
+                     Hft_util.Json.Int (List.length cj.Flow.c_faults));
+                    ("podem_backtracks",
+                     Hft_util.Json.Int
+                       (Hft_obs.Registry.count "hft.podem.backtracks"));
+                    ("fsim_events",
+                     Hft_util.Json.Int
+                       (Hft_obs.Registry.count "hft.fsim.events"));
+                    ("atpg_coverage",
+                     Hft_util.Json.Float
+                       (Hft_gate.Seq_atpg.fault_coverage cj.Flow.c_atpg));
+                    ("fsim_coverage",
+                     Hft_util.Json.Float (Hft_gate.Fsim.coverage cj.Flow.c_fsim));
+                    ("waterfall", Hft_obs.Ledger.waterfall_json ()) ]
+              in
+              (j, cj.Flow.c_t_atpg, obj))
+            jobs_list
+        in
+        let wall j0 =
+          List.find_map (fun (j, w, _) -> if j = j0 then Some w else None) legs
+        in
+        let jmax = List.fold_left max 1 jobs_list in
+        let speedup =
+          match (wall 1, wall jmax) with
+          | Some w1, Some wn when jmax > 1 && wn > 0.0 ->
+            [ ("speedup",
+               Hft_util.Json.Float (Float.round (100.0 *. w1 /. wn) /. 100.0))
+            ]
+          | _ -> []
+        in
+        ("jobs_matrix",
+         Hft_util.Json.List (List.map (fun (_, _, o) -> o) legs))
+        :: speedup
+      end
+    in
     let cell =
       Hft_util.Json.Obj
         ([ ("bench", Hft_util.Json.String bench_name);
@@ -640,7 +706,7 @@ let bench_cmd =
                ("sessions", Hft_util.Json.Int r.Flow.report.Flow.test_sessions)
              ]);
           ("counters", Hft_obs.Export.metrics_json ~snapshot ()) ]
-         @ guided_cell)
+         @ guided_cell @ jobs_cell)
     in
     let row =
       [ bench_name; flow_name;
@@ -659,9 +725,28 @@ let bench_cmd =
                    no dropping, full-resimulation fault simulation of pure \
                    random patterns) — for before/after comparison.")
   in
-  let run quick json out width naive obs =
+  let jobs_list_arg =
+    Arg.(value & opt string ""
+         & info [ "jobs" ] ~docv:"LIST"
+             ~doc:"Comma-separated domain counts (e.g. 1,2,4): re-run each \
+                   unguided ATPG leg at every count and record a per-cell \
+                   jobs_matrix (wall time, counters, waterfall — everything \
+                   but wall time must match the sequential cell) plus a \
+                   speedup field.")
+  in
+  let run quick json out width naive jobs obs =
     with_obs ~cmd:"bench" obs @@ fun () ->
     Hft_obs.enabled := true;
+    let jobs_list =
+      if jobs = "" then []
+      else
+        List.filter_map
+          (fun s ->
+            match int_of_string_opt (String.trim s) with
+            | Some j when j >= 1 -> Some (Hft_par.clamp_jobs j)
+            | _ -> None)
+          (String.split_on_char ',' jobs)
+    in
     let benches =
       if quick then [ "tseng"; "diffeq" ] else bench_names
     in
@@ -671,7 +756,8 @@ let bench_cmd =
         (fun bname ->
           let g = bench_graph bname in
           List.map
-            (fun (_, kind) -> measure_cell ~width ~sample ~naive bname kind g)
+            (fun (_, kind) ->
+              measure_cell ~width ~sample ~naive ~jobs_list bname kind g)
             Flow.flow_kinds)
         benches
     in
@@ -682,6 +768,8 @@ let bench_cmd =
           ("created_unix", Hft_util.Json.Float (Unix.time ()));
           ("width", Hft_util.Json.Int width);
           ("quick", Hft_util.Json.Bool quick);
+          ("host_cores",
+           Hft_util.Json.Int (Domain.recommended_domain_count ()));
           ("results", Hft_util.Json.List cells) ]
     in
     let text = Hft_util.Json.to_string doc in
@@ -705,7 +793,7 @@ let bench_cmd =
          "Run the flow×bench matrix with wall-clock timings and engine \
           counters; writes BENCH_hft.json")
     Term.(const run $ quick_arg $ json_arg $ out_arg $ bench_width_arg
-          $ naive_arg $ obs_term)
+          $ naive_arg $ jobs_list_arg $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* hft report: run a test campaign with the flight recorder on and    *)

@@ -28,16 +28,24 @@ type analyses = {
 
 (* Engines cycle through one unrolled netlist per frame count, so a
    handful of entries covers a whole campaign.  Keyed on physical
-   identity + version (structural edits invalidate) + observe set. *)
-let cache : (Netlist.t * int * int list * analyses) list ref = ref []
+   identity + version (structural edits invalidate) + observe set.
+   Domain-local: parallel ATPG shards analyze their own workspace
+   netlists, so sharing entries across domains would only race — each
+   domain keeps its own small cache (cache_hits/misses counters are
+   therefore scheduling-dependent at [-j > 1]; they are not part of the
+   determinism contract). *)
+let cache : (Netlist.t * int * int list * analyses) list Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> [])
+
 let cache_cap = 8
 
 let analyses_for nl ~observe =
   let ver = Netlist.version nl in
+  let cached = Domain.DLS.get cache in
   match
     List.find_opt
       (fun (nl', ver', obs', _) -> nl' == nl && ver' = ver && obs' = observe)
-      !cache
+      cached
   with
   | Some (_, _, _, a) ->
     Hft_obs.Registry.incr "hft.analysis.cache_hits";
@@ -49,10 +57,8 @@ let analyses_for nl ~observe =
         a_dom = Dominators.compute nl ~observe;
         a_impl = Implications.compute nl }
     in
-    let keep =
-      List.filteri (fun i _ -> i < cache_cap - 1) !cache
-    in
-    cache := (nl, ver, observe, a) :: keep;
+    let keep = List.filteri (fun i _ -> i < cache_cap - 1) cached in
+    Domain.DLS.set cache ((nl, ver, observe, a) :: keep);
     a
 
 (* Non-controlling side-input requirements for a difference crossing
@@ -172,4 +178,4 @@ let provide nl ~observe ~faults =
     g_co = a.a_scoap.Scoap.co;
   }
 
-let reset_cache () = cache := []
+let reset_cache () = Domain.DLS.set cache []

@@ -229,7 +229,7 @@ type campaign = {
 let test_campaign ?(strategy = Fast) ?(backtrack_limit = 20) ?(max_frames = 2)
     ?(sample = 20) ?(seed = 2024) ?(n_patterns = 64)
     ?(supervisor = Some Hft_robust.Supervisor.default) ?checkpoint
-    ?(resume = false) ?(guided = true) ?campaign r =
+    ?(resume = false) ?(guided = true) ?jobs ?campaign r =
   span "test-campaign" @@ fun () ->
   if checkpoint <> None && not !Hft_obs.Config.enabled then
     Hft_robust.Validation.fail ~site:"flow.test_campaign"
@@ -451,10 +451,11 @@ let test_campaign ?(strategy = Fast) ?(backtrack_limit = 20) ?(max_frames = 2)
       in
       Hft_scan.Partial_scan.atpg ~backtrack_limit ~max_frames
         ~strategy:Hft_gate.Seq_atpg.Drop ~on_test ~supervisor ?resolved
-        ?on_resolved ?guidance nl ~faults ~scanned
+        ?on_resolved ?guidance ?jobs nl ~faults ~scanned
     | Naive ->
       Hft_scan.Partial_scan.atpg ~backtrack_limit ~max_frames
-        ~strategy:Hft_gate.Seq_atpg.Naive ~supervisor nl ~faults ~scanned
+        ~strategy:Hft_gate.Seq_atpg.Naive ~supervisor ?jobs nl ~faults
+        ~scanned
   in
   let t_atpg = Hft_obs.Clock.now () -. t0 in
   (* Final coverage fault simulation.  Fast: replay the ATPG-derived

@@ -123,6 +123,12 @@ type campaign = {
     the historical search bit for bit.  The flag is part of the
     checkpoint fingerprint.
 
+    [jobs] shards the ATPG phase over an OCaml 5 domain pool (see
+    {!Hft_gate.Seq_atpg.run}).  Coverage, verdicts, tests and ledger
+    waterfalls are bit-identical at any jobs count, so [jobs] is
+    deliberately {e not} part of the checkpoint fingerprint: a campaign
+    checkpointed at one jobs count resumes correctly at another.
+
     [campaign] labels this run in the [hft-progress/1] live-telemetry
     stream (default: the flow name).  When {!Hft_obs.Progress} is
     started the campaign is bracketed by a [campaign_started] event and
@@ -131,5 +137,6 @@ val test_campaign :
   ?strategy:atpg_strategy -> ?backtrack_limit:int -> ?max_frames:int ->
   ?sample:int -> ?seed:int -> ?n_patterns:int ->
   ?supervisor:Hft_robust.Supervisor.policy option ->
-  ?checkpoint:string -> ?resume:bool -> ?guided:bool -> ?campaign:string ->
+  ?checkpoint:string -> ?resume:bool -> ?guided:bool -> ?jobs:int ->
+  ?campaign:string ->
   result -> campaign

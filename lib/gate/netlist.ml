@@ -41,6 +41,25 @@ let create ?(name = "netlist") () =
     version = 0;
   }
 
+(* Structural copy for per-domain ATPG workspaces: node ids are array
+   positions, so ids, fault sites and observe lists transfer verbatim
+   between a netlist and its copy.  Derived caches are dropped — each
+   domain rebuilds its own — and the version is carried over so
+   version-keyed caches treat copy and original alike. *)
+let copy nl =
+  {
+    cname = nl.cname;
+    kinds = Array.copy nl.kinds;
+    fanins = Array.map Array.copy nl.fanins;
+    names = Array.copy nl.names;
+    n = nl.n;
+    fanouts = None;
+    order = None;
+    topo_pos = None;
+    cones = None;
+    version = nl.version;
+  }
+
 let arity = function
   | Pi | Const0 | Const1 -> 0
   | Po | Buf | Not | Dff -> 1

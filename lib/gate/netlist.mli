@@ -32,6 +32,12 @@ val add : t -> ?name:string -> kind -> int array -> int
 
 val n_nodes : t -> int
 
+(** Structural copy sharing nothing mutable with the original.  Node
+    ids are positions, so ids, fault sites and observe lists transfer
+    verbatim; derived caches (fanout/order/cones) start empty and the
+    {!version} carries over.  Used for per-domain ATPG workspaces. *)
+val copy : t -> t
+
 (** Mutation counter, bumped by {!add} and {!set_fanin} — lets external
     caches keyed on a netlist notice structural changes. *)
 val version : t -> int

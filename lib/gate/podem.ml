@@ -77,25 +77,27 @@ let flush_effort ?(guided = false) effort result =
    {!Netlist.version}, so structural edits between calls invalidate the
    entry): every [generate] starts from the same empty test cube, so the
    first implication is a [blit] of this baseline plus a fault-cone
-   patch instead of two whole-netlist passes. *)
-let baseline_cache : (Netlist.t * int * Sim.tstate) list ref = ref []
+   patch instead of two whole-netlist passes.  Domain-local so parallel
+   ATPG shards never share (or race on) a cached [tstate] — each worker
+   warms its own entry for its own workspace netlist. *)
+let baseline_cache : (Netlist.t * int * Sim.tstate) list Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> [])
 
 let baseline nl =
   let ver = Netlist.version nl in
+  let cached = Domain.DLS.get baseline_cache in
   match
-    List.find_opt
-      (fun (nl', ver', _) -> nl' == nl && ver' = ver)
-      !baseline_cache
+    List.find_opt (fun (nl', ver', _) -> nl' == nl && ver' = ver) cached
   with
   | Some (_, _, b) -> b
   | None ->
     let b = Sim.tcreate nl in
     Sim.teval nl b;
     let keep =
-      List.filter (fun (nl', _, _) -> nl' != nl) !baseline_cache
+      List.filter (fun (nl', _, _) -> nl' != nl) cached
       |> List.filteri (fun i _ -> i < 3)
     in
-    baseline_cache := (nl, ver, b) :: keep;
+    Domain.DLS.set baseline_cache ((nl, ver, b) :: keep);
     b
 
 let rec generate ?(backtrack_limit = 500) ?check ?guidance nl ~faults

@@ -265,10 +265,27 @@ let replay ?assignable_pis ?strapped nl ~scanned ~tests faults =
     frame_counts;
   (List.rev !detected, !pending)
 
+(* One speculated PODEM attempt of the frame-growing ladder for one
+   class, evaluated on a worker domain: the supervised search outcome,
+   the tape of observability writes it deferred ({!Hft_obs.Capture}),
+   and — when the ladder failed — the speculated salvage-pattern search
+   with its own tape.  The orchestrator replays tapes at commit time in
+   class order, so committed telemetry is bit-identical to a sequential
+   run; tapes of discarded speculation (the class was dropped first)
+   are simply never replayed. *)
+type spec_attempt = {
+  sp_frames : int;
+  sp_outcome : (Podem.result * Podem.effort, Hft_robust.Failure.t) result;
+  sp_tape : Hft_obs.Capture.tape;
+  sp_salvage :
+    ((((int * bool) list * int) option) * Hft_obs.Capture.tape) option;
+}
+
 let run ?(backtrack_limit = 200) ?(min_frames = 1) ?(max_frames = 6)
     ?assignable_pis ?strapped ?(strategy = Drop) ?on_test
     ?(supervisor = Some Hft_robust.Supervisor.default) ?resolved ?on_resolved
-    ?guidance nl ~faults ~scanned =
+    ?guidance ?(jobs = 1) nl ~faults ~scanned =
+  let jobs = Hft_par.clamp_jobs jobs in
   Hft_obs.Span.with_ "seq-atpg"
     ~attrs:
       [ ("circuit", Netlist.circuit_name nl);
@@ -461,7 +478,12 @@ let run ?(backtrack_limit = 200) ?(min_frames = 1) ?(max_frames = 6)
      frame count, so an interrupted-and-resumed campaign salvages
      identically.  Misses resolve the class aborted-with-reason; the
      campaign never crashes. *)
-  let salvage policy u gi fail =
+  (* [salvage_search] is a pure function of (workspace unroll, class,
+     policy) — the seed depends only on the class index and frame
+     count — so worker domains can speculate it; [salvage_commit]
+     performs the side-effecting half (test registration, drop pass,
+     resolutions) and only ever runs on the orchestrating thread. *)
+  let salvage_search policy u gi =
     let try_salvage () =
       let rng = Hft_util.Rng.create (0x5a17a6e + (7919 * gi) + u.u_frames) in
       let found = ref None in
@@ -482,16 +504,15 @@ let run ?(backtrack_limit = 200) ?(min_frames = 1) ?(max_frames = 6)
       done;
       !found
     in
-    let found =
-      if policy.Hft_robust.Supervisor.salvage_patterns <= 0 then None
-      else
-        match
-          Hft_robust.Supervisor.protect ~site:Hft_robust.Chaos.Fsim
-            try_salvage
-        with
-        | Ok r -> r
-        | Error _ -> None
-    in
+    if policy.Hft_robust.Supervisor.salvage_patterns <= 0 then None
+    else
+      match
+        Hft_robust.Supervisor.protect ~site:Hft_robust.Chaos.Fsim try_salvage
+      with
+      | Ok r -> r
+      | Error _ -> None
+  in
+  let salvage_commit policy u gi fail found =
     match found with
     | Some (assignment, patterns) ->
       let tid = Hft_obs.Ledger.register_test ~frames:u.u_frames in
@@ -524,94 +545,225 @@ let run ?(backtrack_limit = 200) ?(min_frames = 1) ?(max_frames = 6)
              reason = Some (Hft_robust.Failure.to_string fail) });
       `Aborted
   in
-  Array.iteri
-    (fun gi f ->
-      if status.(gi) = `Pending then begin
-        let cls_backtracks = ref 0 in
-        let rec attempt frames last =
-          if frames > max_frames then begin
-            (match last with
-             | `Untestable ->
-               resolve_class gi
-                 (Hft_obs.Ledger.Proved_untestable { frames = max_frames })
-             | `Aborted ->
-               resolve_class gi
-                 (Hft_obs.Ledger.Aborted
-                    { budget = backtrack_limit; frames = max_frames;
-                      reason = None })
-             | _ -> ());
-            last
-          end
-          else begin
-            let u = Lazy.force unrolled.(frames - 1) in
+  (* Target one class through the growing-frames ladder and commit its
+     resolution.  [spec] carries per-frame attempts a worker domain
+     evaluated speculatively: a matching attempt replays its captured
+     telemetry and reuses the search outcome instead of re-running
+     PODEM; on any mismatch (or no speculation at all — [jobs = 1],
+     dead shard) the attempt is computed inline by exactly the code the
+     sequential engine runs.  Commit order is class order either way,
+     so results and telemetry are bit-identical at any jobs count. *)
+  let process_class ?(spec = []) gi f =
+    let cls_backtracks = ref 0 in
+    let rec attempt spec frames last =
+      if frames > max_frames then begin
+        (match last with
+         | `Untestable ->
+           resolve_class gi
+             (Hft_obs.Ledger.Proved_untestable { frames = max_frames })
+         | `Aborted ->
+           resolve_class gi
+             (Hft_obs.Ledger.Aborted
+                { budget = backtrack_limit; frames = max_frames;
+                  reason = None })
+         | _ -> ());
+        last
+      end
+      else begin
+        let u = Lazy.force unrolled.(frames - 1) in
+        if obs then
+          Hft_obs.Journal.record
+            (Hft_obs.Journal.Atpg_target
+               { cls = lh.(gi); rep = Fault.to_string nl f; frames });
+        let outcome, spec_salvage, spec_rest =
+          match spec with
+          | sa :: rest when sa.sp_frames = frames ->
+            Hft_obs.Capture.replay sa.sp_tape;
+            (sa.sp_outcome, sa.sp_salvage, rest)
+          | _ -> (podem_call u f, None, [])
+        in
+        match outcome with
+        | Error fail ->
+          (* Ladder exhausted at this frame count: the failure is
+             not frame-related (timeout / injection / exception), so
+             degrade right here instead of burning more frames. *)
+          (match supervisor with
+           | Some policy ->
+             let found =
+               match spec_salvage with
+               | Some (found, stape) ->
+                 Hft_obs.Capture.replay stape;
+                 found
+               | None -> salvage_search policy u gi
+             in
+             salvage_commit policy u gi fail found
+           | None -> assert false)
+        | Ok (result, effort) ->
+          decisions := !decisions + effort.Podem.decisions;
+          backtracks := !backtracks + effort.Podem.backtracks;
+          implications := !implications + effort.Podem.implications;
+          cls_backtracks := !cls_backtracks + effort.Podem.backtracks;
+          Hft_obs.Ledger.charge lh.(gi)
+            ~implications:effort.Podem.implications
+            ~backtracks:effort.Podem.backtracks
+            ~guided_cuts:effort.Podem.guided_cuts;
+          if obs && effort.Podem.static_proof then
+            Hft_obs.Journal.record
+              (Hft_obs.Journal.Static_untestable
+                 { cls = lh.(gi); frames });
+          if obs then
+            Hft_obs.Journal.record
+              (Hft_obs.Journal.Podem_result
+                 { cls = lh.(gi);
+                   outcome =
+                     (match result with
+                      | Podem.Test _ -> "test"
+                      | Podem.Untestable -> "untestable"
+                      | Podem.Aborted -> "aborted");
+                   frames;
+                   backtracks = effort.Podem.backtracks });
+          if frames > !frames_used then frames_used := frames;
+          match result with
+          | Podem.Test assignment ->
+            let tid = Hft_obs.Ledger.register_test ~frames in
+            (* Drop first: the test's recorded detections then cover
+               both the targeted class and every class it swept. *)
+            let drops, resolutions =
+              if strategy = Drop then safe_drop_pass u assignment gi tid
+              else ([], [])
+            in
             if obs then
               Hft_obs.Journal.record
-                (Hft_obs.Journal.Atpg_target
-                   { cls = lh.(gi); rep = Fault.to_string nl f; frames });
-            match podem_call u f with
-            | Error fail ->
-              (* Ladder exhausted at this frame count: the failure is
-                 not frame-related (timeout / injection / exception), so
-                 degrade right here instead of burning more frames. *)
-              (match supervisor with
-               | Some policy -> salvage policy u gi fail
-               | None -> assert false)
-            | Ok (result, effort) ->
-              decisions := !decisions + effort.Podem.decisions;
-              backtracks := !backtracks + effort.Podem.backtracks;
-              implications := !implications + effort.Podem.implications;
-              cls_backtracks := !cls_backtracks + effort.Podem.backtracks;
-              Hft_obs.Ledger.charge lh.(gi)
-                ~implications:effort.Podem.implications
-                ~backtracks:effort.Podem.backtracks
-                ~guided_cuts:effort.Podem.guided_cuts;
-              if obs && effort.Podem.static_proof then
-                Hft_obs.Journal.record
-                  (Hft_obs.Journal.Static_untestable
-                     { cls = lh.(gi); frames });
-              if obs then
-                Hft_obs.Journal.record
-                  (Hft_obs.Journal.Podem_result
-                     { cls = lh.(gi);
-                       outcome =
-                         (match result with
-                          | Podem.Test _ -> "test"
-                          | Podem.Untestable -> "untestable"
-                          | Podem.Aborted -> "aborted");
-                       frames;
-                       backtracks = effort.Podem.backtracks });
-              if frames > !frames_used then frames_used := frames;
-              match result with
-              | Podem.Test assignment ->
-                let tid = Hft_obs.Ledger.register_test ~frames in
-                (* Drop first: the test's recorded detections then cover
-                   both the targeted class and every class it swept. *)
-                let drops, resolutions =
-                  if strategy = Drop then safe_drop_pass u assignment gi tid
-                  else ([], [])
-                in
-                if obs then
-                  Hft_obs.Journal.record
-                    (Hft_obs.Journal.Test_generated { test = tid; frames });
-                (match on_test with
-                 | Some k ->
-                   k (reconstruct_test nl ~scanned u assignment
-                        ~detects:(members.(gi) @ drops))
-                 | None -> ());
-                emit_resolutions resolutions;
-                resolve_class gi
-                  (Hft_obs.Ledger.Podem_detected
-                     { test = tid; backtracks = !cls_backtracks; frames });
-                `Detected
-              | Podem.Untestable ->
-                (* May become testable with more frames. *)
-                attempt (frames + 1) `Untestable
-              | Podem.Aborted -> attempt (frames + 1) `Aborted
-          end
+                (Hft_obs.Journal.Test_generated { test = tid; frames });
+            (match on_test with
+             | Some k ->
+               k (reconstruct_test nl ~scanned u assignment
+                    ~detects:(members.(gi) @ drops))
+             | None -> ());
+            emit_resolutions resolutions;
+            resolve_class gi
+              (Hft_obs.Ledger.Podem_detected
+                 { test = tid; backtracks = !cls_backtracks; frames });
+            `Detected
+          | Podem.Untestable ->
+            (* May become testable with more frames. *)
+            attempt spec_rest (frames + 1) `Untestable
+          | Podem.Aborted -> attempt spec_rest (frames + 1) `Aborted
+      end
+    in
+    status.(gi) <- attempt spec (min min_frames max_frames) `Untestable
+  in
+  (* Speculative evaluation of one class on a worker domain: run the
+     same frame ladder [process_class] will walk, with every
+     observability write captured onto tapes.  Workspaces are
+     per-worker unroll caches built from the (read-only) original
+     netlist; their construction cost is suppressed outright — it has
+     no sequential counterpart. *)
+  let ws_unroll ws frames =
+    match ws.(frames - 1) with
+    | Some u -> u
+    | None ->
+      let u =
+        Hft_obs.Capture.suppress (fun () ->
+            unroll_full ?assignable_pis ?strapped nl ~frames ~scanned)
+      in
+      ws.(frames - 1) <- Some u;
+      u
+  in
+  let eval_class ws gi =
+    let f = leaders.(gi) in
+    let rec go frames acc =
+      let u = ws_unroll ws frames in
+      let outcome, tape = Hft_obs.Capture.record (fun () -> podem_call u f) in
+      match outcome with
+      | Ok (Podem.Test _, _) ->
+        List.rev
+          ({ sp_frames = frames; sp_outcome = outcome; sp_tape = tape;
+             sp_salvage = None }
+           :: acc)
+      | Ok ((Podem.Untestable | Podem.Aborted), _) ->
+        let acc =
+          { sp_frames = frames; sp_outcome = outcome; sp_tape = tape;
+            sp_salvage = None }
+          :: acc
         in
-        status.(gi) <- attempt (min min_frames max_frames) `Untestable
-      end)
-    leaders;
+        if frames >= max_frames then List.rev acc else go (frames + 1) acc
+      | Error _ ->
+        let sp_salvage =
+          match supervisor with
+          | None -> None
+          | Some policy ->
+            Some (Hft_obs.Capture.record (fun () -> salvage_search policy u gi))
+        in
+        List.rev
+          ({ sp_frames = frames; sp_outcome = outcome; sp_tape = tape;
+             sp_salvage }
+           :: acc)
+    in
+    go (min min_frames max_frames) []
+  in
+  (* Parallel driver: windows of ~2×jobs pending classes are evaluated
+     speculatively across the pool, then committed strictly in class
+     order.  A class dropped by an earlier commit discards its
+     speculation (tapes never replayed); a shard death leaves [None]
+     results that commit inline — the window size trades speculation
+     waste against parallelism and cannot affect results. *)
+  let run_parallel pool =
+    (* Warm the original netlist's derived caches before handing it to
+       worker domains: afterwards every access is read-only. *)
+    ignore (Netlist.comb_order nl);
+    Hft_par.Pool.parallel pool ~init:(fun () -> Array.make max_frames None)
+    @@ fun section ->
+    let win = 2 * jobs in
+    let cursor = ref 0 in
+    while !cursor < n_groups do
+      let chunk_start = !cursor in
+      let picked = ref [] in
+      let count = ref 0 in
+      let i = ref chunk_start in
+      while !count < win && !i < n_groups do
+        if status.(!i) = `Pending then begin
+          picked := !i :: !picked;
+          incr count
+        end;
+        incr i
+      done;
+      let chunk_end = !i in
+      let window = Array.of_list (List.rev !picked) in
+      let specs, fails =
+        if Array.length window = 0 then ([||], [])
+        else
+          section.run ~n:(Array.length window) ~f:(fun ws k ->
+              eval_class ws window.(k))
+      in
+      List.iter
+        (fun _fail ->
+          Hft_obs.Journal.record
+            (Hft_obs.Journal.Degraded
+               { site = "shard"; action = "sequential-fallback" });
+          Hft_obs.Registry.incr "hft.robust.degraded")
+        fails;
+      let spec_of = Array.make (chunk_end - chunk_start) None in
+      Array.iteri
+        (fun k gi -> spec_of.(gi - chunk_start) <- specs.(k))
+        window;
+      for gi = chunk_start to chunk_end - 1 do
+        if status.(gi) = `Pending then
+          let spec =
+            match spec_of.(gi - chunk_start) with
+            | Some spec -> spec
+            | None -> []
+          in
+          process_class ~spec gi leaders.(gi)
+      done;
+      cursor := chunk_end
+    done
+  in
+  if jobs > 1 && n_groups > 1 then run_parallel (Hft_par.Pool.get ~jobs)
+  else
+    Array.iteri
+      (fun gi f -> if status.(gi) = `Pending then process_class gi f)
+      leaders;
   Array.iteri
     (fun gi st ->
       match st with

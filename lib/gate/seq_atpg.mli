@@ -86,7 +86,17 @@ val fault_coverage : stats -> float
     fault) and threads static-analysis guidance into every PODEM call:
     per-fault verdicts are provably no worse than unguided (see
     {!Podem.generate}); omitting it keeps the historical search bit for
-    bit. *)
+    bit.
+
+    [jobs] (default 1, clamped to 1–64) shards the campaign over an
+    {!Hft_par} domain pool: pending classes are PODEM-evaluated
+    speculatively on workers, then committed strictly in class order.
+    Coverage, verdicts, tests, ledger waterfalls and the determinism-
+    contract counters are bit-identical at any jobs count; a worker
+    domain that dies degrades its shard to inline sequential
+    evaluation (one [Degraded {site = "shard"}] journal event per
+    failure) with unchanged results.  [jobs = 1] is the historical
+    sequential path, bit for bit. *)
 val run :
   ?backtrack_limit:int -> ?min_frames:int -> ?max_frames:int ->
   ?assignable_pis:int list -> ?strapped:int list ->
@@ -95,6 +105,7 @@ val run :
   ?resolved:(string -> Hft_obs.Ledger.resolution option) ->
   ?on_resolved:(rep:string -> Hft_obs.Ledger.resolution -> unit) ->
   ?guidance:Podem.provider ->
+  ?jobs:int ->
   Netlist.t -> faults:Fault.t list -> scanned:int list -> stats
 
 (** [replay nl ~scanned ~tests faults] — which of [faults] the

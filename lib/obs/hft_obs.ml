@@ -5,6 +5,7 @@
 module Config = Config
 module Clock = Clock
 module Metric = Metric
+module Capture = Capture
 module Registry = Registry
 module Span = Span
 module Journal = Journal

@@ -33,42 +33,62 @@ let cap = ref default_capacity
 let buf : entry option array ref = ref (Array.make default_capacity None)
 let total = ref 0
 
-let capacity () = !cap
+(* Ring, counters and capacity are guarded by one mutex so records from
+   worker domains are never torn or lost.  Writes route through
+   {!Capture} first: a capturing domain defers the record onto its tape
+   instead of touching the ring (see capture.mli). *)
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let capacity () = locked (fun () -> !cap)
 
 let reset () =
-  Array.fill !buf 0 (Array.length !buf) None;
-  total := 0
+  locked (fun () ->
+      Array.fill !buf 0 (Array.length !buf) None;
+      total := 0)
 
 let set_capacity n =
   if n < 1 then invalid_arg "Hft_obs.Journal.set_capacity";
-  cap := n;
-  buf := Array.make n None;
-  total := 0
+  locked (fun () ->
+      cap := n;
+      buf := Array.make n None;
+      total := 0)
 
-let recorded () = !total
-let dropped () = max 0 (!total - !cap)
+let recorded () = locked (fun () -> !total)
+let dropped () = locked (fun () -> max 0 (!total - !cap))
 
 (* Tap for live consumers (the progress streamer): called synchronously
    after the ring store, only when enabled.  The default is a no-op, so
    the tap costs one closure call per recorded event and nothing when
-   observability is off. *)
+   observability is off.  The tap runs outside the ring lock so it may
+   itself read the registry/ledger without deadlocking. *)
 let on_record : (entry -> unit) ref = ref (fun _ -> ())
 
+let record_now ev =
+  let e =
+    locked (fun () ->
+        let e = { e_seq = !total; e_time = Clock.now (); e_event = ev } in
+        !buf.(!total mod !cap) <- Some e;
+        incr total;
+        e)
+  in
+  !on_record e
+
 let record ev =
-  if !Config.enabled then begin
-    let e = { e_seq = !total; e_time = Clock.now (); e_event = ev } in
-    !buf.(!total mod !cap) <- Some e;
-    incr total;
-    !on_record e
-  end
+  if !Config.enabled then
+    if not (Capture.defer (fun () -> record_now ev)) then record_now ev
 
 let entries () =
-  let n = min !total !cap in
-  let first = !total - n in
-  List.init n (fun i ->
-      match !buf.((first + i) mod !cap) with
-      | Some e -> e
-      | None -> assert false)
+  locked (fun () ->
+      let n = min !total !cap in
+      let first = !total - n in
+      List.init n (fun i ->
+          match !buf.((first + i) mod !cap) with
+          | Some e -> e
+          | None -> assert false))
 
 let event_type = function
   | Phase_begin _ -> "phase_begin"

@@ -51,11 +51,22 @@ let n_rows_ = ref 0
 let tests_buf : mtest array ref = ref [||]
 let n_tests_ = ref 0
 
+(* One mutex guards both growable buffers so registrations and charges
+   from worker domains are never lost.  Lock ordering: the ledger lock
+   is released before calling into [Journal] (see [resolve]), so the
+   only cross-module order is Ledger → Journal and never the reverse. *)
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
 let reset () =
-  rows_buf := [||];
-  n_rows_ := 0;
-  tests_buf := [||];
-  n_tests_ := 0
+  locked (fun () ->
+      rows_buf := [||];
+      n_rows_ := 0;
+      tests_buf := [||];
+      n_tests_ := 0)
 
 let push buf n dummy v =
   let a = !buf in
@@ -83,9 +94,10 @@ let dummy_test = { mt_frames = 0; mt_rows = None }
 let register_class ~rep ~members =
   if not !Config.enabled then -1
   else
-    push rows_buf n_rows_ dummy_row
-      { m_rep = rep; m_members = members; m_res = Never_targeted; m_fsim = 0;
-        m_impl = 0; m_btk = 0; m_gcuts = 0 }
+    locked (fun () ->
+        push rows_buf n_rows_ dummy_row
+          { m_rep = rep; m_members = members; m_res = Never_targeted;
+            m_fsim = 0; m_impl = 0; m_btk = 0; m_gcuts = 0 })
 
 let resolution_key = function
   | Drop_detected _ -> "drop_detected"
@@ -96,38 +108,69 @@ let resolution_key = function
   | Never_targeted -> "never_targeted"
 
 let resolve h res =
-  if h >= 0 && h < !n_rows_ then begin
-    let r = !rows_buf.(h) in
-    r.m_res <- res;
-    (* Journaled so an exported tape replays the waterfall offline and
-       the progress streamer sees resolution velocity without a second
-       hook. *)
-    Journal.record
-      (Journal.Class_resolved
-         { cls = h; outcome = resolution_key res;
-           faults = List.length r.m_members })
+  if h >= 0 then begin
+    let faults =
+      locked (fun () ->
+          if h < !n_rows_ then begin
+            let r = !rows_buf.(h) in
+            r.m_res <- res;
+            Some (List.length r.m_members)
+          end
+          else None)
+    in
+    match faults with
+    | None -> ()
+    | Some faults ->
+      (* Journaled so an exported tape replays the waterfall offline and
+         the progress streamer sees resolution velocity without a second
+         hook.  Recorded after the ledger lock is released: the progress
+         tap behind [Journal.on_record] reads the ledger back. *)
+      Journal.record
+        (Journal.Class_resolved
+           { cls = h; outcome = resolution_key res; faults })
   end
 
-let charge ?(fsim_events = 0) ?(implications = 0) ?(backtracks = 0)
+let resolve h res =
+  (* A capturing domain defers the whole resolve (row mutation and the
+     Class_resolved record) so speculative work never reaches the shared
+     ledger; the orchestrator replays committed tapes in class order. *)
+  if not (Capture.defer (fun () -> resolve h res)) then resolve h res
+
+let charge_now ?(fsim_events = 0) ?(implications = 0) ?(backtracks = 0)
     ?(guided_cuts = 0) h =
-  if h >= 0 && h < !n_rows_ then begin
-    let r = !rows_buf.(h) in
-    r.m_fsim <- r.m_fsim + fsim_events;
-    r.m_impl <- r.m_impl + implications;
-    r.m_btk <- r.m_btk + backtracks;
-    r.m_gcuts <- r.m_gcuts + guided_cuts
-  end
+  if h >= 0 then
+    locked (fun () ->
+        if h < !n_rows_ then begin
+          let r = !rows_buf.(h) in
+          r.m_fsim <- r.m_fsim + fsim_events;
+          r.m_impl <- r.m_impl + implications;
+          r.m_btk <- r.m_btk + backtracks;
+          r.m_gcuts <- r.m_gcuts + guided_cuts
+        end)
+
+let charge ?fsim_events ?implications ?backtracks ?guided_cuts h =
+  if h >= 0 then
+    if
+      not
+        (Capture.defer (fun () ->
+             charge_now ?fsim_events ?implications ?backtracks ?guided_cuts h))
+    then charge_now ?fsim_events ?implications ?backtracks ?guided_cuts h
 
 let register_test ~frames =
   if not !Config.enabled then -1
-  else push tests_buf n_tests_ dummy_test { mt_frames = frames; mt_rows = None }
+  else
+    locked (fun () ->
+        push tests_buf n_tests_ dummy_test
+          { mt_frames = frames; mt_rows = None })
 
 let annotate_last_test ~first_row ~n_rows =
-  if !Config.enabled && !n_tests_ > 0 then
-    !tests_buf.(!n_tests_ - 1).mt_rows <- Some (first_row, n_rows)
+  if !Config.enabled then
+    locked (fun () ->
+        if !n_tests_ > 0 then
+          !tests_buf.(!n_tests_ - 1).mt_rows <- Some (first_row, n_rows))
 
-let n_classes () = !n_rows_
-let n_tests () = !n_tests_
+let n_classes () = locked (fun () -> !n_rows_)
+let n_tests () = locked (fun () -> !n_tests_)
 
 let row_of i =
   let m = !rows_buf.(i) in

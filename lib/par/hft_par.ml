@@ -1,0 +1,254 @@
+(* Fixed-size domain pool with per-worker work-stealing deques.
+
+   Architecture: [Pool.get ~jobs] spawns [jobs - 1] domains once and
+   parks them on a condition variable.  Each [section.run] call is one
+   "wave": the calling thread installs a closure, bumps an epoch,
+   broadcasts, and participates as worker 0; workers run the closure
+   and the last one out signals completion.  The closure drains
+   per-worker deques of task indexes — owner pops the front (lowest
+   index, most commit-urgent), thieves steal from the back — so load
+   balances without a contended global queue while front-of-line tasks
+   still finish early.
+
+   Every worker body is wrapped in [Supervisor.protect ~site:Shard]:
+   an exception (or injected chaos) kills that shard's remaining work,
+   not the process.  Tasks the dead shard never completed simply stay
+   [None] in the result array and the caller recomputes them inline —
+   graceful degradation to sequential, one shard at a time. *)
+
+let clamp_jobs j = if j < 1 then 1 else if j > 64 then 64 else j
+
+let jobs_from_env () =
+  match Sys.getenv_opt "HFT_JOBS" with
+  | None -> 1
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some j when j >= 1 -> clamp_jobs j
+     | _ -> 1)
+
+type 'ws section = {
+  run :
+    'a.
+    n:int ->
+    f:('ws -> int -> 'a) ->
+    'a option array * Hft_robust.Failure.t list;
+}
+
+(* A bounded deque over a fixed index range; tasks are ints and nobody
+   pushes after construction, so two cursors under a mutex suffice. *)
+module Deque = struct
+  type t = {
+    d_lock : Mutex.t;
+    d_items : int array;
+    mutable d_lo : int;
+    mutable d_hi : int;
+  }
+
+  let make items =
+    { d_lock = Mutex.create (); d_items = items; d_lo = 0;
+      d_hi = Array.length items }
+
+  let pop_front d =
+    Mutex.lock d.d_lock;
+    let r =
+      if d.d_lo < d.d_hi then begin
+        let v = d.d_items.(d.d_lo) in
+        d.d_lo <- d.d_lo + 1;
+        Some v
+      end
+      else None
+    in
+    Mutex.unlock d.d_lock;
+    r
+
+  let steal_back d =
+    Mutex.lock d.d_lock;
+    let r =
+      if d.d_lo < d.d_hi then begin
+        let v = d.d_items.(d.d_hi - 1) in
+        d.d_hi <- d.d_hi - 1;
+        Some v
+      end
+      else None
+    in
+    Mutex.unlock d.d_lock;
+    r
+end
+
+module Pool = struct
+  type t = {
+    p_jobs : int;
+    p_lock : Mutex.t;
+    p_work : Condition.t;        (* workers wait here for a new epoch *)
+    p_done : Condition.t;        (* the caller waits here for the wave *)
+    mutable p_epoch : int;
+    mutable p_fn : (int -> unit) option;  (* worker id -> unit *)
+    mutable p_finished : int;    (* workers done with the current epoch *)
+    mutable p_shutdown : bool;
+    mutable p_domains : unit Domain.t list;
+  }
+
+  let jobs t = t.p_jobs
+
+  (* Body exceptions never escape [fn] (worker bodies are protected),
+     but keep the accounting alive even if one does: a worker that
+     failed to run its wave must still report in or the caller hangs. *)
+  let run_wave fn wid = try fn wid with _ -> ()
+
+  let worker_loop t wid () =
+    let epoch = ref 0 in
+    let continue_ = ref true in
+    while !continue_ do
+      Mutex.lock t.p_lock;
+      while (not t.p_shutdown) && t.p_epoch = !epoch do
+        Condition.wait t.p_work t.p_lock
+      done;
+      if t.p_shutdown then begin
+        Mutex.unlock t.p_lock;
+        continue_ := false
+      end
+      else begin
+        epoch := t.p_epoch;
+        let fn = Option.get t.p_fn in
+        Mutex.unlock t.p_lock;
+        run_wave fn wid;
+        Mutex.lock t.p_lock;
+        t.p_finished <- t.p_finished + 1;
+        if t.p_finished = t.p_jobs - 1 then Condition.signal t.p_done;
+        Mutex.unlock t.p_lock
+      end
+    done
+
+  (* Run [fn 0] .. [fn (jobs-1)], worker 0 on the calling thread.  The
+     final lock round-trip gives the caller a happens-before edge over
+     everything the workers wrote. *)
+  let launch t fn =
+    if t.p_jobs <= 1 then run_wave fn 0
+    else begin
+      Mutex.lock t.p_lock;
+      t.p_fn <- Some fn;
+      t.p_finished <- 0;
+      t.p_epoch <- t.p_epoch + 1;
+      Condition.broadcast t.p_work;
+      Mutex.unlock t.p_lock;
+      run_wave fn 0;
+      Mutex.lock t.p_lock;
+      while t.p_finished < t.p_jobs - 1 do
+        Condition.wait t.p_done t.p_lock
+      done;
+      t.p_fn <- None;
+      Mutex.unlock t.p_lock
+    end
+
+  let shutdown t =
+    Mutex.lock t.p_lock;
+    t.p_shutdown <- true;
+    Condition.broadcast t.p_work;
+    Mutex.unlock t.p_lock;
+    List.iter Domain.join t.p_domains;
+    Mutex.lock t.p_lock;
+    t.p_domains <- [];
+    Mutex.unlock t.p_lock
+
+  let pools : (int * t) list ref = ref []
+  let pools_lock = Mutex.create ()
+  let at_exit_installed = ref false
+
+  let create jobs =
+    let t =
+      { p_jobs = jobs; p_lock = Mutex.create ();
+        p_work = Condition.create (); p_done = Condition.create ();
+        p_epoch = 0; p_fn = None; p_finished = 0; p_shutdown = false;
+        p_domains = [] }
+    in
+    t.p_domains <-
+      List.init (jobs - 1) (fun i -> Domain.spawn (worker_loop t (i + 1)));
+    t
+
+  let get ~jobs =
+    let jobs = clamp_jobs jobs in
+    Mutex.lock pools_lock;
+    let t =
+      match List.assoc_opt jobs !pools with
+      | Some t -> t
+      | None ->
+        let t = create jobs in
+        pools := (jobs, t) :: !pools;
+        if not !at_exit_installed then begin
+          at_exit_installed := true;
+          at_exit (fun () ->
+              let ps =
+                Mutex.lock pools_lock;
+                let ps = !pools in
+                pools := [];
+                Mutex.unlock pools_lock;
+                ps
+              in
+              List.iter (fun (_, t) -> shutdown t) ps)
+        end;
+        t
+    in
+    Mutex.unlock pools_lock;
+    t
+
+  let parallel (type ws) t ~(init : unit -> ws) (k : ws section -> 'b) : 'b =
+    (* One lazily-built workspace per worker; slot [w] is only ever
+       touched by worker [w] (worker ids are stable across waves), so
+       no lock is needed. *)
+    let slots : ws option array = Array.make t.p_jobs None in
+    let workspace wid =
+      match slots.(wid) with
+      | Some ws -> ws
+      | None ->
+        let ws = init () in
+        slots.(wid) <- Some ws;
+        ws
+    in
+    let run : type a. n:int -> f:(ws -> int -> a) ->
+      a option array * Hft_robust.Failure.t list =
+     fun ~n ~f ->
+      let results = Array.make n None in
+      let fails = ref [] in
+      let fails_lock = Mutex.create () in
+      let deques =
+        Array.init t.p_jobs (fun w ->
+            (* Round-robin striping keeps each deque front-loaded with
+               low task indexes, so owners work commit-order first. *)
+            let mine = ref [] in
+            for k = n - 1 downto 0 do
+              if k mod t.p_jobs = w then mine := k :: !mine
+            done;
+            Deque.make (Array.of_list !mine))
+      in
+      let body wid =
+        match
+          Hft_robust.Supervisor.protect ~site:Hft_robust.Chaos.Shard
+            (fun () ->
+              let ws = workspace wid in
+              let rec drain () =
+                match Deque.pop_front deques.(wid) with
+                | Some k ->
+                  results.(k) <- Some (f ws k);
+                  drain ()
+                | None -> steal 1
+              and steal off =
+                if off < t.p_jobs then
+                  match Deque.steal_back deques.((wid + off) mod t.p_jobs) with
+                  | Some k ->
+                    results.(k) <- Some (f ws k);
+                    steal 1
+                  | None -> steal (off + 1)
+              in
+              drain ())
+        with
+        | Ok () -> ()
+        | Error fail ->
+          Mutex.lock fails_lock;
+          fails := fail :: !fails;
+          Mutex.unlock fails_lock
+      in
+      launch t body;
+      (results, List.rev !fails)
+    in
+    k { run }
+end

@@ -1,0 +1,56 @@
+(** [Hft_par]: a fixed-size OCaml 5 domain pool for the ATPG engines.
+
+    The engines split a fault campaign into collapsed fault classes and
+    evaluate them speculatively on the pool — each worker drains its own
+    deque of class indexes front-first (lowest class index first, i.e.
+    most commit-urgent first) and steals from the back of other workers'
+    deques when it runs dry.  Results come back as an [option] per task:
+    [None] means that task's shard died (or chaos killed it) and the
+    caller must fall back to computing the task inline.  Determinism is
+    the {e caller's} contract — the pool only promises that every task
+    ran at most once and that all side effects of worker bodies
+    happened-before [run] returned.
+
+    The calling thread participates as worker 0, so [jobs = n] uses
+    exactly [n] domains ([n - 1] spawned).  Pools persist per jobs
+    count and are reused across campaigns — domain spawn costs are paid
+    once per process, not once per [run]. *)
+
+val clamp_jobs : int -> int
+(** Clamp a user-supplied jobs count to [1 .. 64]. *)
+
+val jobs_from_env : unit -> int
+(** Parse [HFT_JOBS]; unset, unparsable or < 1 mean [1]. *)
+
+type 'ws section = {
+  run :
+    'a.
+    n:int ->
+    f:('ws -> int -> 'a) ->
+    'a option array * Hft_robust.Failure.t list;
+}
+(** One parallel section with per-worker workspaces of type ['ws].
+    [run ~n ~f] evaluates [f ws k] for [k = 0 .. n-1] across the pool
+    and returns the results plus the failures of any shard whose body
+    was killed ({!Hft_robust.Supervisor.protect} wraps each worker,
+    site {!Hft_robust.Chaos.site} [Shard]).  [results.(k) = None] iff
+    task [k] never completed — its shard died first; re-run it inline.
+    Workspaces are created lazily, one per worker, and persist across
+    successive [run] calls of the same section. *)
+
+module Pool : sig
+  type t
+
+  val get : jobs:int -> t
+  (** The process-wide pool with [clamp_jobs jobs] workers, spawning it
+      on first use.  Pools are cached per jobs count and shut down at
+      process exit. *)
+
+  val jobs : t -> int
+
+  val parallel : t -> init:(unit -> 'ws) -> ('ws section -> 'b) -> 'b
+  (** [parallel t ~init k] opens a section whose per-worker workspaces
+      are built by [init] (on the worker that uses them, at most once
+      per worker) and runs [k] with it.  [k] runs on the calling
+      thread; only [section.run] bodies execute on the pool. *)
+end

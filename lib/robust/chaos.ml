@@ -1,16 +1,17 @@
-type site = Podem | Fsim | Collapse | Serialize
+type site = Podem | Fsim | Collapse | Serialize | Shard
 
 exception Injection of { site : string; seq : int }
 
 type config = { seed : int; prob : float; sites : site list; arm_after : int }
 
-let all_sites = [ Podem; Fsim; Collapse; Serialize ]
+let all_sites = [ Podem; Fsim; Collapse; Serialize; Shard ]
 
 let site_name = function
   | Podem -> "podem"
   | Fsim -> "fsim"
   | Collapse -> "collapse"
   | Serialize -> "serialize"
+  | Shard -> "shard"
 
 let site_of_string s =
   List.find_opt (fun site -> site_name site = s) all_sites

@@ -10,7 +10,7 @@
     is bit-identical.  Disabled (the default), {!check} is a single ref
     read. *)
 
-type site = Podem | Fsim | Collapse | Serialize
+type site = Podem | Fsim | Collapse | Serialize | Shard
 
 (** Raised by {!check} when the injector trips.  [seq] numbers the
     injections of the current configuration from 1. *)

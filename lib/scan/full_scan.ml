@@ -13,7 +13,9 @@ type result = {
    check is exact — no three-valued confirmation needed, unlike the
    sequential case in {!Hft_gate.Seq_atpg}. *)
 let atpg ?(backtrack_limit = 500) ?(strategy = Seq_atpg.Drop)
-    ?(supervisor = Some Hft_robust.Supervisor.default) ?guidance nl ~faults =
+    ?(supervisor = Some Hft_robust.Supervisor.default) ?guidance ?(jobs = 1)
+    nl ~faults =
+  let jobs = Hft_par.clamp_jobs jobs in
   Hft_obs.Span.with_ "full-scan-atpg"
     ~attrs:[ ("faults", string_of_int (List.length faults)) ]
   @@ fun () ->
@@ -64,8 +66,31 @@ let atpg ?(backtrack_limit = 500) ?(strategy = Seq_atpg.Drop)
   in
   let stats = ref Atpg_stats.empty in
   let tests = ref [] in
-  Array.iteri
-    (fun gi f ->
+  (* One supervised PODEM call for one class on netlist [net] —
+     identical search whether [net] is the shared netlist (sequential /
+     commit path) or a per-domain {!Netlist.copy} workspace: node ids
+     are positions, so faults, assignable and observe transfer
+     verbatim and the result is the same. *)
+  let podem_for net f =
+    let gd =
+      Option.map (fun provide -> provide net ~observe ~faults:[ f ]) guidance
+    in
+    match supervisor with
+    | None ->
+      Ok
+        (Podem.generate ~backtrack_limit ?guidance:gd net ~faults:[ f ]
+           ~assignable ~observe)
+    | Some policy ->
+      Hft_robust.Supervisor.ladder policy ~site:Hft_robust.Chaos.Podem
+        ~budget:backtrack_limit (fun ~budget ~check ->
+          Podem.generate ~backtrack_limit:budget ?check ?guidance:gd net
+            ~faults:[ f ] ~assignable ~observe)
+  in
+  (* Commit one class in order.  [spec] is the speculated (outcome,
+     telemetry tape) a worker evaluated for this class; replayed here it
+     is bit-identical to computing inline, which is also the fallback
+     (no speculation at [jobs = 1], dead shard, stale window). *)
+  let process ?spec gi f =
       if dropped.(gi) then
         stats := Atpg_stats.add_detected !stats ~n:sizes.(gi)
       else begin
@@ -73,21 +98,12 @@ let atpg ?(backtrack_limit = 500) ?(strategy = Seq_atpg.Drop)
           Hft_obs.Journal.record
             (Hft_obs.Journal.Atpg_target
                { cls = lh.(gi); rep = Fault.to_string nl f; frames = 1 });
-        let gd =
-          Option.map (fun provide -> provide nl ~observe ~faults:[ f ])
-            guidance
-        in
         let supervised =
-          match supervisor with
-          | None ->
-            Ok
-              (Podem.generate ~backtrack_limit ?guidance:gd nl ~faults:[ f ]
-                 ~assignable ~observe)
-          | Some policy ->
-            Hft_robust.Supervisor.ladder policy ~site:Hft_robust.Chaos.Podem
-              ~budget:backtrack_limit (fun ~budget ~check ->
-                Podem.generate ~backtrack_limit:budget ?check ?guidance:gd nl
-                  ~faults:[ f ] ~assignable ~observe)
+          match spec with
+          | Some (outcome, tape) ->
+            Hft_obs.Capture.replay tape;
+            outcome
+          | None -> podem_for nl f
         in
         let r, e, abort_evidence =
           match supervised with
@@ -196,8 +212,63 @@ let atpg ?(backtrack_limit = 500) ?(strategy = Seq_atpg.Drop)
           let budget, reason = abort_evidence in
           Hft_obs.Ledger.resolve lh.(gi)
             (Hft_obs.Ledger.Aborted { budget; frames = 1; reason })
-      end)
-    leaders;
+      end
+  in
+  (* Parallel driver: windows of pending classes are PODEM-evaluated
+     speculatively on per-domain {!Netlist.copy} workspaces, then every
+     class of the chunk commits in order through [process] — including
+     classes dropped meanwhile, whose speculation is discarded.  See
+     {!Seq_atpg.run} for the determinism argument; the combinational
+     engine is the same shape minus the frame ladder. *)
+  let run_parallel pool =
+    Hft_par.Pool.parallel pool
+      ~init:(fun () ->
+        let c = Netlist.copy nl in
+        ignore (Netlist.comb_order c);
+        c)
+    @@ fun section ->
+    let win = 2 * jobs in
+    let cursor = ref 0 in
+    while !cursor < n_groups do
+      let chunk_start = !cursor in
+      let picked = ref [] in
+      let count = ref 0 in
+      let i = ref chunk_start in
+      while !count < win && !i < n_groups do
+        if not dropped.(!i) then begin
+          picked := !i :: !picked;
+          incr count
+        end;
+        incr i
+      done;
+      let chunk_end = !i in
+      let window = Array.of_list (List.rev !picked) in
+      let specs, fails =
+        if Array.length window = 0 then ([||], [])
+        else
+          section.run ~n:(Array.length window) ~f:(fun ws k ->
+              Hft_obs.Capture.record (fun () ->
+                  podem_for ws leaders.(window.(k))))
+      in
+      List.iter
+        (fun _fail ->
+          Hft_obs.Journal.record
+            (Hft_obs.Journal.Degraded
+               { site = "shard"; action = "sequential-fallback" });
+          Hft_obs.Registry.incr "hft.robust.degraded")
+        fails;
+      let spec_of = Array.make (chunk_end - chunk_start) None in
+      Array.iteri
+        (fun k gi -> spec_of.(gi - chunk_start) <- specs.(k))
+        window;
+      for gi = chunk_start to chunk_end - 1 do
+        process ?spec:(spec_of.(gi - chunk_start)) gi leaders.(gi)
+      done;
+      cursor := chunk_end
+    done
+  in
+  if jobs > 1 && n_groups > 1 then run_parallel (Hft_par.Pool.get ~jobs)
+  else Array.iteri (fun gi f -> process gi f) leaders;
   let chain = Chain.insert nl dffs in
   { chain; tests = List.rev !tests; stats = !stats }
 

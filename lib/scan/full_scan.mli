@@ -33,7 +33,7 @@ type result = {
 val atpg :
   ?backtrack_limit:int -> ?strategy:Seq_atpg.strategy ->
   ?supervisor:Hft_robust.Supervisor.policy option ->
-  ?guidance:Podem.provider -> Netlist.t ->
+  ?guidance:Podem.provider -> ?jobs:int -> Netlist.t ->
   faults:Fault.t list -> result
 
 (** Structural insertion of the full chain ([Chain.insert] on all

@@ -34,4 +34,5 @@ val atpg :
   ?resolved:(string -> Hft_obs.Ledger.resolution option) ->
   ?on_resolved:(rep:string -> Hft_obs.Ledger.resolution -> unit) ->
   ?guidance:Podem.provider ->
+  ?jobs:int ->
   Netlist.t -> faults:Fault.t list -> scanned:int list -> Seq_atpg.stats

@@ -24,6 +24,19 @@ BENCH_hft.json baseline, row by (bench, flow) row:
   bucket), and it must not regress against the baseline's guided
   aborted-class count.  Rows whose baseline predates the field only
   check the first two.
+- `jobs_matrix` (the unguided leg re-run at several domain counts, from
+  `hft bench --jobs`) is gated on the parallel engine's determinism
+  contract: every leg's `faults`, `podem_backtracks`, `fsim_events`,
+  `atpg_coverage`, `fsim_coverage` and `waterfall` must be bit-identical
+  to the cell's sequential fields — any drift is a hard failure (the
+  sharded campaign did different engine work).  Speedups are always
+  reported; `--min-speedup` additionally requires the best measured
+  multi-job speedup to reach the threshold on at least one cell, but
+  only when the producing host had at least as many cores as the
+  largest jobs count (`host_cores` in the fresh document) — wall-clock
+  parallel speedup is not measurable on fewer cores than domains.
+  `--require-jobs-matrix` makes a fresh run without any matrix a
+  failure (so CI cannot silently drop the leg).
 
 Live-telemetry gates (the hft-progress/1 stream must be a provable
 no-op on the engines):
@@ -53,6 +66,75 @@ def rows_by_key(doc):
     if doc.get("schema") != "hft-bench/1":
         sys.exit(f"unexpected bench schema: {doc.get('schema')!r}")
     return {(r["bench"], r["flow"]): r for r in doc["results"]}
+
+
+def check_jobs_matrix(fresh, host_cores, min_speedup, require):
+    """Gate the parallel-ATPG legs: bit-identical engine work at every
+    jobs count, with speedup enforced only where it is measurable."""
+    failures = 0
+    best = None  # (speedup, key, jobs)
+    max_jobs = 0
+    seen = 0
+    for key in sorted(fresh):
+        cell = fresh[key]
+        matrix = cell.get("jobs_matrix")
+        if not matrix:
+            continue
+        seen += 1
+        verdicts = []
+        walls = {}
+        for leg in matrix:
+            j = leg.get("jobs")
+            max_jobs = max(max_jobs, j or 0)
+            walls[j] = leg.get("wall_ms_atpg")
+            for field in (
+                "faults",
+                "podem_backtracks",
+                "fsim_events",
+                "atpg_coverage",
+                "fsim_coverage",
+                "waterfall",
+            ):
+                if leg.get(field) != cell.get(field):
+                    verdicts.append(
+                        f"-j{j} {field} {cell.get(field)} != {leg.get(field)}"
+                    )
+        w1 = walls.get(1)
+        for j, w in sorted(walls.items()):
+            if j != 1 and w1 and w:
+                s = w1 / w
+                if best is None or s > best[0]:
+                    best = (s, key, j)
+        status = "ok" if not verdicts else "FAIL " + "; ".join(verdicts)
+        speedups = " ".join(
+            f"-j{j}:{w1 / w:4.2f}x"
+            for j, w in sorted(walls.items())
+            if j != 1 and w1 and w
+        )
+        print(f"jobs     {key[0]:8} {key[1]:14} {speedups:24} {status}")
+        failures += bool(verdicts)
+    if require and not seen:
+        print("FAIL: no jobs_matrix in the fresh run (bench --jobs leg missing)")
+        failures += 1
+    if seen and best:
+        s, key, j = best
+        print(
+            f"jobs     best speedup {s:.2f}x at -j{j} on {key[0]}/{key[1]} "
+            f"(host cores: {host_cores})"
+        )
+        if min_speedup is not None:
+            if host_cores is not None and host_cores < max_jobs:
+                print(
+                    f"jobs     speedup threshold {min_speedup}x not enforced: "
+                    f"host has {host_cores} core(s) < {max_jobs} jobs"
+                )
+            elif s < min_speedup:
+                print(
+                    f"FAIL: best jobs speedup {s:.2f}x below required "
+                    f"{min_speedup}x"
+                )
+                failures += 1
+    return failures
 
 
 def check_progress_fresh(fresh, path, slack):
@@ -137,9 +219,15 @@ def check_progress_stream(path, fresh, min_snapshots):
         if cell is None:
             fail(f"final snapshot for unknown bench cell {label}")
             continue
-        want = cell.get("waterfall") if leg == "unguided" else cell.get(
-            "guided", {}
-        ).get("waterfall")
+        # Prefix match: the jobs-matrix legs are labelled unguided-jN
+        # and must land on the same waterfall as the sequential cell
+        # (the parallel engine's bit-identity contract).
+        if leg.startswith("unguided"):
+            want = cell.get("waterfall")
+        elif leg.startswith("guided"):
+            want = cell.get("guided", {}).get("waterfall")
+        else:
+            want = None
         if want is None:
             continue
         if ev.get("waterfall") != want:
@@ -197,13 +285,25 @@ def main():
         default=2,
         help="minimum intermediate snapshots required in --progress-stream",
     )
+    ap.add_argument(
+        "--min-speedup",
+        type=float,
+        help="require the best jobs_matrix speedup to reach this factor on "
+        "at least one cell (only enforced when host_cores >= max jobs)",
+    )
+    ap.add_argument(
+        "--require-jobs-matrix",
+        action="store_true",
+        help="fail when the fresh run carries no jobs_matrix at all",
+    )
     args = ap.parse_args()
 
     try:
         with open(args.baseline) as f:
             base = rows_by_key(json.load(f))
         with open(args.fresh) as f:
-            fresh = rows_by_key(json.load(f))
+            fresh_doc = json.load(f)
+        fresh = rows_by_key(fresh_doc)
     except (OSError, json.JSONDecodeError) as e:
         sys.exit(f"cannot load bench files: {e}")
 
@@ -255,6 +355,13 @@ def main():
             f"[{ratio:4.1f}x] {status}"
         )
         failures += bool(verdicts)
+
+    failures += check_jobs_matrix(
+        fresh,
+        fresh_doc.get("host_cores"),
+        args.min_speedup,
+        args.require_jobs_matrix,
+    )
 
     if args.progress_fresh:
         failures += check_progress_fresh(

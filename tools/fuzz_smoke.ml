@@ -17,7 +17,13 @@
       disagreement, a guided abort where the unguided search concluded,
       or a guided test the fault simulator rejects is a soundness bug
       in the guidance layer; the offending fault is printed as the
-      minimized reproducer.
+      minimized reproducer;
+   6. parallel differential — the domain-pool-sharded campaign
+      (jobs = 4) must reproduce the sequential Drop run bit for bit:
+      stats, per-fault outcomes, generated test set and the ledger
+      waterfall.  Any drift is a determinism bug in the sharding
+      (speculation committed out of order, or a worker-side write that
+      escaped its telemetry tape).
 
    Usage: fuzz_smoke [N_CIRCUITS] [BASE_SEED].  Exit 1 on any failure,
    with the offending seed on stderr (the generator is seed-determined,
@@ -58,11 +64,11 @@ let check_circuit seed =
   in
   if detected Fsim.Naive <> detected Fsim.Cone then
     fail seed "fsim naive/cone detected sets differ";
-  let run_atpg strategy on_test =
+  let run_atpg ?(jobs = 1) strategy on_test =
     Hft_obs.reset ();
     let stats =
-      Seq_atpg.run ~backtrack_limit:30 ~max_frames:3 ~strategy ?on_test nl
-        ~faults ~scanned
+      Seq_atpg.run ~backtrack_limit:30 ~max_frames:3 ~strategy ~jobs ?on_test
+        nl ~faults ~scanned
     in
     (stats, outcome_map ())
   in
@@ -78,6 +84,24 @@ let check_circuit seed =
   in
   conservation "naive" s_naive;
   conservation "drop" s_drop;
+  (* 6. Parallel differential: same engine, sharded over 4 domains. *)
+  let wf_drop = Hft_util.Json.to_string (Hft_obs.Ledger.waterfall_json ()) in
+  let par_tests = ref [] in
+  let s_par, o_par =
+    run_atpg ~jobs:4 Seq_atpg.Drop (Some (fun t -> par_tests := t :: !par_tests))
+  in
+  let wf_par = Hft_util.Json.to_string (Hft_obs.Ledger.waterfall_json ()) in
+  if s_par <> s_drop then fail seed "parallel differential: stats differ";
+  if wf_par <> wf_drop then
+    fail seed "parallel differential: waterfall differs (%s vs %s)" wf_drop
+      wf_par;
+  if !par_tests <> !tests then
+    fail seed "parallel differential: generated test sets differ";
+  let bindings tbl =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+  in
+  if bindings o_par <> bindings o_drop then
+    fail seed "parallel differential: per-fault outcomes differ";
   Hashtbl.iter
     (fun f k1 ->
       match Hashtbl.find_opt o_drop f with
