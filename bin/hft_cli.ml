@@ -650,7 +650,12 @@ let bench_cmd =
                        (Hft_gate.Seq_atpg.fault_coverage cj.Flow.c_atpg));
                     ("fsim_coverage",
                      Hft_util.Json.Float (Hft_gate.Fsim.coverage cj.Flow.c_fsim));
-                    ("waterfall", Hft_obs.Ledger.waterfall_json ()) ]
+                    ("waterfall", Hft_obs.Ledger.waterfall_json ());
+                    (* Scheduler telemetry for this leg; jobs-dependent
+                       by nature, so bench_check compares everything
+                       else bit for bit and gates this one on its
+                       conservation laws instead. *)
+                    ("parallel", Hft_par.Stats.to_json cj.Flow.c_par) ]
               in
               (j, cj.Flow.c_t_atpg, obj))
             jobs_list
@@ -705,7 +710,8 @@ let bench_cmd =
                 Hft_util.Json.Float r.Flow.report.Flow.area_overhead);
                ("sessions", Hft_util.Json.Int r.Flow.report.Flow.test_sessions)
              ]);
-          ("counters", Hft_obs.Export.metrics_json ~snapshot ()) ]
+          ("counters", Hft_obs.Export.metrics_json ~snapshot ());
+          ("parallel", Hft_par.Stats.to_json c.Flow.c_par) ]
          @ guided_cell @ jobs_cell)
     in
     let row =
@@ -1031,6 +1037,310 @@ let report_cmd =
           $ top_arg $ json_arg $ no_guided_arg $ journal_in_arg $ obs_term)
 
 (* ------------------------------------------------------------------ *)
+(* hft profile: where did the campaign's time go?  Live mode runs a   *)
+(* campaign (same knobs as report) and attributes wall time three     *)
+(* ways: per-phase self time from the span tree, per-worker busy/idle *)
+(* /stall from the scheduler telemetry, and per-class charged cost    *)
+(* from the ledger (the same table report prints, bit for bit).       *)
+(* Offline mode replays an exported tape instead of running engines.  *)
+
+let profile_cmd =
+  let profile_bench_arg =
+    let doc =
+      Printf.sprintf
+        "Benchmark behaviour (%s).  Required unless --journal-in is given."
+        (String.concat ", " bench_names)
+    in
+    Arg.(value & opt (some string) None
+         & info [ "b"; "bench" ] ~docv:"NAME" ~doc)
+  in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit the profile as machine-readable JSON.")
+  in
+  let top_arg =
+    Arg.(value & opt int 10
+         & info [ "top" ] ~docv:"K"
+             ~doc:"Rows in the top-classes-by-charged-cost table.")
+  in
+  let sample_arg =
+    Arg.(value & opt int 1
+         & info [ "sample" ] ~docv:"N" ~doc:"Keep one fault in N.")
+  in
+  let jobs_arg =
+    Arg.(value & opt int 1
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Domain count for the ATPG phase (see atpg --jobs); the \
+                   per-worker table is the point of this command.")
+  in
+  let folded_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "folded-out" ] ~docv:"FILE"
+             ~doc:"Write folded stacks (one 'a;b;c <microseconds>' line per \
+                   path, flamegraph.pl input) for the run.")
+  in
+  let journal_in_arg =
+    Arg.(value & opt (some string) None
+         & info [ "journal-in" ] ~docv:"FILE"
+             ~doc:"Offline mode: attribute time from an exported tape \
+                   (--journal-out phase events, or --ledger-out per-class \
+                   charged costs) instead of running a campaign.")
+  in
+  (* The per-class cost table must render byte-identically to hft
+     report's, so both text and JSON shapes reuse the same ledger
+     accessors and the same column recipe. *)
+  let expensive_rows rows =
+    List.map
+      (fun (row : Hft_obs.Ledger.row) ->
+        [ string_of_int row.Hft_obs.Ledger.lr_class;
+          row.Hft_obs.Ledger.lr_rep;
+          Hft_obs.Ledger.resolution_to_string row.Hft_obs.Ledger.lr_resolution;
+          string_of_int row.Hft_obs.Ledger.lr_fsim_events;
+          string_of_int row.Hft_obs.Ledger.lr_implications;
+          string_of_int row.Hft_obs.Ledger.lr_backtracks;
+          string_of_int (Hft_obs.Ledger.cost row) ])
+      rows
+  in
+  let print_expensive rows =
+    if rows <> [] then begin
+      Printf.printf "\nmost expensive fault classes (top %d):\n"
+        (List.length rows);
+      Hft_util.Pretty.print
+        ~header:
+          [ "class"; "fault"; "resolution"; "fsim ev"; "impl"; "btk"; "cost" ]
+        (expensive_rows rows)
+    end
+  in
+  let self_json self =
+    Hft_util.Json.List
+      (List.map
+         (fun (name, s) ->
+           Hft_util.Json.Obj
+             [ ("name", Hft_util.Json.String name);
+               ("self_ms",
+                Hft_util.Json.Float (Float.round (1e5 *. s) /. 100.0)) ])
+         self)
+  in
+  let print_workers (par : Hft_par.Stats.t) =
+    let ms ns = Printf.sprintf "%.2f" (float_of_int ns /. 1e6) in
+    Printf.printf
+      "\nscheduler: jobs %d · waves %d · tasks %d · steals %d · spec \
+       hit/miss %d/%d · inline %d · occupancy %s · utilization %s\n"
+      par.Hft_par.Stats.s_jobs par.Hft_par.Stats.s_waves
+      par.Hft_par.Stats.s_tasks
+      (Hft_par.Stats.steals par)
+      (Hft_par.Stats.spec_hits par)
+      (Hft_par.Stats.spec_misses par)
+      (Hft_par.Stats.inline par)
+      (Hft_util.Pretty.pct (Hft_par.Stats.occupancy par))
+      (Hft_util.Pretty.pct (Hft_par.Stats.utilization par));
+    Hft_util.Pretty.print
+      ~header:
+        [ "worker"; "eval"; "classes"; "steals"; "stolen"; "hits"; "miss";
+          "busy ms"; "idle ms"; "stall ms" ]
+      (Array.to_list
+         (Array.map
+            (fun (w : Hft_par.Stats.worker) ->
+              [ (if w.Hft_par.Stats.w_domain = 0 then "orchestrator"
+                 else Printf.sprintf "worker-%d" w.Hft_par.Stats.w_domain);
+                string_of_int w.Hft_par.Stats.w_evaluated;
+                string_of_int w.Hft_par.Stats.w_classes;
+                string_of_int w.Hft_par.Stats.w_steals;
+                string_of_int w.Hft_par.Stats.w_stolen;
+                string_of_int w.Hft_par.Stats.w_spec_hits;
+                string_of_int w.Hft_par.Stats.w_spec_misses;
+                ms w.Hft_par.Stats.w_busy_ns;
+                ms w.Hft_par.Stats.w_idle_ns;
+                ms w.Hft_par.Stats.w_stall_ns ])
+            par.Hft_par.Stats.s_workers))
+  in
+  (* Offline: phase self time comes from the journal's phase_end events
+     (they carry elapsed seconds), the scheduler summary from the
+     Shard_stats event, and per-class costs from ledger-tape rows — so
+     the profile of a finished run needs only its tapes. *)
+  let run_offline file top json =
+    let lines =
+      match open_in file with
+      | exception Sys_error msg ->
+        Printf.eprintf "hft profile: %s\n%!" msg;
+        exit 2
+      | ic ->
+        let rec go acc =
+          match input_line ic with
+          | l -> go (l :: acc)
+          | exception End_of_file -> close_in ic; List.rev acc
+        in
+        go []
+    in
+    let docs =
+      List.filter_map
+        (fun l ->
+          if String.trim l = "" then None
+          else Result.to_option (Hft_util.Json.parse l))
+        lines
+    in
+    if docs = [] then begin
+      Printf.eprintf "hft profile: %s: no parseable JSONL lines\n%!" file;
+      exit 2
+    end;
+    let str k j =
+      match Hft_util.Json.member k j with
+      | Some (Hft_util.Json.String s) -> Some s
+      | _ -> None
+    in
+    let num k j =
+      match Hft_util.Json.member k j with
+      | Some (Hft_util.Json.Float f) -> Some f
+      | Some (Hft_util.Json.Int i) -> Some (float_of_int i)
+      | _ -> None
+    in
+    (* Σ elapsed (ms) per phase name, tape order first-seen. *)
+    let phases : (string * float) list =
+      List.fold_left
+        (fun acc d ->
+          match (str "type" d, str "name" d, num "elapsed_ms" d) with
+          | (Some "phase_end", Some name, Some e) ->
+            (match List.assoc_opt name acc with
+             | Some _ ->
+               List.map
+                 (fun (n, t) -> if n = name then (n, t +. e) else (n, t))
+                 acc
+             | None -> acc @ [ (name, e) ])
+          | _ -> acc)
+        [] docs
+    in
+    let shard = List.find_opt (fun d -> str "type" d = Some "shard_stats") docs in
+    let expensive =
+      match Hft_obs.Progress.offline_of_lines lines with
+      | Ok off when off.Hft_obs.Progress.off_expensive <> [] ->
+        List.filteri (fun i _ -> i < top) off.Hft_obs.Progress.off_expensive
+      | _ -> []
+    in
+    if json then
+      print_endline
+        (Hft_util.Json.to_string
+           (Hft_util.Json.Obj
+              [ ("schema", Hft_util.Json.String "hft-profile/1");
+                ("file", Hft_util.Json.String file);
+                ("phases",
+                 Hft_util.Json.List
+                   (List.map
+                      (fun (n, t) ->
+                        Hft_util.Json.Obj
+                          [ ("name", Hft_util.Json.String n);
+                            ("elapsed_ms", Hft_util.Json.Float t) ])
+                      phases));
+                ("parallel",
+                 match shard with Some d -> d | None -> Hft_util.Json.Null);
+                ("expensive",
+                 Hft_util.Json.List
+                   (List.map
+                      (fun (rep, outcome, cost) ->
+                        Hft_util.Json.Obj
+                          [ ("rep", Hft_util.Json.String rep);
+                            ("resolution", Hft_util.Json.String outcome);
+                            ("cost", Hft_util.Json.Int cost) ])
+                      expensive)) ]))
+    else begin
+      Printf.printf "profile (offline tape %s):\n" file;
+      if phases <> [] then
+        Hft_util.Pretty.print ~header:[ "phase"; "elapsed ms" ]
+          (List.map
+             (fun (n, t) -> [ n; Printf.sprintf "%.2f" t ])
+             phases)
+      else Printf.printf "(no phase events on tape)\n";
+      (match shard with
+       | Some d ->
+         Printf.printf
+           "scheduler: jobs %.0f · tasks %.0f · steals %.0f · spec hit/miss \
+            %.0f/%.0f · utilization %.1f%%\n"
+           (Option.value ~default:1.0 (num "jobs" d))
+           (Option.value ~default:0.0 (num "tasks" d))
+           (Option.value ~default:0.0 (num "steals" d))
+           (Option.value ~default:0.0 (num "spec_hits" d))
+           (Option.value ~default:0.0 (num "spec_misses" d))
+           (100.0 *. Option.value ~default:0.0 (num "utilization" d))
+       | None -> ());
+      if expensive <> [] then begin
+        Printf.printf "\nmost expensive fault classes (top %d):\n"
+          (List.length expensive);
+        Hft_util.Pretty.print ~header:[ "fault"; "resolution"; "cost" ]
+          (List.map
+             (fun (rep, outcome, cost) -> [ rep; outcome; string_of_int cost ])
+             expensive)
+      end
+    end
+  in
+  let run bench flow width sample top jobs folded_out json journal_in obs =
+    match journal_in with
+    | Some file -> run_offline file top json
+    | None ->
+    let bench =
+      match bench with
+      | Some b -> b
+      | None ->
+        Printf.eprintf
+          "hft profile: --bench is required (or use --journal-in FILE)\n%!";
+        exit 2
+    in
+    with_obs ~cmd:"profile" obs @@ fun () ->
+    Hft_obs.enabled := true;
+    Hft_obs.reset ();
+    let g = bench_graph ~extra:(fig1_extra ()) bench in
+    let r = Flow.synthesize ~width flow g in
+    let c =
+      Flow.test_campaign ~backtrack_limit:50 ~max_frames:3 ~sample ~seed:2024
+        ~n_patterns:64 ~jobs
+        ~campaign:(bench ^ "/" ^ Flow.flow_kind_to_string flow) r
+    in
+    let self = Hft_obs.Export.self_times () in
+    let expensive = Hft_obs.Ledger.top_expensive ~k:top in
+    (match folded_out with
+     | Some file ->
+       let oc = open_out file in
+       output_string oc (Hft_obs.Export.folded_stacks ());
+       close_out oc;
+       Printf.eprintf "hft profile: wrote folded stacks %s\n%!" file
+     | None -> ());
+    if json then
+      print_endline
+        (Hft_util.Json.to_string
+           (Hft_util.Json.Obj
+              [ ("schema", Hft_util.Json.String "hft-profile/1");
+                ("bench", Hft_util.Json.String bench);
+                ("flow",
+                 Hft_util.Json.String (Flow.flow_kind_to_string flow));
+                ("jobs", Hft_util.Json.Int jobs);
+                ("self", self_json self);
+                ("parallel", Hft_par.Stats.to_json c.Flow.c_par);
+                ("expensive",
+                 Hft_util.Json.List
+                   (List.map Hft_obs.Ledger.row_to_json expensive)) ]))
+    else begin
+      Printf.printf "self-time attribution (%s, %s, jobs %d):\n" bench
+        (Flow.flow_kind_to_string flow) jobs;
+      Hft_util.Pretty.print ~header:[ "span"; "self ms" ]
+        (List.map
+           (fun (name, s) -> [ name; Printf.sprintf "%.2f" (1e3 *. s) ])
+           self);
+      print_workers c.Flow.c_par;
+      print_expensive expensive
+    end
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Attribute a campaign's wall time: per-phase self time from the \
+          span tree, per-worker busy/idle/stall from the scheduler \
+          telemetry, and the top classes by charged cost (byte-identical \
+          to report's table).  --folded-out writes flamegraph.pl input; \
+          --journal-in profiles an exported tape offline instead of \
+          running a campaign.")
+    Term.(const run $ profile_bench_arg $ flow_arg $ width_arg $ sample_arg
+          $ top_arg $ jobs_arg $ folded_out_arg $ json_arg $ journal_in_arg
+          $ obs_term)
+
+(* ------------------------------------------------------------------ *)
 (* hft watch: tail an hft-progress/1 stream as a terminal dashboard.  *)
 
 let watch_cmd =
@@ -1175,7 +1485,7 @@ let () =
   let group =
     Cmd.group info
       [ synth_cmd; analyze_cmd; atpg_cmd; bist_cmd; lint_cmd; bench_cmd;
-        report_cmd; watch_cmd; list_cmd ]
+        report_cmd; profile_cmd; watch_cmd; list_cmd ]
   in
   let error_json fields =
     Printf.eprintf "%s\n%!"

@@ -224,6 +224,7 @@ type campaign = {
   c_resumed_tests : int;
   c_t_atpg : float;
   c_t_fsim : float;
+  c_par : Hft_par.Stats.t;
 }
 
 let test_campaign ?(strategy = Fast) ?(backtrack_limit = 20) ?(max_frames = 2)
@@ -440,6 +441,8 @@ let test_campaign ?(strategy = Fast) ?(backtrack_limit = 20) ?(max_frames = 2)
     | Some w -> Some (fun ~rep res -> Hft_robust.Checkpoint.append_class w ~rep res)
   in
   let t0 = Hft_obs.Clock.now () in
+  let par_stats = ref None in
+  let on_par_stats s = par_stats := Some s in
   let stats =
     match strategy with
     | Fast ->
@@ -451,13 +454,58 @@ let test_campaign ?(strategy = Fast) ?(backtrack_limit = 20) ?(max_frames = 2)
       in
       Hft_scan.Partial_scan.atpg ~backtrack_limit ~max_frames
         ~strategy:Hft_gate.Seq_atpg.Drop ~on_test ~supervisor ?resolved
-        ?on_resolved ?guidance ?jobs nl ~faults ~scanned
+        ?on_resolved ?guidance ~on_par_stats ?jobs nl ~faults ~scanned
     | Naive ->
       Hft_scan.Partial_scan.atpg ~backtrack_limit ~max_frames
-        ~strategy:Hft_gate.Seq_atpg.Naive ~supervisor ?jobs nl ~faults
-        ~scanned
+        ~strategy:Hft_gate.Seq_atpg.Naive ~supervisor ~on_par_stats ?jobs nl
+        ~faults ~scanned
   in
   let t_atpg = Hft_obs.Clock.now () -. t0 in
+  let par =
+    (* The engine always reports — degenerate sequential summary at
+       jobs = 1 — so every campaign record carries utilization. *)
+    match !par_stats with
+    | Some s -> s
+    | None ->
+      Hft_par.Stats.sequential ~classes:0
+        ~wall_ns:(int_of_float (t_atpg *. 1e9))
+  in
+  (* Publish the scheduler telemetry: counters and gauges into the
+     registry (the hft.par series), one Shard_stats event onto the
+     journal, and
+     the summary onto the progress stream so the final snapshot's
+     ["parallel"] object carries it.  All three are jobs-dependent by
+     nature, so none participate in the engine bit-identity surfaces —
+     the journal event in particular is recorded only here, never by
+     the engines, so committed tapes stay identical across jobs. *)
+  let open Hft_par.Stats in
+  Hft_obs.Registry.incr "hft.par.tasks" ~by:par.s_tasks;
+  Hft_obs.Registry.incr "hft.par.waves" ~by:par.s_waves;
+  Hft_obs.Registry.incr "hft.par.steals" ~by:(steals par);
+  Hft_obs.Registry.incr "hft.par.spec_hits" ~by:(spec_hits par);
+  Hft_obs.Registry.incr "hft.par.spec_misses" ~by:(spec_misses par);
+  Hft_obs.Registry.incr "hft.par.inline_recomputes" ~by:(inline par);
+  Hft_obs.Registry.set "hft.par.jobs" (float_of_int par.s_jobs);
+  Hft_obs.Registry.set "hft.par.utilization" (utilization par);
+  Hft_obs.Registry.set "hft.par.occupancy" (occupancy par);
+  Array.iter
+    (fun w ->
+      Hft_obs.Registry.observe "hft.par.worker_busy_s"
+        (float_of_int w.w_busy_ns /. 1e9))
+    par.s_workers;
+  Hft_obs.Journal.record
+    (Hft_obs.Journal.Shard_stats
+       {
+         jobs = par.s_jobs;
+         waves = par.s_waves;
+         tasks = par.s_tasks;
+         steals = steals par;
+         spec_hits = spec_hits par;
+         spec_misses = spec_misses par;
+         inline = inline par;
+         utilization = utilization par;
+       });
+  Hft_obs.Progress.set_parallel (Some (to_json par));
   (* Final coverage fault simulation.  Fast: replay the ATPG-derived
      patterns (plus random fill) through the scan view — the scan cells
      are pattern-loaded pseudo PIs and their D inputs observed — so
@@ -557,6 +605,7 @@ let test_campaign ?(strategy = Fast) ?(backtrack_limit = 20) ?(max_frames = 2)
     c_resumed_tests = resumed_tests;
     c_t_atpg = t_atpg;
     c_t_fsim = t_fsim;
+    c_par = par;
   }
 
 let report_header =

@@ -94,6 +94,11 @@ type campaign = {
   c_resumed_tests : int;              (** tests restored on resume *)
   c_t_atpg : float;                   (** ATPG leg wall seconds *)
   c_t_fsim : float;                   (** fsim leg wall seconds *)
+  c_par : Hft_par.Stats.t;
+      (** scheduler telemetry for the ATPG leg — real per-worker
+          measurements when [jobs > 1], the degenerate
+          {!Hft_par.Stats.sequential} summary otherwise, so every
+          campaign carries a utilization figure *)
 }
 
 (** [test_campaign r] — [sample] keeps one fault in N ([seed] fixes the
@@ -132,7 +137,13 @@ type campaign = {
     [campaign] labels this run in the [hft-progress/1] live-telemetry
     stream (default: the flow name).  When {!Hft_obs.Progress} is
     started the campaign is bracketed by a [campaign_started] event and
-    a final snapshot; otherwise the bracket is a no-op. *)
+    a final snapshot; otherwise the bracket is a no-op.
+
+    Scheduler telemetry ([c_par]) is additionally published once per
+    campaign — [hft.par.*] registry series, one [Shard_stats] journal
+    event, and the final progress snapshot's ["parallel"] object.  All
+    of these are jobs-dependent summaries and sit outside the engine
+    bit-identity surfaces. *)
 val test_campaign :
   ?strategy:atpg_strategy -> ?backtrack_limit:int -> ?max_frames:int ->
   ?sample:int -> ?seed:int -> ?n_patterns:int ->

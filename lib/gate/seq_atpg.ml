@@ -284,8 +284,9 @@ type spec_attempt = {
 let run ?(backtrack_limit = 200) ?(min_frames = 1) ?(max_frames = 6)
     ?assignable_pis ?strapped ?(strategy = Drop) ?on_test
     ?(supervisor = Some Hft_robust.Supervisor.default) ?resolved ?on_resolved
-    ?guidance ?(jobs = 1) nl ~faults ~scanned =
+    ?guidance ?on_par_stats ?(jobs = 1) nl ~faults ~scanned =
   let jobs = Hft_par.clamp_jobs jobs in
+  let t_start = Hft_obs.Clock.now () in
   Hft_obs.Span.with_ "seq-atpg"
     ~attrs:
       [ ("circuit", Netlist.circuit_name nl);
@@ -708,11 +709,19 @@ let run ?(backtrack_limit = 200) ?(min_frames = 1) ?(max_frames = 6)
      speculation (tapes never replayed); a shard death leaves [None]
      results that commit inline — the window size trades speculation
      waste against parallelism and cannot affect results. *)
+  let par_stats = ref None in
   let run_parallel pool =
     (* Warm the original netlist's derived caches before handing it to
        worker domains: afterwards every access is read-only. *)
     ignore (Netlist.comb_order nl);
-    Hft_par.Pool.parallel pool ~init:(fun () -> Array.make max_frames None)
+    (* Scheduler telemetry rides along only when a consumer asked for
+       it; the collector is observational either way (commit order and
+       replayed tapes are untouched). *)
+    let stats =
+      Option.map (fun _ -> Hft_par.Stats.collector ~jobs) on_par_stats
+    in
+    Hft_par.Pool.parallel pool ?stats
+      ~init:(fun () -> Array.make max_frames None)
     @@ fun section ->
     let win = 2 * jobs in
     let cursor = ref 0 in
@@ -732,9 +741,15 @@ let run ?(backtrack_limit = 200) ?(min_frames = 1) ?(max_frames = 6)
       let window = Array.of_list (List.rev !picked) in
       let specs, fails =
         if Array.length window = 0 then ([||], [])
-        else
+        else begin
+          (match stats with
+           | Some c ->
+             Hft_par.Stats.note_window c ~filled:(Array.length window)
+               ~cap:win
+           | None -> ());
           section.run ~n:(Array.length window) ~f:(fun ws k ->
               eval_class ws window.(k))
+        end
       in
       List.iter
         (fun _fail ->
@@ -743,27 +758,58 @@ let run ?(backtrack_limit = 200) ?(min_frames = 1) ?(max_frames = 6)
                { site = "shard"; action = "sequential-fallback" });
           Hft_obs.Registry.incr "hft.robust.degraded")
         fails;
-      let spec_of = Array.make (chunk_end - chunk_start) None in
+      (* Commit strictly in class order.  [window] is exactly the
+         classes of [chunk_start, chunk_end) that were pending at pick
+         time, in ascending order, so iterating it is the same loop the
+         sequential chunk walk ran — plus per-task speculation
+         accounting: a still-pending class replays its speculation
+         (hit) or recomputes inline (dead shard); a class resolved by
+         an earlier commit discards it (miss).  Exactly one bucket per
+         dispatched task. *)
       Array.iteri
-        (fun k gi -> spec_of.(gi - chunk_start) <- specs.(k))
+        (fun k gi ->
+          if status.(gi) = `Pending then
+            match specs.(k) with
+            | Some spec ->
+              (match stats with
+               | Some c -> Hft_par.Stats.note_hit c ~task:k
+               | None -> ());
+              process_class ~spec gi leaders.(gi)
+            | None ->
+              (match stats with
+               | Some c -> Hft_par.Stats.note_inline c
+               | None -> ());
+              process_class gi leaders.(gi)
+          else
+            match stats with
+            | Some c -> Hft_par.Stats.note_miss c ~task:k
+            | None -> ())
         window;
-      for gi = chunk_start to chunk_end - 1 do
-        if status.(gi) = `Pending then
-          let spec =
-            match spec_of.(gi - chunk_start) with
-            | Some spec -> spec
-            | None -> []
-          in
-          process_class ~spec gi leaders.(gi)
-      done;
       cursor := chunk_end
-    done
+    done;
+    match stats with
+    | Some c -> par_stats := Some (Hft_par.Stats.finish c ~classes:n_groups)
+    | None -> ()
   in
   if jobs > 1 && n_groups > 1 then run_parallel (Hft_par.Pool.get ~jobs)
   else
     Array.iteri
       (fun gi f -> if status.(gi) = `Pending then process_class gi f)
       leaders;
+  (match on_par_stats with
+   | None -> ()
+   | Some k ->
+     let s =
+       match !par_stats with
+       | Some s -> s
+       | None ->
+         (* Sequential path: synthesize the degenerate summary so every
+            consumer sees a utilization field. *)
+         Hft_par.Stats.sequential ~classes:n_groups
+           ~wall_ns:
+             (int_of_float ((Hft_obs.Clock.now () -. t_start) *. 1e9))
+     in
+     k s);
   Array.iteri
     (fun gi st ->
       match st with

@@ -96,7 +96,14 @@ val fault_coverage : stats -> float
     domain that dies degrades its shard to inline sequential
     evaluation (one [Degraded {site = "shard"}] journal event per
     failure) with unchanged results.  [jobs = 1] is the historical
-    sequential path, bit for bit. *)
+    sequential path, bit for bit.
+
+    [on_par_stats] receives the campaign's scheduler telemetry
+    ({!Hft_par.Stats.t}) once, after the last class commits: real
+    per-worker measurements on the parallel path, the degenerate
+    {!Hft_par.Stats.sequential} summary on the sequential one.
+    Collection is observational — all bit-identity contracts above hold
+    with or without it. *)
 val run :
   ?backtrack_limit:int -> ?min_frames:int -> ?max_frames:int ->
   ?assignable_pis:int list -> ?strapped:int list ->
@@ -105,6 +112,7 @@ val run :
   ?resolved:(string -> Hft_obs.Ledger.resolution option) ->
   ?on_resolved:(rep:string -> Hft_obs.Ledger.resolution -> unit) ->
   ?guidance:Podem.provider ->
+  ?on_par_stats:(Hft_par.Stats.t -> unit) ->
   ?jobs:int ->
   Netlist.t -> faults:Fault.t list -> scanned:int list -> stats
 

@@ -1,0 +1,11 @@
+(* Logical domain id of the calling domain, for tagging telemetry.
+
+   0 is the orchestrator (the thread that runs commits and sequential
+   campaigns); worker domains are tagged 1..jobs-1 by the pool when
+   they start.  Domain-local, so a tag set on one domain never leaks
+   into another's records, and a fresh domain defaults to 0 — exactly
+   right for code that never touches the pool. *)
+
+let key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
+let get () = Domain.DLS.get key
+let set d = Domain.DLS.set key d

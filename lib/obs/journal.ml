@@ -24,9 +24,12 @@ type event =
   | Retry of { site : string; attempt : int; budget : int }
   | Degraded of { site : string; action : string }
   | Checkpoint of { classes : int; tests : int }
+  | Shard_stats of { jobs : int; waves : int; tasks : int; steals : int;
+                     spec_hits : int; spec_misses : int; inline : int;
+                     utilization : float }
   | Note of { key : string; value : string }
 
-type entry = { e_seq : int; e_time : float; e_event : event }
+type entry = { e_seq : int; e_time : float; e_domain : int; e_event : event }
 
 let default_capacity = 4096
 let cap = ref default_capacity
@@ -67,10 +70,17 @@ let dropped () = locked (fun () -> max 0 (!total - !cap))
    itself read the registry/ledger without deadlocking. *)
 let on_record : (entry -> unit) ref = ref (fun _ -> ())
 
+(* The domain stamp is taken where the ring store happens, so entries a
+   worker deferred onto a capture tape get domain 0 at replay time (the
+   orchestrator performs the write) — which is what keeps committed
+   tapes bit-identical across jobs counts.  Only direct worker-side
+   records (there are none in the engines today) would carry a nonzero
+   domain. *)
 let record_now ev =
   let e =
     locked (fun () ->
-        let e = { e_seq = !total; e_time = Clock.now (); e_event = ev } in
+        let e = { e_seq = !total; e_time = Clock.now ();
+                  e_domain = Domain_id.get (); e_event = ev } in
         !buf.(!total mod !cap) <- Some e;
         incr total;
         e)
@@ -105,6 +115,7 @@ let event_type = function
   | Retry _ -> "retry"
   | Degraded _ -> "degraded"
   | Checkpoint _ -> "checkpoint"
+  | Shard_stats _ -> "shard_stats"
   | Note _ -> "note"
 
 let event_fields ev =
@@ -141,12 +152,19 @@ let event_fields ev =
     [ ("site", String site); ("action", String action) ]
   | Checkpoint { classes; tests } ->
     [ ("classes", Int classes); ("tests", Int tests) ]
+  | Shard_stats { jobs; waves; tasks; steals; spec_hits; spec_misses;
+                  inline; utilization } ->
+    [ ("jobs", Int jobs); ("waves", Int waves); ("tasks", Int tasks);
+      ("steals", Int steals); ("spec_hits", Int spec_hits);
+      ("spec_misses", Int spec_misses); ("inline", Int inline);
+      ("utilization", Float utilization) ]
   | Note { key; value } -> [ ("key", String key); ("value", String value) ]
 
 let entry_to_json e =
   Hft_util.Json.Obj
     (("seq", Hft_util.Json.Int e.e_seq)
      :: ("time", Hft_util.Json.Float e.e_time)
+     :: ("domain", Hft_util.Json.Int e.e_domain)
      :: ("type", Hft_util.Json.String (event_type e.e_event))
      :: event_fields e.e_event)
 

@@ -44,9 +44,22 @@ type event =
           salvage / drop-pass-skipped / uncollapsed / ...). *)
   | Checkpoint of { classes : int; tests : int }
       (** A campaign checkpoint record was appended; running totals. *)
+  | Shard_stats of { jobs : int; waves : int; tasks : int; steals : int;
+                     spec_hits : int; spec_misses : int; inline : int;
+                     utilization : float }
+      (** Scheduler summary of one parallel campaign ({!Hft_par.Stats}):
+          pool size, waves run, tasks dispatched, steals, speculation
+          hits / misses / inline recomputes, and Σbusy / (jobs × wall).
+          Recorded once per campaign by the flow — its content varies
+          with the jobs count, so it is {e not} part of the engines'
+          bit-identity surface. *)
   | Note of { key : string; value : string }  (** Free-form breadcrumb. *)
 
-type entry = { e_seq : int; e_time : float; e_event : event }
+type entry = { e_seq : int; e_time : float; e_domain : int; e_event : event }
+(** [e_domain] is the {!Domain_id} of the domain that performed the
+    ring store — 0 for everything the orchestrator records, including
+    worker writes deferred onto capture tapes and replayed at commit
+    time (so committed tapes stay bit-identical across jobs counts). *)
 
 val record : event -> unit
 

@@ -98,6 +98,9 @@ type state = {
   mutable st_since_snap : int;  (* resolutions since the last snapshot *)
   mutable st_last_snap : float;
   mutable st_snapshots : int;  (* intermediate snapshots this campaign *)
+  mutable st_parallel : Hft_util.Json.t option;
+      (* scheduler-telemetry summary, published by the flow just before
+         campaign_end so the final snapshot carries it *)
 }
 
 let state : state option ref = ref None
@@ -184,6 +187,8 @@ let snapshot_fields ~final st =
     ("eta_s", eta);
     ("waterfall", Ledger.waterfall_json ());
     ("gc", gc_json ());
+    ("parallel",
+     match st.st_parallel with Some j -> j | None -> Null);
     ("top",
      List
        (List.map
@@ -261,6 +266,7 @@ let start ?(config = default_config) ?metrics_out sink =
         st_since_snap = 0;
         st_last_snap = neg_infinity;
         st_snapshots = 0;
+        st_parallel = None;
       };
   Journal.on_record := on_journal
 
@@ -287,10 +293,16 @@ let campaign_begin ~label ~faults =
     st.st_since_snap <- 0;
     st.st_last_snap <- neg_infinity;
     st.st_snapshots <- 0;
+    st.st_parallel <- None;
     emit st
       [ ("type", Hft_util.Json.String "campaign_started");
         ("campaign", Hft_util.Json.String label);
         ("faults", Hft_util.Json.Int faults) ]
+
+let set_parallel j =
+  match !state with
+  | None -> ()
+  | Some st -> st.st_parallel <- j
 
 let campaign_end () =
   match !state with
@@ -314,6 +326,8 @@ type view = {
   v_finished : bool;  (* stream_end seen, or final snapshot at the tail *)
   v_last_seq : int;
   v_seq_ok : bool;  (* sequence numbers strictly monotone so far *)
+  v_unknown_events : int;  (* event kinds this watch does not know *)
+  v_unknown_fields : int;  (* snapshot fields this watch does not know *)
 }
 
 let empty_view =
@@ -327,7 +341,28 @@ let empty_view =
     v_finished = false;
     v_last_seq = -1;
     v_seq_ok = true;
+    v_unknown_events = 0;
+    v_unknown_fields = 0;
   }
+
+(* Forward-compat contract: a watch built against schema N must render a
+   stream from schema N+1 instead of crashing or silently mis-reading
+   it.  Unknown event kinds and unknown snapshot fields are therefore
+   skipped but *counted*, and the dashboard prints one warning line so
+   the operator knows data is being ignored. *)
+let known_snapshot_fields =
+  [ "schema"; "seq"; "time"; "type"; "final"; "campaign"; "phase";
+    "elapsed_s"; "classes"; "resolved"; "tests"; "rate_cps"; "eta_s";
+    "waterfall"; "gc"; "top"; "parallel" ]
+
+let unknown_snapshot_fields doc =
+  match doc with
+  | Hft_util.Json.Obj fields ->
+    List.length
+      (List.filter
+         (fun (k, _) -> not (List.mem k known_snapshot_fields))
+         fields)
+  | _ -> 0
 
 let member_str k j =
   match Hft_util.Json.member k j with
@@ -381,9 +416,14 @@ let view_line v line =
            v_campaigns_done =
              (v.v_campaigns_done + (if final then 1 else 0));
            v_finished = final;
+           v_unknown_fields =
+             v.v_unknown_fields + unknown_snapshot_fields doc;
          }
        | Some "stream_end" -> { v with v_finished = true }
-       | _ -> v)
+       | Some _ ->
+         (* A kind this watch predates: skip it, count it, keep going. *)
+         { v with v_unknown_events = v.v_unknown_events + 1 }
+       | None -> v)
 
 let view_of_lines lines = List.fold_left view_line empty_view lines
 
@@ -451,6 +491,11 @@ let render_view v =
     (if v.v_seq_ok then "" else " · SEQ GAP")
     v.v_campaigns_done
     (if v.v_finished then " · stream complete" else "");
+  if v.v_unknown_events > 0 || v.v_unknown_fields > 0 then
+    line
+      "warning   stream is newer than this watch: skipped %d unknown \
+       event(s), %d unknown snapshot field(s)"
+      v.v_unknown_events v.v_unknown_fields;
   (match v.v_campaign with
    | Some c ->
      line "campaign  %s%s" c
@@ -509,6 +554,33 @@ let render_view v =
                     (Option.value ~default:"?" (member_str "outcome" r))
                     (Option.value ~default:0 (member_int "cost" r)))
                 rows))
+      | _ -> ());
+     (match Hft_util.Json.member "parallel" doc with
+      | Some (Hft_util.Json.Obj _ as par) ->
+        line
+          "parallel  jobs %d · tasks %d · steals %d · spec hit/miss \
+           %d/%d · utilization %.0f%%"
+          (Option.value ~default:1 (member_int "jobs" par))
+          (Option.value ~default:0 (member_int "tasks" par))
+          (Option.value ~default:0 (member_int "steals" par))
+          (Option.value ~default:0 (member_int "spec_hits" par))
+          (Option.value ~default:0 (member_int "spec_misses" par))
+          (100.0
+          *. Option.value ~default:0.0 (member_float "utilization" par));
+        (match Hft_util.Json.member "workers" par with
+         | Some (Hft_util.Json.List workers) ->
+           List.iter
+             (fun w ->
+               let util =
+                 Option.value ~default:0.0 (member_float "utilization" w)
+               in
+               line "  w%-2d     [%s] %3.0f%% · %d classes · %d steals"
+                 (Option.value ~default:0 (member_int "domain" w))
+                 (bar ~width:20 util) (100.0 *. util)
+                 (Option.value ~default:0 (member_int "classes" w))
+                 (Option.value ~default:0 (member_int "steals" w)))
+             workers
+         | _ -> ())
       | _ -> ()));
   Buffer.contents b
 

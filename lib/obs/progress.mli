@@ -61,6 +61,13 @@ val stop : unit -> unit
     per-campaign cadence/rate state.  No-op when not {!active}. *)
 val campaign_begin : label:string -> faults:int -> unit
 
+(** Publish the scheduler-telemetry summary (typically
+    [Hft_par.Stats.to_json]) carried by subsequent snapshots'
+    ["parallel"] field — call just before {!campaign_end} so the final
+    snapshot has it.  [None] (also the {!campaign_begin} reset) makes
+    the field [null].  No-op when not {!active}. *)
+val set_parallel : Hft_util.Json.t option -> unit
+
 (** Emit the final snapshot ([final:true]) for the open campaign.
     No-op when not {!active} or no campaign is open. *)
 val campaign_end : unit -> unit
@@ -80,6 +87,12 @@ type view = {
           last event was a final snapshot *)
   v_last_seq : int;
   v_seq_ok : bool;  (** seq strictly monotone so far *)
+  v_unknown_events : int;
+      (** events with a [type] this watch does not know — skipped, but
+          counted so the dashboard can warn that the stream is newer
+          than the consumer *)
+  v_unknown_fields : int;
+      (** snapshot fields this watch does not know, same contract *)
 }
 
 val empty_view : view

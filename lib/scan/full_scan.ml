@@ -13,9 +13,10 @@ type result = {
    check is exact — no three-valued confirmation needed, unlike the
    sequential case in {!Hft_gate.Seq_atpg}. *)
 let atpg ?(backtrack_limit = 500) ?(strategy = Seq_atpg.Drop)
-    ?(supervisor = Some Hft_robust.Supervisor.default) ?guidance ?(jobs = 1)
-    nl ~faults =
+    ?(supervisor = Some Hft_robust.Supervisor.default) ?guidance
+    ?on_par_stats ?(jobs = 1) nl ~faults =
   let jobs = Hft_par.clamp_jobs jobs in
+  let t_start = Hft_obs.Clock.now () in
   Hft_obs.Span.with_ "full-scan-atpg"
     ~attrs:[ ("faults", string_of_int (List.length faults)) ]
   @@ fun () ->
@@ -220,8 +221,12 @@ let atpg ?(backtrack_limit = 500) ?(strategy = Seq_atpg.Drop)
      classes dropped meanwhile, whose speculation is discarded.  See
      {!Seq_atpg.run} for the determinism argument; the combinational
      engine is the same shape minus the frame ladder. *)
+  let par_stats = ref None in
   let run_parallel pool =
-    Hft_par.Pool.parallel pool
+    let stats_c =
+      Option.map (fun _ -> Hft_par.Stats.collector ~jobs) on_par_stats
+    in
+    Hft_par.Pool.parallel pool ?stats:stats_c
       ~init:(fun () ->
         let c = Netlist.copy nl in
         ignore (Netlist.comb_order c);
@@ -245,10 +250,16 @@ let atpg ?(backtrack_limit = 500) ?(strategy = Seq_atpg.Drop)
       let window = Array.of_list (List.rev !picked) in
       let specs, fails =
         if Array.length window = 0 then ([||], [])
-        else
+        else begin
+          (match stats_c with
+           | Some c ->
+             Hft_par.Stats.note_window c ~filled:(Array.length window)
+               ~cap:win
+           | None -> ());
           section.run ~n:(Array.length window) ~f:(fun ws k ->
               Hft_obs.Capture.record (fun () ->
                   podem_for ws leaders.(window.(k))))
+        end
       in
       List.iter
         (fun _fail ->
@@ -258,17 +269,49 @@ let atpg ?(backtrack_limit = 500) ?(strategy = Seq_atpg.Drop)
           Hft_obs.Registry.incr "hft.robust.degraded")
         fails;
       let spec_of = Array.make (chunk_end - chunk_start) None in
+      let task_of = Array.make (chunk_end - chunk_start) (-1) in
       Array.iteri
-        (fun k gi -> spec_of.(gi - chunk_start) <- specs.(k))
+        (fun k gi ->
+          spec_of.(gi - chunk_start) <- specs.(k);
+          task_of.(gi - chunk_start) <- k)
         window;
       for gi = chunk_start to chunk_end - 1 do
+        (* Speculation accounting, one bucket per dispatched task: a
+           class still pending at its commit replays its speculation
+           (hit) or recomputes inline (dead shard left [None]); a class
+           dropped by an earlier commit discards it (miss).  Chunk
+           classes that were already dropped at pick time were never
+           dispatched. *)
+        (match stats_c with
+         | Some c when task_of.(gi - chunk_start) >= 0 ->
+           let task = task_of.(gi - chunk_start) in
+           if dropped.(gi) then Hft_par.Stats.note_miss c ~task
+           else if spec_of.(gi - chunk_start) <> None then
+             Hft_par.Stats.note_hit c ~task
+           else Hft_par.Stats.note_inline c
+         | _ -> ());
         process ?spec:(spec_of.(gi - chunk_start)) gi leaders.(gi)
       done;
       cursor := chunk_end
-    done
+    done;
+    match stats_c with
+    | Some c -> par_stats := Some (Hft_par.Stats.finish c ~classes:n_groups)
+    | None -> ()
   in
   if jobs > 1 && n_groups > 1 then run_parallel (Hft_par.Pool.get ~jobs)
   else Array.iteri (fun gi f -> process gi f) leaders;
+  (match on_par_stats with
+   | None -> ()
+   | Some k ->
+     let s =
+       match !par_stats with
+       | Some s -> s
+       | None ->
+         Hft_par.Stats.sequential ~classes:n_groups
+           ~wall_ns:
+             (int_of_float ((Hft_obs.Clock.now () -. t_start) *. 1e9))
+     in
+     k s);
   let chain = Chain.insert nl dffs in
   { chain; tests = List.rev !tests; stats = !stats }
 

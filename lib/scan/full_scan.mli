@@ -29,11 +29,17 @@ type result = {
 
     [guidance] (a {!Hft_gate.Podem.provider}) threads static-analysis
     guidance into every PODEM call; omitting it keeps the historical
-    search bit for bit. *)
+    search bit for bit.
+
+    [on_par_stats] receives the campaign's scheduler telemetry once,
+    after the last class commits ({!Hft_par.Stats.t}; degenerate
+    sequential summary when [jobs = 1]); collection never changes
+    results. *)
 val atpg :
   ?backtrack_limit:int -> ?strategy:Seq_atpg.strategy ->
   ?supervisor:Hft_robust.Supervisor.policy option ->
-  ?guidance:Podem.provider -> ?jobs:int -> Netlist.t ->
+  ?guidance:Podem.provider ->
+  ?on_par_stats:(Hft_par.Stats.t -> unit) -> ?jobs:int -> Netlist.t ->
   faults:Fault.t list -> result
 
 (** Structural insertion of the full chain ([Chain.insert] on all

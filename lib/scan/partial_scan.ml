@@ -18,7 +18,7 @@ let annotate_rtl d regs =
     regs
 
 let atpg ?backtrack_limit ?max_frames ?strategy ?on_test ?supervisor ?resolved
-    ?on_resolved ?guidance ?jobs nl ~faults ~scanned =
+    ?on_resolved ?guidance ?on_par_stats ?jobs nl ~faults ~scanned =
   Hft_obs.Span.with_ "partial-scan-atpg" @@ fun () ->
   Seq_atpg.run ?backtrack_limit ?max_frames ?strategy ?on_test ?supervisor
-    ?resolved ?on_resolved ?guidance ?jobs nl ~faults ~scanned
+    ?resolved ?on_resolved ?guidance ?on_par_stats ?jobs nl ~faults ~scanned

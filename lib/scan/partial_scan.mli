@@ -34,5 +34,6 @@ val atpg :
   ?resolved:(string -> Hft_obs.Ledger.resolution option) ->
   ?on_resolved:(rep:string -> Hft_obs.Ledger.resolution -> unit) ->
   ?guidance:Podem.provider ->
+  ?on_par_stats:(Hft_par.Stats.t -> unit) ->
   ?jobs:int ->
   Netlist.t -> faults:Fault.t list -> scanned:int list -> Seq_atpg.stats

@@ -358,7 +358,6 @@ let test_chrome_trace () =
     | Some (Hft_util.Json.List evs) -> evs
     | _ -> Alcotest.fail "no traceEvents list"
   in
-  check_int "one event per span" 2 (List.length events);
   let field ev k =
     match Hft_util.Json.member k ev with
     | Some v -> v
@@ -370,12 +369,20 @@ let test_chrome_trace () =
     | Hft_util.Json.Int i -> float_of_int i
     | _ -> Alcotest.failf "%s not numeric" k
   in
+  (* One thread_name metadata record for the orchestrator track, then
+     one complete event per span. *)
+  let metas, events =
+    List.partition (fun ev -> field ev "ph" = Hft_util.Json.String "M") events
+  in
+  check_int "one thread_name record" 1 (List.length metas);
+  check_int "one event per span" 2 (List.length events);
   List.iter
     (fun ev ->
       check "complete events" true
         (field ev "ph" = Hft_util.Json.String "X");
       check "shared pid" true (field ev "pid" = Hft_util.Json.Int 1);
-      check "shared tid" true (field ev "tid" = Hft_util.Json.Int 1))
+      (* Everything here ran on the orchestrator: domain id 0, named. *)
+      check "orchestrator tid" true (field ev "tid" = Hft_util.Json.Int 0))
     events;
   let by_name n =
     match
@@ -396,6 +403,107 @@ let test_chrome_trace () =
   match Hft_util.Json.member "bench" (field outer "args") with
   | Some (Hft_util.Json.String "tseng") -> ()
   | _ -> Alcotest.fail "span attrs not exported under args"
+
+(* Multi-track traces: worker slices land on their own tid, tracks are
+   labelled, and speculation→commit flow arrows pair up (an "s" with no
+   terminating "f" would dangle in the viewer, so it is suppressed). *)
+let test_trace_tracks () =
+  with_obs @@ fun () ->
+  let t = ref 10.0 in
+  Hft_obs.Clock.with_source (fun () -> !t) @@ fun () ->
+  Hft_obs.Span.with_ "campaign" (fun () -> t := !t +. 1.0);
+  (* Two worker evals; one is consumed by the commit window (flow 7),
+     one's speculation never commits (flow 8 — must stay arrowless). *)
+  Hft_obs.Span.add_track ~flow_out:7 ~domain:1 ~name:"eval" ~start:10.1
+    ~dur:0.2 ();
+  Hft_obs.Span.add_track ~flow_out:8 ~domain:2 ~name:"eval" ~start:10.2
+    ~dur:0.3 ();
+  Hft_obs.Span.add_track ~flow_in:[ 7 ] ~domain:0 ~name:"commit-window"
+    ~start:10.6 ~dur:0.1 ();
+  let doc = Hft_obs.Export.chrome_trace () in
+  let events =
+    match Hft_util.Json.member "traceEvents" doc with
+    | Some (Hft_util.Json.List evs) -> evs
+    | _ -> Alcotest.fail "no traceEvents list"
+  in
+  let field ev k =
+    match Hft_util.Json.member k ev with
+    | Some v -> v
+    | None -> Alcotest.failf "event missing %s" k
+  in
+  let ph p ev = field ev "ph" = Hft_util.Json.String p in
+  let tid ev =
+    match field ev "tid" with
+    | Hft_util.Json.Int i -> i
+    | _ -> Alcotest.fail "tid not an int"
+  in
+  let tids =
+    List.sort_uniq compare (List.map tid events)
+  in
+  check "one timeline per domain" true (tids = [ 0; 1; 2 ]);
+  let metas = List.filter (ph "M") events in
+  check_int "one thread_name per track" 3 (List.length metas);
+  let meta_names =
+    List.filter_map
+      (fun ev ->
+        match Hft_util.Json.member "name" (field ev "args") with
+        | Some (Hft_util.Json.String s) -> Some s
+        | _ -> None)
+      metas
+  in
+  check "tracks are labelled" true
+    (List.sort compare meta_names
+     = [ "orchestrator"; "worker-1"; "worker-2" ]);
+  let flow_id ev =
+    match field ev "id" with
+    | Hft_util.Json.Int i -> i
+    | _ -> Alcotest.fail "flow id not an int"
+  in
+  let starts = List.filter (ph "s") events in
+  let finishes = List.filter (ph "f") events in
+  check_int "one flow start (uncommitted one suppressed)" 1
+    (List.length starts);
+  check_int "one flow finish" 1 (List.length finishes);
+  check_int "flow start is the committed speculation" 7
+    (flow_id (List.hd starts));
+  check_int "flow finish matches" 7 (flow_id (List.hd finishes));
+  check "flow starts on the worker track" true (tid (List.hd starts) = 1);
+  check "flow finishes on the orchestrator track" true
+    (tid (List.hd finishes) = 0);
+  (* Track slices are ordinary complete events on their worker's tid. *)
+  let evals =
+    List.filter
+      (fun ev -> ph "X" ev && field ev "name" = Hft_util.Json.String "eval")
+      events
+  in
+  check_int "worker slices exported" 2 (List.length evals)
+
+(* Folded stacks: deterministic flamegraph.pl input — paths are
+   ;-joined span names with integer self-time microseconds, worker
+   slices fold under a worker-<d> root, and domain-0 track slices are
+   excluded (their time is already inside the span tree). *)
+let test_folded_stacks () =
+  with_obs @@ fun () ->
+  let t = ref 0.0 in
+  Hft_obs.Clock.with_source (fun () -> !t) @@ fun () ->
+  Hft_obs.Span.with_ "outer" (fun () ->
+      t := !t +. 0.25;
+      Hft_obs.Span.with_ "inner" (fun () -> t := !t +. 0.5);
+      t := !t +. 0.25);
+  Hft_obs.Span.add_track ~domain:1 ~name:"eval" ~start:0.1 ~dur:0.125 ();
+  Hft_obs.Span.add_track ~domain:0 ~name:"commit-window" ~start:0.8 ~dur:0.1
+    ();
+  let folded = Hft_obs.Export.folded_stacks () in
+  check_str "folded stacks are exact and sorted"
+    "outer 500000\nouter;inner 500000\nworker-1;eval 125000\n" folded;
+  (* Self-time attribution agrees: outer's self time excludes inner. *)
+  match Hft_obs.Export.self_times () with
+  | [ (n1, t1); (n2, t2) ] ->
+    check "two named spans" true
+      (List.sort compare [ n1; n2 ] = [ "inner"; "outer" ]);
+    checkf "self times halve the second" 0.5 t1;
+    checkf "and the other half" 0.5 t2
+  | l -> Alcotest.failf "expected 2 self-time rows, got %d" (List.length l)
 
 (* ------------------------------------------------------------------ *)
 (* Flow instrumentation contract                                      *)
@@ -691,6 +799,45 @@ let test_watch_view () =
   check "seq gap detected" false vg.Hft_obs.Progress.v_seq_ok;
   check_int "torn line counted" 1 vg.Hft_obs.Progress.v_bad
 
+(* Forward compatibility: a stream written by a newer hft (extra event
+   kinds, extra snapshot fields) must fold and render — skipped data is
+   counted and surfaced as a warning, never a crash. *)
+let test_watch_forward_compat () =
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  let lines =
+    [ {|{"schema":"hft-progress/1","seq":0,"time":1.0,"type":"campaign_started","campaign":"c","faults":10}|};
+      (* An event kind this watch predates. *)
+      {|{"schema":"hft-progress/1","seq":1,"time":1.1,"type":"quantum_snapshot","qubits":3}|};
+      (* A snapshot carrying one unknown field plus a parallel object. *)
+      {|{"schema":"hft-progress/1","seq":2,"time":1.2,"type":"snapshot","final":true,"campaign":"c","phase":null,"elapsed_s":0.2,"classes":4,"resolved":4,"tests":2,"rate_cps":20.0,"eta_s":null,"waterfall":{"faults":10},"gc":{"compactions":0},"top":[],"parallel":{"jobs":2,"tasks":8,"steals":1,"spec_hits":7,"spec_misses":1,"utilization":0.8,"workers":[{"domain":0,"classes":3,"steals":0,"utilization":0.9},{"domain":1,"classes":1,"steals":1,"utilization":0.7}]},"novel_field":{"x":1}}|}
+    ]
+  in
+  let v = Hft_obs.Progress.view_of_lines lines in
+  check_int "unknown event counted" 1 v.Hft_obs.Progress.v_unknown_events;
+  check_int "unknown snapshot field counted" 1
+    v.Hft_obs.Progress.v_unknown_fields;
+  check_int "unknown lines still parse as events" 3
+    v.Hft_obs.Progress.v_events;
+  check "stream still finishes" true v.Hft_obs.Progress.v_finished;
+  let dash = Hft_obs.Progress.render_view v in
+  check "dashboard warns about skipped data" true
+    (contains dash "skipped 1 unknown event(s), 1 unknown snapshot field(s)");
+  (* The parallel object renders: pool summary plus per-worker bars. *)
+  check "pool summary rendered" true (contains dash "jobs 2");
+  check "worker bar rendered" true (contains dash "w1");
+  check "worker utilization rendered" true (contains dash "70%");
+  (* A snapshot without the parallel object renders bar-free. *)
+  let v0 =
+    Hft_obs.Progress.view_of_lines
+      [ {|{"schema":"hft-progress/1","seq":0,"time":1.0,"type":"snapshot","final":false,"classes":1,"resolved":0,"tests":0,"waterfall":{"faults":1},"top":[]}|} ]
+  in
+  check "no spurious warning" true
+    (not (contains (Hft_obs.Progress.render_view v0) "skipped"))
+
 let test_offline_rebuild () =
   with_obs @@ fun () ->
   let _, journal, ledger, live_wf, _ = run_streamed_campaign () in
@@ -772,6 +919,8 @@ let () =
           Alcotest.test_case "metrics json" `Quick test_metrics_json_roundtrip;
           Alcotest.test_case "trace json" `Quick test_trace_json;
           Alcotest.test_case "chrome trace" `Quick test_chrome_trace;
+          Alcotest.test_case "trace tracks" `Quick test_trace_tracks;
+          Alcotest.test_case "folded stacks" `Quick test_folded_stacks;
           Alcotest.test_case "table cells" `Quick test_table_cells;
         ] );
       ( "flight recorder",
@@ -789,6 +938,8 @@ let () =
           Alcotest.test_case "openmetrics grammar" `Quick
             test_openmetrics_grammar;
           Alcotest.test_case "watch view" `Quick test_watch_view;
+          Alcotest.test_case "watch forward compat" `Quick
+            test_watch_forward_compat;
           Alcotest.test_case "offline rebuild" `Quick test_offline_rebuild;
           Alcotest.test_case "span gc attrs" `Quick test_span_gc_attrs;
         ] );

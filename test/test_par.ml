@@ -101,6 +101,11 @@ let event_sig (e : Hft_obs.Journal.entry) =
   | Degraded { site; action } -> Printf.sprintf "degraded %s %s" site action
   | Checkpoint { classes; tests } -> Printf.sprintf "ckpt %d %d" classes tests
   | Note { key; value } -> Printf.sprintf "note %s %s" key value
+  | Shard_stats { jobs; tasks; _ } ->
+    (* Jobs-varying by nature (recorded once per campaign by the flow,
+       never by the engines), so it can never appear on an engine tape —
+       the differential tests below would rightly fail if it did. *)
+    Printf.sprintf "shard-stats %d %d" jobs tasks
 
 type fingerprint = {
   fp_stats : Seq_atpg.stats;
@@ -112,11 +117,11 @@ type fingerprint = {
   fp_journal : string list;
 }
 
-let seq_fingerprint ~jobs nl ~faults ~scanned =
+let seq_fingerprint ?on_par_stats ~jobs nl ~faults ~scanned =
   with_obs @@ fun () ->
   let tests = ref [] in
   let stats =
-    Seq_atpg.run ~backtrack_limit:30 ~max_frames:3 ~jobs
+    Seq_atpg.run ~backtrack_limit:30 ~max_frames:3 ~jobs ?on_par_stats
       ~on_test:(fun t ->
         tests :=
           (t.Seq_atpg.t_frames, t.Seq_atpg.t_pi_vectors,
@@ -258,6 +263,115 @@ let test_shard_chaos () =
   check_identical "sequential under shard chaos" base seq_under_chaos
 
 (* ------------------------------------------------------------------ *)
+(* Scheduler telemetry: conservation laws and observationality        *)
+(* ------------------------------------------------------------------ *)
+
+(* The stats record is an accounting instrument, so it obeys accounting
+   identities: every committed class is attributed to exactly one
+   worker, every dispatched task lands in exactly one of
+   hit/miss/inline, and no worker reports more time than the campaign
+   had. *)
+let check_stats_laws tag ~classes (s : Hft_par.Stats.t) =
+  let open Hft_par.Stats in
+  let sum f = Array.fold_left (fun a w -> a + f w) 0 s.s_workers in
+  check_int (tag ^ ": worker count") s.s_jobs (Array.length s.s_workers);
+  check_int
+    (tag ^ ": class attribution conserves (sum w_classes = classes)")
+    classes
+    (sum (fun w -> w.w_classes));
+  check_int
+    (tag ^ ": task bucketing conserves (hits + misses + inline = tasks)")
+    s.s_tasks
+    (spec_hits s + spec_misses s + inline s);
+  (* Steal symmetry: every steal has a victim. *)
+  check_int (tag ^ ": steal symmetry") (sum (fun w -> w.w_steals))
+    (sum (fun w -> w.w_stolen));
+  (* Time budget: per worker, busy + idle + stall cannot exceed the
+     campaign wall clock (10% + 5ms tolerance for clock jitter — idle
+     is derived from two different clock reads than busy). *)
+  let budget = int_of_float (1.1 *. float_of_int s.s_wall_ns) + 5_000_000 in
+  Array.iter
+    (fun w ->
+      check
+        (Printf.sprintf "%s: worker %d time budget" tag w.w_domain)
+        true
+        (w.w_busy_ns + w.w_idle_ns + w.w_stall_ns <= budget))
+    s.s_workers;
+  check (tag ^ ": utilization in [0,1]") true
+    (utilization s >= 0.0 && utilization s <= 1.1);
+  check (tag ^ ": occupancy in [0,1]") true
+    (occupancy s >= 0.0 && occupancy s <= 1.0)
+
+let test_stats_conservation () =
+  let nl = Netlist_gen.sequential ~seed:2 ~n_pi:4 ~n_dff:3 ~n_gates:14 in
+  let faults = Fault.collapsed nl in
+  let scanned = List.filteri (fun i _ -> i mod 2 = 0) (Netlist.dffs nl) in
+  List.iter
+    (fun jobs ->
+      let captured = ref None in
+      let classes =
+        with_obs @@ fun () ->
+        let _ : Seq_atpg.stats =
+          Seq_atpg.run ~backtrack_limit:30 ~max_frames:3 ~jobs
+            ~on_par_stats:(fun s -> captured := Some s)
+            nl ~faults ~scanned
+        in
+        Hft_obs.Ledger.n_classes ()
+      in
+      match !captured with
+      | None -> Alcotest.fail (Printf.sprintf "-j%d: no stats reported" jobs)
+      | Some s ->
+        let tag = Printf.sprintf "seq -j%d" jobs in
+        check_int (tag ^ ": jobs") jobs s.Hft_par.Stats.s_jobs;
+        check_stats_laws tag ~classes s;
+        if jobs = 1 then begin
+          (* Degenerate sequential summary: one fully-busy worker. *)
+          check (tag ^ ": sequential utilization is 1") true
+            (Hft_par.Stats.utilization s = 1.0);
+          check_int (tag ^ ": sequential has no tasks") 0
+            s.Hft_par.Stats.s_tasks
+        end
+        else
+          check (tag ^ ": parallel run dispatched tasks") true
+            (s.Hft_par.Stats.s_tasks > 0))
+    [ 1; 2; 4 ]
+
+(* Same laws on the second engine (full-scan commits every chunk class,
+   dropped ones included, so its task accounting is the trickier one). *)
+let test_full_scan_stats () =
+  let captured = ref None in
+  let classes =
+    with_obs @@ fun () ->
+    let _, d = Hft_core.Fig1_exp.datapath Hft_core.Fig1_exp.B in
+    let nl = (Expand.of_datapath d).Expand.netlist in
+    let faults = Fault.collapsed nl in
+    let _ : Hft_scan.Full_scan.result =
+      Hft_scan.Full_scan.atpg ~backtrack_limit:50 ~jobs:4
+        ~on_par_stats:(fun s -> captured := Some s)
+        nl ~faults
+    in
+    Hft_obs.Ledger.n_classes ()
+  in
+  match !captured with
+  | None -> Alcotest.fail "full-scan: no stats reported"
+  | Some s -> check_stats_laws "full-scan -j4" ~classes s
+
+(* Telemetry is observational: collecting it must not move a single
+   bit of the campaign's results, journal tape included. *)
+let test_stats_observational () =
+  let nl = Netlist_gen.sequential ~seed:4 ~n_pi:4 ~n_dff:3 ~n_gates:14 in
+  let faults = Fault.collapsed nl in
+  let scanned = List.filteri (fun i _ -> i mod 2 = 0) (Netlist.dffs nl) in
+  List.iter
+    (fun jobs ->
+      let base = seq_fingerprint ~jobs nl ~faults ~scanned in
+      let fp =
+        seq_fingerprint ~on_par_stats:(fun _ -> ()) ~jobs nl ~faults ~scanned
+      in
+      check_identical (Printf.sprintf "stats on vs off -j%d" jobs) base fp)
+    [ 1; 4 ]
+
+(* ------------------------------------------------------------------ *)
 (* End-to-end: the campaign entry point                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -299,6 +413,11 @@ let () =
           Alcotest.test_case "full-scan differential" `Quick
             test_full_scan_differential;
           Alcotest.test_case "shard chaos" `Quick test_shard_chaos;
+          Alcotest.test_case "stats conservation" `Quick
+            test_stats_conservation;
+          Alcotest.test_case "full-scan stats" `Quick test_full_scan_stats;
+          Alcotest.test_case "stats observational" `Quick
+            test_stats_observational;
           Alcotest.test_case "campaign jobs" `Quick test_campaign_jobs;
         ] );
     ]

@@ -29,7 +29,13 @@ BENCH_hft.json baseline, row by (bench, flow) row:
   contract: every leg's `faults`, `podem_backtracks`, `fsim_events`,
   `atpg_coverage`, `fsim_coverage` and `waterfall` must be bit-identical
   to the cell's sequential fields — any drift is a hard failure (the
-  sharded campaign did different engine work).  Speedups are always
+  sharded campaign did different engine work).  Every leg must also
+  carry a `parallel` scheduler-telemetry object with a `utilization`
+  figure, and that object's accounting must conserve (hard failures):
+  `spec_hits + spec_misses + inline == tasks` (every dispatched task
+  lands in exactly one commit bucket) and the per-worker `classes`
+  fields must sum to the cell waterfall's class count (every committed
+  class is attributed to exactly one worker).  Speedups are always
   reported; `--min-speedup` additionally requires the best measured
   multi-job speedup to reach the threshold on at least one cell, but
   only when the producing host had at least as many cores as the
@@ -68,6 +74,47 @@ def rows_by_key(doc):
     return {(r["bench"], r["flow"]): r for r in doc["results"]}
 
 
+def check_parallel_stats(leg, cell):
+    """Conservation-law gate on one jobs leg's scheduler telemetry."""
+    j = leg.get("jobs")
+    par = leg.get("parallel")
+    if not isinstance(par, dict):
+        return [f"-j{j} missing parallel telemetry object"]
+    verdicts = []
+    if not isinstance(par.get("utilization"), (int, float)):
+        verdicts.append(f"-j{j} parallel.utilization missing")
+    if par.get("jobs") != j:
+        verdicts.append(f"-j{j} parallel.jobs says {par.get('jobs')}")
+    tasks = par.get("tasks", 0)
+    buckets = (
+        par.get("spec_hits", 0) + par.get("spec_misses", 0) + par.get("inline", 0)
+    )
+    if buckets != tasks:
+        verdicts.append(
+            f"-j{j} task bucketing broken: hits+misses+inline {buckets} "
+            f"!= tasks {tasks}"
+        )
+    workers = par.get("workers")
+    if not isinstance(workers, list) or len(workers) != j:
+        verdicts.append(f"-j{j} expected {j} worker record(s)")
+        workers = []
+    w_classes = sum(w.get("classes", 0) for w in workers)
+    cell_classes = (cell.get("waterfall") or {}).get("classes")
+    if workers and cell_classes is not None and w_classes != cell_classes:
+        verdicts.append(
+            f"-j{j} class attribution broken: sum worker classes "
+            f"{w_classes} != waterfall classes {cell_classes}"
+        )
+    if workers:
+        steals = sum(w.get("steals", 0) for w in workers)
+        stolen = sum(w.get("stolen", 0) for w in workers)
+        if steals != stolen:
+            verdicts.append(
+                f"-j{j} steal asymmetry: {steals} performed != {stolen} suffered"
+            )
+    return verdicts
+
+
 def check_jobs_matrix(fresh, host_cores, min_speedup, require):
     """Gate the parallel-ATPG legs: bit-identical engine work at every
     jobs count, with speedup enforced only where it is measurable."""
@@ -99,6 +146,7 @@ def check_jobs_matrix(fresh, host_cores, min_speedup, require):
                     verdicts.append(
                         f"-j{j} {field} {cell.get(field)} != {leg.get(field)}"
                     )
+            verdicts.extend(check_parallel_stats(leg, cell))
         w1 = walls.get(1)
         for j, w in sorted(walls.items()):
             if j != 1 and w1 and w:
