@@ -1471,13 +1471,111 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List the benchmark behaviours")
     Term.(const run $ const ())
 
+(* ------------------------------------------------------------------ *)
+(* fuzz: the continuous bandit-guided differential campaign.          *)
+
+let fuzz_cmd =
+  let run seed trials duration corpus resume step_budget json obs =
+    let summary =
+      with_obs ~cmd:"fuzz" obs @@ fun () ->
+      let summary =
+        Hft_fuzz.Campaign.run
+          { Hft_fuzz.Campaign.c_seed = seed;
+            c_trials = trials;
+            c_duration = duration;
+            c_corpus = corpus;
+            c_resume = resume;
+            c_step_budget = step_budget }
+      in
+      if json then
+        print_endline
+          (Hft_util.Json.to_string (Hft_fuzz.Campaign.summary_json summary))
+      else begin
+        Printf.printf
+          "fuzz: %d trial(s) this run (%d total), stopped on %s\n"
+          summary.Hft_fuzz.Campaign.y_trials_run
+          summary.Hft_fuzz.Campaign.y_trials_total
+          summary.Hft_fuzz.Campaign.y_stop;
+        Printf.printf
+          "  corpus %s: %d finding class(es), %d real (non-canary)\n" corpus
+          summary.Hft_fuzz.Campaign.y_corpus_size
+          summary.Hft_fuzz.Campaign.y_real_findings;
+        Printf.printf "  this run: %d new, %d re-found, %d escalation(s)\n"
+          summary.Hft_fuzz.Campaign.y_new_findings
+          summary.Hft_fuzz.Campaign.y_refound
+          summary.Hft_fuzz.Campaign.y_escalations;
+        List.iter
+          (fun a ->
+            Printf.printf "  arm %-10s pulls %3d  reward %g\n"
+              a.Hft_fuzz.Campaign.as_name a.Hft_fuzz.Campaign.as_pulls
+              a.Hft_fuzz.Campaign.as_reward_sum)
+          summary.Hft_fuzz.Campaign.y_arms
+      end;
+      summary
+    in
+    (* Canary findings are the regression arm doing its job; only a
+       non-canary class is a real cross-engine disagreement. *)
+    if summary.Hft_fuzz.Campaign.y_real_findings > 0 then exit 1
+  in
+  let seed_arg =
+    Arg.(value & opt int 1
+         & info [ "seed" ] ~docv:"SEED"
+             ~doc:"Campaign seed.  Two runs with the same seed and trial \
+                   budget produce identical findings, arm choices and \
+                   corpus files.")
+  in
+  let trials_arg =
+    Arg.(value & opt int 32
+         & info [ "trials" ] ~docv:"N"
+             ~doc:"Total committed trials to reach, including trials \
+                   already in the state file when resuming.")
+  in
+  let duration_arg =
+    Arg.(value & opt (some float) None
+         & info [ "duration" ] ~docv:"SECS"
+             ~doc:"Optional wall-clock budget.  Affects only when the \
+                   campaign stops, never what a committed trial contains.")
+  in
+  let corpus_arg =
+    Arg.(value & opt string "fuzz-corpus"
+         & info [ "corpus" ] ~docv:"DIR"
+             ~doc:"Corpus directory: the crash-only campaign state tape \
+                   plus one self-contained minimized reproducer JSON per \
+                   finding class.")
+  in
+  let resume_arg =
+    Arg.(value & flag
+         & info [ "resume" ]
+             ~doc:"Continue an interrupted campaign from the corpus state \
+                   tape: committed trials replay into the bandit \
+                   bit-identically and the interrupted trial re-runs.")
+  in
+  let step_budget_arg =
+    Arg.(value & opt int Hft_fuzz.Oracle.default_step_budget
+         & info [ "step-budget" ] ~docv:"STEPS"
+             ~doc:"Deterministic per-engine-attempt deadline in search \
+                   steps; an attempt that exhausts it becomes a finding.")
+  in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Print the campaign summary as one JSON \
+                                 object.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Continuous bandit-guided differential fuzz campaign (exit 1 when \
+          a non-canary finding class exists; canary classes from the \
+          regression arm are expected)")
+    Term.(const run $ seed_arg $ trials_arg $ duration_arg $ corpus_arg
+          $ resume_arg $ step_budget_arg $ json_arg $ obs_term)
+
 (* Exit-code contract: 0 success, 1 engine failure (an exception out of
    a run, including chaos injections), 2 bad input or usage (typed
    validation diagnostics, unknown benches, cmdliner parse errors).
    Uncaught errors print a single JSON object to stderr so `--json`
    pipelines reading stdout stay parseable. *)
 let () =
-  Hft_robust.Chaos.of_env ();
   let info =
     Cmd.info "hft" ~version:"1.0.0"
       ~doc:"High-level synthesis for testability (DAC'96 survey reproduction)"
@@ -1485,7 +1583,7 @@ let () =
   let group =
     Cmd.group info
       [ synth_cmd; analyze_cmd; atpg_cmd; bist_cmd; lint_cmd; bench_cmd;
-        report_cmd; profile_cmd; watch_cmd; list_cmd ]
+        report_cmd; profile_cmd; watch_cmd; list_cmd; fuzz_cmd ]
   in
   let error_json fields =
     Printf.eprintf "%s\n%!"
@@ -1494,6 +1592,9 @@ let () =
   in
   let code =
     try
+      (* Inside the handler: a malformed HFT_CHAOS_* environment must hit
+         the exit-2 invalid-input contract, not escape as a backtrace. *)
+      Hft_robust.Chaos.of_env ();
       match Cmd.eval ~catch:false group with
       | c when c = Cmd.Exit.cli_error -> 2
       | c when c = Cmd.Exit.internal_error -> 1

@@ -1,0 +1,147 @@
+(* Linear-UCB contextual bandit over a fixed arm set.
+
+   Per arm: the d x d design matrix A (initialised to the identity) and
+   the reward vector b.  Selection scores each arm by the ridge
+   estimate's payoff plus an exploration bonus,
+   theta . x + alpha * sqrt(x . A^-1 x) with theta = A^-1 b, solving
+   the two small linear systems by Gaussian elimination with partial
+   pivoting — d is the handful of generator-portfolio features, so a
+   fresh O(d^3) solve per arm per trial is cheaper than maintaining an
+   inverse, and every float operation happens in a fixed order, which
+   is what makes a replayed campaign reproduce its arm choices bit for
+   bit. *)
+
+type t = {
+  l_alpha : float;
+  l_d : int;
+  l_a : float array array array;  (* per arm: d x d *)
+  l_b : float array array;  (* per arm: d *)
+  l_pulls : int array;
+}
+
+let create ~alpha ~d ~arms =
+  if d < 1 || arms < 1 then invalid_arg "Hft_fuzz.Linucb.create";
+  {
+    l_alpha = alpha;
+    l_d = d;
+    l_a =
+      Array.init arms (fun _ ->
+          Array.init d (fun i ->
+              Array.init d (fun j -> if i = j then 1.0 else 0.0)));
+    l_b = Array.init arms (fun _ -> Array.make d 0.0);
+    l_pulls = Array.make arms 0;
+  }
+
+let arms t = Array.length t.l_pulls
+let pulls t arm = t.l_pulls.(arm)
+
+(* Solve [m x = v] by Gaussian elimination with partial pivoting on a
+   scratch copy.  A is symmetric positive definite by construction
+   (identity plus rank-one updates), so the system is always solvable. *)
+let solve m v =
+  let d = Array.length v in
+  let a = Array.init d (fun i -> Array.copy m.(i)) in
+  let x = Array.copy v in
+  for col = 0 to d - 1 do
+    let piv = ref col in
+    for r = col + 1 to d - 1 do
+      if Float.abs a.(r).(col) > Float.abs a.(!piv).(col) then piv := r
+    done;
+    if !piv <> col then begin
+      let tmp = a.(col) in
+      a.(col) <- a.(!piv);
+      a.(!piv) <- tmp;
+      let tv = x.(col) in
+      x.(col) <- x.(!piv);
+      x.(!piv) <- tv
+    end;
+    let p = a.(col).(col) in
+    for r = col + 1 to d - 1 do
+      let f = a.(r).(col) /. p in
+      if f <> 0.0 then begin
+        for c = col to d - 1 do
+          a.(r).(c) <- a.(r).(c) -. (f *. a.(col).(c))
+        done;
+        x.(r) <- x.(r) -. (f *. x.(col))
+      end
+    done
+  done;
+  for r = d - 1 downto 0 do
+    let s = ref x.(r) in
+    for c = r + 1 to d - 1 do
+      s := !s -. (a.(r).(c) *. x.(c))
+    done;
+    x.(r) <- !s /. a.(r).(r)
+  done;
+  x
+
+let dot u v =
+  let s = ref 0.0 in
+  Array.iteri (fun i ui -> s := !s +. (ui *. v.(i))) u;
+  !s
+
+let score t ~arm ~x =
+  if Array.length x <> t.l_d then invalid_arg "Hft_fuzz.Linucb.score";
+  let theta = solve t.l_a.(arm) t.l_b.(arm) in
+  let z = solve t.l_a.(arm) x in
+  dot theta x +. (t.l_alpha *. sqrt (Float.max 0.0 (dot x z)))
+
+(* Deterministic argmax: strictly-greater to switch, so ties break to
+   the lowest arm index. *)
+let select t ~contexts =
+  if Array.length contexts <> arms t then invalid_arg "Hft_fuzz.Linucb.select";
+  let best = ref 0 in
+  let best_score = ref (score t ~arm:0 ~x:contexts.(0)) in
+  for a = 1 to arms t - 1 do
+    let s = score t ~arm:a ~x:contexts.(a) in
+    if s > !best_score then begin
+      best := a;
+      best_score := s
+    end
+  done;
+  !best
+
+let update t ~arm ~x ~reward =
+  if Array.length x <> t.l_d then invalid_arg "Hft_fuzz.Linucb.update";
+  let a = t.l_a.(arm) in
+  for i = 0 to t.l_d - 1 do
+    for j = 0 to t.l_d - 1 do
+      a.(i).(j) <- a.(i).(j) +. (x.(i) *. x.(j))
+    done
+  done;
+  let b = t.l_b.(arm) in
+  for i = 0 to t.l_d - 1 do
+    b.(i) <- b.(i) +. (reward *. x.(i))
+  done;
+  t.l_pulls.(arm) <- t.l_pulls.(arm) + 1
+
+(* Bit-exactness probe for checkpoint tests: the full float state,
+   rendered through Json's shortest-round-trip printer, so two bandits
+   are equal iff every matrix entry is bit-identical. *)
+let state_json t =
+  let open Hft_util.Json in
+  Obj
+    [ ("alpha", Float t.l_alpha);
+      ("d", Int t.l_d);
+      ("pulls", List (Array.to_list (Array.map (fun p -> Int p) t.l_pulls)));
+      ("a",
+       List
+         (Array.to_list
+            (Array.map
+               (fun m ->
+                 List
+                   (Array.to_list
+                      (Array.map
+                         (fun row ->
+                           List
+                             (Array.to_list
+                                (Array.map (fun v -> Float v) row)))
+                         m)))
+               t.l_a)));
+      ("b",
+       List
+         (Array.to_list
+            (Array.map
+               (fun v ->
+                 List (Array.to_list (Array.map (fun f -> Float f) v)))
+               t.l_b))) ]

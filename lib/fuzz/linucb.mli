@@ -1,0 +1,37 @@
+(** Linear-UCB contextual bandit over a fixed arm set (the fuzz
+    campaign's generator portfolio).
+
+    Per-arm state is the classic LinUCB pair (design matrix [A],
+    reward vector [b]); {!select} scores every arm by
+    [theta . x + alpha * sqrt(x . A^-1 x)] and returns the
+    deterministic argmax (ties break to the lowest index).  All float
+    arithmetic runs in a fixed order, so replaying a recorded
+    [(arm, x, reward)] history rebuilds the matrices bit for bit —
+    the property the crash-resilient campaign resume relies on. *)
+
+type t
+
+(** [create ~alpha ~d ~arms] — [alpha] is the exploration weight, [d]
+    the context-feature dimension.  Every [A] starts as the identity,
+    every [b] as zero. *)
+val create : alpha:float -> d:int -> arms:int -> t
+
+val arms : t -> int
+
+(** Times {!update} has been applied to [arm]. *)
+val pulls : t -> int -> int
+
+(** UCB score of one arm under context [x] (length [d]). *)
+val score : t -> arm:int -> x:float array -> float
+
+(** Deterministic argmax of {!score} over [contexts] (one context per
+    arm, lowest index wins ties). *)
+val select : t -> contexts:float array array -> int
+
+(** Rank-one update: [A += x x^T], [b += reward * x]. *)
+val update : t -> arm:int -> x:float array -> reward:float -> unit
+
+(** The full float state through Json's exact float printer — two
+    bandits render equal iff their matrices are bit-identical (used by
+    the resume bit-identity tests). *)
+val state_json : t -> Hft_util.Json.t

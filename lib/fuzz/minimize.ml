@@ -1,0 +1,121 @@
+(* Greedy 1-minimal netlist reducer for fuzz findings.
+
+   The reduction move is a bypass: pick a live gate [v] and one of its
+   fanins [s], rewrite every reference to [v] as a reference to [s],
+   then drop [v] and any logic that became dead.  Each candidate
+   reduction is accepted only if the caller's [check] still fires on
+   the rebuilt netlist, so the result is 1-minimal with respect to the
+   move set: no single remaining bypass preserves the finding.  That
+   re-check-after-every-step discipline is what makes the reproducers
+   trustworthy — a minimizer that trims without re-running the oracle
+   produces circuits that no longer reproduce anything. *)
+
+open Hft_gate
+
+(* Rebuild [nl] with node [drop] replaced by [subst] everywhere, dead
+   logic removed.  Liveness is marked from the POs and the DFFs
+   (following substituted fanins); PIs always survive so the generator
+   interface (pattern shapes, scan order) stays stable. *)
+let rebuild nl ~drop ~subst =
+  let n = Netlist.n_nodes nl in
+  let resolve v = if v = drop then subst else v in
+  let live = Array.make n false in
+  let rec mark v =
+    let v = resolve v in
+    if not live.(v) then begin
+      live.(v) <- true;
+      Array.iter mark (Netlist.fanin nl v)
+    end
+  in
+  List.iter mark (Netlist.pos nl);
+  List.iter
+    (fun d ->
+      if d <> drop then begin
+        live.(d) <- true;
+        Array.iter mark (Netlist.fanin nl d)
+      end)
+    (Netlist.dffs nl);
+  List.iter (fun p -> live.(p) <- true) (Netlist.pis nl);
+  live.(drop) <- false;
+  let out = Netlist.create ~name:(Netlist.circuit_name nl) () in
+  let map = Array.make n (-1) in
+  (* Two passes in old-id order: DFFs get a placeholder D first (their
+     source may map to a higher id), then a fixup pass rewires them. *)
+  let placeholder = ref (-1) in
+  for v = 0 to n - 1 do
+    if live.(v) then begin
+      let name = Netlist.node_name nl v in
+      match Netlist.kind nl v with
+      | Netlist.Dff ->
+        let ph =
+          match Netlist.pis out with
+          | p :: _ -> p
+          | [] ->
+            if !placeholder < 0 then
+              placeholder := Netlist.add out Netlist.Const0 [||];
+            !placeholder
+        in
+        map.(v) <- Netlist.add out ~name Netlist.Dff [| ph |]
+      | k ->
+        let fanins =
+          Array.map (fun s -> map.(resolve s)) (Netlist.fanin nl v)
+        in
+        map.(v) <- Netlist.add out ~name k fanins
+    end
+  done;
+  List.iter
+    (fun d ->
+      if live.(d) then
+        let src = resolve (Netlist.fanin nl d).(0) in
+        Netlist.set_fanin out map.(d) 0 map.(src))
+    (Netlist.dffs nl);
+  Netlist.validate out;
+  out
+
+(* Gates (not PIs, DFFs or constants) whose bypass is worth trying,
+   highest id first so downstream logic shrinks before the cone it
+   reads from. *)
+let candidates nl =
+  let acc = ref [] in
+  for v = 0 to Netlist.n_nodes nl - 1 do
+    match Netlist.kind nl v with
+    | Netlist.Pi | Netlist.Po | Netlist.Dff | Netlist.Const0 | Netlist.Const1
+      -> ()
+    | _ -> acc := v :: !acc
+  done;
+  !acc
+
+let max_steps = 200
+
+let reduce ~check nl =
+  let steps = ref 0 in
+  let current = ref nl in
+  let progress = ref true in
+  while !progress && !steps < max_steps do
+    progress := false;
+    (* Restart the scan after every accepted reduction: ids shift, and
+       earlier rejections may succeed on the smaller circuit. *)
+    (try
+       List.iter
+         (fun v ->
+           let fanins =
+             Array.to_list (Netlist.fanin !current v) |> List.sort_uniq compare
+           in
+           List.iter
+             (fun s ->
+               if !steps < max_steps then begin
+                 incr steps;
+                 match rebuild !current ~drop:v ~subst:s with
+                 | reduced when check reduced ->
+                   current := reduced;
+                   progress := true;
+                   raise Exit
+                 | _ -> ()
+                 | exception Invalid_argument _ -> ()
+                 | exception Hft_robust.Validation.Invalid _ -> ()
+               end)
+             fanins)
+         (candidates !current)
+     with Exit -> ())
+  done;
+  (!current, !steps)

@@ -1,0 +1,17 @@
+(** Greedy 1-minimal netlist reducer for fuzz findings.
+
+    The move set is single-gate bypasses (replace a gate by one of its
+    fanins, drop dead logic); [check] is re-run after every candidate
+    reduction and only passing reductions are kept, so the result
+    still reproduces the finding and no single remaining bypass can
+    shrink it further.  PIs are never removed, keeping the generator
+    interface stable. *)
+
+(** [reduce ~check nl] returns the minimized netlist and the number of
+    candidate reductions attempted (bounded, so minimization always
+    terminates).  [check] must return [true] iff the finding still
+    reproduces on its argument; it is never called on [nl] itself —
+    callers pass netlists that already reproduce. *)
+val reduce :
+  check:(Hft_gate.Netlist.t -> bool) -> Hft_gate.Netlist.t ->
+  Hft_gate.Netlist.t * int

@@ -2,6 +2,96 @@ let gate_kinds =
   [| Netlist.And; Netlist.Or; Netlist.Nand; Netlist.Nor; Netlist.Xor;
      Netlist.Xnor; Netlist.Not; Netlist.Buf; Netlist.Mux2 |]
 
+type mix = Balanced | Xor_heavy | Mux_heavy | Chain_heavy
+
+let mix_name = function
+  | Balanced -> "balanced"
+  | Xor_heavy -> "xor-heavy"
+  | Mux_heavy -> "mux-heavy"
+  | Chain_heavy -> "chain-heavy"
+
+(* Per-kind weights in [gate_kinds] order
+   (and/or/nand/nor/xor/xnor/not/buf/mux2). *)
+let mix_weights = function
+  | Balanced -> [| 1; 1; 1; 1; 1; 1; 1; 1; 1 |]
+  | Xor_heavy -> [| 1; 1; 1; 1; 4; 4; 1; 1; 1 |]
+  | Mux_heavy -> [| 2; 2; 1; 1; 1; 1; 1; 1; 5 |]
+  | Chain_heavy -> [| 1; 1; 1; 1; 1; 1; 4; 4; 1 |]
+
+type config = {
+  g_n_pi : int;
+  g_n_dff : int;
+  g_n_gates : int;
+  g_window : int;
+  g_hub_bias : int;
+  g_mix : mix;
+}
+
+let default =
+  { g_n_pi = 4; g_n_dff = 3; g_n_gates = 14; g_window = 0; g_hub_bias = 0;
+    g_mix = Balanced }
+
+let generate ~seed cfg =
+  let rng = Hft_util.Rng.create seed in
+  let nl = Netlist.create ~name:(Printf.sprintf "fuzz%d" seed) () in
+  (* Most-recent-first node pool: head = newest, tail = oldest. *)
+  let pool = ref [] in
+  let n_pool = ref 0 in
+  let push id =
+    pool := id :: !pool;
+    incr n_pool
+  in
+  for i = 0 to cfg.g_n_pi - 1 do
+    push (Netlist.add nl ~name:(Printf.sprintf "i%d" i) Netlist.Pi [||])
+  done;
+  let zero = Netlist.add nl Netlist.Const0 [||] in
+  let dffs =
+    Array.init cfg.g_n_dff (fun i ->
+        let d =
+          Netlist.add nl ~name:(Printf.sprintf "r%d" i) Netlist.Dff [| zero |]
+        in
+        push d;
+        d)
+  in
+  (* [g_hub_bias = h > 0]: half the draws come from the [h] oldest nodes
+     (PIs and early registers become high-fanout hubs whose cones
+     reconverge downstream).  [g_window = w > 0]: the remaining draws
+     come from the [w] newest nodes (long, narrow chains — depth).
+     Both 0 degrades to a uniform draw over the whole pool. *)
+  let pick () =
+    let arr = Array.of_list !pool in
+    let n = !n_pool in
+    if cfg.g_hub_bias > 0 && Hft_util.Rng.int rng 2 = 0 then
+      let h = min cfg.g_hub_bias n in
+      arr.(n - 1 - Hft_util.Rng.int rng h)
+    else if cfg.g_window > 0 then arr.(Hft_util.Rng.int rng (min cfg.g_window n))
+    else arr.(Hft_util.Rng.int rng n)
+  in
+  let weights = mix_weights cfg.g_mix in
+  let kind_lots =
+    Array.concat
+      (Array.to_list
+         (Array.mapi (fun i w -> Array.make w gate_kinds.(i)) weights))
+  in
+  let last = ref (pick ()) in
+  for _ = 1 to cfg.g_n_gates do
+    let k = kind_lots.(Hft_util.Rng.int rng (Array.length kind_lots)) in
+    let fanins =
+      match k with
+      | Netlist.Not | Netlist.Buf -> [| pick () |]
+      | Netlist.Mux2 -> [| pick (); pick (); pick () |]
+      | _ -> [| pick (); pick () |]
+    in
+    let id = Netlist.add nl k fanins in
+    push id;
+    last := id
+  done;
+  Array.iter (fun d -> Netlist.set_fanin nl d 0 (pick ())) dffs;
+  let _ = Netlist.add nl ~name:"y0" Netlist.Po [| !last |] in
+  let _ = Netlist.add nl ~name:"y1" Netlist.Po [| pick () |] in
+  Netlist.validate nl;
+  nl
+
 let sequential ~seed ~n_pi ~n_dff ~n_gates =
   let rng = Hft_util.Rng.create seed in
   let nl = Netlist.create ~name:(Printf.sprintf "fuzz%d" seed) () in

@@ -10,3 +10,35 @@
 
 val sequential :
   seed:int -> n_pi:int -> n_dff:int -> n_gates:int -> Netlist.t
+
+(** Gate-mix flavour of a generator configuration: uniform over all
+    kinds, XOR/XNOR-heavy (reconvergent parity cones), MUX-heavy
+    (control-dominated logic), or NOT/BUF-heavy (long inversion
+    chains). *)
+type mix = Balanced | Xor_heavy | Mux_heavy | Chain_heavy
+
+val mix_name : mix -> string
+
+(** One point in the fuzz campaign's generator portfolio.  [g_window]
+    > 0 draws fanins from the newest [g_window] nodes (deep, narrow
+    circuits); [g_hub_bias] > 0 routes half the draws to the oldest
+    [g_hub_bias] nodes (high-fanout hubs whose cones reconverge); both
+    0 is a uniform draw.  [g_n_dff] sets sequential-loop density,
+    [g_n_pi] the input width. *)
+type config = {
+  g_n_pi : int;
+  g_n_dff : int;
+  g_n_gates : int;
+  g_window : int;
+  g_hub_bias : int;
+  g_mix : mix;
+}
+
+(** [sequential]'s shape as a [config]: 4 PIs, 3 DFFs, 14 gates,
+    uniform draws, balanced mix (the draw order differs, so the same
+    seed yields a different — equally valid — circuit). *)
+val default : config
+
+(** Deterministic: the same [seed] and [config] always yield the same
+    circuit. *)
+val generate : seed:int -> config -> Netlist.t

@@ -30,6 +30,13 @@ type provider =
 
 let x = 2
 
+(* Debug knob for the fuzz campaign's regression canary: clearing it
+   restores the pre-fix objective ladder that declared Untestable when
+   the preferred propagation site's X-paths died (the seed-4246
+   unsoundness), so the differential oracles can prove they would
+   re-catch that bug class.  Production paths never touch it. *)
+let propagation_fallbacks_enabled = ref true
+
 (* Controlling value of a gate kind, if any, and output inversion. *)
 let controlling = function
   | Netlist.And | Netlist.Nand -> Some 0
@@ -636,7 +643,8 @@ let rec generate ?(backtrack_limit = 500) ?check ?guidance nl ~faults
          in
          if
            decide objectives
-           && (not (activated ()) || not (xpath_ok ())
+           && ((not !propagation_fallbacks_enabled)
+               || not (activated ()) || not (xpath_ok ())
                || decide (propagation_fallbacks ()))
          then
            match backtrack () with

@@ -55,6 +55,14 @@ type guidance = {
 type provider =
   Netlist.t -> observe:int list -> faults:Fault.t list -> guidance
 
+(** Regression-canary knob (default [true]).  Clearing it restores the
+    pre-fix objective ladder that could declare [Untestable] when the
+    preferred propagation site's X-paths died — the historical
+    seed-4246 unsoundness — so the fuzz campaign's differential oracles
+    can prove they still catch that bug class.  Never clear it outside
+    a canary check: with it off, [Untestable] is {e not} a proof. *)
+val propagation_fallbacks_enabled : bool ref
+
 (** [generate nl ~faults ~assignable ~observe ~backtrack_limit] —
     [faults] lists the injection sites of one logical fault (several
     sites for a fault replicated across time frames).  [check] is

@@ -26,3 +26,14 @@ let reset () =
   Span.reset ();
   Journal.reset ();
   Ledger.reset ()
+
+(* Nest the per-module isolations so [f] sees a completely fresh
+   recorder (empty registry/trace/journal/ledger, journal tap
+   suspended) and the caller's state — including any live progress
+   stream driven off the journal tap — is untouched when [f] returns
+   or raises.  The fuzz campaign runs its oracle engine checks in here:
+   the oracles [reset ()] and read the ledger freely without erasing
+   the campaign's own telemetry. *)
+let isolated f =
+  Registry.isolated (fun () ->
+      Span.isolated (fun () -> Journal.isolated (fun () -> Ledger.isolated f)))

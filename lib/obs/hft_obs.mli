@@ -36,3 +36,12 @@ val with_enabled : bool -> (unit -> 'a) -> 'a
     the fault ledger.  Does {e not} stop {!Progress}: one stream spans
     a whole bench matrix across per-cell resets. *)
 val reset : unit -> unit
+
+(** [isolated f] runs [f] against a completely fresh recorder — empty
+    registry, span trace, journal (tap suspended) and ledger — and
+    restores the caller's state afterwards (even on exceptions).
+    Inside, [f] may freely {!reset} and read back; nothing it records
+    leaks out, and nothing recorded outside is visible to it.  This is
+    how the fuzz campaign runs whole differential engine campaigns as
+    subroutines without erasing its own live telemetry. *)
+val isolated : (unit -> 'a) -> 'a

@@ -91,6 +91,27 @@ let record ev =
   if !Config.enabled then
     if not (Capture.defer (fun () -> record_now ev)) then record_now ev
 
+(* Run [f] against a scratch ring of the same capacity, with the live
+   tap suspended, restoring ring, counters and tap afterwards.  Events
+   recorded inside are invisible outside and drive no live consumer. *)
+let isolated f =
+  let saved_tap = !on_record in
+  let saved_buf, saved_total =
+    locked (fun () ->
+        let s = (!buf, !total) in
+        buf := Array.make !cap None;
+        total := 0;
+        s)
+  in
+  on_record := (fun _ -> ());
+  Fun.protect
+    ~finally:(fun () ->
+      locked (fun () ->
+          buf := saved_buf;
+          total := saved_total);
+      on_record := saved_tap)
+    f
+
 let entries () =
   locked (fun () ->
       let n = min !total !cap in

@@ -88,6 +88,11 @@ val set_capacity : int -> unit
 
 val reset : unit -> unit
 
+(** [isolated f] runs [f] against a fresh ring of the current capacity
+    with the {!on_record} tap suspended, restoring both afterwards
+    (even on exceptions). *)
+val isolated : (unit -> 'a) -> 'a
+
 (** The snake_case tag exported as the ["type"] field. *)
 val event_type : event -> string
 

@@ -68,6 +68,28 @@ let reset () =
       tests_buf := [||];
       n_tests_ := 0)
 
+(* Run [f] against scratch row/test buffers, restoring the live ones
+   afterwards.  Classes registered inside are invisible outside. *)
+let isolated f =
+  let saved =
+    locked (fun () ->
+        let s = (!rows_buf, !n_rows_, !tests_buf, !n_tests_) in
+        rows_buf := [||];
+        n_rows_ := 0;
+        tests_buf := [||];
+        n_tests_ := 0;
+        s)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      locked (fun () ->
+          let rb, nr, tb, nt = saved in
+          rows_buf := rb;
+          n_rows_ := nr;
+          tests_buf := tb;
+          n_tests_ := nt))
+    f
+
 let push buf n dummy v =
   let a = !buf in
   let cap = Array.length a in

@@ -118,3 +118,7 @@ val to_jsonl : unit -> string
 val top_expensive : k:int -> row list
 
 val reset : unit -> unit
+
+(** [isolated f] runs [f] against a fresh, empty ledger and restores
+    the previous rows and tests afterwards (even on exceptions). *)
+val isolated : (unit -> 'a) -> 'a

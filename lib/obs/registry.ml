@@ -94,3 +94,21 @@ let snapshot () =
   |> List.sort (fun a b -> compare a.Metric.s_name b.Metric.s_name)
 
 let reset () = locked (fun () -> Hashtbl.reset table)
+
+(* Run [f] against a scratch registry: the live bindings are parked,
+   [f] sees an empty table, and the bindings are restored afterwards
+   (the [Metric.t] values themselves are untouched — only table
+   membership moves).  Exception-safe via [Fun.protect]. *)
+let isolated f =
+  let saved =
+    locked (fun () ->
+        let s = Hashtbl.fold (fun k v acc -> (k, v) :: acc) table [] in
+        Hashtbl.reset table;
+        s)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      locked (fun () ->
+          Hashtbl.reset table;
+          List.iter (fun (k, v) -> Hashtbl.replace table k v) saved))
+    f

@@ -40,3 +40,8 @@ val count : string -> int
 val snapshot : unit -> Metric.snapshot list
 
 val reset : unit -> unit
+
+(** [isolated f] runs [f] against a fresh, empty registry and restores
+    the previous contents afterwards (even on exceptions).  Metrics
+    recorded inside are invisible outside and vice versa. *)
+val isolated : (unit -> 'a) -> 'a

@@ -70,6 +70,22 @@ let reset () =
   stack := [];
   track := []
 
+(* Run [f] against a scratch trace (empty roots/stack/track), restoring
+   the live one afterwards.  Spans opened inside never attach to outer
+   spans and never appear in the exported trace. *)
+let isolated f =
+  let saved = (!finished_roots, !stack, !track) in
+  finished_roots := [];
+  stack := [];
+  track := [];
+  Fun.protect
+    ~finally:(fun () ->
+      let r, s, t = saved in
+      finished_roots := r;
+      stack := s;
+      track := t)
+    f
+
 let roots () = List.rev !finished_roots
 
 let add_attr k v =

@@ -73,6 +73,10 @@ val tracks : unit -> track_event list
 
 val reset : unit -> unit
 
+(** [isolated f] runs [f] against a fresh, empty trace and restores the
+    previous one afterwards (even on exceptions). *)
+val isolated : (unit -> 'a) -> 'a
+
 (** Indented pretty-tree of one span / of every root. *)
 val render_one : t -> string
 

@@ -57,31 +57,77 @@ let check site =
       end
     end
 
+(* Environment parsing is strict: a malformed value is a typed
+   {!Validation.Invalid} (the CLI maps it to exit 2 with the standard
+   error contract), never a silent default — a chaos campaign that
+   quietly ran unarmed because of a typo'd HFT_CHAOS_PROB is worse than
+   one that refuses to start. *)
+let env_fail var value hint =
+  Validation.fail ~site:("chaos.env." ^ var) ~hint
+    (Printf.sprintf "malformed %s value %S" var value)
+
 let of_env () =
   match Sys.getenv_opt "HFT_CHAOS_SEED" with
-  | None -> ()
-  | Some s ->
-    (match int_of_string_opt (String.trim s) with
+  | None ->
+    (* No seed, no injector — but a stray knob alongside a missing seed
+       is almost certainly a mistyped campaign; flag it. *)
+    (match
+       List.find_opt
+         (fun v -> Sys.getenv_opt v <> None)
+         [ "HFT_CHAOS_PROB"; "HFT_CHAOS_SITES"; "HFT_CHAOS_ARM" ]
+     with
      | None -> ()
-     | Some seed ->
-       let prob =
-         match Sys.getenv_opt "HFT_CHAOS_PROB" with
-         | Some p -> (try float_of_string (String.trim p) with _ -> 0.05)
-         | None -> 0.05
-       in
-       let sites =
-         match Sys.getenv_opt "HFT_CHAOS_SITES" with
-         | None -> all_sites
-         | Some spec ->
-           String.split_on_char ',' spec
-           |> List.filter_map (fun tok -> site_of_string (String.trim tok))
-       in
-       let arm_after =
-         match Sys.getenv_opt "HFT_CHAOS_ARM" with
-         | Some a -> (try int_of_string (String.trim a) with _ -> 0)
-         | None -> 0
-       in
-       configure { seed; prob; sites = (if sites = [] then all_sites else sites); arm_after })
+     | Some v ->
+       Validation.fail ~site:"chaos.env"
+         ~hint:"set HFT_CHAOS_SEED=<int> to arm the injector"
+         (v ^ " is set but HFT_CHAOS_SEED is not"))
+  | Some s ->
+    let seed =
+      match int_of_string_opt (String.trim s) with
+      | Some seed -> seed
+      | None -> env_fail "HFT_CHAOS_SEED" s "expected an integer seed"
+    in
+    let prob =
+      match Sys.getenv_opt "HFT_CHAOS_PROB" with
+      | None -> 0.05
+      | Some p ->
+        (match float_of_string_opt (String.trim p) with
+         | Some f when f >= 0.0 && f <= 1.0 -> f
+         | Some _ | None ->
+           env_fail "HFT_CHAOS_PROB" p "expected a probability in [0, 1]")
+    in
+    let sites =
+      match Sys.getenv_opt "HFT_CHAOS_SITES" with
+      | None -> all_sites
+      | Some spec ->
+        let toks =
+          String.split_on_char ',' spec
+          |> List.map String.trim
+          |> List.filter (fun t -> t <> "")
+        in
+        if toks = [] then
+          env_fail "HFT_CHAOS_SITES" spec
+            "expected a comma-separated list of sites";
+        List.map
+          (fun tok ->
+            match site_of_string tok with
+            | Some site -> site
+            | None ->
+              env_fail "HFT_CHAOS_SITES" tok
+                ("known sites: "
+                 ^ String.concat ", " (List.map site_name all_sites)))
+          toks
+    in
+    let arm_after =
+      match Sys.getenv_opt "HFT_CHAOS_ARM" with
+      | None -> 0
+      | Some a ->
+        (match int_of_string_opt (String.trim a) with
+         | Some n when n >= 0 -> n
+         | Some _ | None ->
+           env_fail "HFT_CHAOS_ARM" a "expected a non-negative integer")
+    in
+    configure { seed; prob; sites; arm_after }
 
 let with_config cfg f =
   let saved = !state in

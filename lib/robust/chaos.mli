@@ -43,9 +43,13 @@ val check : site -> unit
 val injections : unit -> int
 
 (** Read [HFT_CHAOS_SEED] (enables the injector when set),
-    [HFT_CHAOS_PROB] (default 0.05), [HFT_CHAOS_SITES]
-    (comma-separated, default all) and [HFT_CHAOS_ARM] (default 0);
-    silently stays disabled when the seed is absent or unparsable. *)
+    [HFT_CHAOS_PROB] (default 0.05, must parse to a float in [0, 1]),
+    [HFT_CHAOS_SITES] (comma-separated site names, default all) and
+    [HFT_CHAOS_ARM] (default 0, must be a non-negative integer).
+    Stays disabled when no variable is set.  A malformed value — or a
+    chaos knob set without [HFT_CHAOS_SEED] — raises
+    {!Validation.Invalid} so the CLI reports the bad variable and
+    exits 2 instead of silently running with a default. *)
 val of_env : unit -> unit
 
 (** Run [f] under [config], restoring the previous injector state

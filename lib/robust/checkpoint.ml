@@ -1,5 +1,89 @@
 type meta = (string * Hft_util.Json.t) list
 
+(* Generic crash-only JSONL tape: a schema header line, then one JSON
+   record per line, each append chaos-checked (Serialize site) and
+   flushed.  [load] tolerates exactly the damage a kill can cause — an
+   unparsable final line is dropped — and reports damage anywhere else
+   as corruption.  Transaction semantics (which trailing records form
+   an uncommitted suffix) belong to the schema owner: hft-ckpt/1 rolls
+   back an uncommitted test below, hft-fuzz/1 rolls back findings with
+   no trial commit marker in [Hft_fuzz.State]. *)
+module Tape = struct
+  type writer = { w_oc : out_channel }
+
+  let write_line oc json =
+    output_string oc (Hft_util.Json.to_string json);
+    output_char oc '\n';
+    flush oc
+
+  let create ~path ~schema ~meta =
+    let oc = open_out path in
+    write_line oc
+      (Hft_util.Json.Obj
+         [ ("schema", Hft_util.Json.String schema);
+           ("meta", Hft_util.Json.Obj meta) ]);
+    { w_oc = oc }
+
+  let reopen ~path =
+    { w_oc = open_out_gen [ Open_append; Open_creat ] 0o644 path }
+
+  let emit w json =
+    Chaos.check Chaos.Serialize;
+    write_line w.w_oc json
+
+  let emit_raw w json = write_line w.w_oc json
+
+  let close w = close_out w.w_oc
+
+  let read_lines path =
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec go acc =
+          match input_line ic with
+          | line -> go (line :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        go [])
+
+  let load ~path ~schema =
+    match read_lines path with
+    | exception Sys_error msg -> Error msg
+    | [] -> Error "empty checkpoint"
+    | header :: body ->
+      (match Hft_util.Json.parse header with
+       | Error msg -> Error ("bad checkpoint header: " ^ msg)
+       | Ok h ->
+         (match Hft_util.Json.member "schema" h with
+          | Some (Hft_util.Json.String s) when s = schema ->
+            let meta =
+              match Hft_util.Json.member "meta" h with
+              | Some (Hft_util.Json.Obj kvs) -> kvs
+              | _ -> []
+            in
+            let n_body = List.length body in
+            let records = ref [] in
+            let err = ref None in
+            List.iteri
+              (fun i line ->
+                if !err = None then
+                  match Hft_util.Json.parse line with
+                  | Error msg ->
+                    (* A torn final line is the expected crash artifact;
+                       damage anywhere else is corruption. *)
+                    if i < n_body - 1 then
+                      err :=
+                        Some
+                          (Printf.sprintf "corrupt record %d: %s" (i + 2) msg)
+                  | Ok j -> records := j :: !records)
+              body;
+            (match !err with
+             | Some msg -> Error msg
+             | None -> Ok (meta, List.rev !records))
+          | _ -> Error ("not an " ^ schema ^ " checkpoint")))
+end
+
 type cls = { ck_rep : string; ck_resolution : Hft_obs.Ledger.resolution }
 
 type test = {
@@ -14,28 +98,15 @@ type t = { meta : meta; classes : cls list; tests : test list }
 let schema = "hft-ckpt/1"
 
 type writer = {
-  w_oc : out_channel;
+  w_tape : Tape.writer;
   mutable w_classes : int;
   mutable w_tests : int;
 }
 
-let emit w json =
-  output_string w.w_oc (Hft_util.Json.to_string json);
-  output_char w.w_oc '\n';
-  flush w.w_oc
-
 let create ~path ~meta =
-  let oc = open_out path in
-  let w = { w_oc = oc; w_classes = 0; w_tests = 0 } in
-  emit w
-    (Hft_util.Json.Obj
-       [ ("schema", Hft_util.Json.String schema);
-         ("meta", Hft_util.Json.Obj meta) ]);
-  w
+  { w_tape = Tape.create ~path ~schema ~meta; w_classes = 0; w_tests = 0 }
 
-let reopen ~path =
-  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
-  { w_oc = oc; w_classes = 0; w_tests = 0 }
+let reopen ~path = { w_tape = Tape.reopen ~path; w_classes = 0; w_tests = 0 }
 
 let bits_to_string bits =
   String.init (Array.length bits) (fun i -> if bits.(i) then '1' else '0')
@@ -43,8 +114,7 @@ let bits_to_string bits =
 let bits_of_string s = Array.init (String.length s) (fun i -> s.[i] = '1')
 
 let append_class w ~rep res =
-  Chaos.check Chaos.Serialize;
-  emit w
+  Tape.emit w.w_tape
     (Hft_util.Json.Obj
        [ ("kind", Hft_util.Json.String "class");
          ("rep", Hft_util.Json.String rep);
@@ -52,9 +122,8 @@ let append_class w ~rep res =
   w.w_classes <- w.w_classes + 1
 
 let append_test w t =
-  Chaos.check Chaos.Serialize;
   let open Hft_util.Json in
-  emit w
+  Tape.emit w.w_tape
     (Obj
        [ ("kind", String "test");
          ("frames", Int t.ck_frames);
@@ -76,19 +145,7 @@ let append_test w t =
   Hft_obs.Journal.record
     (Hft_obs.Journal.Checkpoint { classes = w.w_classes; tests = w.w_tests })
 
-let close w = close_out w.w_oc
-
-let read_lines path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let rec go acc =
-        match input_line ic with
-        | line -> go (line :: acc)
-        | exception End_of_file -> List.rev acc
-      in
-      go [])
+let close w = Tape.close w.w_tape
 
 let parse_test j =
   let open Hft_util.Json in
@@ -146,67 +203,38 @@ let repair_tail classes tests =
     tests )
 
 let load ~path =
-  match read_lines path with
-  | exception Sys_error msg -> Error msg
-  | [] -> Error "empty checkpoint"
-  | header :: body ->
-    (match Hft_util.Json.parse header with
-     | Error msg -> Error ("bad checkpoint header: " ^ msg)
-     | Ok h ->
-       (match Hft_util.Json.member "schema" h with
-        | Some (Hft_util.Json.String s) when s = schema ->
-          let meta =
-            match Hft_util.Json.member "meta" h with
-            | Some (Hft_util.Json.Obj kvs) -> kvs
-            | _ -> []
-          in
-          let n_body = List.length body in
-          let classes = ref [] and tests = ref [] in
-          let err = ref None in
-          List.iteri
-            (fun i line ->
-              if !err = None then
-                match Hft_util.Json.parse line with
-                | Error msg ->
-                  (* A torn final line is the expected crash artifact;
-                     damage anywhere else is corruption. *)
-                  if i < n_body - 1 then
-                    err := Some (Printf.sprintf "corrupt record %d: %s" (i + 2) msg)
-                | Ok j ->
-                  (match Hft_util.Json.member "kind" j with
-                   | Some (Hft_util.Json.String "class") ->
-                     (match
-                        ( Hft_util.Json.member "rep" j,
-                          Hft_util.Json.member "resolution" j )
-                      with
-                      | Some (Hft_util.Json.String rep), Some rj ->
-                        (match Hft_obs.Ledger.resolution_of_json rj with
-                         | Some res ->
-                           classes :=
-                             { ck_rep = rep; ck_resolution = res } :: !classes
-                         | None ->
-                           err :=
-                             Some
-                               (Printf.sprintf "bad resolution at record %d"
-                                  (i + 2)))
-                      | _ ->
-                        err :=
-                          Some (Printf.sprintf "bad class record %d" (i + 2)))
-                   | Some (Hft_util.Json.String "test") ->
-                     (match try parse_test j with Exit -> None with
-                      | Some t -> tests := t :: !tests
-                      | None ->
-                        err :=
-                          Some (Printf.sprintf "bad test record %d" (i + 2)))
-                   | _ ->
-                     err :=
-                       Some (Printf.sprintf "unknown record kind at %d" (i + 2))))
-            body;
-          (match !err with
-           | Some msg -> Error msg
-           | None ->
-             let classes, tests =
-               repair_tail (List.rev !classes) (List.rev !tests)
-             in
-             Ok { meta; classes; tests })
-        | _ -> Error "not an hft-ckpt/1 checkpoint"))
+  match Tape.load ~path ~schema with
+  | Error msg -> Error msg
+  | Ok (meta, records) ->
+    let classes = ref [] and tests = ref [] in
+    let err = ref None in
+    List.iteri
+      (fun i j ->
+        if !err = None then
+          match Hft_util.Json.member "kind" j with
+          | Some (Hft_util.Json.String "class") ->
+            (match
+               ( Hft_util.Json.member "rep" j,
+                 Hft_util.Json.member "resolution" j )
+             with
+             | Some (Hft_util.Json.String rep), Some rj ->
+               (match Hft_obs.Ledger.resolution_of_json rj with
+                | Some res ->
+                  classes := { ck_rep = rep; ck_resolution = res } :: !classes
+                | None ->
+                  err :=
+                    Some
+                      (Printf.sprintf "bad resolution at record %d" (i + 2)))
+             | _ -> err := Some (Printf.sprintf "bad class record %d" (i + 2)))
+          | Some (Hft_util.Json.String "test") ->
+            (match try parse_test j with Exit -> None with
+             | Some t -> tests := t :: !tests
+             | None -> err := Some (Printf.sprintf "bad test record %d" (i + 2)))
+          | _ ->
+            err := Some (Printf.sprintf "unknown record kind at %d" (i + 2)))
+      records;
+    (match !err with
+     | Some msg -> Error msg
+     | None ->
+       let classes, tests = repair_tail (List.rev !classes) (List.rev !tests) in
+       Ok { meta; classes; tests })

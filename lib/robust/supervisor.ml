@@ -31,6 +31,20 @@ let protect ~site f =
   | (Out_of_memory | Sys.Break) as e -> raise e
   | e -> Error (Failure.Engine_exception (Printexc.to_string e))
 
+(* Like [protect] but for callers outside the chaos-site taxonomy (the
+   fuzz campaign names its sites after oracle checks): no chaos draw of
+   its own — injections still surface from [Chaos.check]s {e inside}
+   [f] — and the free-form [name] labels the failure. *)
+let guard ~name f =
+  try Ok (f ()) with
+  | Chaos.Injection { site; seq } -> Error (Failure.Injected { site; seq })
+  | Deadline.Expired (Deadline.Wall { elapsed; limit }) ->
+    Error (Failure.Timeout { site = name; elapsed; limit })
+  | Deadline.Expired (Deadline.Steps { steps; limit }) ->
+    Error (Failure.Budget_exhausted { site = name; steps; limit })
+  | (Out_of_memory | Sys.Break) as e -> raise e
+  | e -> Error (Failure.Engine_exception (Printexc.to_string e))
+
 let ladder policy ~site ~budget f =
   let rec go attempt budget scale =
     let deadline =

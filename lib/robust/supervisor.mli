@@ -31,6 +31,13 @@ val default : policy
     [Sys.Break] are re-raised; everything else becomes a failure. *)
 val protect : site:Chaos.site -> (unit -> 'a) -> ('a, Failure.t) result
 
+(** Like {!protect} for supervision points outside the chaos-site
+    taxonomy (e.g. one fuzz-oracle check): no chaos draw of its own —
+    injections from [Chaos.check]s inside [f] still classify as
+    [Injected] — and failures carry the free-form [name] as their
+    site. *)
+val guard : name:string -> (unit -> 'a) -> ('a, Failure.t) result
+
 (** [ladder policy ~site ~budget f] — run [f ~budget ~check] through the
     retry ladder.  [check] is the per-attempt deadline hook ([None] when
     the policy sets no deadlines). *)

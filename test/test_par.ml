@@ -113,6 +113,7 @@ type fingerprint = {
   fp_backtracks : int;
   fp_events : int;
   fp_unrolls : int;
+  fp_retries : int;
   fp_tests : (int * bool array array * bool array) list;
   fp_journal : string list;
 }
@@ -135,6 +136,7 @@ let seq_fingerprint ?on_par_stats ~jobs nl ~faults ~scanned =
     fp_backtracks = Hft_obs.Registry.count "hft.podem.backtracks";
     fp_events = Hft_obs.Registry.count "hft.fsim.events";
     fp_unrolls = Hft_obs.Registry.count "hft.seq_atpg.unrolls";
+    fp_retries = Hft_obs.Registry.count "hft.robust.retries";
     fp_tests = List.rev !tests;
     fp_journal = List.map event_sig (Hft_obs.Journal.entries ());
   }
@@ -146,6 +148,7 @@ let check_identical tag base fp =
   check_int (tag ^ ": podem backtracks") base.fp_backtracks fp.fp_backtracks;
   check_int (tag ^ ": fsim events") base.fp_events fp.fp_events;
   check_int (tag ^ ": unrolls") base.fp_unrolls fp.fp_unrolls;
+  check_int (tag ^ ": retries") base.fp_retries fp.fp_retries;
   check (tag ^ ": test set") true (fp.fp_tests = base.fp_tests);
   Alcotest.(check (list string))
     (tag ^ ": journal tape") base.fp_journal fp.fp_journal
@@ -261,6 +264,51 @@ let test_shard_chaos () =
       (fun () -> seq_fingerprint ~jobs:1 nl ~faults ~scanned)
   in
   check_identical "sequential under shard chaos" base seq_under_chaos
+
+(* Nested chaos: a Shard-site kill whose inline recompute then hits
+   Podem-site injections.  The orchestrator's fallback path runs the
+   full supervised PODEM — so the -j4 run must land exactly on the -j1
+   [Podem]-only run: same stats, waterfall, tests, and the same
+   hft.robust.retries count (the dead worker's half-done attempts are
+   discarded with its telemetry, never double-counted), with the only
+   extra journal content being the Degraded shard breadcrumbs. *)
+let test_nested_shard_podem_chaos () =
+  let nl = Netlist_gen.sequential ~seed:5 ~n_pi:4 ~n_dff:3 ~n_gates:14 in
+  let faults = Fault.collapsed nl in
+  let scanned = List.filteri (fun i _ -> i mod 2 = 0) (Netlist.dffs nl) in
+  let chaos sites f =
+    Hft_robust.Chaos.with_config
+      { Hft_robust.Chaos.seed = 3; prob = 1.0; sites; arm_after = 0 }
+      f
+  in
+  (* prob 1.0 makes every armed check trip, so which checks fire does
+     not depend on the shared chaos RNG's draw order across domains. *)
+  let base =
+    chaos [ Hft_robust.Chaos.Podem ] (fun () ->
+        seq_fingerprint ~jobs:1 nl ~faults ~scanned)
+  in
+  check "podem chaos exercises the retry ladder" true (base.fp_retries > 0);
+  let fp =
+    chaos [ Hft_robust.Chaos.Shard; Hft_robust.Chaos.Podem ] (fun () ->
+        seq_fingerprint ~jobs:4 nl ~faults ~scanned)
+  in
+  let degraded =
+    List.length
+      (List.filter
+         (fun s -> s = "degraded shard sequential-fallback")
+         fp.fp_journal)
+  in
+  check "shards were killed around the podem injections" true (degraded > 0);
+  check "nested chaos: stats" true (fp.fp_stats = base.fp_stats);
+  Alcotest.(check string)
+    "nested chaos: waterfall" base.fp_waterfall fp.fp_waterfall;
+  check "nested chaos: test set" true (fp.fp_tests = base.fp_tests);
+  check_int "nested chaos: retries not double-counted" base.fp_retries
+    fp.fp_retries;
+  check "nested chaos: tape = base tape + Degraded breadcrumbs" true
+    (List.filter (fun s -> s <> "degraded shard sequential-fallback")
+       fp.fp_journal
+     = base.fp_journal)
 
 (* ------------------------------------------------------------------ *)
 (* Scheduler telemetry: conservation laws and observationality        *)
@@ -413,6 +461,8 @@ let () =
           Alcotest.test_case "full-scan differential" `Quick
             test_full_scan_differential;
           Alcotest.test_case "shard chaos" `Quick test_shard_chaos;
+          Alcotest.test_case "nested shard+podem chaos" `Quick
+            test_nested_shard_podem_chaos;
           Alcotest.test_case "stats conservation" `Quick
             test_stats_conservation;
           Alcotest.test_case "full-scan stats" `Quick test_full_scan_stats;

@@ -272,9 +272,9 @@ let fig1_result () =
   let g = Paper_fig1.graph () in
   Flow.synthesize ~width:4 Flow.Partial_scan g
 
-let run_campaign ?supervisor ?checkpoint ?resume r =
+let run_campaign ?supervisor ?checkpoint ?resume ?jobs r =
   Flow.test_campaign ~backtrack_limit:20 ~max_frames:2 ~sample:4 ~seed:7
-    ~n_patterns:32 ?supervisor ?checkpoint ?resume r
+    ~n_patterns:32 ?supervisor ?checkpoint ?resume ?jobs r
 
 (* Every outcome a campaign produces: per-fault verdicts, stored
    patterns, the final detected set, the forensics waterfall.  Effort
@@ -361,6 +361,51 @@ let test_checkpoint_resume_bit_identical () =
   check "resumed run is bit-identical to the uninterrupted one" true
     (resumed = reference)
 
+let test_checkpoint_resume_parallel_torn () =
+  (* The same kill-and-resume contract under the domain pool: chaos
+     kills a -j4 campaign at a serialisation boundary, the process dies
+     mid-write (simulated by appending a half line to the checkpoint),
+     and a -j4 resume must repair the torn tail and land bit-identical
+     to an uninterrupted -j4 run. *)
+  let r = fig1_result () in
+  let jobs = 4 in
+  let reference =
+    with_obs @@ fun () ->
+    let path = tmp_ckpt () in
+    Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+    fingerprint (run_campaign ~checkpoint:path ~jobs r)
+  in
+  let path = tmp_ckpt () in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let killed =
+    with_obs @@ fun () ->
+    match
+      Chaos.with_config
+        { Chaos.seed = 5; prob = 1.0; sites = [ Chaos.Serialize ];
+          arm_after = 4 }
+        (fun () -> run_campaign ~checkpoint:path ~jobs r)
+    with
+    | _ -> false
+    | exception Chaos.Injection _ -> true
+  in
+  check "chaos killed the -j4 campaign mid-run" true killed;
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "{\"kind\":\"test\",\"frames\":2,\"vec";
+  close_out oc;
+  let resumed =
+    with_obs @@ fun () ->
+    fingerprint (run_campaign ~checkpoint:path ~resume:true ~jobs r)
+  in
+  check "-j4 torn-tail resume is bit-identical to uninterrupted -j4" true
+    (resumed = reference);
+  (* And the jobs count is not part of the checkpoint identity: the
+     now-complete file resumes sequentially, restoring every class to
+     the same outcomes. *)
+  check "completed checkpoint resumes at -j1 to the same outcomes" true
+    ((with_obs @@ fun () ->
+      fingerprint (run_campaign ~checkpoint:path ~resume:true r))
+     = reference)
+
 let test_checkpoint_meta_mismatch () =
   let r = fig1_result () in
   let path = tmp_ckpt () in
@@ -407,6 +452,8 @@ let () =
             test_chaos_never_crashes;
           Alcotest.test_case "kill + resume bit-identical" `Quick
             test_checkpoint_resume_bit_identical;
+          Alcotest.test_case "-j4 kill + torn tail + resume" `Quick
+            test_checkpoint_resume_parallel_torn;
           Alcotest.test_case "resume fingerprint mismatch" `Quick
             test_checkpoint_meta_mismatch;
         ] );

@@ -1,210 +1,44 @@
-(* Fuzz smoke: differential and chaos checks over seeded random
-   sequential netlists (Netlist_gen).  Per circuit:
+(* Fuzz smoke: the Hft_fuzz differential oracles over seeded random
+   sequential netlists.
 
-   1. fault-simulation differential — the naive (full-resimulation) and
-      cone-limited strategies must report the same detected set;
-   2. ATPG differential — per-fault outcomes of the Naive and Drop
-      engines may differ in effort (aborts), but a fault detected by
-      one and proved untestable by the other is a soundness bug;
-   3. every generation-time detection claim must be confirmed by an
-      independent replay;
-   4. with chaos injections armed at every engine site, the supervised
-      campaign must still terminate, conserve outcomes and make only
-      sound detection claims;
-   5. guided-vs-unguided PODEM differential — under static-analysis
-      guidance (Hft_analysis.Guidance) a per-fault verdict may only
-      improve (Aborted -> Test/Untestable).  A Test<->Untestable
-      disagreement, a guided abort where the unguided search concluded,
-      or a guided test the fault simulator rejects is a soundness bug
-      in the guidance layer; the offending fault is printed as the
-      minimized reproducer;
-   6. parallel differential — the domain-pool-sharded campaign
-      (jobs = 4) must reproduce the sequential Drop run bit for bit:
-      stats, per-fault outcomes, generated test set and the ledger
-      waterfall.  Any drift is a determinism bug in the sharding
-      (speculation committed out of order, or a worker-side write that
-      escaped its telemetry tape).
+   The six checks (fault-simulation differential, Naive-vs-Drop ATPG
+   soundness, parallel bit-identity, replay confirmation, chaos-armed
+   conservation, guided-vs-unguided PODEM) live in Hft_fuzz.Oracle —
+   this tool is a thin driver that generates [N_CIRCUITS] circuits
+   from [BASE_SEED] and runs the full oracle battery on each, so CI's
+   quick smoke and the continuous `hft fuzz` campaign can never drift
+   apart: they execute the same checks from the same module.
 
    Usage: fuzz_smoke [N_CIRCUITS] [BASE_SEED].  Exit 1 on any failure,
-   with the offending seed on stderr (the generator is seed-determined,
-   so that seed is the whole reproducer). *)
-
-open Hft_gate
-
-let failures = ref 0
-
-let fail seed fmt =
-  Printf.ksprintf
-    (fun msg ->
-      incr failures;
-      Printf.eprintf "fuzz FAIL seed=%d: %s\n%!" seed msg)
-    fmt
-
-(* Per-fault outcome kinds from the ledger of the last run. *)
-let outcome_map () =
-  let tbl = Hashtbl.create 64 in
-  List.iter
-    (fun (row : Hft_obs.Ledger.row) ->
-      let kind = Hft_obs.Ledger.resolution_key row.lr_resolution in
-      List.iter (fun m -> Hashtbl.replace tbl m kind) row.lr_members)
-    (Hft_obs.Ledger.rows ());
-  tbl
-
-let is_detected k =
-  List.mem k [ "drop_detected"; "podem_detected"; "salvaged" ]
-
-let check_circuit seed =
-  let nl = Netlist_gen.sequential ~seed ~n_pi:4 ~n_dff:3 ~n_gates:14 in
-  let faults = Fault.collapsed nl in
-  let scanned = List.filteri (fun i _ -> i mod 2 = 0) (Netlist.dffs nl) in
-  let detected strategy =
-    let rng = Hft_util.Rng.create ((seed * 3) + 1) in
-    (Fsim.comb_random ~strategy nl ~rng ~n_patterns:32 faults).Fsim.detected
-    |> List.sort compare
-  in
-  if detected Fsim.Naive <> detected Fsim.Cone then
-    fail seed "fsim naive/cone detected sets differ";
-  let run_atpg ?(jobs = 1) strategy on_test =
-    Hft_obs.reset ();
-    let stats =
-      Seq_atpg.run ~backtrack_limit:30 ~max_frames:3 ~strategy ~jobs ?on_test
-        nl ~faults ~scanned
-    in
-    (stats, outcome_map ())
-  in
-  let conservation tag (s : Seq_atpg.stats) =
-    if s.detected + s.untestable + s.aborted <> s.total then
-      fail seed "%s: outcome conservation violated (%d+%d+%d <> %d)" tag
-        s.detected s.untestable s.aborted s.total
-  in
-  let tests = ref [] in
-  let s_naive, o_naive = run_atpg Seq_atpg.Naive None in
-  let s_drop, o_drop =
-    run_atpg Seq_atpg.Drop (Some (fun t -> tests := t :: !tests))
-  in
-  conservation "naive" s_naive;
-  conservation "drop" s_drop;
-  (* 6. Parallel differential: same engine, sharded over 4 domains. *)
-  let wf_drop = Hft_util.Json.to_string (Hft_obs.Ledger.waterfall_json ()) in
-  let par_tests = ref [] in
-  let s_par, o_par =
-    run_atpg ~jobs:4 Seq_atpg.Drop (Some (fun t -> par_tests := t :: !par_tests))
-  in
-  let wf_par = Hft_util.Json.to_string (Hft_obs.Ledger.waterfall_json ()) in
-  if s_par <> s_drop then fail seed "parallel differential: stats differ";
-  if wf_par <> wf_drop then
-    fail seed "parallel differential: waterfall differs (%s vs %s)" wf_drop
-      wf_par;
-  if !par_tests <> !tests then
-    fail seed "parallel differential: generated test sets differ";
-  let bindings tbl =
-    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
-  in
-  if bindings o_par <> bindings o_drop then
-    fail seed "parallel differential: per-fault outcomes differ";
-  Hashtbl.iter
-    (fun f k1 ->
-      match Hashtbl.find_opt o_drop f with
-      | None -> fail seed "fault %s missing from drop ledger" f
-      | Some k2 ->
-        if
-          (is_detected k1 && k2 = "untestable")
-          || (k1 = "untestable" && is_detected k2)
-        then fail seed "fault %s: naive says %s, drop says %s" f k1 k2)
-    o_naive;
-  let confirm tag tests =
-    let claimed =
-      List.concat_map (fun t -> t.Seq_atpg.t_detects) tests
-      |> List.sort_uniq compare
-    in
-    let _, undet = Seq_atpg.replay nl ~scanned ~tests claimed in
-    if undet <> [] then
-      fail seed "%s: %d claimed detection(s) fail to replay" tag
-        (List.length undet)
-  in
-  confirm "chaos-off" !tests;
-  let chaos_tests = ref [] in
-  (match
-     Hft_robust.Chaos.with_config
-       {
-         Hft_robust.Chaos.seed = (seed * 7) + 5;
-         prob = 0.2;
-         sites =
-           [ Hft_robust.Chaos.Podem; Hft_robust.Chaos.Fsim;
-             Hft_robust.Chaos.Collapse ];
-         arm_after = 0;
-       }
-       (fun () ->
-         Hft_obs.reset ();
-         Seq_atpg.run ~backtrack_limit:30 ~max_frames:3
-           ~strategy:Seq_atpg.Drop
-           ~on_test:(fun t -> chaos_tests := t :: !chaos_tests)
-           nl ~faults ~scanned)
-   with
-   | s -> conservation "chaos" s
-   | exception e -> fail seed "chaos run escaped with %s" (Printexc.to_string e));
-  confirm "chaos-on" !chaos_tests;
-  (* 5. Guided differential, per fault on the full-scan view (every DFF
-     a pseudo-PI, its D input a pseudo-PO) so each PODEM call is purely
-     combinational and the oracle is exact. *)
-  let dffs = Netlist.dffs nl in
-  let assignable = Netlist.pis nl @ dffs in
-  let observe =
-    Netlist.pos nl @ List.map (fun d -> (Netlist.fanin nl d).(0)) dffs
-  in
-  let verdict = function
-    | Podem.Test _ -> "test"
-    | Podem.Untestable -> "untestable"
-    | Podem.Aborted -> "aborted"
-  in
-  List.iter
-    (fun f ->
-      let unguided, _ =
-        Podem.generate ~backtrack_limit:30 nl ~faults:[ f ] ~assignable
-          ~observe
-      in
-      let guided, _ =
-        Podem.generate ~backtrack_limit:30
-          ~guidance:(Hft_analysis.Guidance.provide nl ~observe ~faults:[ f ])
-          nl ~faults:[ f ] ~assignable ~observe
-      in
-      let ku = verdict unguided and kg = verdict guided in
-      let repro () = Fault.to_string nl f in
-      (match (unguided, guided) with
-       | Podem.Test _, Podem.Untestable | Podem.Untestable, Podem.Test _ ->
-         fail seed "guided differential: fault %s unguided=%s guided=%s"
-           (repro ()) ku kg
-       | _, Podem.Aborted when unguided <> Podem.Aborted ->
-         fail seed
-           "guided differential: fault %s regressed to aborted (unguided=%s)"
-           (repro ()) ku
-       | _ -> ());
-      (* A guided test must actually detect the fault it targets
-         (two-valued check is exact here: every source is assignable
-         and unlisted sources default to 0, PODEM's X fill). *)
-      match guided with
-      | Podem.Test assign ->
-        let det =
-          Fsim.detect_groups nl ~assignment:assign ~observe [ [ f ] ]
-        in
-        if not det.(0) then
-          fail seed "guided differential: test for %s fails replay" (repro ())
-      | _ -> ())
-    faults
+   with the offending seed on stderr (the generator is
+   seed-determined, so that seed is the whole reproducer). *)
 
 let () =
-  let n =
-    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 25
+  let n_circuits =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 12
   in
-  let base =
+  let base_seed =
     if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 1000
   in
   Hft_obs.enabled := true;
-  for i = 0 to n - 1 do
-    check_circuit (base + i)
+  let failures = ref 0 in
+  for i = 0 to n_circuits - 1 do
+    let seed = base_seed + i in
+    let nl =
+      Hft_gate.Netlist_gen.sequential ~seed ~n_pi:4 ~n_dff:3 ~n_gates:14
+    in
+    let report = Hft_fuzz.Oracle.run ~seed nl in
+    List.iter
+      (fun (f : Hft_fuzz.Oracle.finding) ->
+        incr failures;
+        Printf.eprintf "fuzz FAIL seed=%d [%s]: %s\n%!" seed
+          f.Hft_fuzz.Oracle.f_check f.Hft_fuzz.Oracle.f_detail)
+      report.Hft_fuzz.Oracle.r_findings
   done;
   if !failures > 0 then begin
-    Printf.eprintf "fuzz smoke: %d failure(s) over %d circuits\n%!" !failures n;
+    Printf.eprintf "fuzz smoke: %d failure(s) over %d circuit(s)\n%!"
+      !failures n_circuits;
     exit 1
   end;
-  Printf.printf "fuzz smoke: %d circuits ok (base seed %d)\n" n base
+  Printf.printf "fuzz smoke: %d circuit(s) clean (6 oracles each)\n%!"
+    n_circuits
